@@ -1,0 +1,66 @@
+//! Buffer-pool benchmarks: hit path, miss/evict path, mixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pioqo_bufpool::{Access, BufferPool};
+use pioqo_simkit::SimRng;
+use std::hint::black_box;
+
+fn bench_hits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufpool");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("pure_hits", |b| {
+        let mut pool = BufferPool::new(1024);
+        for p in 0..1024u64 {
+            pool.admit_prefetched(p).expect("admit");
+        }
+        b.iter(|| {
+            for i in 0..n {
+                let p = i % 1024;
+                black_box(pool.request(p));
+                pool.unpin(p).expect("pinned");
+            }
+        })
+    });
+
+    g.bench_function("miss_evict_cycle", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(256);
+            for p in 0..n {
+                assert_eq!(pool.request(p), Access::Miss);
+                pool.admit(p).expect("admit");
+                pool.unpin(p).expect("pinned");
+            }
+            black_box(pool.stats().evictions)
+        })
+    });
+
+    g.bench_function("zipf_ish_mixed", |b| {
+        let mut rng = SimRng::seeded(3);
+        // 80/20 mix: hot set within pool, cold tail beyond it.
+        let pages: Vec<u64> = (0..n)
+            .map(|_| {
+                if rng.unit() < 0.8 {
+                    rng.below(200)
+                } else {
+                    200 + rng.below(100_000)
+                }
+            })
+            .collect();
+        b.iter(|| {
+            let mut pool = BufferPool::new(256);
+            for &p in &pages {
+                if pool.request(p) == Access::Miss {
+                    pool.admit(p).expect("admit");
+                }
+                pool.unpin(p).expect("pinned");
+            }
+            black_box(pool.stats().hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hits);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Calibration benchmarks (Figs. 6/7/9-12's machinery): full-grid QDTT
+//! calibration per device class, and the §4.6 early stop's payoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pioqo_core::{CalibrationConfig, Calibrator, Method};
+use pioqo_device::presets;
+use std::hint::black_box;
+
+fn cfg(early_stop: bool) -> CalibrationConfig {
+    CalibrationConfig {
+        band_sizes: vec![1, 256, 4096, 1 << 16],
+        queue_depths: vec![1, 2, 4, 8, 16, 32],
+        max_reads: 800,
+        method: Method::ActiveWait,
+        repetitions: 1,
+        early_stop_pct: if early_stop { Some(20.0) } else { None },
+        stop_fill_factor: 1.02,
+        seed: 17,
+    }
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibrate_qdtt");
+    g.sample_size(20);
+    g.bench_function("ssd_full_grid", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(1 << 18, 1);
+            black_box(Calibrator::new(cfg(false)).calibrate_qdtt(&mut dev))
+        })
+    });
+    g.bench_function("hdd_full_grid", |b| {
+        b.iter(|| {
+            let mut dev = presets::hdd_7200(1 << 18, 1);
+            black_box(Calibrator::new(cfg(false)).calibrate_qdtt(&mut dev))
+        })
+    });
+    // Ablation: the §4.6 early stop should make HDD calibration much
+    // cheaper (it measures ~1/5 of the grid).
+    g.bench_function("hdd_early_stop", |b| {
+        b.iter(|| {
+            let mut dev = presets::hdd_7200(1 << 18, 1);
+            black_box(Calibrator::new(cfg(true)).calibrate_qdtt(&mut dev))
+        })
+    });
+    // Ablation: GW vs AW vs Threads wall cost on SSD.
+    for method in [Method::GroupWait, Method::ActiveWait, Method::Threads] {
+        g.bench_function(format!("ssd_point_{method:?}"), |b| {
+            b.iter(|| {
+                let mut dev = presets::consumer_pcie_ssd(1 << 18, 1);
+                let mut c = cfg(false);
+                c.method = method;
+                black_box(Calibrator::new(c).measure_point(&mut dev, 1 << 16, 16))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Device-simulator benchmarks: how fast the models serve I/O (wall time
+//! per simulated I/O), per device class and access pattern. These are the
+//! inner loops behind Fig. 1 and every Fig. 4 curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pioqo_device::{presets, DeviceModel, IoRequest};
+use pioqo_simkit::{SimRng, SimTime};
+use std::hint::black_box;
+
+fn drive_random(dev: &mut dyn DeviceModel, qd: u32, n: u64, seed: u64) -> SimTime {
+    let cap = dev.capacity_pages();
+    let mut rng = SimRng::seeded(seed);
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next = 0u64;
+    while next < (qd as u64).min(n) {
+        dev.submit(now, IoRequest::page(next, rng.below(cap)));
+        next += 1;
+    }
+    while dev.outstanding() > 0 {
+        let t = dev.next_event().expect("busy");
+        let before = out.len();
+        dev.advance(t, &mut out);
+        now = t;
+        for _ in before..out.len() {
+            if next < n {
+                dev.submit(now, IoRequest::page(next, rng.below(cap)));
+                next += 1;
+            }
+        }
+    }
+    now
+}
+
+fn bench_random_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_random_io_qd32");
+    let n = 4000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function(BenchmarkId::new("ssd", n), |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(1 << 20, 1);
+            black_box(drive_random(&mut dev, 32, n, 5))
+        })
+    });
+    g.bench_function(BenchmarkId::new("hdd", n), |b| {
+        b.iter(|| {
+            let mut dev = presets::hdd_7200(1 << 20, 1);
+            black_box(drive_random(&mut dev, 32, n, 5))
+        })
+    });
+    g.bench_function(BenchmarkId::new("raid8", n), |b| {
+        b.iter(|| {
+            let mut dev = presets::raid_15k(8, 1 << 20, 1);
+            black_box(drive_random(&mut dev, 32, n, 5))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sequential_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_sequential_blocks");
+    let blocks = 2000u64;
+    g.throughput(Throughput::Elements(blocks));
+    g.bench_function("ssd_16p_blocks", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(1 << 20, 1);
+            let mut out = Vec::new();
+            for i in 0..blocks {
+                dev.submit(SimTime::ZERO, IoRequest::block(i, i * 16, 16));
+            }
+            black_box(pioqo_device::drain_all(&mut dev, SimTime::ZERO, &mut out))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_random_io, bench_sequential_io);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Cost-model benchmarks: DTT/QDTT lookups (the optimizer calls these in
+//! its inner enumeration loop) and the cardinality formulas.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pioqo_core::{Dtt, Qdtt};
+use pioqo_optimizer::card::{mackert_lohman_fetches, yao_pages};
+use std::hint::black_box;
+
+fn models() -> (Dtt, Qdtt) {
+    let bands: Vec<u64> = (0..10).map(|i| 1u64 << (2 * i)).collect();
+    let qds = vec![1u32, 2, 4, 8, 16, 32];
+    let dtt = Dtt::new(bands.iter().map(|&b| (b, 40.0 + (b as f64).ln())).collect());
+    let mut grid = Vec::new();
+    for &q in &qds {
+        for &b in &bands {
+            grid.push((40.0 + (b as f64).ln()) / (q as f64).sqrt());
+        }
+    }
+    (dtt, Qdtt::new(bands, qds, grid))
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let (dtt, qdtt) = models();
+    let mut g = c.benchmark_group("model_lookup");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dtt_cost", |b| {
+        let mut band = 1u64;
+        b.iter(|| {
+            band = (band
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493))
+                % (1 << 18);
+            black_box(dtt.cost(black_box(band.max(1))))
+        })
+    });
+    g.bench_function("qdtt_cost_bilinear", |b| {
+        let mut band = 1u64;
+        let mut qd = 1u32;
+        b.iter(|| {
+            band = (band
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493))
+                % (1 << 18);
+            qd = qd % 32 + 1;
+            black_box(qdtt.cost(black_box(band.max(1)), black_box(qd)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cardinality");
+    g.bench_function("yao_small_k", |b| {
+        b.iter(|| black_box(yao_pages(black_box(250_000), black_box(8_000_000), 5_000)))
+    });
+    g.bench_function("yao_large_k_early_exit", |b| {
+        b.iter(|| {
+            black_box(yao_pages(
+                black_box(250_000),
+                black_box(8_000_000),
+                4_000_000,
+            ))
+        })
+    });
+    g.bench_function("mackert_lohman", |b| {
+        b.iter(|| {
+            black_box(mackert_lohman_fetches(
+                black_box(250_000),
+                black_box(400_000),
+                16_384,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_cardinality);
+criterion_main!(benches);

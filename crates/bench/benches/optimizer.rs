@@ -1,0 +1,88 @@
+//! Optimizer benchmarks: planning latency with the DTT vs QDTT models —
+//! the QDTT model must not make planning measurably slower (it is two
+//! binary searches and four multiplications more).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pioqo_core::{CalibrationConfig, Calibrator, Method};
+use pioqo_device::presets;
+use pioqo_optimizer::{DttCost, IndexStats, Optimizer, OptimizerConfig, QdttCost, TableStats};
+use pioqo_storage::Extent;
+use std::hint::black_box;
+
+fn stats() -> TableStats {
+    TableStats {
+        pages: 242_425,
+        rows: 8_000_000,
+        rows_per_page: 33,
+        page_size: 4096,
+        extent: Extent {
+            base: 0,
+            pages: 242_425,
+        },
+        cached_pages: 0,
+        buffer_frames: 16_384,
+        index: IndexStats {
+            leaves: 23_670,
+            height: 3,
+            leaf_fanout: 338,
+            extent: Extent {
+                base: 242_425,
+                pages: 23_750,
+            },
+            cached_pages: 0,
+        },
+    }
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let cal = Calibrator::new(CalibrationConfig {
+        band_sizes: vec![1, 256, 4096, 1 << 16, 1 << 19],
+        queue_depths: vec![1, 2, 4, 8, 16, 32],
+        max_reads: 400,
+        method: Method::ActiveWait,
+        repetitions: 1,
+        early_stop_pct: None,
+        stop_fill_factor: 1.02,
+        seed: 23,
+    });
+    let mut dev = presets::consumer_pcie_ssd(1 << 19, 1);
+    let (qdtt, _) = cal.calibrate_qdtt(&mut dev);
+    let dtt = qdtt.to_dtt();
+    let st = stats();
+
+    let mut g = c.benchmark_group("plan_choice");
+    g.throughput(Throughput::Elements(1));
+    let dtt_model = DttCost(dtt);
+    let qdtt_model = QdttCost(qdtt);
+    let old = Optimizer::new(&dtt_model, OptimizerConfig::default());
+    let new = Optimizer::new(&qdtt_model, OptimizerConfig::default());
+    let mut sel = 0.0f64;
+    g.bench_function("old_dtt", |b| {
+        b.iter(|| {
+            sel = if sel > 0.95 { 0.0001 } else { sel + 0.0137 };
+            black_box(old.choose(black_box(&st), black_box(sel)))
+        })
+    });
+    g.bench_function("new_qdtt", |b| {
+        b.iter(|| {
+            sel = if sel > 0.95 { 0.0001 } else { sel + 0.0137 };
+            black_box(new.choose(black_box(&st), black_box(sel)))
+        })
+    });
+    // Ablation: enumerating all intermediate degrees.
+    let wide = OptimizerConfig {
+        degrees: vec![1, 2, 4, 8, 16, 32],
+        ..OptimizerConfig::default()
+    };
+    let new_wide = Optimizer::new(&qdtt_model, wide);
+    g.bench_function("new_qdtt_all_degrees", |b| {
+        b.iter(|| {
+            sel = if sel > 0.95 { 0.0001 } else { sel + 0.0137 };
+            black_box(new_wide.choose(black_box(&st), black_box(sel)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

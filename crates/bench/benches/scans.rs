@@ -1,0 +1,135 @@
+//! End-to-end scan benchmarks: wall-clock cost of simulating one Fig. 4 /
+//! Fig. 5 point per access method, plus the sorted-index-scan ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pioqo_bench::{bench_data, BenchData};
+use pioqo_bufpool::BufferPool;
+use pioqo_device::presets;
+use pioqo_exec::{
+    run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, FtsConfig, IsConfig, SortedIsConfig,
+};
+use pioqo_storage::range_for_selectivity;
+use std::hint::black_box;
+
+fn bench_scans(c: &mut Criterion) {
+    let data: BenchData = bench_data(150_000);
+    let (lo, hi) = range_for_selectivity(0.02, u32::MAX - 1);
+    let mut g = c.benchmark_group("scan_simulation");
+    g.sample_size(20);
+
+    g.bench_function("fts_serial", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+            let mut pool = BufferPool::new(4096);
+            black_box(
+                run_fts(
+                    &mut dev,
+                    &mut pool,
+                    CpuConfig::paper_xeon(),
+                    CpuCosts::default(),
+                    &data.table,
+                    lo,
+                    hi,
+                    &FtsConfig::default(),
+                )
+                .expect("runs"),
+            )
+        })
+    });
+
+    g.bench_function("pfts32", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+            let mut pool = BufferPool::new(4096);
+            black_box(
+                run_fts(
+                    &mut dev,
+                    &mut pool,
+                    CpuConfig::paper_xeon(),
+                    CpuCosts::default(),
+                    &data.table,
+                    lo,
+                    hi,
+                    &FtsConfig {
+                        workers: 32,
+                        ..FtsConfig::default()
+                    },
+                )
+                .expect("runs"),
+            )
+        })
+    });
+
+    g.bench_function("pis32", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+            let mut pool = BufferPool::new(4096);
+            black_box(
+                run_is(
+                    &mut dev,
+                    &mut pool,
+                    CpuConfig::paper_xeon(),
+                    CpuCosts::default(),
+                    &data.table,
+                    &data.index,
+                    lo,
+                    hi,
+                    &IsConfig {
+                        workers: 32,
+                        prefetch_depth: 0,
+                    },
+                )
+                .expect("runs"),
+            )
+        })
+    });
+
+    g.bench_function("pis4_pf32", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+            let mut pool = BufferPool::new(4096);
+            black_box(
+                run_is(
+                    &mut dev,
+                    &mut pool,
+                    CpuConfig::paper_xeon(),
+                    CpuCosts::default(),
+                    &data.table,
+                    &data.index,
+                    lo,
+                    hi,
+                    &IsConfig {
+                        workers: 4,
+                        prefetch_depth: 32,
+                    },
+                )
+                .expect("runs"),
+            )
+        })
+    });
+
+    g.bench_function("sorted_is", |b| {
+        b.iter(|| {
+            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+            let mut pool = BufferPool::new(4096);
+            black_box(
+                run_sorted_is(
+                    &mut dev,
+                    &mut pool,
+                    CpuConfig::paper_xeon(),
+                    CpuCosts::default(),
+                    &data.table,
+                    &data.index,
+                    lo,
+                    hi,
+                    &SortedIsConfig::default(),
+                )
+                .expect("runs"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

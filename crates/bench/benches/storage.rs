@@ -1,0 +1,61 @@
+//! Storage-layer benchmarks: page codec, data generation, B+-tree bulk
+//! load and range probes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pioqo_bench::bench_data;
+use pioqo_storage::{encode_heap_page, range_for_selectivity, ColumnData, TableSpec};
+use std::hint::black_box;
+
+fn bench_page_codec(c: &mut Criterion) {
+    let spec = TableSpec::paper_table(33, 1_000_000, 7);
+    let rows: Vec<(u32, u32)> = (0..33).map(|i| (i * 31, i * 17)).collect();
+    let img = encode_heap_page(&spec, 5, &rows);
+    let mut g = c.benchmark_group("page_codec");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(encode_heap_page(&spec, 5, black_box(&rows))))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(pioqo_storage::decode_heap_page(&spec, black_box(&img))))
+    });
+    g.finish();
+}
+
+fn bench_data_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_generation");
+    let rows = 100_000u64;
+    g.throughput(Throughput::Elements(rows));
+    g.bench_function("generate_100k_rows", |b| {
+        let spec = TableSpec::paper_table(33, rows, 11);
+        b.iter(|| black_box(ColumnData::generate(&spec)))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("bulk_load_100k", |b| {
+        b.iter(|| black_box(bench_data(100_000)))
+    });
+    let data = bench_data(200_000);
+    g.bench_function("range_probe", |b| {
+        let mut sel = 0.0f64;
+        b.iter(|| {
+            sel = if sel >= 0.9 { 0.001 } else { sel + 0.013 };
+            let (lo, hi) = range_for_selectivity(sel, u32::MAX - 1);
+            black_box(data.index.range(lo, hi))
+        })
+    });
+    g.bench_function("leaf_page_image", |b| {
+        b.iter(|| black_box(data.index.leaf_page_image(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_codec,
+    bench_data_generation,
+    bench_btree
+);
+criterion_main!(benches);

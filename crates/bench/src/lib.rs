@@ -1,0 +1,35 @@
+//! # pioqo-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The figure/table *reproduction* harness lives in `pioqo-repro` (virtual
+//! time); the benches here measure the *wall-clock* performance of the
+//! library itself: how fast the simulators simulate, how fast the B+-tree
+//! probes, how cheap a QDTT lookup is, and how long the optimizer takes to
+//! plan — the last one matters because a cost model that slows planning
+//! down would never ship in an embedded DBMS.
+
+#![warn(missing_docs)]
+
+use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};
+
+/// A small standard dataset shared by the scan/optimizer benches.
+pub struct BenchData {
+    /// The heap table.
+    pub table: HeapTable,
+    /// Its C2 index.
+    pub index: BTreeIndex,
+    /// Device capacity the layout fits in.
+    pub capacity: u64,
+}
+
+/// Build the standard bench dataset (`rows` rows, 33 rows/page).
+pub fn bench_data(rows: u64) -> BenchData {
+    let spec = TableSpec::paper_table(33, rows, 99);
+    let mut ts = Tablespace::new(4 * spec.n_pages() + 2000);
+    let table = HeapTable::create(spec, &mut ts).expect("fits");
+    let index = BTreeIndex::build("c2", table.data().c2_entries(), 4096, &mut ts).expect("fits");
+    BenchData {
+        table,
+        index,
+        capacity: ts.capacity(),
+    }
+}

@@ -1,0 +1,465 @@
+//! # pioqo-bufpool — buffer pool
+//!
+//! An LRU page cache with pinning, sized in frames. Two properties matter
+//! for the paper's experiments:
+//!
+//! * With a **small pool** (64 MB in §3.1), a high-selectivity index scan
+//!   re-fetches table pages it already read — the effect that lets IS fetch
+//!   *more* pages than the table holds (§2) and that the optimizer's
+//!   Mackert–Lohman cardinality model estimates.
+//! * The pool reports **how many of a table's pages are cached**, because
+//!   "SQL Anywhere maintains statistics on how many table and index pages
+//!   are currently cached" and the optimizer uses them (§4.3).
+//!
+//! The pool tracks *residency*, not payloads: logical row values live in
+//! `pioqo-storage`'s column data, so frames carry no bytes. Every hit,
+//! miss, eviction and refetch is counted.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a page request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Page resident: it was pinned and moved to MRU.
+    Hit,
+    /// Page absent: the caller must perform I/O, then call
+    /// [`BufferPool::admit`].
+    Miss,
+}
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every frame is pinned; nothing can be evicted.
+    AllPinned,
+    /// `unpin` on a page that is not resident or not pinned.
+    NotPinned(u64),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::AllPinned => write!(f, "buffer pool exhausted: all frames pinned"),
+            PoolError::NotPinned(p) => write!(f, "page {p} is not pinned"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Counters exposed by the pool.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Requests satisfied from the pool.
+    pub hits: u64,
+    /// Requests that required I/O.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Misses on pages that had been resident before (the §2 "same table
+    /// pages retrieved over and over again" effect).
+    pub refetches: u64,
+    /// Pages admitted by prefetch rather than demand.
+    pub prefetch_admissions: u64,
+    /// Demand requests that hit a page a prefetch admitted.
+    pub prefetch_hits: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    page: u64,
+    pins: u32,
+    prefetched: bool,
+    prev: u32,
+    next: u32,
+}
+
+/// An LRU buffer pool. See the crate docs.
+#[derive(Debug)]
+pub struct BufferPool {
+    cap: usize,
+    frames: Vec<Frame>,
+    map: HashMap<u64, u32>,
+    free: Vec<u32>,
+    /// LRU list head (least recent) and tail (most recent) among resident
+    /// frames; pinned frames stay in the list but are skipped by eviction.
+    head: u32,
+    tail: u32,
+    stats: PoolStats,
+    ever_seen: HashSet<u64>,
+}
+
+impl BufferPool {
+    /// A pool with `capacity` frames (must be >= 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        assert!(capacity >= 1, "pool needs at least one frame");
+        assert!(capacity < NIL as usize, "pool too large for u32 links");
+        BufferPool {
+            cap: capacity,
+            frames: Vec::new(),
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: PoolStats::default(),
+            ever_seen: HashSet::new(),
+        }
+    }
+
+    /// Capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// True if `page` is resident (no side effects, no pinning).
+    pub fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Number of resident pages within `[base, base+len)` — the cached-page
+    /// statistic the optimizer consults per table/index extent.
+    pub fn resident_in_range(&self, base: u64, len: u64) -> u64 {
+        if self.map.len() as u64 <= len {
+            self.map
+                .keys()
+                .filter(|&&p| p >= base && p < base + len)
+                .count() as u64
+        } else {
+            (base..base + len)
+                .filter(|p| self.map.contains_key(p))
+                .count() as u64
+        }
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let f = self.frames[idx as usize];
+        match f.prev {
+            NIL => self.head = f.next,
+            p => self.frames[p as usize].next = f.next,
+        }
+        match f.next {
+            NIL => self.tail = f.prev,
+            n => self.frames[n as usize].prev = f.prev,
+        }
+        self.frames[idx as usize].prev = NIL;
+        self.frames[idx as usize].next = NIL;
+    }
+
+    fn push_mru(&mut self, idx: u32) {
+        self.frames[idx as usize].prev = self.tail;
+        self.frames[idx as usize].next = NIL;
+        match self.tail {
+            NIL => self.head = idx,
+            t => self.frames[t as usize].next = idx,
+        }
+        self.tail = idx;
+    }
+
+    /// Request `page` for reading. On [`Access::Hit`] the page is pinned
+    /// and promoted to MRU; on [`Access::Miss`] the caller must do the I/O
+    /// and then [`admit`](BufferPool::admit) the page.
+    pub fn request(&mut self, page: u64) -> Access {
+        if let Some(&idx) = self.map.get(&page) {
+            self.stats.hits += 1;
+            if self.frames[idx as usize].prefetched {
+                self.stats.prefetch_hits += 1;
+                self.frames[idx as usize].prefetched = false;
+            }
+            self.frames[idx as usize].pins += 1;
+            self.detach(idx);
+            self.push_mru(idx);
+            Access::Hit
+        } else {
+            self.stats.misses += 1;
+            if self.ever_seen.contains(&page) {
+                self.stats.refetches += 1;
+            }
+            Access::Miss
+        }
+    }
+
+    /// Make `page` resident and pinned after a demand-read I/O. Evicts the
+    /// LRU unpinned frame when full. Admitting an already-resident page
+    /// just pins it (two workers can race on the same miss).
+    pub fn admit(&mut self, page: u64) -> Result<(), PoolError> {
+        self.admit_inner(page, false, true)
+    }
+
+    /// Make `page` resident *unpinned*, as an asynchronous prefetch
+    /// completion does. No-op if already resident.
+    pub fn admit_prefetched(&mut self, page: u64) -> Result<(), PoolError> {
+        self.admit_inner(page, true, false)
+    }
+
+    fn admit_inner(&mut self, page: u64, prefetched: bool, pin: bool) -> Result<(), PoolError> {
+        if let Some(&idx) = self.map.get(&page) {
+            if pin {
+                self.frames[idx as usize].pins += 1;
+                self.detach(idx);
+                self.push_mru(idx);
+            }
+            return Ok(());
+        }
+        self.ever_seen.insert(page);
+        if prefetched {
+            self.stats.prefetch_admissions += 1;
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            idx
+        } else if self.frames.len() < self.cap {
+            self.frames.push(Frame {
+                page: 0,
+                pins: 0,
+                prefetched: false,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.frames.len() - 1) as u32
+        } else {
+            self.evict_lru()?
+        };
+        self.frames[idx as usize] = Frame {
+            page,
+            pins: u32::from(pin),
+            prefetched,
+            prev: NIL,
+            next: NIL,
+        };
+        self.map.insert(page, idx);
+        self.push_mru(idx);
+        Ok(())
+    }
+
+    /// Evict the least-recently-used unpinned frame; returns its index.
+    fn evict_lru(&mut self) -> Result<u32, PoolError> {
+        let mut cur = self.head;
+        while cur != NIL {
+            if self.frames[cur as usize].pins == 0 {
+                let page = self.frames[cur as usize].page;
+                self.detach(cur);
+                self.map.remove(&page);
+                self.stats.evictions += 1;
+                return Ok(cur);
+            }
+            cur = self.frames[cur as usize].next;
+        }
+        Err(PoolError::AllPinned)
+    }
+
+    /// Release one pin on `page`.
+    pub fn unpin(&mut self, page: u64) -> Result<(), PoolError> {
+        let idx = *self.map.get(&page).ok_or(PoolError::NotPinned(page))?;
+        let f = &mut self.frames[idx as usize];
+        if f.pins == 0 {
+            return Err(PoolError::NotPinned(page));
+        }
+        f.pins -= 1;
+        Ok(())
+    }
+
+    /// Drop every resident page and forget refetch history — the paper
+    /// flushes the buffer pool at the start of each experiment (§3.2).
+    /// Counters survive so callers may snapshot them first.
+    pub fn flush_all(&mut self) {
+        assert!(
+            self.frames.iter().all(|f| f.pins == 0 || f.page == 0),
+            "flush with pinned pages"
+        );
+        self.map.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.ever_seen.clear();
+    }
+
+    /// Reset counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Invariant checker used by tests: list membership matches the map,
+    /// no duplicate pages, length within capacity.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(self.map.len() <= self.cap);
+        let mut seen = 0usize;
+        let mut cur = self.head;
+        let mut prev = NIL;
+        while cur != NIL {
+            let f = &self.frames[cur as usize];
+            assert_eq!(f.prev, prev, "broken prev link");
+            assert_eq!(self.map.get(&f.page), Some(&cur), "map/list mismatch");
+            seen += 1;
+            prev = cur;
+            cur = f.next;
+        }
+        assert_eq!(seen, self.map.len(), "list length != resident count");
+        assert_eq!(self.tail, prev, "tail mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_admit() {
+        let mut p = BufferPool::new(4);
+        assert_eq!(p.request(10), Access::Miss);
+        p.admit(10).expect("admit");
+        p.unpin(10).expect("unpin");
+        assert_eq!(p.request(10), Access::Hit);
+        p.unpin(10).expect("unpin");
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = BufferPool::new(2);
+        for page in [1u64, 2] {
+            assert_eq!(p.request(page), Access::Miss);
+            p.admit(page).expect("admit");
+            p.unpin(page).expect("unpin");
+        }
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(p.request(1), Access::Hit);
+        p.unpin(1).expect("unpin");
+        assert_eq!(p.request(3), Access::Miss);
+        p.admit(3).expect("admit");
+        p.unpin(3).expect("unpin");
+        assert!(p.contains(1));
+        assert!(!p.contains(2), "LRU page 2 should have been evicted");
+        assert!(p.contains(3));
+        assert_eq!(p.stats().evictions, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let mut p = BufferPool::new(2);
+        p.request(1);
+        p.admit(1).expect("admit"); // stays pinned
+        p.request(2);
+        p.admit(2).expect("admit");
+        p.unpin(2).expect("unpin");
+        p.request(3);
+        p.admit(3).expect("admit"); // must evict 2, not pinned 1
+        assert!(p.contains(1));
+        assert!(!p.contains(2));
+        p.check_invariants();
+    }
+
+    #[test]
+    fn all_pinned_is_an_error() {
+        let mut p = BufferPool::new(1);
+        p.request(1);
+        p.admit(1).expect("admit");
+        assert_eq!(p.admit(2), Err(PoolError::AllPinned));
+    }
+
+    #[test]
+    fn refetch_accounting() {
+        let mut p = BufferPool::new(1);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.unpin(1).expect("unpin");
+        p.request(2);
+        p.admit(2).expect("admit"); // evicts 1
+        p.unpin(2).expect("unpin");
+        assert_eq!(p.request(1), Access::Miss); // refetch!
+        assert_eq!(p.stats().refetches, 1);
+        assert_eq!(p.stats().misses, 3);
+    }
+
+    #[test]
+    fn prefetch_admission_and_hit() {
+        let mut p = BufferPool::new(4);
+        p.admit_prefetched(7).expect("admit");
+        assert_eq!(p.stats().prefetch_admissions, 1);
+        assert_eq!(p.request(7), Access::Hit);
+        p.unpin(7).expect("unpin");
+        assert_eq!(p.stats().prefetch_hits, 1);
+        // Second hit is an ordinary hit, not a prefetch hit.
+        assert_eq!(p.request(7), Access::Hit);
+        p.unpin(7).expect("unpin");
+        assert_eq!(p.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn double_admit_races_pin_twice() {
+        let mut p = BufferPool::new(2);
+        p.request(5);
+        p.admit(5).expect("admit");
+        p.admit(5).expect("second admit pins again");
+        p.unpin(5).expect("unpin 1");
+        p.unpin(5).expect("unpin 2");
+        assert_eq!(p.unpin(5), Err(PoolError::NotPinned(5)));
+    }
+
+    #[test]
+    fn resident_in_range_counts_extent_pages() {
+        let mut p = BufferPool::new(8);
+        for page in [100u64, 101, 105, 200] {
+            p.admit_prefetched(page).expect("admit");
+        }
+        assert_eq!(p.resident_in_range(100, 10), 3);
+        assert_eq!(p.resident_in_range(0, 50), 0);
+        assert_eq!(p.resident_in_range(200, 1), 1);
+    }
+
+    #[test]
+    fn flush_all_clears_residency_and_history() {
+        let mut p = BufferPool::new(2);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.unpin(1).expect("unpin");
+        p.flush_all();
+        assert!(p.is_empty());
+        assert_eq!(p.request(1), Access::Miss);
+        // Not a refetch: flush cleared the history, matching the paper's
+        // cold-start protocol.
+        assert_eq!(p.stats().refetches, 0);
+    }
+
+    #[test]
+    fn unpin_unknown_page_errors() {
+        let mut p = BufferPool::new(2);
+        assert_eq!(p.unpin(9), Err(PoolError::NotPinned(9)));
+    }
+
+    #[test]
+    fn single_frame_pool_works() {
+        let mut p = BufferPool::new(1);
+        for page in 0..100u64 {
+            assert_eq!(p.request(page), Access::Miss);
+            p.admit(page).expect("admit");
+            p.unpin(page).expect("unpin");
+        }
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.stats().evictions, 99);
+        p.check_invariants();
+    }
+}

@@ -1,0 +1,159 @@
+//! The classic disk transfer time (DTT) model (§4.1).
+//!
+//! `DTT(band)` is the amortized cost, in microseconds, of reading one page
+//! at a uniformly random offset within a *band* of `band` consecutive pages.
+//! A band of 1 is sequential I/O. The model is a piecewise-linear function
+//! through calibrated `(band, cost)` knots — SQL Anywhere interpolates
+//! linearly between calibration points, and so do we.
+
+use serde::{Deserialize, Serialize};
+
+/// A calibrated DTT model. Knots are strictly increasing in band size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dtt {
+    band_sizes: Vec<u64>,
+    cost_us: Vec<f64>,
+}
+
+impl Dtt {
+    /// Build from `(band_size, cost_us)` knots (sorted internally).
+    ///
+    /// # Panics
+    /// Panics on an empty knot set, duplicate band sizes, or non-finite /
+    /// negative costs — a calibration that produced those is broken.
+    pub fn new(mut points: Vec<(u64, f64)>) -> Dtt {
+        assert!(!points.is_empty(), "DTT needs at least one knot");
+        points.sort_unstable_by_key(|&(b, _)| b);
+        for w in points.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate band size {}", w[0].0);
+        }
+        for &(b, c) in &points {
+            assert!(b >= 1, "band size must be >= 1");
+            assert!(c.is_finite() && c >= 0.0, "bad cost {c} at band {b}");
+        }
+        Dtt {
+            band_sizes: points.iter().map(|&(b, _)| b).collect(),
+            cost_us: points.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// Amortized cost (µs) of one random page read within a band of
+    /// `band` pages. Linear interpolation between knots; clamped to the
+    /// first/last knot outside the calibrated range.
+    pub fn cost(&self, band: u64) -> f64 {
+        interp_band(&self.band_sizes, &self.cost_us, band)
+    }
+
+    /// The calibrated band sizes (ascending).
+    pub fn band_sizes(&self) -> &[u64] {
+        &self.band_sizes
+    }
+
+    /// The knots as `(band, cost)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.band_sizes
+            .iter()
+            .copied()
+            .zip(self.cost_us.iter().copied())
+    }
+}
+
+/// Shared linear interpolation over an ascending knot vector; clamps
+/// outside the range. Also used for the QDTT's band axis.
+pub(crate) fn interp_band(xs: &[u64], ys: &[f64], x: u64) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    match xs.binary_search(&x) {
+        Ok(i) => ys[i],
+        Err(0) => ys[0],
+        Err(i) if i == xs.len() => ys[xs.len() - 1],
+        Err(i) => {
+            let (x0, x1) = (xs[i - 1] as f64, xs[i] as f64);
+            let t = (x as f64 - x0) / (x1 - x0);
+            ys[i - 1] + t * (ys[i] - ys[i - 1])
+        }
+    }
+}
+
+/// Linear interpolation over an ascending `u32` knot vector (queue-depth
+/// axis), clamped outside the range.
+pub(crate) fn interp_qd(xs: &[u32], ys: &[f64], x: u32) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    match xs.binary_search(&x) {
+        Ok(i) => ys[i],
+        Err(0) => ys[0],
+        Err(i) if i == xs.len() => ys[xs.len() - 1],
+        Err(i) => {
+            let (x0, x1) = (xs[i - 1] as f64, xs[i] as f64);
+            let t = (x as f64 - x0) / (x1 - x0);
+            ys[i - 1] + t * (ys[i] - ys[i - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dtt {
+        Dtt::new(vec![(1, 40.0), (1024, 100.0), (1 << 20, 9000.0)])
+    }
+
+    #[test]
+    fn exact_on_knots() {
+        let d = sample();
+        assert_eq!(d.cost(1), 40.0);
+        assert_eq!(d.cost(1024), 100.0);
+        assert_eq!(d.cost(1 << 20), 9000.0);
+    }
+
+    #[test]
+    fn linear_between_knots() {
+        let d = sample();
+        // Halfway between band 1 and 1024 in *band value*.
+        let mid = d.cost(512);
+        let expected = 40.0 + (512.0 - 1.0) / 1023.0 * 60.0;
+        assert!((mid - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let d = Dtt::new(vec![(4, 50.0), (64, 80.0)]);
+        assert_eq!(d.cost(1), 50.0);
+        assert_eq!(d.cost(1 << 30), 80.0);
+    }
+
+    #[test]
+    fn monotone_inputs_stay_bounded() {
+        let d = sample();
+        for band in [1u64, 3, 17, 999, 5000, 1 << 19] {
+            let c = d.cost(band);
+            assert!((40.0..=9000.0).contains(&c), "band {band} -> {c}");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let d = Dtt::new(vec![(1024, 100.0), (1, 40.0)]);
+        assert_eq!(d.band_sizes(), &[1, 1024]);
+        assert_eq!(d.cost(1), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate band size")]
+    fn rejects_duplicates() {
+        Dtt::new(vec![(8, 1.0), (8, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one knot")]
+    fn rejects_empty() {
+        Dtt::new(vec![]);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let d = Dtt::new(vec![(16, 75.0)]);
+        assert_eq!(d.cost(1), 75.0);
+        assert_eq!(d.cost(1 << 24), 75.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pioqo-core — the paper's contribution
+//!
+//! The queue-depth-aware disk transfer time model and its calibration:
+//!
+//! * [`Dtt`] — the classic band-size-only I/O cost model (§4.1);
+//! * [`Qdtt`] — `cost(band_size, queue_depth)` with bilinear interpolation
+//!   over exponentially spaced calibration knots (§4.2, §4.5); its
+//!   queue-depth-1 slice *is* the DTT, making QDTT a strict generalization;
+//! * [`Calibrator`] — the §4.4 calibration process (block division, the
+//!   M = 3200 read cap, Threads/GW/AW queue-depth generators) with the §4.6
+//!   early stop for devices that don't benefit from parallel I/O;
+//! * [`persist`] — JSON round-tripping of calibrated models;
+//! * [`real_calibrate`] (Unix) — the same calibration against a real file
+//!   through a thread pool, for actual deployments.
+//!
+//! The optimizer (`pioqo-optimizer`) consumes these models to cost access
+//! paths; nothing in this crate knows about tables or plans.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod dtt;
+pub mod persist;
+pub mod qdtt;
+pub mod real_calibrate;
+
+pub use calibrate::{CalibrationConfig, CalibrationReport, Calibrator, Method};
+pub use dtt::Dtt;
+pub use persist::{load_dtt, load_qdtt, save_dtt, save_qdtt, PersistError};
+pub use qdtt::Qdtt;

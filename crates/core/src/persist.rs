@@ -1,0 +1,118 @@
+//! Model persistence.
+//!
+//! A calibrated model is a durable artifact: SQL Anywhere calibrates on the
+//! customer's hardware and reuses the model across restarts (§4.1). We
+//! persist to JSON so models are diffable and inspectable.
+
+use crate::dtt::Dtt;
+use crate::qdtt::Qdtt;
+use serde::{de::DeserializeOwned, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed model file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O: {e}"),
+            PersistError::Format(e) => write!(f, "model file format: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(value)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Write a QDTT model to `path` as JSON.
+pub fn save_qdtt(model: &Qdtt, path: &Path) -> Result<(), PersistError> {
+    save(model, path)
+}
+
+/// Read a QDTT model from `path`.
+pub fn load_qdtt(path: &Path) -> Result<Qdtt, PersistError> {
+    load(path)
+}
+
+/// Write a DTT model to `path` as JSON.
+pub fn save_dtt(model: &Dtt, path: &Path) -> Result<(), PersistError> {
+    save(model, path)
+}
+
+/// Read a DTT model from `path`.
+pub fn load_dtt(path: &Path) -> Result<Dtt, PersistError> {
+    load(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pioqo-model-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn qdtt_round_trips() {
+        let m = Qdtt::new(vec![1, 1024], vec![1, 32], vec![100.0, 9000.0, 10.0, 300.0]);
+        let p = temp("qdtt");
+        save_qdtt(&m, &p).expect("save");
+        let back = load_qdtt(&p).expect("load");
+        assert_eq!(m, back);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn dtt_round_trips() {
+        let d = Dtt::new(vec![(1, 40.0), (64, 90.0)]);
+        let p = temp("dtt");
+        save_dtt(&d, &p).expect("save");
+        assert_eq!(load_dtt(&p).expect("load"), d);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = load_qdtt(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(matches!(e, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_is_format_error() {
+        let p = temp("garbage");
+        std::fs::write(&p, "{ not json").expect("write");
+        let e = load_qdtt(&p).unwrap_err();
+        assert!(matches!(e, PersistError::Format(_)));
+        assert!(format!("{e}").contains("format"));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,133 @@
+//! Calibration against a real file (Unix only).
+//!
+//! The same block-division and waiting disciplines as the simulated
+//! calibrator, but issuing actual `pread`s through a worker-thread pool and
+//! measuring wall-clock time. This is the path a deployment would run on
+//! the customer's hardware; on a development machine without `O_DIRECT` the
+//! page cache will make the numbers flat — see `examples/real_device.rs`.
+
+#![cfg(unix)]
+
+use crate::calibrate::{CalibrationConfig, Method};
+use crate::qdtt::Qdtt;
+use pioqo_device::real::{run_calibration_ios, IoPool, RealFile, WaitMethod};
+use pioqo_simkit::SimRng;
+use std::io;
+use std::sync::Arc;
+
+/// Calibrate a QDTT model against a real file. The `Threads` method maps to
+/// active waiting (with a pool of synchronous readers they are the same
+/// discipline).
+pub fn calibrate_real_qdtt(cfg: &CalibrationConfig, file: Arc<RealFile>) -> io::Result<Qdtt> {
+    let nb = cfg.band_sizes.len();
+    let mut grid = vec![0.0f64; nb * cfg.queue_depths.len()];
+    let mut rng = SimRng::seeded(cfg.seed);
+    for (qi, &qd) in cfg.queue_depths.iter().enumerate() {
+        let pool = IoPool::new(Arc::clone(&file), qd as usize);
+        for (bi, &band) in cfg.band_sizes.iter().enumerate() {
+            let mut total_us = 0.0;
+            let mut total_reads = 0u64;
+            for _ in 0..cfg.repetitions.max(1) {
+                let offsets = point_offsets(cfg, file.pages(), band, &mut rng);
+                let method = match cfg.method {
+                    Method::GroupWait => WaitMethod::GroupWait,
+                    Method::ActiveWait | Method::Threads => WaitMethod::ActiveWait,
+                };
+                let elapsed = run_calibration_ios(&pool, method, qd as usize, &offsets)?;
+                total_us += elapsed.as_secs_f64() * 1e6;
+                total_reads += offsets.len() as u64;
+            }
+            grid[qi * nb + bi] = total_us / total_reads as f64;
+        }
+    }
+    Ok(Qdtt::new(
+        cfg.band_sizes.clone(),
+        cfg.queue_depths.clone(),
+        grid,
+    ))
+}
+
+/// The paper's §4.4 offset schedule for one calibration point.
+fn point_offsets(
+    cfg: &CalibrationConfig,
+    file_pages: u64,
+    band: u64,
+    rng: &mut SimRng,
+) -> Vec<u64> {
+    let band = band.min(file_pages).max(1);
+    let m = cfg.max_reads;
+    let per_block = band.min(m);
+    let n_blocks = if band >= m {
+        1
+    } else {
+        (m / per_block).min(file_pages / band).max(1)
+    };
+    let mut offsets = Vec::with_capacity((per_block * n_blocks) as usize);
+    if n_blocks == 1 {
+        let start = if file_pages > band {
+            rng.below(file_pages - band + 1)
+        } else {
+            0
+        };
+        for off in rng.distinct_below(band, per_block as usize) {
+            offsets.push(start + off);
+        }
+    } else {
+        let tiles = file_pages / band;
+        let first_tile = if tiles > n_blocks {
+            rng.below(tiles - n_blocks + 1)
+        } else {
+            0
+        };
+        for tile in first_tile..first_tile + n_blocks {
+            let start = tile * band;
+            for off in rng.distinct_below(band, per_block as usize) {
+                offsets.push(start + off);
+            }
+        }
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_calibration_runs_on_temp_file() {
+        let path = std::env::temp_dir().join(format!("pioqo-cal-{}.dat", std::process::id()));
+        let file = Arc::new(RealFile::create(&path, 256, 4096).expect("create"));
+        let cfg = CalibrationConfig {
+            band_sizes: vec![16, 256],
+            queue_depths: vec![1, 4],
+            max_reads: 64,
+            method: Method::ActiveWait,
+            repetitions: 1,
+            early_stop_pct: None,
+            stop_fill_factor: 1.02,
+            seed: 3,
+        };
+        let m = calibrate_real_qdtt(&cfg, file).expect("calibrates");
+        assert!(m.cost(16, 1) > 0.0);
+        assert!(m.cost(256, 4) > 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offsets_respect_cap_and_band() {
+        let cfg = CalibrationConfig {
+            band_sizes: vec![8],
+            queue_depths: vec![1],
+            max_reads: 100,
+            method: Method::ActiveWait,
+            repetitions: 1,
+            early_stop_pct: None,
+            stop_fill_factor: 1.02,
+            seed: 3,
+        };
+        let mut rng = SimRng::seeded(1);
+        let offs = point_offsets(&cfg, 1024, 8, &mut rng);
+        assert!(offs.len() <= 100);
+        assert!(offs.iter().all(|&o| o < 1024));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fault injection for failure-path testing.
+//!
+//! [`Faulty`] wraps a [`DeviceModel`] and flips selected completions to
+//! [`IoStatus::Error`] — either every request whose id is in an explicit
+//! set, or one request in every `n` (deterministic round-robin). The scan
+//! operators and the calibrator must surface these as errors rather than
+//! silently producing wrong answers.
+
+use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
+use pioqo_simkit::SimTime;
+use std::collections::HashSet;
+
+/// Which completions to fail.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Fail requests with these exact ids.
+    Ids(HashSet<u64>),
+    /// Fail every `n`-th completed request (1-based: `EveryNth(3)` fails the
+    /// 3rd, 6th, ... completion).
+    EveryNth(u64),
+    /// Never fail (useful to toggle plans in tests).
+    None,
+}
+
+/// A [`DeviceModel`] decorator that injects read errors.
+pub struct Faulty<D> {
+    inner: D,
+    plan: FaultPlan,
+    completed: u64,
+    injected: u64,
+    scratch: Vec<IoCompletion>,
+}
+
+impl<D: DeviceModel> Faulty<D> {
+    /// Wrap a device with a fault plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        Faulty {
+            inner,
+            plan,
+            completed: 0,
+            injected: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of errors injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn should_fail(&mut self, req: &IoRequest) -> bool {
+        match &self.plan {
+            FaultPlan::Ids(ids) => ids.contains(&req.id),
+            FaultPlan::EveryNth(n) => *n > 0 && self.completed.is_multiple_of(*n),
+            FaultPlan::None => false,
+        }
+    }
+}
+
+impl<D: DeviceModel> DeviceModel for Faulty<D> {
+    fn page_size(&self) -> u32 {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn submit(&mut self, now: SimTime, req: IoRequest) {
+        self.inner.submit(now, req);
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        self.inner.next_event()
+    }
+
+    fn advance(&mut self, now: SimTime, out: &mut Vec<IoCompletion>) {
+        self.scratch.clear();
+        self.inner.advance(now, &mut self.scratch);
+        let mut completions = std::mem::take(&mut self.scratch);
+        for mut c in completions.drain(..) {
+            self.completed += 1;
+            if self.should_fail(&c.req) {
+                c.status = IoStatus::Error;
+                self.injected += 1;
+            }
+            out.push(c);
+        }
+        self.scratch = completions;
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn reset_state(&mut self) {
+        self.inner.reset_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::drain_all;
+    use crate::presets::consumer_pcie_ssd;
+
+    #[test]
+    fn fails_selected_ids() {
+        let plan = FaultPlan::Ids([2u64, 4u64].into_iter().collect());
+        let mut d = Faulty::new(consumer_pcie_ssd(1 << 16, 1), plan);
+        for i in 0..6u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        let failed: Vec<u64> = out
+            .iter()
+            .filter(|c| c.status == IoStatus::Error)
+            .map(|c| c.req.id)
+            .collect();
+        assert_eq!(failed.len(), 2);
+        assert!(failed.contains(&2) && failed.contains(&4));
+        assert_eq!(d.injected(), 2);
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let mut d = Faulty::new(consumer_pcie_ssd(1 << 16, 1), FaultPlan::EveryNth(3));
+        for i in 0..9u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        let errors = out.iter().filter(|c| c.status == IoStatus::Error).count();
+        assert_eq!(errors, 3);
+    }
+
+    #[test]
+    fn none_plan_never_fails() {
+        let mut d = Faulty::new(consumer_pcie_ssd(1 << 16, 1), FaultPlan::None);
+        for i in 0..10u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        assert!(out.iter().all(|c| c.status == IoStatus::Ok));
+    }
+}

@@ -1,0 +1,149 @@
+//! I/O request/completion types and the [`DeviceModel`] actor trait.
+
+use pioqo_simkit::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A read request addressed in whole pages.
+///
+/// `offset` and `len` are in *pages* (the device's page size is fixed per
+/// device). All the paper's workloads are read-only; writes are outside the
+/// reproduced experiments and deliberately unsupported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Caller-assigned identifier, echoed in the completion.
+    pub id: u64,
+    /// First page of the read.
+    pub offset: u64,
+    /// Number of consecutive pages to read (>= 1).
+    pub len: u32,
+}
+
+impl IoRequest {
+    /// A single-page read.
+    pub fn page(id: u64, offset: u64) -> Self {
+        IoRequest { id, offset, len: 1 }
+    }
+
+    /// A multi-page (block) read.
+    pub fn block(id: u64, offset: u64, len: u32) -> Self {
+        debug_assert!(len >= 1);
+        IoRequest { id, offset, len }
+    }
+
+    /// One past the last page touched.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+}
+
+/// Outcome of an I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoStatus {
+    /// The read succeeded.
+    Ok,
+    /// The device reported a media/transport error (only produced by the
+    /// fault-injection wrapper; the base models never fail).
+    Error,
+}
+
+/// A finished I/O, delivered by [`DeviceModel::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// The originating request.
+    pub req: IoRequest,
+    /// When the request entered the device.
+    pub submitted: SimTime,
+    /// When the device finished it.
+    pub completed: SimTime,
+    /// Success or failure.
+    pub status: IoStatus,
+}
+
+impl IoCompletion {
+    /// Device-observed latency of this I/O.
+    pub fn latency(&self) -> pioqo_simkit::SimDuration {
+        self.completed.since(self.submitted)
+    }
+}
+
+/// A storage device as a discrete-event actor.
+///
+/// The engine drives devices with three calls:
+/// 1. [`submit`](DeviceModel::submit) hands over a request at the current
+///    virtual time (the device may start serving it immediately);
+/// 2. [`next_event`](DeviceModel::next_event) reports when the device next
+///    changes state (its earliest internal completion), or `None` if idle;
+/// 3. [`advance`](DeviceModel::advance) moves the device's internal clock to
+///    `now` and appends every completion with `completed <= now` to `out`.
+///
+/// Determinism contract: identical submit sequences produce identical
+/// completion sequences (models use their own seeded RNG for jitter).
+pub trait DeviceModel {
+    /// Page size in bytes (uniform across the device).
+    fn page_size(&self) -> u32;
+
+    /// Total device capacity in pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Hand a request to the device at virtual time `now`.
+    ///
+    /// # Panics
+    /// Panics if the request reaches past the end of the device.
+    fn submit(&mut self, now: SimTime, req: IoRequest);
+
+    /// Earliest future time at which [`advance`](DeviceModel::advance)
+    /// would deliver a completion, or `None` when nothing is outstanding.
+    fn next_event(&self) -> Option<SimTime>;
+
+    /// Advance to `now`, appending all completions due by `now` to `out`.
+    fn advance(&mut self, now: SimTime, out: &mut Vec<IoCompletion>);
+
+    /// Number of requests submitted but not yet completed.
+    fn outstanding(&self) -> usize;
+
+    /// Short human-readable model name ("hdd-7200", "ssd-pcie", ...).
+    fn name(&self) -> &str;
+
+    /// Reset transient positional state (head position, sequential-detector,
+    /// map cache) without touching statistics-free configuration. The
+    /// calibrator calls this between calibration points so points don't
+    /// leak locality into each other.
+    fn reset_state(&mut self);
+}
+
+/// Convenience: drain *all* remaining completions from a device by
+/// repeatedly advancing to its next event. Returns the time of the last
+/// completion (or `now` if none were outstanding).
+pub fn drain_all(dev: &mut dyn DeviceModel, now: SimTime, out: &mut Vec<IoCompletion>) -> SimTime {
+    let mut t = now;
+    while let Some(next) = dev.next_event() {
+        t = next;
+        dev.advance(t, out);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let p = IoRequest::page(1, 10);
+        assert_eq!(p.len, 1);
+        assert_eq!(p.end(), 11);
+        let b = IoRequest::block(2, 10, 16);
+        assert_eq!(b.end(), 26);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = IoCompletion {
+            req: IoRequest::page(0, 0),
+            submitted: SimTime::from_micros(10),
+            completed: SimTime::from_micros(110),
+            status: IoStatus::Ok,
+        };
+        assert_eq!(c.latency().as_micros_f64(), 100.0);
+    }
+}

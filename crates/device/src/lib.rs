@@ -1,0 +1,37 @@
+//! # pioqo-device — storage device models
+//!
+//! The hardware substrate of the reproduction: discrete-event simulations of
+//! the three device classes the paper evaluates, all behind one
+//! [`DeviceModel`] trait:
+//!
+//! * [`Hdd`] — single 7200 RPM spindle: seek curve, rotational latency,
+//!   SSTF/NCQ reordering. Queue depth barely helps (Fig. 1).
+//! * [`Ssd`] — consumer PCIe flash: parallel channels, shared host bus,
+//!   interface IOPS cap, FTL mapping-cache band sensitivity. Queue depth
+//!   helps enormously, up to the internal parallelism (Fig. 1, Fig. 7).
+//! * [`Raid`] — striped array of 15K spindles: queue depth helps up to
+//!   the spindle count (Figs. 11, 12).
+//!
+//! Plus [`Traced`] (queue-depth/latency profiling), [`Faulty`] (error
+//! injection), and [`real`] — a real-file thread-pool backend for running
+//! the calibration against actual hardware.
+
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod fault;
+pub mod hdd;
+pub mod io;
+pub mod presets;
+pub mod raid;
+pub mod real;
+pub mod ssd;
+pub mod trace;
+
+pub use background::WithBackgroundLoad;
+pub use fault::{FaultPlan, Faulty};
+pub use hdd::{Hdd, HddConfig};
+pub use io::{drain_all, DeviceModel, IoCompletion, IoRequest, IoStatus};
+pub use raid::{Raid, RaidConfig};
+pub use ssd::{Ssd, SsdConfig};
+pub use trace::Traced;

@@ -1,0 +1,151 @@
+//! Device presets mirroring the paper's evaluation hardware (§3.1, §4.4):
+//!
+//! * a commodity 7200 RPM hard drive (~110 MB/s sequential),
+//! * a consumer PCIe SSD (1.5 GB/s sequential read, 230K random read IOPS),
+//! * an 8-spindle 15 000 RPM RAID array (Fig. 11, Fig. 12).
+//!
+//! Capacities are parameters because experiments size devices to their
+//! tables; the paper's effects depend on *ratios*, not absolute capacity.
+
+use crate::hdd::{Hdd, HddConfig};
+use crate::raid::{Raid, RaidConfig};
+use crate::ssd::{Ssd, SsdConfig};
+
+/// Default page size used throughout the reproduction (4 KiB).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Configuration for the paper's commodity 7200 RPM hard drive.
+pub fn hdd_7200_config(capacity_pages: u64, seed: u64) -> HddConfig {
+    HddConfig {
+        page_size: PAGE_SIZE,
+        capacity_pages,
+        seq_bandwidth_mb_s: 110.0,
+        track_to_track_ms: 0.5,
+        max_seek_ms: 14.0,
+        rpm: 7200.0,
+        random_overhead_us: 30.0,
+        seq_overhead_us: 3.0,
+        sstf: true,
+        rpo_factor: 0.25,
+        jitter: 0.02,
+        seed,
+        name: "hdd-7200".into(),
+    }
+}
+
+/// The paper's commodity 7200 RPM hard drive.
+pub fn hdd_7200(capacity_pages: u64, seed: u64) -> Hdd {
+    Hdd::new(hdd_7200_config(capacity_pages, seed))
+}
+
+/// Configuration for the paper's consumer PCIe SSD:
+/// 1.5 GB/s sequential read, 230K IOPS random read, beneficial queue depth 32.
+pub fn consumer_pcie_ssd_config(capacity_pages: u64, seed: u64) -> SsdConfig {
+    SsdConfig {
+        page_size: PAGE_SIZE,
+        capacity_pages,
+        n_channels: 32,
+        flash_read_us: 62.0,
+        bus_bandwidth_mb_s: 1500.0,
+        max_iops: 230_000.0,
+        per_io_overhead_us: 8.0,
+        stripe_pages: 1,
+        map_region_pages: 1 << 14, // 64 MiB mapping regions
+        map_cache_regions: 16,
+        map_miss_us: 18.0,
+        jitter: 0.02,
+        seed,
+        name: "ssd-pcie".into(),
+    }
+}
+
+/// The paper's consumer PCIe SSD.
+pub fn consumer_pcie_ssd(capacity_pages: u64, seed: u64) -> Ssd {
+    Ssd::new(consumer_pcie_ssd_config(capacity_pages, seed))
+}
+
+/// Configuration for one 15 000 RPM spindle (used inside RAID presets).
+pub fn hdd_15k_config(capacity_pages: u64, seed: u64) -> HddConfig {
+    HddConfig {
+        page_size: PAGE_SIZE,
+        capacity_pages,
+        seq_bandwidth_mb_s: 180.0,
+        track_to_track_ms: 0.2,
+        max_seek_ms: 8.0,
+        rpm: 15_000.0,
+        random_overhead_us: 20.0,
+        seq_overhead_us: 3.0,
+        sstf: true,
+        rpo_factor: 0.25,
+        jitter: 0.02,
+        seed,
+        name: "hdd-15k".into(),
+    }
+}
+
+/// A "future technology" the paper never saw (§1 motivates optimizers
+/// that adapt to devices beyond HDD/SSD/RAID): a gen4-class NVMe drive —
+/// far lower latency, far more internal parallelism, a 7 GB/s link and a
+/// ~1M IOPS interface. Nothing in the optimizer knows about it; the
+/// calibration process alone adapts the cost model.
+pub fn nvme_gen4_config(capacity_pages: u64, seed: u64) -> SsdConfig {
+    SsdConfig {
+        page_size: PAGE_SIZE,
+        capacity_pages,
+        n_channels: 128,
+        flash_read_us: 40.0,
+        bus_bandwidth_mb_s: 7000.0,
+        max_iops: 1_000_000.0,
+        per_io_overhead_us: 3.0,
+        stripe_pages: 1,
+        map_region_pages: 1 << 16,
+        map_cache_regions: 64,
+        map_miss_us: 8.0,
+        jitter: 0.02,
+        seed,
+        name: "nvme-gen4".into(),
+    }
+}
+
+/// The gen4 NVMe preset (see [`nvme_gen4_config`]).
+pub fn nvme_gen4(capacity_pages: u64, seed: u64) -> Ssd {
+    Ssd::new(nvme_gen4_config(capacity_pages, seed))
+}
+
+/// The paper's RAID array: `n_spindles` 15K drives, 64 KiB stripes.
+/// `capacity_pages` is the **total** array capacity.
+pub fn raid_15k(n_spindles: u32, capacity_pages: u64, seed: u64) -> Raid {
+    let per_spindle = capacity_pages.div_ceil(n_spindles as u64);
+    Raid::new(RaidConfig {
+        spindle: hdd_15k_config(per_spindle, seed),
+        n_spindles,
+        stripe_pages: 16, // 64 KiB
+        name: format!("raid-15k-x{n_spindles}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::DeviceModel;
+
+    #[test]
+    fn presets_build_and_report() {
+        let h = hdd_7200(1 << 20, 1);
+        assert_eq!(h.page_size(), 4096);
+        assert_eq!(h.capacity_pages(), 1 << 20);
+        assert_eq!(h.name(), "hdd-7200");
+
+        let s = consumer_pcie_ssd(1 << 20, 1);
+        assert_eq!(s.name(), "ssd-pcie");
+        assert_eq!(s.config().n_channels, 32);
+
+        let r = raid_15k(8, 1 << 20, 1);
+        assert_eq!(r.name(), "raid-15k-x8");
+        assert!(r.capacity_pages() >= 1 << 20);
+
+        let n = nvme_gen4(1 << 20, 1);
+        assert_eq!(n.name(), "nvme-gen4");
+        assert_eq!(n.config().n_channels, 128);
+    }
+}

@@ -1,0 +1,299 @@
+//! CPU scheduler with a hyper-threading capacity model.
+//!
+//! The paper's machine is a quad-core Xeon with hyper-threading (4 physical,
+//! 8 logical cores). PFTS scaling plateaus at parallel degree 8 precisely
+//! because logical cores beyond the physical count add only fractional
+//! capacity (§3.2: "increasing the parallel degree to a number larger than
+//! the number of logical cores would not be helpful anymore").
+//!
+//! Model: with `n` runnable tasks the aggregate compute capacity (in
+//! core-equivalents) is
+//!
+//! ```text
+//! C(n) = min(n, physical)                                 n <= physical
+//! C(n) = physical + ht_efficiency * (min(n, logical) - physical)   otherwise
+//! ```
+//!
+//! and capacity is shared equally (processor sharing), so each task
+//! progresses at `C(n)/n` core-equivalents. This is the standard fluid
+//! approximation of an OS round-robin scheduler, and it is what makes
+//! "degree 32 on 8 logical cores" cost the right amount.
+
+use pioqo_simkit::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// CPU geometry and hyper-threading efficiency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Physical cores.
+    pub physical: u32,
+    /// Logical (SMT) cores; must be >= `physical`.
+    pub logical: u32,
+    /// Extra core-equivalents contributed by each logical core beyond the
+    /// physical count (0.0 = SMT useless, 1.0 = SMT as good as a core).
+    pub ht_efficiency: f64,
+}
+
+impl CpuConfig {
+    /// The paper's quad-core hyper-threaded Xeon W3530.
+    pub fn paper_xeon() -> CpuConfig {
+        CpuConfig {
+            physical: 4,
+            logical: 8,
+            ht_efficiency: 0.25,
+        }
+    }
+
+    /// Aggregate capacity in core-equivalents with `n` runnable tasks.
+    pub fn capacity(&self, n: usize) -> f64 {
+        let n = n as f64;
+        let phys = self.physical as f64;
+        if n <= phys {
+            n
+        } else {
+            let extra = (n.min(self.logical as f64) - phys).max(0.0);
+            phys + self.ht_efficiency * extra
+        }
+    }
+}
+
+/// Identifier of a submitted compute task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Work residue below this threshold (in core-microseconds, 0.1 ns) counts
+/// as complete — it absorbs integer-clock rounding.
+const COMPLETE_EPS: f64 = 1e-4;
+
+#[derive(Debug)]
+struct Task {
+    /// Remaining work in core-microseconds.
+    remaining: f64,
+}
+
+/// Processor-sharing CPU scheduler. See the module docs.
+#[derive(Debug)]
+pub struct CpuScheduler {
+    cfg: CpuConfig,
+    tasks: HashMap<TaskId, Task>,
+    next_id: u64,
+    /// Time at which `remaining` values were last brought current.
+    last_update: SimTime,
+}
+
+impl CpuScheduler {
+    /// A scheduler for the given CPU.
+    pub fn new(cfg: CpuConfig) -> CpuScheduler {
+        CpuScheduler {
+            cfg,
+            tasks: HashMap::new(),
+            next_id: 0,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// The CPU configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Number of runnable tasks.
+    pub fn runnable(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Per-task progress rate (core-equivalents) right now.
+    fn rate(&self) -> f64 {
+        let n = self.tasks.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cfg.capacity(n) / n as f64
+    }
+
+    /// Bring all `remaining` values current to `now`.
+    fn settle(&mut self, now: SimTime) {
+        let dt_us = now.since(self.last_update).as_micros_f64();
+        if dt_us > 0.0 {
+            let rate = self.rate();
+            if rate > 0.0 {
+                for t in self.tasks.values_mut() {
+                    t.remaining -= dt_us * rate;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Submit a compute task of `work_us` core-microseconds at time `now`.
+    pub fn submit(&mut self, now: SimTime, work_us: f64) -> TaskId {
+        self.settle(now);
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.tasks.insert(
+            id,
+            Task {
+                remaining: work_us.max(0.0),
+            },
+        );
+        id
+    }
+
+    /// Earliest time a task will finish (given no further submissions),
+    /// or `None` when idle.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let rate = self.rate();
+        if rate == 0.0 {
+            return None;
+        }
+        let min_remaining = self
+            .tasks
+            .values()
+            .map(|t| t.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if min_remaining <= COMPLETE_EPS {
+            // Finished (possibly with float residue): completes "now".
+            return Some(self.last_update);
+        }
+        let dt = SimDuration::from_micros_f64(min_remaining / rate);
+        // Rounding the event time to the integer clock must never produce a
+        // zero-length step for unfinished work, or the event loop would spin
+        // without progress; force at least one nanosecond.
+        let dt = if dt.is_zero() {
+            SimDuration::from_nanos(1)
+        } else {
+            dt
+        };
+        Some(self.last_update + dt)
+    }
+
+    /// Advance to `now`, appending finished task ids to `out`.
+    pub fn advance(&mut self, now: SimTime, out: &mut Vec<TaskId>) {
+        self.settle(now);
+        let mut finished: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.remaining <= COMPLETE_EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        finished.sort_unstable();
+        for id in &finished {
+            self.tasks.remove(id);
+        }
+        out.extend(finished);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> CpuScheduler {
+        CpuScheduler::new(CpuConfig::paper_xeon())
+    }
+
+    fn run_to_idle(cpu: &mut CpuScheduler) -> (SimTime, Vec<TaskId>) {
+        let mut done = Vec::new();
+        let mut now = SimTime::ZERO;
+        while let Some(t) = cpu.next_event() {
+            now = t;
+            cpu.advance(now, &mut done);
+        }
+        (now, done)
+    }
+
+    #[test]
+    fn capacity_model() {
+        let c = CpuConfig::paper_xeon();
+        assert_eq!(c.capacity(1), 1.0);
+        assert_eq!(c.capacity(4), 4.0);
+        assert_eq!(c.capacity(8), 5.0); // 4 + 0.25*4
+        assert_eq!(c.capacity(32), 5.0); // oversubscription adds nothing
+    }
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let mut cpu = xeon();
+        cpu.submit(SimTime::ZERO, 100.0);
+        let (end, done) = run_to_idle(&mut cpu);
+        assert_eq!(done.len(), 1);
+        assert!((end.as_micros_f64() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn four_tasks_run_in_parallel() {
+        let mut cpu = xeon();
+        for _ in 0..4 {
+            cpu.submit(SimTime::ZERO, 100.0);
+        }
+        let (end, done) = run_to_idle(&mut cpu);
+        assert_eq!(done.len(), 4);
+        assert!((end.as_micros_f64() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eight_tasks_see_ht_capacity() {
+        let mut cpu = xeon();
+        for _ in 0..8 {
+            cpu.submit(SimTime::ZERO, 100.0);
+        }
+        // 800 core-us of work at 5 core-equivalents -> 160 us.
+        let (end, _) = run_to_idle(&mut cpu);
+        assert!((end.as_micros_f64() - 160.0).abs() < 1e-6, "{end}");
+    }
+
+    #[test]
+    fn oversubscription_no_faster_than_logical() {
+        let mut cpu = xeon();
+        for _ in 0..32 {
+            cpu.submit(SimTime::ZERO, 100.0);
+        }
+        // 3200 core-us at 5 -> 640 us.
+        let (end, _) = run_to_idle(&mut cpu);
+        assert!((end.as_micros_f64() - 640.0).abs() < 1e-6, "{end}");
+    }
+
+    #[test]
+    fn staggered_submission_shares_fairly() {
+        let mut cpu = CpuScheduler::new(CpuConfig {
+            physical: 1,
+            logical: 1,
+            ht_efficiency: 0.0,
+        });
+        let a = cpu.submit(SimTime::ZERO, 100.0);
+        // At t=50, task a has 50 left; b arrives, they share the core.
+        let b = cpu.submit(SimTime::from_micros(50), 100.0);
+        let mut done = Vec::new();
+        let t1 = cpu.next_event().expect("busy");
+        cpu.advance(t1, &mut done);
+        // a finishes after 50 more core-us at rate 1/2 -> t = 150.
+        assert_eq!(done, vec![a]);
+        assert!((t1.as_micros_f64() - 150.0).abs() < 1e-6);
+        let t2 = cpu.next_event().expect("b still running");
+        done.clear();
+        cpu.advance(t2, &mut done);
+        // b: progresses 50 core-us by t=150 (rate 1/2), then runs alone at
+        // full speed for its remaining 50 -> finishes at t=200.
+        assert_eq!(done, vec![b]);
+        assert!((t2.as_micros_f64() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut cpu = xeon();
+        cpu.submit(SimTime::from_micros(5), 0.0);
+        let t = cpu.next_event().expect("task pending");
+        assert_eq!(t, SimTime::from_micros(5));
+        let mut done = Vec::new();
+        cpu.advance(t, &mut done);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn idle_scheduler_has_no_events() {
+        let cpu = xeon();
+        assert_eq!(cpu.next_event(), None);
+        assert_eq!(cpu.runnable(), 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! Full table scan (FTS) and parallel full table scan (PFTS).
+//!
+//! Mirrors the paper's Fig. 2 and §2: a shared page cursor hands the next
+//! unprocessed page to whichever worker finishes first; an asynchronous
+//! prefetcher reads *blocks of consecutive pages* up to `prefetch_blocks`
+//! blocks ahead of the scan frontier, so workers usually find their next
+//! page already in the buffer pool and the device sees a sequential I/O
+//! pattern. With rows-per-page high the scan is CPU-bound; with it low the
+//! scan is bound by sequential bandwidth — exactly the regimes of Table 3.
+
+use crate::cpu::{CpuConfig, TaskId};
+use crate::engine::{CpuCosts, Event, ExecError, SimContext};
+use crate::metrics::ScanMetrics;
+use pioqo_bufpool::BufferPool;
+use pioqo_device::{DeviceModel, IoStatus};
+use pioqo_storage::HeapTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Table-scan configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtsConfig {
+    /// Parallel degree (1 = the non-parallel FTS).
+    pub workers: u32,
+    /// Prefetch distance in blocks ahead of the scan frontier
+    /// (0 disables prefetching: every page is a demand read).
+    pub prefetch_blocks: u32,
+    /// Pages per prefetch block ("instead of prefetching pages one by one a
+    /// large block consisting of several consecutive pages is read", §2).
+    pub block_pages: u32,
+}
+
+impl Default for FtsConfig {
+    fn default() -> Self {
+        FtsConfig {
+            workers: 1,
+            prefetch_blocks: 8,
+            block_pages: 16,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum WState {
+    Startup,
+    WaitIo,
+    Compute,
+    Done,
+}
+
+struct Worker {
+    state: WState,
+    /// Table-local page being fetched/processed.
+    page: u64,
+}
+
+/// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
+/// (parallel) full table scan.
+#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+pub fn run_fts(
+    device: &mut dyn DeviceModel,
+    pool: &mut BufferPool,
+    cpu: CpuConfig,
+    costs: CpuCosts,
+    table: &HeapTable,
+    low: u32,
+    high: u32,
+    cfg: &FtsConfig,
+) -> Result<ScanMetrics, ExecError> {
+    assert!(cfg.workers >= 1);
+    assert!(cfg.block_pages >= 1);
+    let pool_stats_before = pool.stats().clone();
+    let mut ctx = SimContext::new(device, pool, cpu, costs);
+    let n_pages = table.n_pages();
+
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .map(|_| Worker {
+            state: WState::Startup,
+            page: 0,
+        })
+        .collect();
+    let mut cursor: u64 = 0;
+    let mut pf_next: u64 = 0;
+    // io id -> workers waiting on it (demand or prefetch coverage).
+    let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+    // device page -> in-flight prefetch io covering it.
+    let mut pf_cover: HashMap<u64, u64> = HashMap::new();
+    let mut task_owner: HashMap<TaskId, usize> = HashMap::new();
+
+    let mut max_c1: Option<u32> = None;
+    let mut matched: u64 = 0;
+    let mut examined: u64 = 0;
+
+    // Worker startup cost: threads wake and attach to the plan fragment.
+    for (w, worker) in workers.iter_mut().enumerate() {
+        let startup = if cfg.workers > 1 {
+            ctx.costs().worker_startup_us
+        } else {
+            0.0
+        };
+        let t = ctx.submit_cpu(startup);
+        task_owner.insert(t, w);
+        worker.state = WState::Startup;
+    }
+
+    // Helper: keep the prefetcher `prefetch_blocks` blocks ahead of the
+    // frontier. Never prefetch behind the cursor (those pages are already
+    // claimed and demand-read).
+    macro_rules! top_up_prefetch {
+        () => {
+            if cfg.prefetch_blocks > 0 {
+                if pf_next < cursor {
+                    pf_next = cursor;
+                }
+                let window_end =
+                    n_pages.min(cursor + (cfg.prefetch_blocks * cfg.block_pages) as u64);
+                while pf_next < window_end {
+                    let len = (cfg.block_pages as u64).min(n_pages - pf_next) as u32;
+                    let first_dp = table.device_page(pf_next);
+                    let all_resident = (0..len as u64).all(|i| ctx.pool.contains(first_dp + i));
+                    if !all_resident {
+                        let io = ctx.read_block(first_dp, len);
+                        for i in 0..len as u64 {
+                            pf_cover.insert(first_dp + i, io);
+                        }
+                    }
+                    pf_next += len as u64;
+                }
+            }
+        };
+    }
+
+    // Helper: hand worker `w` its next page (or retire it).
+    macro_rules! claim {
+        ($w:expr) => {{
+            let w: usize = $w;
+            if cursor >= n_pages {
+                workers[w].state = WState::Done;
+            } else {
+                let p = cursor;
+                cursor += 1;
+                workers[w].page = p;
+                top_up_prefetch!();
+                let dp = table.device_page(p);
+                match ctx.pool.request(dp) {
+                    pioqo_bufpool::Access::Hit => {
+                        let work = page_work(&ctx, table, p);
+                        let t = ctx.submit_cpu(work);
+                        task_owner.insert(t, w);
+                        workers[w].state = WState::Compute;
+                    }
+                    pioqo_bufpool::Access::Miss => {
+                        let io = match pf_cover.get(&dp) {
+                            Some(&io) => io,
+                            None => ctx.read_page(dp),
+                        };
+                        waiters.entry(io).or_default().push(w);
+                        workers[w].state = WState::WaitIo;
+                    }
+                }
+            }
+        }};
+    }
+
+    top_up_prefetch!();
+
+    let mut events: Vec<Event> = Vec::new();
+    while workers.iter().any(|w| !matches!(w.state, WState::Done)) {
+        events.clear();
+        let progressed = ctx.step(&mut events);
+        assert!(progressed, "scan deadlocked with workers pending");
+        for e in std::mem::take(&mut events) {
+            match e {
+                Event::IoBlock {
+                    io,
+                    start,
+                    len,
+                    status,
+                } => {
+                    if status == IoStatus::Error {
+                        return Err(ExecError::Io { device_page: start });
+                    }
+                    for dp in start..start + len as u64 {
+                        pf_cover.remove(&dp);
+                        ctx.pool.admit_prefetched(dp)?;
+                    }
+                    wake_waiters(
+                        &mut ctx,
+                        &mut waiters,
+                        io,
+                        &mut workers,
+                        table,
+                        &mut task_owner,
+                    )?;
+                }
+                Event::IoPage {
+                    io,
+                    device_page,
+                    status,
+                } => {
+                    if status == IoStatus::Error {
+                        return Err(ExecError::Io { device_page });
+                    }
+                    ctx.pool.admit_prefetched(device_page)?;
+                    wake_waiters(
+                        &mut ctx,
+                        &mut waiters,
+                        io,
+                        &mut workers,
+                        table,
+                        &mut task_owner,
+                    )?;
+                }
+                Event::Cpu(task) => {
+                    let w = task_owner.remove(&task).expect("task has an owner");
+                    match workers[w].state {
+                        WState::Startup => claim!(w),
+                        WState::Compute => {
+                            let p = workers[w].page;
+                            let (m, cnt, ex) = evaluate_page(table, p, low, high);
+                            max_c1 = merge_max(max_c1, m);
+                            matched += cnt;
+                            examined += ex;
+                            ctx.pool.unpin(table.device_page(p))?;
+                            claim!(w);
+                        }
+                        _ => unreachable!("cpu completion in non-compute state"),
+                    }
+                }
+            }
+        }
+    }
+
+    let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
+    let io = ctx.io_profile();
+    ctx.quiesce();
+    let pool_stats = diff_stats(pool.stats(), &pool_stats_before);
+    Ok(ScanMetrics {
+        runtime,
+        max_c1,
+        rows_matched: matched,
+        rows_examined: examined,
+        io,
+        pool: pool_stats,
+    })
+}
+
+fn page_work(ctx: &SimContext<'_>, table: &HeapTable, page: u64) -> f64 {
+    let rows = table.spec().rows_in_page(page);
+    ctx.costs().page_overhead_us + (rows.end - rows.start) as f64 * ctx.costs().row_scan_us
+}
+
+fn evaluate_page(table: &HeapTable, page: u64, low: u32, high: u32) -> (Option<u32>, u64, u64) {
+    let mut best: Option<u32> = None;
+    let mut matched = 0u64;
+    let range = table.spec().rows_in_page(page);
+    let examined = range.end - range.start;
+    for r in range {
+        let (c1, c2) = table.row(r);
+        if c2 >= low && c2 <= high {
+            matched += 1;
+            best = merge_max(best, Some(c1));
+        }
+    }
+    (best, matched, examined)
+}
+
+pub(crate) fn merge_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+pub(crate) fn diff_stats(
+    after: &pioqo_bufpool::PoolStats,
+    before: &pioqo_bufpool::PoolStats,
+) -> pioqo_bufpool::PoolStats {
+    pioqo_bufpool::PoolStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        evictions: after.evictions - before.evictions,
+        refetches: after.refetches - before.refetches,
+        prefetch_admissions: after.prefetch_admissions - before.prefetch_admissions,
+        prefetch_hits: after.prefetch_hits - before.prefetch_hits,
+    }
+}
+
+/// Wake every worker waiting on `io`: their page is now resident, so pin it
+/// and start the page-processing compute task.
+fn wake_waiters(
+    ctx: &mut SimContext<'_>,
+    waiters: &mut HashMap<u64, Vec<usize>>,
+    io: u64,
+    workers: &mut [Worker],
+    table: &HeapTable,
+    task_owner: &mut HashMap<TaskId, usize>,
+) -> Result<(), ExecError> {
+    if let Some(ws) = waiters.remove(&io) {
+        for w in ws {
+            debug_assert!(matches!(workers[w].state, WState::WaitIo));
+            let p = workers[w].page;
+            let dp = table.device_page(p);
+            match ctx.pool.request(dp) {
+                pioqo_bufpool::Access::Hit => {}
+                pioqo_bufpool::Access::Miss => {
+                    // Evicted between admit and wake (pathologically small
+                    // pool): fall back to a fresh demand read.
+                    let iop = ctx.read_page(dp);
+                    waiters.entry(iop).or_default().push(w);
+                    continue;
+                }
+            }
+            let work = page_work(ctx, table, p);
+            let t = ctx.submit_cpu(work);
+            task_owner.insert(t, w);
+            workers[w].state = WState::Compute;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
+    use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
+
+    fn make_table(rows: u64, rpp: u32) -> HeapTable {
+        let spec = TableSpec::paper_table(rpp, rows, 77);
+        let mut ts = Tablespace::new(spec.n_pages() + 100);
+        HeapTable::create(spec, &mut ts).expect("fits")
+    }
+
+    fn scan(table: &HeapTable, sel: f64, cfg: &FtsConfig, ssd: bool) -> ScanMetrics {
+        let cap = table.n_pages() + 200;
+        let mut pool = BufferPool::new(1024);
+        let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+        if ssd {
+            let mut dev = consumer_pcie_ssd(cap, 9);
+            run_fts(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+                table,
+                low,
+                high,
+                cfg,
+            )
+            .expect("scan runs")
+        } else {
+            let mut dev = hdd_7200(cap, 9);
+            run_fts(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+                table,
+                low,
+                high,
+                cfg,
+            )
+            .expect("scan runs")
+        }
+    }
+
+    #[test]
+    fn result_matches_oracle() {
+        let table = make_table(20_000, 33);
+        for sel in [0.0, 0.01, 0.5, 1.0] {
+            let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+            let m = scan(&table, sel, &FtsConfig::default(), true);
+            assert_eq!(m.max_c1, table.data().naive_max_c1(low, high), "sel={sel}");
+            assert_eq!(m.rows_matched, table.data().count_matching(low, high));
+            assert_eq!(m.rows_examined, 20_000);
+        }
+    }
+
+    #[test]
+    fn parallel_degrees_agree_on_answer() {
+        let table = make_table(10_000, 33);
+        let base = scan(&table, 0.2, &FtsConfig::default(), true);
+        for workers in [2u32, 8, 32] {
+            let cfg = FtsConfig {
+                workers,
+                ..FtsConfig::default()
+            };
+            let m = scan(&table, 0.2, &cfg, true);
+            assert_eq!(m.max_c1, base.max_c1, "workers={workers}");
+            assert_eq!(m.rows_matched, base.rows_matched);
+        }
+    }
+
+    #[test]
+    fn every_page_read_exactly_once_cold() {
+        let table = make_table(33_000, 33); // 1000 pages
+        let m = scan(&table, 0.1, &FtsConfig::default(), true);
+        assert_eq!(m.io.pages_read, 1000);
+        assert_eq!(m.pool.refetches, 0);
+    }
+
+    #[test]
+    fn prefetching_beats_demand_reads() {
+        let table = make_table(33_000, 33);
+        let with_pf = scan(&table, 0.1, &FtsConfig::default(), true);
+        let without = scan(
+            &table,
+            0.1,
+            &FtsConfig {
+                prefetch_blocks: 0,
+                ..FtsConfig::default()
+            },
+            true,
+        );
+        assert!(
+            with_pf.runtime < without.runtime,
+            "prefetch should overlap I/O with CPU: {} vs {}",
+            with_pf.runtime,
+            without.runtime
+        );
+    }
+
+    #[test]
+    fn parallelism_helps_on_ssd_for_cpu_heavy_pages() {
+        // T500-style: very CPU-intensive scan.
+        let table = make_table(250_000, 500); // 500 pages of 500 rows
+        let m1 = scan(&table, 0.1, &FtsConfig::default(), true);
+        let m8 = scan(
+            &table,
+            0.1,
+            &FtsConfig {
+                workers: 8,
+                ..FtsConfig::default()
+            },
+            true,
+        );
+        let speedup = m1.runtime.as_secs_f64() / m8.runtime.as_secs_f64();
+        assert!(
+            speedup > 2.0,
+            "PFTS8 should clearly beat FTS on CPU-bound scan: {speedup}"
+        );
+    }
+
+    #[test]
+    fn parallelism_does_not_help_io_bound_hdd() {
+        // T1-style on HDD: pure sequential I/O bound.
+        let table = make_table(2_000, 1);
+        let m1 = scan(&table, 0.1, &FtsConfig::default(), false);
+        let m8 = scan(
+            &table,
+            0.1,
+            &FtsConfig {
+                workers: 8,
+                ..FtsConfig::default()
+            },
+            false,
+        );
+        let speedup = m1.runtime.as_secs_f64() / m8.runtime.as_secs_f64();
+        assert!(
+            (0.7..=1.5).contains(&speedup),
+            "HDD sequential scan should not scale with workers: {speedup}"
+        );
+    }
+
+    #[test]
+    fn io_error_surfaces() {
+        let table = make_table(10_000, 33);
+        let dev = consumer_pcie_ssd(table.n_pages() + 10, 3);
+        let mut dev = pioqo_device::Faulty::new(dev, pioqo_device::FaultPlan::EveryNth(2));
+        let mut pool = BufferPool::new(256);
+        let (low, high) = range_for_selectivity(0.5, u32::MAX - 1);
+        let r = run_fts(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+            &table,
+            low,
+            high,
+            &FtsConfig::default(),
+        );
+        assert!(matches!(r, Err(ExecError::Io { .. })));
+    }
+
+    #[test]
+    fn empty_table_page_range() {
+        let table = make_table(5, 33); // single partial page
+        let m = scan(&table, 1.0, &FtsConfig::default(), true);
+        assert_eq!(m.rows_examined, 5);
+        assert_eq!(m.rows_matched, 5);
+    }
+}

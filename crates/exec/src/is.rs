@@ -1,0 +1,678 @@
+//! Index scan (IS) and parallel index scan (PIS), with per-worker
+//! asynchronous prefetching.
+//!
+//! Mirrors the paper's Fig. 3, §2 and §3.3: one worker traverses the index
+//! root→leaf to find the qualifying leaf range; leaf pages are then consumed
+//! one at a time by the worker pool; for every `(key, row_id)` tuple the
+//! worker fetches the row's table page through the buffer pool. Because each
+//! worker's inter-request gap is far below device latency, the observed
+//! device queue depth equals the worker count — the property the QDTT model
+//! prices.
+//!
+//! Prefetching (§3.3): each of the M workers keeps up to `n` asynchronous
+//! table-page reads outstanding, but only for pages referenced by its
+//! *current* leaf page (the paper's simplification), so the expected peak
+//! queue depth is `M·n` and tails off near leaf boundaries.
+
+use crate::cpu::{CpuConfig, TaskId};
+use crate::engine::{CpuCosts, Event, ExecError, SimContext};
+use crate::fts::{diff_stats, merge_max};
+use crate::metrics::ScanMetrics;
+use pioqo_bufpool::{Access, BufferPool};
+use pioqo_device::{DeviceModel, IoStatus};
+use pioqo_storage::{BTreeIndex, HeapTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index-scan configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IsConfig {
+    /// Parallel degree (1 = the non-parallel IS).
+    pub workers: u32,
+    /// Per-worker asynchronous prefetch depth over the current leaf's table
+    /// pages (0 disables prefetching — the paper's baseline PIS).
+    pub prefetch_depth: u32,
+}
+
+impl Default for IsConfig {
+    fn default() -> Self {
+        IsConfig {
+            workers: 1,
+            prefetch_depth: 0,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum WState {
+    Startup,
+    WaitLeaf,
+    DecodeLeaf,
+    WaitRow,
+    ComputeRow,
+    Done,
+}
+
+struct Worker {
+    state: WState,
+    /// Index-local leaf currently owned.
+    leaf: u64,
+    /// Chunk of the leaf owned (0-based; leaves are split into chunks when
+    /// the qualifying leaf range is smaller than the worker pool).
+    chunk: u64,
+    /// Qualifying row ids of the current leaf, in key order.
+    rids: Vec<u64>,
+    /// Next entry to process.
+    pos: usize,
+    /// Next entry to prefetch.
+    pf_pos: usize,
+    /// Prefetch reads in flight for this worker.
+    outstanding_pf: u32,
+}
+
+/// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
+/// (parallel) index scan over the `C2` B+-tree.
+#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+pub fn run_is(
+    device: &mut dyn DeviceModel,
+    pool: &mut BufferPool,
+    cpu: CpuConfig,
+    costs: CpuCosts,
+    table: &HeapTable,
+    index: &BTreeIndex,
+    low: u32,
+    high: u32,
+    cfg: &IsConfig,
+) -> Result<ScanMetrics, ExecError> {
+    assert!(cfg.workers >= 1);
+    let pool_stats_before = pool.stats().clone();
+    let mut ctx = SimContext::new(device, pool, cpu, costs);
+
+    // ----- Phase 0: root-to-leaf traversal by a single worker (§2) -----
+    let range = index.range(low, high);
+    let probe_leaf = range.map_or(0, |r| r.first_leaf);
+    for dp in index.path_to_leaf(probe_leaf) {
+        sync_fetch(&mut ctx, dp)?;
+        let work = ctx.costs().leaf_decode_us;
+        sync_cpu(&mut ctx, work);
+        ctx.pool.unpin(dp)?;
+    }
+
+    let Some(range) = range else {
+        // Nothing qualifies; the traversal cost is the whole runtime.
+        let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
+        let io = ctx.io_profile();
+        ctx.quiesce();
+        return Ok(ScanMetrics {
+            runtime,
+            max_c1: None,
+            rows_matched: 0,
+            rows_examined: 0,
+            io,
+            pool: diff_stats(pool.stats(), &pool_stats_before),
+        });
+    };
+
+    // ----- Phase 1: workers drain the leaf range -----
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .map(|_| Worker {
+            state: WState::Startup,
+            leaf: 0,
+            chunk: 0,
+            rids: Vec::new(),
+            pos: 0,
+            pf_pos: 0,
+            outstanding_pf: 0,
+        })
+        .collect();
+    // Work units: when fewer qualifying leaves than workers, each leaf is
+    // split into chunks so every worker stays busy (very selective queries
+    // otherwise idle most of the pool — §2 notes the queue depth only
+    // reaches n when enough leaf pages qualify).
+    let n_range_leaves = range.last_leaf - range.first_leaf + 1;
+    let chunks_per_leaf = ((cfg.workers as u64 * 2).div_ceil(n_range_leaves)).clamp(1, 16);
+    let total_units = n_range_leaves * chunks_per_leaf;
+    let mut unit_cursor: u64 = 0;
+    let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut pf_credit: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut task_owner: HashMap<TaskId, usize> = HashMap::new();
+    let mut max_c1: Option<u32> = None;
+    let mut matched: u64 = 0;
+
+    for (w, _) in workers.iter().enumerate() {
+        let startup = if cfg.workers > 1 {
+            ctx.costs().worker_startup_us
+        } else {
+            0.0
+        };
+        let t = ctx.submit_cpu(startup);
+        task_owner.insert(t, w);
+    }
+
+    // Device page of the table page holding `rid`.
+    let dp_of_rid = |table: &HeapTable, rid: u64| table.device_page(table.spec().page_of_row(rid));
+
+    macro_rules! top_up_prefetch {
+        ($w:expr) => {{
+            let w: usize = $w;
+            if cfg.prefetch_depth > 0 {
+                if workers[w].pf_pos < workers[w].pos {
+                    workers[w].pf_pos = workers[w].pos;
+                }
+                while workers[w].outstanding_pf < cfg.prefetch_depth
+                    && workers[w].pf_pos < workers[w].rids.len()
+                {
+                    let rid = workers[w].rids[workers[w].pf_pos];
+                    workers[w].pf_pos += 1;
+                    let dp = dp_of_rid(table, rid);
+                    if ctx.pool.contains(dp) {
+                        continue;
+                    }
+                    let io = ctx.read_page(dp);
+                    pf_credit.entry(io).or_default().push(w);
+                    workers[w].outstanding_pf += 1;
+                }
+            }
+        }};
+    }
+
+    macro_rules! claim_leaf {
+        ($w:expr) => {{
+            let w: usize = $w;
+            if unit_cursor >= total_units {
+                workers[w].state = WState::Done;
+            } else {
+                let unit = unit_cursor;
+                unit_cursor += 1;
+                workers[w].leaf = range.first_leaf + unit / chunks_per_leaf;
+                workers[w].chunk = unit % chunks_per_leaf;
+                let dp = index.device_page_of_leaf(workers[w].leaf);
+                match ctx.pool.request(dp) {
+                    Access::Hit => {
+                        start_decode(
+                            &mut ctx,
+                            index,
+                            &mut workers,
+                            w,
+                            chunks_per_leaf,
+                            &mut task_owner,
+                        );
+                    }
+                    Access::Miss => {
+                        let io = ctx.read_page(dp);
+                        waiters.entry(io).or_default().push(w);
+                        workers[w].state = WState::WaitLeaf;
+                    }
+                }
+            }
+        }};
+    }
+
+    macro_rules! next_entry {
+        ($w:expr) => {{
+            let w: usize = $w;
+            if workers[w].pos >= workers[w].rids.len() {
+                // Current leaf exhausted: move to the next one. The decode
+                // completion (or retirement) continues the cycle.
+                claim_leaf!(w);
+            } else {
+                top_up_prefetch!(w);
+                let rid = workers[w].rids[workers[w].pos];
+                let dp = dp_of_rid(table, rid);
+                match ctx.pool.request(dp) {
+                    Access::Hit => {
+                        let work = ctx.costs().row_lookup_us;
+                        let t = ctx.submit_cpu(work);
+                        task_owner.insert(t, w);
+                        workers[w].state = WState::ComputeRow;
+                    }
+                    Access::Miss => {
+                        let io = ctx.read_page(dp);
+                        waiters.entry(io).or_default().push(w);
+                        workers[w].state = WState::WaitRow;
+                    }
+                }
+            }
+        }};
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    while workers.iter().any(|w| !matches!(w.state, WState::Done)) {
+        events.clear();
+        let progressed = ctx.step(&mut events);
+        assert!(progressed, "index scan deadlocked with workers pending");
+        for e in std::mem::take(&mut events) {
+            match e {
+                Event::IoPage {
+                    io,
+                    device_page,
+                    status,
+                } => {
+                    if status == IoStatus::Error {
+                        return Err(ExecError::Io { device_page });
+                    }
+                    ctx.pool.admit_prefetched(device_page)?;
+                    // Prefetch credit back to issuing workers.
+                    if let Some(ws) = pf_credit.remove(&io) {
+                        for w in ws {
+                            workers[w].outstanding_pf -= 1;
+                            if !matches!(workers[w].state, WState::Done) {
+                                top_up_prefetch!(w);
+                            }
+                        }
+                    }
+                    // Wake workers blocked on this page.
+                    if let Some(ws) = waiters.remove(&io) {
+                        for w in ws {
+                            match workers[w].state {
+                                WState::WaitLeaf => {
+                                    let dp = index.device_page_of_leaf(workers[w].leaf);
+                                    match ctx.pool.request(dp) {
+                                        Access::Hit => start_decode(
+                                            &mut ctx,
+                                            index,
+                                            &mut workers,
+                                            w,
+                                            chunks_per_leaf,
+                                            &mut task_owner,
+                                        ),
+                                        Access::Miss => {
+                                            let io2 = ctx.read_page(dp);
+                                            waiters.entry(io2).or_default().push(w);
+                                        }
+                                    }
+                                }
+                                WState::WaitRow => {
+                                    let rid = workers[w].rids[workers[w].pos];
+                                    let dp = dp_of_rid(table, rid);
+                                    match ctx.pool.request(dp) {
+                                        Access::Hit => {
+                                            let work = ctx.costs().row_lookup_us;
+                                            let t = ctx.submit_cpu(work);
+                                            task_owner.insert(t, w);
+                                            workers[w].state = WState::ComputeRow;
+                                        }
+                                        Access::Miss => {
+                                            let io2 = ctx.read_page(dp);
+                                            waiters.entry(io2).or_default().push(w);
+                                        }
+                                    }
+                                }
+                                _ => unreachable!("waiter in unexpected state"),
+                            }
+                        }
+                    }
+                }
+                Event::IoBlock { start, .. } => {
+                    unreachable!("index scan never issues block reads (page {start})")
+                }
+                Event::Cpu(task) => {
+                    let w = task_owner.remove(&task).expect("task has an owner");
+                    match workers[w].state {
+                        WState::Startup => claim_leaf!(w),
+                        WState::DecodeLeaf => {
+                            // Leaf decoded: collect this chunk's qualifying
+                            // rids.
+                            let leaf = workers[w].leaf;
+                            ctx.pool.unpin(index.device_page_of_leaf(leaf))?;
+                            let entry_range = index.leaf_entry_range(leaf);
+                            let from = entry_range.start.max(range.first_entry);
+                            let to = entry_range.end.min(range.end_entry);
+                            let span = to.saturating_sub(from);
+                            let chunk_sz = span.div_ceil(chunks_per_leaf);
+                            let cfrom = (from + workers[w].chunk * chunk_sz).min(to);
+                            let cto = (cfrom + chunk_sz).min(to);
+                            workers[w].rids = (cfrom..cto).map(|i| index.entry(i).1).collect();
+                            workers[w].pos = 0;
+                            workers[w].pf_pos = 0;
+                            next_entry!(w);
+                        }
+                        WState::ComputeRow => {
+                            let rid = workers[w].rids[workers[w].pos];
+                            let (c1, c2) = table.row(rid);
+                            debug_assert!(c2 >= low && c2 <= high);
+                            max_c1 = merge_max(max_c1, Some(c1));
+                            matched += 1;
+                            ctx.pool.unpin(dp_of_rid(table, rid))?;
+                            workers[w].pos += 1;
+                            next_entry!(w);
+                        }
+                        _ => unreachable!("cpu completion in unexpected state"),
+                    }
+                }
+            }
+        }
+    }
+
+    let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
+    let io = ctx.io_profile();
+    ctx.quiesce();
+    Ok(ScanMetrics {
+        runtime,
+        max_c1,
+        rows_matched: matched,
+        rows_examined: matched,
+        io,
+        pool: diff_stats(pool.stats(), &pool_stats_before),
+    })
+}
+
+fn start_decode(
+    ctx: &mut SimContext<'_>,
+    index: &BTreeIndex,
+    workers: &mut [Worker],
+    w: usize,
+    chunks_per_leaf: u64,
+    task_owner: &mut HashMap<TaskId, usize>,
+) {
+    let leaf = workers[w].leaf;
+    let r = index.leaf_entry_range(leaf);
+    let n = (r.end - r.start) as f64;
+    // Chunked leaves share the decode work across their owners.
+    let work =
+        (ctx.costs().leaf_decode_us + n * ctx.costs().entry_decode_us) / chunks_per_leaf as f64;
+    let t = ctx.submit_cpu(work);
+    task_owner.insert(t, w);
+    workers[w].state = WState::DecodeLeaf;
+}
+
+/// Synchronously fetch one device page (phase-0 traversal): issue the read
+/// if needed and step the context until it is resident and pinned.
+fn sync_fetch(ctx: &mut SimContext<'_>, dp: u64) -> Result<(), ExecError> {
+    loop {
+        match ctx.pool.request(dp) {
+            Access::Hit => return Ok(()),
+            Access::Miss => {
+                let io = ctx.read_page(dp);
+                let mut events = Vec::new();
+                'wait: loop {
+                    events.clear();
+                    let progressed = ctx.step(&mut events);
+                    assert!(progressed, "traversal deadlocked");
+                    for e in &events {
+                        match e {
+                            Event::IoPage {
+                                io: id,
+                                device_page,
+                                status,
+                            } if *id == io => {
+                                if *status == IoStatus::Error {
+                                    return Err(ExecError::Io {
+                                        device_page: *device_page,
+                                    });
+                                }
+                                ctx.pool.admit_prefetched(*device_page)?;
+                                break 'wait;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Synchronously run a compute task to completion (phase-0 traversal).
+fn sync_cpu(ctx: &mut SimContext<'_>, work_us: f64) {
+    let task = ctx.submit_cpu(work_us);
+    let mut events = Vec::new();
+    loop {
+        events.clear();
+        let progressed = ctx.step(&mut events);
+        assert!(progressed, "cpu task never completed");
+        if events
+            .iter()
+            .any(|e| matches!(e, Event::Cpu(t) if *t == task))
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
+    use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
+
+    struct Fixture {
+        table: HeapTable,
+        index: BTreeIndex,
+        capacity: u64,
+    }
+
+    fn fixture(rows: u64, rpp: u32) -> Fixture {
+        let spec = TableSpec::paper_table(rpp, rows, 55);
+        let mut ts = Tablespace::new(4 * spec.n_pages() + 1000);
+        let table = HeapTable::create(spec, &mut ts).expect("fits");
+        let index = BTreeIndex::build(
+            "c2_idx",
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("fits");
+        let capacity = ts.capacity();
+        Fixture {
+            table,
+            index,
+            capacity,
+        }
+    }
+
+    fn scan(fx: &Fixture, sel: f64, cfg: &IsConfig, ssd: bool, pool_frames: usize) -> ScanMetrics {
+        let mut pool = BufferPool::new(pool_frames);
+        let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+        if ssd {
+            let mut dev = consumer_pcie_ssd(fx.capacity, 13);
+            run_is(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+                &fx.table,
+                &fx.index,
+                low,
+                high,
+                cfg,
+            )
+            .expect("scan runs")
+        } else {
+            let mut dev = hdd_7200(fx.capacity, 13);
+            run_is(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+                &fx.table,
+                &fx.index,
+                low,
+                high,
+                cfg,
+            )
+            .expect("scan runs")
+        }
+    }
+
+    #[test]
+    fn result_matches_oracle() {
+        let fx = fixture(20_000, 33);
+        for sel in [0.0, 0.003, 0.05, 0.4] {
+            let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+            let m = scan(&fx, sel, &IsConfig::default(), true, 4096);
+            assert_eq!(
+                m.max_c1,
+                fx.table.data().naive_max_c1(low, high),
+                "sel={sel}"
+            );
+            assert_eq!(m.rows_matched, fx.table.data().count_matching(low, high));
+        }
+    }
+
+    #[test]
+    fn all_configs_agree_on_answer() {
+        let fx = fixture(20_000, 33);
+        let base = scan(&fx, 0.05, &IsConfig::default(), true, 4096);
+        for (workers, pf) in [(4u32, 0u32), (32, 0), (1, 8), (4, 8)] {
+            let m = scan(
+                &fx,
+                0.05,
+                &IsConfig {
+                    workers,
+                    prefetch_depth: pf,
+                },
+                true,
+                4096,
+            );
+            assert_eq!(m.max_c1, base.max_c1, "w={workers} pf={pf}");
+            assert_eq!(m.rows_matched, base.rows_matched);
+        }
+    }
+
+    #[test]
+    fn queue_depth_tracks_worker_count() {
+        // §2: "the I/O pattern of PIS with parallel degree n is the parallel
+        // random I/O with constant queue depth of n."
+        let fx = fixture(60_000, 33);
+        let m8 = scan(
+            &fx,
+            0.08,
+            &IsConfig {
+                workers: 8,
+                prefetch_depth: 0,
+            },
+            true,
+            8192,
+        );
+        assert!(
+            (4.0..=9.0).contains(&m8.io.mean_queue_depth),
+            "PIS8 mean queue depth should be near 8: {}",
+            m8.io.mean_queue_depth
+        );
+        assert!(m8.io.peak_queue_depth <= 10.0);
+    }
+
+    #[test]
+    fn parallelism_speeds_up_index_scan_on_ssd() {
+        let fx = fixture(60_000, 33);
+        let m1 = scan(&fx, 0.05, &IsConfig::default(), true, 8192);
+        let m16 = scan(
+            &fx,
+            0.05,
+            &IsConfig {
+                workers: 16,
+                prefetch_depth: 0,
+            },
+            true,
+            8192,
+        );
+        let speedup = m1.runtime.as_secs_f64() / m16.runtime.as_secs_f64();
+        assert!(speedup > 6.0, "PIS16 on SSD should fly: {speedup}");
+    }
+
+    #[test]
+    fn parallelism_helps_only_modestly_on_hdd() {
+        // Enough matching rows that the leaf range exceeds the worker
+        // count (PIS parallelism is per leaf page, Fig. 3).
+        let fx = fixture(60_000, 33);
+        let m1 = scan(&fx, 0.2, &IsConfig::default(), false, 8192);
+        let m32 = scan(
+            &fx,
+            0.2,
+            &IsConfig {
+                workers: 32,
+                prefetch_depth: 0,
+            },
+            false,
+            8192,
+        );
+        let speedup = m1.runtime.as_secs_f64() / m32.runtime.as_secs_f64();
+        // Paper: ~2.4-2.5x on their spindle; our seek model gives a bit
+        // more (the band is a small slice of the device), but it must stay
+        // an order of magnitude below the SSD's scaling.
+        assert!(
+            (1.5..=10.0).contains(&speedup),
+            "HDD PIS speedup out of range: {speedup}"
+        );
+    }
+
+    #[test]
+    fn prefetching_raises_queue_depth_and_speed() {
+        let fx = fixture(60_000, 33);
+        let plain = scan(
+            &fx,
+            0.05,
+            &IsConfig {
+                workers: 2,
+                prefetch_depth: 0,
+            },
+            true,
+            8192,
+        );
+        let pf = scan(
+            &fx,
+            0.05,
+            &IsConfig {
+                workers: 2,
+                prefetch_depth: 8,
+            },
+            true,
+            8192,
+        );
+        assert!(
+            pf.io.mean_queue_depth > plain.io.mean_queue_depth * 2.0,
+            "prefetch should deepen the queue: {} vs {}",
+            plain.io.mean_queue_depth,
+            pf.io.mean_queue_depth
+        );
+        assert!(
+            pf.runtime < plain.runtime,
+            "prefetch should speed up the scan: {} vs {}",
+            plain.runtime,
+            pf.runtime
+        );
+    }
+
+    #[test]
+    fn small_pool_causes_refetches() {
+        let fx = fixture(40_000, 33);
+        // High selectivity + tiny pool: pages re-fetched (§2).
+        let m = scan(&fx, 0.6, &IsConfig::default(), true, 64);
+        assert!(
+            m.pool.refetches > 0,
+            "tiny pool at high selectivity must refetch"
+        );
+        assert!(m.io.pages_read > fx.table.n_pages());
+    }
+
+    #[test]
+    fn empty_result_still_traverses_index() {
+        let fx = fixture(10_000, 33);
+        let m = scan(&fx, 0.0, &IsConfig::default(), true, 1024);
+        assert_eq!(m.max_c1, None);
+        assert_eq!(m.rows_matched, 0);
+        assert!(m.io.io_ops >= 1, "root path should be read");
+    }
+
+    #[test]
+    fn io_error_surfaces() {
+        let fx = fixture(5_000, 33);
+        let dev = consumer_pcie_ssd(fx.capacity, 3);
+        let mut dev = pioqo_device::Faulty::new(dev, pioqo_device::FaultPlan::EveryNth(4));
+        let mut pool = BufferPool::new(1024);
+        let (low, high) = range_for_selectivity(0.2, u32::MAX - 1);
+        let r = run_is(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+            &fx.table,
+            &fx.index,
+            low,
+            high,
+            &IsConfig::default(),
+        );
+        assert!(matches!(r, Err(ExecError::Io { .. })));
+    }
+}

@@ -1,0 +1,30 @@
+//! # pioqo-exec — scan operator execution engine
+//!
+//! The paper's four access methods, executed over simulated hardware:
+//!
+//! * [`run_fts`] — full table scan / parallel full table scan (Fig. 2),
+//!   with asynchronous block prefetching;
+//! * [`run_is`] — index scan / parallel index scan (Fig. 3), with the
+//!   §3.3 per-worker, per-leaf asynchronous prefetch ring.
+//!
+//! Everything runs inside one discrete-event loop ([`SimContext`]) binding
+//! the device model, a hyper-threaded CPU scheduler ([`CpuScheduler`]) and
+//! the buffer pool. Each scan returns [`ScanMetrics`]: the query answer, the
+//! virtual runtime, and the observed I/O profile (queue depth, throughput),
+//! which is what the paper's figures plot.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod engine;
+pub mod fts;
+pub mod is;
+pub mod metrics;
+pub mod sorted_is;
+
+pub use cpu::{CpuConfig, CpuScheduler, TaskId};
+pub use engine::{CpuCosts, Event, ExecError, IoProfile, SimContext};
+pub use fts::{run_fts, FtsConfig};
+pub use is::{run_is, IsConfig};
+pub use metrics::ScanMetrics;
+pub use sorted_is::{run_sorted_is, SortedIsConfig};

@@ -1,0 +1,32 @@
+//! Scan results and observability.
+
+use crate::engine::IoProfile;
+use pioqo_bufpool::PoolStats;
+use pioqo_simkit::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The result of executing the paper's query
+/// `SELECT MAX(C1) FROM T WHERE C2 BETWEEN low AND high` with one access
+/// method, plus everything the experiments report about the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanMetrics {
+    /// Virtual runtime of the scan (first work to last result).
+    pub runtime: SimDuration,
+    /// The query answer (`None` when no row matches).
+    pub max_c1: Option<u32>,
+    /// Rows satisfying the predicate.
+    pub rows_matched: u64,
+    /// Rows the operator examined (FTS examines all; IS only matches).
+    pub rows_examined: u64,
+    /// Device-level I/O statistics for the run.
+    pub io: IoProfile,
+    /// Buffer-pool counters accumulated during the run.
+    pub pool: PoolStats,
+}
+
+impl ScanMetrics {
+    /// Runtime in seconds (for reporting).
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+}

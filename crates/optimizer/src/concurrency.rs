@@ -1,0 +1,148 @@
+//! Queue-depth budgeting across concurrent queries — the paper's future
+//! work, built as an extension.
+//!
+//! §4.3: "When multiple queries are running on the system concurrently, the
+//! optimizer needs to pass a lower queue depth number to the QDTT model.
+//! The optimal decision ... depends on the concurrency level of the system
+//! and the type of database operators in the query plans. Studying the role
+//! of these factors ... is considered as a future work."
+//!
+//! [`QdBudget`] implements the natural policy: the device's maximum
+//! beneficial queue depth is shared across the queries currently holding a
+//! budget lease, so a single query gets the full depth and k concurrent
+//! queries get `max(1, beneficial / k)` each. Leases are RAII-style tokens.
+
+use pioqo_core::Qdtt;
+use std::collections::HashMap;
+
+/// A queue-depth budget shared by concurrent queries.
+#[derive(Debug)]
+pub struct QdBudget {
+    /// The device's maximum beneficial queue depth (from the calibrated
+    /// model, e.g. [`Qdtt::beneficial_queue_depth`]).
+    total: u32,
+    /// Active leases: lease id -> granted depth.
+    leases: HashMap<u64, u32>,
+    next_id: u64,
+}
+
+/// A granted queue-depth lease. Return it with [`QdBudget::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QdLease {
+    /// Lease identifier.
+    pub id: u64,
+    /// Queue depth this query may assume in its cost model.
+    pub depth: u32,
+}
+
+impl QdBudget {
+    /// A budget of `total` queue depth (the device's beneficial maximum).
+    pub fn new(total: u32) -> QdBudget {
+        QdBudget {
+            total: total.max(1),
+            leases: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Derive the budget from a calibrated model: the smallest depth within
+    /// 5% of the best cost at the widest calibrated band.
+    pub fn from_model(model: &Qdtt) -> QdBudget {
+        let widest = *model.band_sizes().last().expect("non-empty model");
+        QdBudget::new(model.beneficial_queue_depth(widest, 0.05))
+    }
+
+    /// Number of queries currently holding a lease.
+    pub fn active(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Grant a lease for a newly admitted query: the budget is re-split
+    /// over `active + 1` queries. Existing leases keep their granted depth
+    /// until re-acquired (plans are costed at admission time).
+    pub fn acquire(&mut self) -> QdLease {
+        let share = (self.total / (self.leases.len() as u32 + 1)).max(1);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leases.insert(id, share);
+        QdLease { id, depth: share }
+    }
+
+    /// Release a lease when its query finishes.
+    pub fn release(&mut self, lease: QdLease) {
+        self.leases.remove(&lease.id);
+    }
+
+    /// The depth a hypothetical `k`-way concurrent workload would grant
+    /// each query (for reporting and the ablation bench).
+    pub fn share_at(&self, k: u32) -> u32 {
+        (self.total / k.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_query_gets_everything() {
+        let mut b = QdBudget::new(32);
+        let l = b.acquire();
+        assert_eq!(l.depth, 32);
+        assert_eq!(b.active(), 1);
+        b.release(l);
+        assert_eq!(b.active(), 0);
+    }
+
+    #[test]
+    fn concurrent_queries_split_the_budget() {
+        let mut b = QdBudget::new(32);
+        let l1 = b.acquire();
+        let l2 = b.acquire();
+        let l3 = b.acquire();
+        assert_eq!(l1.depth, 32);
+        assert_eq!(l2.depth, 16);
+        assert_eq!(l3.depth, 10);
+        b.release(l2);
+        let l4 = b.acquire();
+        assert_eq!(l4.depth, 10); // 32 / (2 existing + 1)
+    }
+
+    #[test]
+    fn budget_never_grants_zero() {
+        let mut b = QdBudget::new(2);
+        for _ in 0..10 {
+            assert!(b.acquire().depth >= 1);
+        }
+    }
+
+    #[test]
+    fn share_table() {
+        let b = QdBudget::new(32);
+        assert_eq!(b.share_at(1), 32);
+        assert_eq!(b.share_at(2), 16);
+        assert_eq!(b.share_at(32), 1);
+        assert_eq!(b.share_at(64), 1);
+        assert_eq!(b.share_at(0), 32);
+    }
+
+    #[test]
+    fn from_model_uses_beneficial_depth() {
+        // SSD-like: improves through 32 -> budget 32.
+        let ssd = Qdtt::new(
+            vec![1, 1000],
+            vec![1, 2, 4, 8, 16, 32],
+            vec![
+                100.0, 100.0, 50.0, 50.0, 25.0, 25.0, 12.0, 12.0, 6.0, 6.0, 3.0, 3.0,
+            ],
+        );
+        assert_eq!(QdBudget::from_model(&ssd).total, 32);
+        // HDD-like: flat -> budget 1.
+        let hdd = Qdtt::new(
+            vec![1, 1000],
+            vec![1, 2],
+            vec![100.0, 9000.0, 100.0, 9000.0],
+        );
+        assert_eq!(QdBudget::from_model(&hdd).total, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pioqo-optimizer — parallel-I/O-aware access-path selection
+//!
+//! The consumer of the QDTT model: a cost-based optimizer choosing among
+//! (parallel) full table scans and (parallel) index scans for the paper's
+//! range-predicate query.
+//!
+//! * [`card`] — Yao's formula and Mackert–Lohman buffered-fetch estimation;
+//! * [`TableStats`] — the catalog statistics the optimizer consumes,
+//!   including the cached-page counts of §4.3;
+//! * [`IoCostModel`] — the pluggable I/O model: [`DttCost`] gives the
+//!   paper's *old* (queue-depth-blind) optimizer, [`QdttCost`] the *new*
+//!   one; nothing else differs;
+//! * [`Optimizer`] — plan enumeration over `{FTS, IS} × degree`;
+//! * [`QdBudget`] — the future-work extension budgeting queue depth across
+//!   concurrent queries.
+
+#![warn(missing_docs)]
+
+pub mod card;
+pub mod concurrency;
+pub mod cost;
+pub mod optimizer;
+pub mod stats;
+
+pub use concurrency::{QdBudget, QdLease};
+pub use cost::{DttCost, EstCpuCosts, IoCostModel, QdttCost};
+pub use optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};
+pub use stats::{IndexStats, TableStats};

@@ -1,0 +1,355 @@
+//! A small embedded-database-shaped wrapper tying the whole stack
+//! together: create a table, calibrate the storage, run range-MAX queries
+//! through the cost-based optimizer.
+//!
+//! This is the "downstream user" API: everything the reproduction harness
+//! does by hand — device construction, tablespace layout, calibration,
+//! statistics gathering, plan choice, execution — behind four methods.
+//!
+//! ```
+//! use pioqo::db::{Db, DbConfig, StorageKind};
+//!
+//! let mut db = Db::create(DbConfig {
+//!     storage: StorageKind::Ssd,
+//!     buffer_mb: 16,
+//!     rows: 50_000,
+//!     rows_per_page: 33,
+//!     seed: 7,
+//! });
+//! db.calibrate();
+//! let out = db.query_max_between(1 << 30, 3 << 30).expect("query runs");
+//! assert_eq!(out.value, db.oracle_max_between(1 << 30, 3 << 30));
+//! ```
+
+use pioqo_bufpool::BufferPool;
+use pioqo_core::{CalibrationConfig, Calibrator, Qdtt};
+use pioqo_device::{presets, DeviceModel};
+use pioqo_exec::{
+    run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
+    ScanMetrics, SortedIsConfig,
+};
+use pioqo_optimizer::{
+    AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdttCost, TableStats,
+};
+use pioqo_storage::{selectivity_of_range, BTreeIndex, HeapTable, TableSpec, Tablespace};
+
+/// Which simulated device backs the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Commodity 7200 RPM hard drive.
+    Hdd,
+    /// Consumer PCIe SSD.
+    Ssd,
+    /// 8-spindle 15K RAID array.
+    Raid8,
+}
+
+/// Database construction parameters.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Backing device.
+    pub storage: StorageKind,
+    /// Buffer pool size in MB.
+    pub buffer_mb: u64,
+    /// Rows in the table.
+    pub rows: u64,
+    /// Rows per page (the paper's RPP knob).
+    pub rows_per_page: u32,
+    /// Data/determinism seed.
+    pub seed: u64,
+}
+
+/// Result of one query: the answer, the plan that produced it, and the
+/// execution metrics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// `MAX(C1)` over the qualifying rows (`None` if none qualify).
+    pub value: Option<u32>,
+    /// The plan the optimizer chose.
+    pub plan: Plan,
+    /// Human-readable plan ("PIS32", "FTS", ...).
+    pub plan_name: String,
+    /// Execution metrics (virtual runtime, I/O profile, pool counters).
+    pub metrics: ScanMetrics,
+}
+
+/// An embedded single-table database over simulated storage.
+pub struct Db {
+    cfg: DbConfig,
+    device: Box<dyn DeviceModel>,
+    pool: BufferPool,
+    table: HeapTable,
+    index: BTreeIndex,
+    model: Option<Qdtt>,
+    opt_cfg: OptimizerConfig,
+}
+
+impl Db {
+    /// Create the database: generates the table and its `C2` index, lays
+    /// them out on a fresh device sized ~2× the data.
+    pub fn create(cfg: DbConfig) -> Db {
+        let spec = TableSpec::paper_table(cfg.rows_per_page, cfg.rows, cfg.seed);
+        let est_index = cfg.rows.div_ceil(300) + 64;
+        let capacity = (spec.n_pages() + est_index) * 2 + 4096;
+        let mut ts = Tablespace::new(capacity);
+        let table = HeapTable::create(spec, &mut ts).expect("device sized to fit");
+        let index = BTreeIndex::build(
+            "c2_idx",
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("device sized to fit");
+        let device: Box<dyn DeviceModel> = match cfg.storage {
+            StorageKind::Hdd => Box::new(presets::hdd_7200(capacity, cfg.seed ^ 0xD)),
+            StorageKind::Ssd => Box::new(presets::consumer_pcie_ssd(capacity, cfg.seed ^ 0xE)),
+            StorageKind::Raid8 => Box::new(presets::raid_15k(8, capacity, cfg.seed ^ 0xF)),
+        };
+        let frames = ((cfg.buffer_mb << 20) / 4096).max(64) as usize;
+        Db {
+            pool: BufferPool::new(frames),
+            device,
+            table,
+            index,
+            model: None,
+            opt_cfg: OptimizerConfig::default(),
+            cfg,
+        }
+    }
+
+    /// Calibrate the device into a QDTT model (must run before queries can
+    /// be optimized; §4.1's "calibrated on the customer's hardware").
+    pub fn calibrate(&mut self) -> &Qdtt {
+        let cal = Calibrator::new(CalibrationConfig::for_device(
+            self.device.capacity_pages(),
+            self.cfg.seed ^ 0xCA11,
+        ));
+        let (qdtt, _) = cal.calibrate_qdtt(&mut *self.device);
+        self.model = Some(qdtt);
+        self.model.as_ref().expect("just set")
+    }
+
+    /// Use an externally calibrated / persisted model instead.
+    pub fn set_model(&mut self, model: Qdtt) {
+        self.model = Some(model);
+    }
+
+    /// Tune the optimizer (degrees considered, sorted-IS, prefetch-aware
+    /// costing, queue-depth cap for concurrency budgeting).
+    pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
+        self.opt_cfg = cfg;
+    }
+
+    /// Current catalog statistics, including live cached-page counts.
+    pub fn stats(&self) -> TableStats {
+        TableStats::gather(&self.table, &self.index, &self.pool)
+    }
+
+    /// Plan `SELECT MAX(C1) WHERE C2 BETWEEN low AND high` without
+    /// executing it. Uses the QDTT model if calibrated, else a pessimistic
+    /// DTT-at-depth-1 fallback.
+    pub fn explain_max_between(&self, low: u32, high: u32) -> (Plan, String) {
+        let sel = selectivity_of_range(low, high, self.table.spec().c2_max);
+        let stats = self.stats();
+        let plan = match &self.model {
+            Some(m) => {
+                let model = QdttCost(m.clone());
+                Optimizer::new(&model, self.opt_cfg.clone()).choose(&stats, sel)
+            }
+            None => {
+                // Uncalibrated: a flat, queue-depth-blind guess.
+                let model = DttCost(pioqo_core::Dtt::new(vec![
+                    (1, 100.0),
+                    (self.device.capacity_pages(), 10_000.0),
+                ]));
+                Optimizer::new(&model, self.opt_cfg.clone()).choose(&stats, sel)
+            }
+        };
+        let name = plan_name(&plan);
+        (plan, name)
+    }
+
+    /// Plan *and execute* the query against the live device and pool
+    /// (the pool stays warm across queries, like a real server).
+    pub fn query_max_between(&mut self, low: u32, high: u32) -> Result<QueryOutput, ExecError> {
+        let (plan, plan_name) = self.explain_max_between(low, high);
+        let cpu = CpuConfig::paper_xeon();
+        let costs = CpuCosts::default();
+        let metrics = match plan.method {
+            AccessMethod::TableScan => run_fts(
+                &mut *self.device,
+                &mut self.pool,
+                cpu,
+                costs,
+                &self.table,
+                low,
+                high,
+                &FtsConfig {
+                    workers: plan.degree,
+                    ..FtsConfig::default()
+                },
+            )?,
+            AccessMethod::IndexScan => run_is(
+                &mut *self.device,
+                &mut self.pool,
+                cpu,
+                costs,
+                &self.table,
+                &self.index,
+                low,
+                high,
+                &IsConfig {
+                    workers: plan.degree,
+                    prefetch_depth: self.opt_cfg.is_prefetch_depth,
+                },
+            )?,
+            AccessMethod::SortedIndexScan => run_sorted_is(
+                &mut *self.device,
+                &mut self.pool,
+                cpu,
+                costs,
+                &self.table,
+                &self.index,
+                low,
+                high,
+                &SortedIsConfig::default(),
+            )?,
+        };
+        Ok(QueryOutput {
+            value: metrics.max_c1,
+            plan,
+            plan_name,
+            metrics,
+        })
+    }
+
+    /// Ground truth for `MAX(C1) WHERE C2 BETWEEN low AND high`.
+    pub fn oracle_max_between(&self, low: u32, high: u32) -> Option<u32> {
+        self.table.data().naive_max_c1(low, high)
+    }
+
+    /// Drop every cached page (the paper's cold-start protocol).
+    pub fn flush_pool(&mut self) {
+        self.pool.flush_all();
+    }
+
+    /// The table (for statistics/inspection).
+    pub fn table(&self) -> &HeapTable {
+        &self.table
+    }
+
+    /// The index (for statistics/inspection).
+    pub fn index(&self) -> &BTreeIndex {
+        &self.index
+    }
+
+    /// The calibrated model, if any.
+    pub fn model(&self) -> Option<&Qdtt> {
+        self.model.as_ref()
+    }
+}
+
+fn plan_name(plan: &Plan) -> String {
+    match (plan.method, plan.degree) {
+        (AccessMethod::TableScan, 1) => "FTS".into(),
+        (AccessMethod::TableScan, d) => format!("PFTS{d}"),
+        (AccessMethod::IndexScan, 1) => "IS".into(),
+        (AccessMethod::IndexScan, d) => format!("PIS{d}"),
+        (AccessMethod::SortedIndexScan, _) => "SortedIS".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioqo_storage::range_for_selectivity;
+
+    fn small_db(storage: StorageKind) -> Db {
+        Db::create(DbConfig {
+            storage,
+            buffer_mb: 8,
+            rows: 30_000,
+            rows_per_page: 33,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn query_matches_oracle_calibrated_or_not() {
+        let mut db = small_db(StorageKind::Ssd);
+        let (lo, hi) = range_for_selectivity(0.05, u32::MAX - 1);
+        // Uncalibrated: falls back to the pessimistic DTT and still answers.
+        let out = db.query_max_between(lo, hi).expect("runs");
+        assert_eq!(out.value, db.oracle_max_between(lo, hi));
+        // Calibrated: same answer, possibly different plan.
+        db.calibrate();
+        db.flush_pool();
+        let out2 = db.query_max_between(lo, hi).expect("runs");
+        assert_eq!(out2.value, out.value);
+    }
+
+    #[test]
+    fn calibrated_ssd_db_parallelizes_large_low_selectivity_scans() {
+        let mut db = Db::create(DbConfig {
+            storage: StorageKind::Ssd,
+            buffer_mb: 8,
+            rows: 400_000,
+            rows_per_page: 33,
+            seed: 3,
+        });
+        db.calibrate();
+        let (lo, hi) = range_for_selectivity(0.002, u32::MAX - 1);
+        let (plan, name) = db.explain_max_between(lo, hi);
+        assert_eq!(plan.method, AccessMethod::IndexScan);
+        assert!(plan.degree > 1, "calibrated SSD should go parallel: {name}");
+    }
+
+    #[test]
+    fn hdd_db_stays_serial() {
+        let mut db = Db::create(DbConfig {
+            storage: StorageKind::Hdd,
+            buffer_mb: 8,
+            rows: 400_000,
+            rows_per_page: 33,
+            seed: 3,
+        });
+        db.calibrate();
+        let (lo, hi) = range_for_selectivity(0.002, u32::MAX - 1);
+        let (plan, _) = db.explain_max_between(lo, hi);
+        assert_eq!(plan.degree, 1, "single spindle gains nothing from depth");
+    }
+
+    #[test]
+    fn warm_pool_changes_the_costing() {
+        let mut db = small_db(StorageKind::Ssd);
+        db.calibrate();
+        let (lo, hi) = range_for_selectivity(0.9, u32::MAX - 1);
+        let (cold_plan, _) = db.explain_max_between(lo, hi);
+        db.query_max_between(lo, hi).expect("runs");
+        // Much of the table is now cached; estimated I/O must drop.
+        let (warm_plan, _) = db.explain_max_between(lo, hi);
+        assert!(warm_plan.est_io_us < cold_plan.est_io_us);
+    }
+
+    #[test]
+    fn persisted_model_round_trips_through_set_model() {
+        let mut db = small_db(StorageKind::Ssd);
+        let model = db.calibrate().clone();
+        let mut db2 = small_db(StorageKind::Ssd);
+        db2.set_model(model);
+        let (lo, hi) = range_for_selectivity(0.01, u32::MAX - 1);
+        let (p1, _) = db.explain_max_between(lo, hi);
+        let (p2, _) = db2.explain_max_between(lo, hi);
+        assert_eq!(p1.method, p2.method);
+        assert_eq!(p1.degree, p2.degree);
+    }
+
+    #[test]
+    fn empty_range_returns_none() {
+        let mut db = small_db(StorageKind::Ssd);
+        db.calibrate();
+        let out = db.query_max_between(10, 9).expect("runs");
+        assert_eq!(out.value, None);
+        assert_eq!(out.metrics.rows_matched, 0);
+    }
+}

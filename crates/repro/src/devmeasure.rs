@@ -1,0 +1,48 @@
+//! Raw device throughput measurement (Fig. 1).
+
+use pioqo_device::{DeviceModel, IoRequest};
+use pioqo_simkit::{SimRng, SimTime};
+
+/// Sequential read throughput (MB/s): `n_blocks` back-to-back block reads
+/// of `block_pages`, one outstanding at a time.
+pub fn sequential_mb_s(dev: &mut dyn DeviceModel, n_blocks: u64, block_pages: u32) -> f64 {
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    for i in 0..n_blocks {
+        dev.submit(
+            now,
+            IoRequest::block(i, i * block_pages as u64, block_pages),
+        );
+        now = pioqo_device::drain_all(dev, now, &mut out);
+    }
+    let bytes = n_blocks * block_pages as u64 * dev.page_size() as u64;
+    pioqo_simkit::stats::mb_per_sec(bytes, now - SimTime::ZERO)
+}
+
+/// Random 4 KiB read throughput (MB/s) at a sustained queue depth `qd`
+/// over the whole device.
+pub fn random_mb_s(dev: &mut dyn DeviceModel, qd: u32, n_reads: u64, seed: u64) -> f64 {
+    let cap = dev.capacity_pages();
+    let mut rng = SimRng::seeded(seed);
+    let offsets: Vec<u64> = (0..n_reads).map(|_| rng.below(cap)).collect();
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next = 0usize;
+    while next < (qd as usize).min(offsets.len()) {
+        dev.submit(now, IoRequest::page(next as u64, offsets[next]));
+        next += 1;
+    }
+    while dev.outstanding() > 0 {
+        let t = dev.next_event().expect("busy device");
+        let before = out.len();
+        dev.advance(t, &mut out);
+        now = t;
+        for _ in before..out.len() {
+            if next < offsets.len() {
+                dev.submit(now, IoRequest::page(next as u64, offsets[next]));
+                next += 1;
+            }
+        }
+    }
+    pioqo_simkit::stats::mb_per_sec(n_reads * dev.page_size() as u64, now - SimTime::ZERO)
+}

@@ -1,0 +1,106 @@
+//! Selectivity grids per experiment, chosen (like the paper's Fig. 4 axes)
+//! to bracket each experiment's break-even points.
+
+/// The Fig. 4 sweep grid for an experiment id.
+pub fn fig4_grid(name: &str) -> Vec<f64> {
+    match name {
+        // Paper break-evens: NP 0.55%, P 1.4%.
+        "E1-HDD" => vec![0.0005, 0.001, 0.002, 0.004, 0.007, 0.010, 0.014, 0.020],
+        // NP 8%, P 48%.
+        "E1-SSD" => vec![0.01, 0.03, 0.06, 0.10, 0.20, 0.30, 0.48, 0.60],
+        // NP 0.02%, P 0.05%.
+        "E33-HDD" => vec![0.00005, 0.0001, 0.0002, 0.0003, 0.0005, 0.0008, 0.001],
+        // NP 0.4%, P 2.1%.
+        "E33-SSD" => vec![0.001, 0.002, 0.004, 0.008, 0.013, 0.021, 0.030],
+        // NP 0.0045%, P 0.005%.
+        "E500-HDD" => vec![0.00001, 0.00002, 0.00004, 0.00006, 0.0001, 0.0002],
+        // NP 0.15%, P 0.5%.
+        "E500-SSD" => vec![0.0005, 0.001, 0.0015, 0.0025, 0.004, 0.006],
+        other => panic!("no grid for experiment {other}"),
+    }
+}
+
+/// Bisection bracket for the non-parallel break-even of an experiment.
+pub fn np_bracket(name: &str) -> (f64, f64) {
+    match name {
+        "E1-HDD" => (1e-4, 0.2),
+        "E1-SSD" => (1e-3, 0.9),
+        "E33-HDD" => (1e-5, 0.05),
+        "E33-SSD" => (1e-4, 0.3),
+        "E500-HDD" => (1e-6, 0.02),
+        "E500-SSD" => (1e-5, 0.1),
+        other => panic!("no bracket for experiment {other}"),
+    }
+}
+
+/// Bisection bracket for the parallel (PIS32/PFTS32) break-even.
+pub fn p_bracket(name: &str) -> (f64, f64) {
+    match name {
+        "E1-HDD" => (1e-4, 0.4),
+        "E1-SSD" => (1e-2, 0.95),
+        "E33-HDD" => (1e-5, 0.1),
+        "E33-SSD" => (1e-4, 0.5),
+        "E500-HDD" => (1e-6, 0.05),
+        "E500-SSD" => (1e-5, 0.3),
+        other => panic!("no bracket for experiment {other}"),
+    }
+}
+
+/// The paper's reported break-even points (Table 2), for side-by-side
+/// reporting: `(np, p)` as fractions.
+pub fn paper_table2(name: &str) -> (f64, f64) {
+    match name {
+        "E1-HDD" => (0.0055, 0.014),
+        "E1-SSD" => (0.08, 0.48),
+        "E33-HDD" => (0.0002, 0.0005),
+        "E33-SSD" => (0.004, 0.021),
+        "E500-HDD" => (0.000045, 0.00005),
+        "E500-SSD" => (0.0015, 0.005),
+        other => panic!("no paper value for {other}"),
+    }
+}
+
+/// The paper's Table 3 throughputs `(pfts32_mb_s, fts_mb_s)`.
+pub fn paper_table3(name: &str) -> (f64, f64) {
+    match name {
+        "E1-HDD" => (100.45, 96.80),
+        "E1-SSD" => (849.25, 263.33),
+        "E33-HDD" => (106.47, 100.59),
+        "E33-SSD" => (581.46, 192.16),
+        "E500-HDD" => (110.94, 50.77),
+        "E500-SSD" => (250.69, 57.63),
+        other => panic!("no paper value for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use pioqo_workload::ExperimentConfig;
+
+    #[test]
+    fn every_table1_experiment_has_grid_brackets_and_paper_values() {
+        for e in ExperimentConfig::table1() {
+            let g = super::fig4_grid(&e.name);
+            assert!(g.len() >= 6);
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "grid sorted: {}", e.name);
+            let (lo, hi) = super::np_bracket(&e.name);
+            assert!(lo < hi);
+            let (lo, hi) = super::p_bracket(&e.name);
+            assert!(lo < hi);
+            let (np, p) = super::paper_table2(&e.name);
+            assert!(np < p * 1.01, "paper NP <= P for {}", e.name);
+            let (pf, f) = super::paper_table3(&e.name);
+            assert!(pf >= f, "paper PFTS >= FTS for {}", e.name);
+        }
+    }
+
+    #[test]
+    fn grids_bracket_the_paper_break_evens() {
+        for e in ExperimentConfig::table1() {
+            let g = super::fig4_grid(&e.name);
+            let (np, p) = super::paper_table2(&e.name);
+            assert!(*g.first().unwrap() <= np, "{}", e.name);
+            assert!(*g.last().unwrap() >= p * 0.9, "{}", e.name);
+        }
+    }
+}

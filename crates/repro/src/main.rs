@@ -1,0 +1,106 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale N] [--reps N] <target>...
+//!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
+//!            fig9 fig10 fig11 fig12 all
+//! ```
+//!
+//! `--scale N` divides experiment row counts by N (quick runs);
+//! `--reps N` sets calibration repetitions for the AW/GW figures.
+//! Output: aligned text tables on stdout plus CSVs under `results/`
+//! (override with `PIOQO_RESULTS`).
+
+mod devmeasure;
+mod figs;
+mod grids;
+mod report;
+
+use figs::Opts;
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
+            }
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
+            }
+            "--buffer-mb" => {
+                opts.buffer_mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--buffer-mb needs a positive integer"));
+            }
+            "--help" | "-h" => usage(""),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage("no target given");
+    }
+
+    let started = std::time::Instant::now();
+    for t in &targets {
+        run_target(t, opts);
+    }
+    eprintln!("[done] {:.1}s wall", started.elapsed().as_secs_f64());
+}
+
+fn run_target(target: &str, opts: Opts) {
+    match target {
+        "fig1" => figs::fig1(opts),
+        "table1" => figs::table1(opts),
+        "fig4" => figs::fig4(opts),
+        "table2" => figs::table2(opts),
+        "table3" => figs::table3(opts),
+        "fig5" => figs::fig5(opts),
+        "fig6" => figs::fig6(opts),
+        "fig7" => figs::fig7(opts),
+        "fig8" => figs::fig8(opts),
+        "fig9" | "fig10" | "fig11" => figs::fig9_10_11(opts),
+        "fig12" => figs::fig12(opts),
+        "ablation" => figs::ablation(opts),
+        "concurrency" => figs::concurrency(opts),
+        "accuracy" => figs::accuracy(opts),
+        "all" => {
+            figs::fig1(opts);
+            figs::table1(opts);
+            figs::fig4(opts);
+            figs::table2(opts);
+            figs::table3(opts);
+            figs::fig5(opts);
+            figs::fig6(opts);
+            figs::fig7(opts);
+            figs::fig8(opts);
+            figs::fig9_10_11(opts);
+            figs::fig12(opts);
+            figs::ablation(opts);
+            figs::concurrency(opts);
+            figs::accuracy(opts);
+        }
+        other => usage(&format!("unknown target '{other}'")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--scale N] [--reps N] [--buffer-mb N] <target>...\n\
+         targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
+         fig9 fig10 fig11 fig12 ablation concurrency accuracy all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

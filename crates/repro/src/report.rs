@@ -1,0 +1,154 @@
+//! Plain-text tables and CSV output for the reproduction harness.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("\n== {} ==", self.title);
+        let sep: String = "-".repeat(line_len.min(120));
+        println!("{sep}");
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:>w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{sep}");
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+        println!("{sep}");
+    }
+
+    /// Write the table as CSV under `results/<id>.csv`; returns the path.
+    pub fn write_csv(&self, id: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{id}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Print and persist in one call.
+    pub fn emit(&self, id: &str) {
+        self.print();
+        match self.write_csv(id) {
+            Ok(p) => println!("[csv] {}", p.display()),
+            Err(e) => eprintln!("[csv] failed to write {id}: {e}"),
+        }
+    }
+}
+
+/// The output directory (`$PIOQO_RESULTS` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("PIOQO_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a selectivity as a percentage like the paper.
+pub fn pct(v: f64) -> String {
+    let p = v * 100.0;
+    if p >= 1.0 {
+        format!("{p:.2}%")
+    } else if p >= 0.01 {
+        format!("{p:.3}%")
+    } else {
+        format!("{p:.4}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_must_match_headers() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_wrong_arity() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_output_round_trips() {
+        std::env::set_var("PIOQO_RESULTS", std::env::temp_dir().join("pioqo-csv-test"));
+        let mut t = TextTable::new("t", &["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        let p = t.write_csv("unit_test").expect("writes");
+        let body = std::fs::read_to_string(&p).expect("reads");
+        assert_eq!(body, "x,y\n1,2.5\n");
+        std::fs::remove_file(&p).ok();
+        std::env::remove_var("PIOQO_RESULTS");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(123.4), "123.4");
+        assert_eq!(secs(1.5), "1.500");
+        assert_eq!(secs(0.01234), "0.01234");
+        assert_eq!(f2(4.5678), "4.57");
+        assert_eq!(pct(0.021), "2.10%");
+        assert_eq!(pct(0.0004), "0.040%");
+        assert_eq!(pct(0.0000045), "0.0004%"); // 0.00045% rounds down at 4 dp
+    }
+}

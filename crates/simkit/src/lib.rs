@@ -1,0 +1,25 @@
+//! # pioqo-simkit — discrete-event simulation kernel
+//!
+//! The minimal machinery the rest of the workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — an exact integer virtual clock;
+//! * [`EventQueue`] — a deterministic event calendar (FIFO tie-breaking);
+//! * [`SimRng`] — seeded randomness with sampling helpers;
+//! * [`stats`] — running statistics and time-weighted level tracking.
+//!
+//! Device models (`pioqo-device`) and the execution engine (`pioqo-exec`)
+//! are actors driven by a single event loop built from these pieces; the
+//! virtual clock is what lets us reproduce the paper's runtime curves
+//! without the paper's hardware.
+
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Running, TimeWeighted};
+pub use time::{SimDuration, SimTime};

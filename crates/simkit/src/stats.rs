@@ -1,0 +1,222 @@
+//! Measurement helpers: running scalar statistics and time-weighted
+//! averages (used to profile the device's observed I/O queue depth, as the
+//! paper does in §2 when it reports "a queue depth of n is clearly
+//! observable").
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Running mean / min / max / standard deviation over scalar samples
+/// (Welford's online algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Time-weighted average of a step function, e.g. instantaneous queue depth.
+///
+/// Call [`TimeWeighted::set`] whenever the level changes; the accumulator
+/// integrates `level × dt` between changes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: SimTime,
+    integral: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with an initial `level`.
+    pub fn new(start: SimTime, level: f64) -> Self {
+        TimeWeighted {
+            level,
+            last_change: start,
+            integral: 0.0,
+            start,
+            peak: level,
+        }
+    }
+
+    /// Record that the level changed to `level` at time `now`.
+    pub fn set(&mut self, now: SimTime, level: f64) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        self.integral += self.level * dt;
+        self.level = level;
+        self.last_change = now;
+        self.peak = self.peak.max(level);
+    }
+
+    /// Adjust the level by `delta` at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let l = self.level + delta;
+        self.set(now, l);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Highest level seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean of the level over `[start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_secs_f64();
+        if total == 0.0 {
+            return self.level;
+        }
+        let tail = now.since(self.last_change).as_secs_f64();
+        (self.integral + self.level * tail) / total
+    }
+}
+
+/// Throughput helper: bytes moved over a span, reported as MB/s.
+pub fn mb_per_sec(bytes: u64, elapsed: SimDuration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / 1_000_000.0 / secs
+}
+
+/// I/O operations per second over a span.
+pub fn iops(ops: u64, elapsed: SimDuration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        return 0.0;
+    }
+    ops as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_basic_moments() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev of the classic dataset is sqrt(32/7).
+        assert!((r.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert!((r.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_empty_is_safe() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        // 1 second at level 0, then 1 second at level 4 -> mean 2.
+        tw.set(SimTime::from_nanos(1_000_000_000), 4.0);
+        let mean = tw.mean(SimTime::from_nanos(2_000_000_000));
+        assert!((mean - 2.0).abs() < 1e-9);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_level() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_micros(1), 3.0);
+        tw.add(SimTime::from_micros(2), -1.0);
+        assert_eq!(tw.level(), 2.0);
+        assert_eq!(tw.peak(), 3.0);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let d = SimDuration::from_millis(1000);
+        assert!((mb_per_sec(110_000_000, d) - 110.0).abs() < 1e-9);
+        assert!((iops(230_000, d) - 230_000.0).abs() < 1e-9);
+        assert_eq!(mb_per_sec(1, SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Extent allocation: mapping table/index files to contiguous page ranges
+//! on a device.
+//!
+//! Band-size estimation in the optimizer is about *where on the device* an
+//! operator's I/Os land: a full table scan walks one file's extent
+//! sequentially; an index scan scatters point reads across the table's
+//! extent. [`Tablespace`] owns the device's page range and hands out
+//! contiguous extents, so every consumer can translate file-local page
+//! numbers into device page numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of device pages backing one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    /// First device page.
+    pub base: u64,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Extent {
+    /// Translate a file-local page number to a device page number.
+    #[inline]
+    pub fn device_page(&self, local: u64) -> u64 {
+        debug_assert!(local < self.pages, "page {local} outside extent");
+        self.base + local
+    }
+
+    /// One past the last device page of this extent.
+    pub fn end(&self) -> u64 {
+        self.base + self.pages
+    }
+
+    /// True if `device_page` falls inside this extent.
+    pub fn contains(&self, device_page: u64) -> bool {
+        (self.base..self.end()).contains(&device_page)
+    }
+}
+
+/// Errors from extent allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TablespaceError {
+    /// Not enough free pages on the device.
+    OutOfSpace {
+        /// Pages requested.
+        requested: u64,
+        /// Pages still free.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for TablespaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TablespaceError::OutOfSpace { requested, free } => {
+                write!(
+                    f,
+                    "tablespace out of space: requested {requested}, free {free}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TablespaceError {}
+
+/// A bump allocator over a device's page range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tablespace {
+    capacity: u64,
+    next: u64,
+    allocations: Vec<(String, Extent)>,
+}
+
+impl Tablespace {
+    /// A tablespace spanning `capacity` device pages.
+    pub fn new(capacity: u64) -> Tablespace {
+        Tablespace {
+            capacity,
+            next: 0,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Allocate a contiguous extent of `pages` named `name`.
+    pub fn alloc(&mut self, name: &str, pages: u64) -> Result<Extent, TablespaceError> {
+        let free = self.capacity - self.next;
+        if pages > free {
+            return Err(TablespaceError::OutOfSpace {
+                requested: pages,
+                free,
+            });
+        }
+        let e = Extent {
+            base: self.next,
+            pages,
+        };
+        self.next += pages;
+        self.allocations.push((name.to_string(), e));
+        Ok(e)
+    }
+
+    /// Pages not yet allocated.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity - self.next
+    }
+
+    /// Total capacity in pages.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// All allocations, in allocation order.
+    pub fn allocations(&self) -> &[(String, Extent)] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_are_contiguous_and_disjoint() {
+        let mut ts = Tablespace::new(1000);
+        let a = ts.alloc("table", 600).expect("fits");
+        let b = ts.alloc("index", 300).expect("fits");
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 600);
+        assert_eq!(ts.free_pages(), 100);
+        assert!(a.contains(599));
+        assert!(!a.contains(600));
+        assert!(b.contains(600));
+        assert_eq!(b.device_page(5), 605);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let mut ts = Tablespace::new(100);
+        ts.alloc("a", 90).expect("fits");
+        let err = ts.alloc("b", 20).expect_err("must not fit");
+        assert_eq!(
+            err,
+            TablespaceError::OutOfSpace {
+                requested: 20,
+                free: 10
+            }
+        );
+        // The failed allocation must not consume space.
+        assert_eq!(ts.free_pages(), 10);
+        assert!(format!("{err}").contains("out of space"));
+    }
+
+    #[test]
+    fn records_named_allocations() {
+        let mut ts = Tablespace::new(10);
+        ts.alloc("t", 4).expect("fits");
+        ts.alloc("i", 4).expect("fits");
+        let names: Vec<_> = ts.allocations().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["t", "i"]);
+    }
+}

@@ -1,0 +1,90 @@
+//! A built dataset: heap table + `C2` B+-tree laid out in a tablespace.
+
+use pioqo_storage::{range_for_selectivity, BTreeIndex, HeapTable, TableSpec, Tablespace};
+
+/// Table + index + layout, ready to scan.
+pub struct Dataset {
+    table: HeapTable,
+    index: BTreeIndex,
+    device_capacity: u64,
+}
+
+impl Dataset {
+    /// Generate a `T{rpp}` dataset of `rows` rows.
+    pub fn build(rows_per_page: u32, rows: u64, seed: u64) -> Dataset {
+        let spec = TableSpec::paper_table(rows_per_page, rows, seed);
+        // Device sized to data plus slack: the table's extent (the index
+        // scan's band) occupies a realistic fraction of the device.
+        let est_index_pages = rows.div_ceil(300) + 64;
+        let device_capacity = (spec.n_pages() + est_index_pages) * 2 + 4096;
+        let mut ts = Tablespace::new(device_capacity);
+        let table = HeapTable::create(spec, &mut ts).expect("tablespace sized to fit table");
+        let index = BTreeIndex::build(
+            &format!("{}_c2_idx", table.spec().name),
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("tablespace sized to fit index");
+        Dataset {
+            table,
+            index,
+            device_capacity,
+        }
+    }
+
+    /// The heap table.
+    pub fn table(&self) -> &HeapTable {
+        &self.table
+    }
+
+    /// The `C2` index.
+    pub fn index(&self) -> &BTreeIndex {
+        &self.index
+    }
+
+    /// Device capacity (pages) the dataset was laid out for.
+    pub fn device_capacity(&self) -> u64 {
+        self.device_capacity
+    }
+
+    /// Upper bound of the `C2` domain (for selectivity → range mapping).
+    pub fn c2_max(&self) -> u32 {
+        self.table.spec().c2_max
+    }
+
+    /// Ground-truth answer of query Q at `selectivity` (naive evaluation).
+    pub fn oracle_max(&self, selectivity: f64) -> Option<u32> {
+        let (low, high) = range_for_selectivity(selectivity, self.c2_max());
+        self.table.data().naive_max_c1(low, high)
+    }
+
+    /// Ground-truth matching-row count at `selectivity`.
+    pub fn oracle_count(&self, selectivity: f64) -> u64 {
+        let (low, high) = range_for_selectivity(selectivity, self.c2_max());
+        self.table.data().count_matching(low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_places_table_then_index() {
+        let d = Dataset::build(33, 50_000, 3);
+        assert_eq!(d.table().extent().base, 0);
+        assert_eq!(d.index().extent().base, d.table().extent().end());
+        assert!(d.index().extent().end() <= d.device_capacity());
+    }
+
+    #[test]
+    fn oracle_consistent_with_index() {
+        let d = Dataset::build(33, 20_000, 3);
+        for sel in [0.01, 0.2] {
+            let (low, high) = range_for_selectivity(sel, d.c2_max());
+            let via_index = d.index().range(low, high).map_or(0, |r| r.len());
+            assert_eq!(via_index, d.oracle_count(sel));
+        }
+    }
+}

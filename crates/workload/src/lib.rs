@@ -1,0 +1,27 @@
+//! # pioqo-workload — the paper's experiments as a library
+//!
+//! Everything the reproduction harness (and downstream users) need to run
+//! the paper's evaluation:
+//!
+//! * [`ExperimentConfig::table1`] — the six E1/E33/E500 × HDD/SSD
+//!   configurations of Table 1 at simulation scale;
+//! * [`Experiment`] — builds the dataset, manufactures cold devices and
+//!   flushed 64 MB buffer pools, and executes query Q with any
+//!   [`MethodSpec`] (FTS/PFTS/IS/PIS/sorted-IS);
+//! * [`sweep`] — runtime-vs-selectivity curves and break-even bisection
+//!   (Fig. 4, Table 2);
+//! * [`opteval`] — calibrate → optimize (DTT vs QDTT) → execute (Fig. 8).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod experiments;
+pub mod opteval;
+pub mod sweep;
+
+pub use dataset::Dataset;
+pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
+pub use opteval::{
+    calibrate, cold_stats, evaluate, plan_to_method, CalibratedModels, OptEvalPoint,
+};
+pub use sweep::{break_even, runtime_curve, SweepPoint};

@@ -1,0 +1,56 @@
+//! The paper's future work, §4.3: budgeting queue depth across concurrent
+//! queries. Each admitted query leases a share of the device's beneficial
+//! queue depth and is optimized against that share; the example shows how
+//! plan choice degrades gracefully from PIS32 toward serial plans as
+//! concurrency rises.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_budget
+//! ```
+
+use pioqo::prelude::*;
+use pioqo::workload::{calibrate, cold_stats};
+
+fn main() {
+    let cfg = ExperimentConfig::by_name("E33-SSD")
+        .expect("known experiment")
+        .scaled_down(16);
+    let exp = Experiment::build(cfg);
+    let models = calibrate(&exp);
+    let stats = cold_stats(&exp);
+
+    let budget = QdBudget::from_model(&models.qdtt);
+    println!(
+        "device's maximum beneficial queue depth: {}\n",
+        budget.share_at(1)
+    );
+
+    let sel = 0.01;
+    println!(
+        "plan chosen for query Q (sel {:.1}%) vs concurrency level:",
+        sel * 100.0
+    );
+    for k in [1u32, 2, 4, 8, 16, 32] {
+        let share = budget.share_at(k);
+        let model = QdttCost(models.qdtt.clone());
+        let opt = Optimizer::new(
+            &model,
+            OptimizerConfig {
+                max_queue_depth: share,
+                degrees: vec![1, share.max(1)],
+                ..OptimizerConfig::default()
+            },
+        );
+        let plan = opt.choose(&stats, sel);
+        println!(
+            "  {k:>2} concurrent queries -> qd share {share:>2} -> {} degree {:>2}  (est {:.1} ms)",
+            plan.method,
+            plan.degree,
+            plan.est_total_us / 1000.0
+        );
+    }
+    println!(
+        "\nwith the device saturated by other queries, grabbing 32 workers no\n\
+         longer pays — the budget hands the optimizer an honest queue depth."
+    );
+}

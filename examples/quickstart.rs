@@ -1,0 +1,72 @@
+//! Quickstart: build a table on a simulated SSD, calibrate the QDTT model,
+//! let the old (DTT) and new (QDTT) optimizers pick plans, and execute both.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pioqo::prelude::*;
+use pioqo::workload::{calibrate, cold_stats, plan_to_method};
+
+fn main() {
+    // 1. A T33-style table (500K rows, 33 rows/page) on the paper's
+    //    consumer PCIe SSD, with the paper's small 64 MB buffer pool.
+    let cfg = ExperimentConfig::by_name("E33-SSD")
+        .expect("known experiment")
+        .scaled_down(16);
+    println!("dataset: {} rows, {} pages", cfg.rows, cfg.rows / 33);
+    let exp = Experiment::build(cfg);
+
+    // 2. Calibrate the device: this produces the QDTT model — amortized
+    //    cost of one page read as a function of (band size, queue depth).
+    let models = calibrate(&exp);
+    println!("\ncalibrated QDTT (µs/page) at the widest band:");
+    let widest = *models.qdtt.band_sizes().last().unwrap();
+    for &qd in models.qdtt.queue_depths() {
+        println!("  qd {qd:>2}: {:8.2}", models.qdtt.cost(widest, qd));
+    }
+
+    // 3. Build both optimizers. The ONLY difference is the I/O model.
+    let old_model = DttCost(models.dtt.clone());
+    let new_model = QdttCost(models.qdtt.clone());
+    let old = Optimizer::new(&old_model, OptimizerConfig::default());
+    let new = Optimizer::new(&new_model, OptimizerConfig::default());
+    let stats = cold_stats(&exp);
+
+    // 4. Plan and execute the paper's query at 1% selectivity:
+    //    SELECT MAX(C1) FROM T33 WHERE C2 BETWEEN lo AND hi
+    let sel = 0.01;
+    let old_plan = old.choose(&stats, sel);
+    let new_plan = new.choose(&stats, sel);
+    println!(
+        "\nquery: SELECT MAX(C1) FROM T33 WHERE C2 BETWEEN ... ({:.1}% of rows)",
+        sel * 100.0
+    );
+    println!(
+        "old (DTT)  optimizer picks {} degree {}",
+        old_plan.method, old_plan.degree
+    );
+    println!(
+        "new (QDTT) optimizer picks {} degree {}",
+        new_plan.method, new_plan.degree
+    );
+
+    let old_run = exp
+        .run_cold(plan_to_method(&old_plan, 0), sel)
+        .expect("old plan executes");
+    let new_run = exp
+        .run_cold(plan_to_method(&new_plan, 0), sel)
+        .expect("new plan executes");
+    assert_eq!(old_run.max_c1, new_run.max_c1, "same answer either way");
+    println!(
+        "\nexecution: old {:.4}s  new {:.4}s  -> {:.1}x speedup (MAX = {:?})",
+        old_run.runtime.as_secs_f64(),
+        new_run.runtime.as_secs_f64(),
+        old_run.runtime.as_secs_f64() / new_run.runtime.as_secs_f64(),
+        new_run.max_c1,
+    );
+    println!(
+        "observed queue depth: old {:.1}, new {:.1} — the whole point of the paper",
+        old_run.io.mean_queue_depth, new_run.io.mean_queue_depth
+    );
+}

@@ -1,0 +1,71 @@
+//! Calibrate against the *real* filesystem: creates a temp file of
+//! incompressible data and runs the paper's calibration (thread-pool
+//! queue-depth generation, AW discipline) with wall-clock timing.
+//!
+//! Without `O_DIRECT` the OS page cache makes a warm file look like DRAM,
+//! so this is a demonstration of the code path, not a benchmark of your
+//! disk; pass `--direct` (Linux, may need a real block-backed filesystem)
+//! to bypass the cache.
+//!
+//! ```sh
+//! cargo run --release --example real_device [-- --direct]
+//! ```
+
+#[cfg(unix)]
+fn main() {
+    use pioqo::core::real_calibrate::calibrate_real_qdtt;
+    use pioqo::core::{CalibrationConfig, Method};
+    use pioqo::device::real::RealFile;
+    use std::sync::Arc;
+
+    let direct = std::env::args().any(|a| a == "--direct");
+    let pages = 4096u64; // 16 MiB
+    let path = std::env::temp_dir().join(format!("pioqo-real-{}.dat", std::process::id()));
+    println!(
+        "creating {} ({} pages of random data)...",
+        path.display(),
+        pages
+    );
+    RealFile::create(&path, pages, 4096).expect("create calibration file");
+    let file = Arc::new(RealFile::open(&path, 4096, direct).expect("open calibration file"));
+
+    let cfg = CalibrationConfig {
+        band_sizes: vec![1, 64, 1024, pages],
+        queue_depths: vec![1, 2, 4, 8, 16, 32],
+        max_reads: 1600,
+        method: Method::ActiveWait,
+        repetitions: 3,
+        early_stop_pct: None,
+        stop_fill_factor: 1.02,
+        seed: 7,
+    };
+    println!(
+        "calibrating ({} reads/point, O_DIRECT={})...\n",
+        cfg.max_reads, direct
+    );
+    let model = calibrate_real_qdtt(&cfg, Arc::clone(&file)).expect("calibration runs");
+
+    println!("QDTT on this machine's filesystem (µs per 4 KiB read):");
+    print!("{:>10}", "band\\qd");
+    for &qd in model.queue_depths() {
+        print!("{qd:>9}");
+    }
+    println!();
+    for &b in model.band_sizes() {
+        print!("{b:>10}");
+        for &qd in model.queue_depths() {
+            print!("{:>9.1}", model.cost(b, qd));
+        }
+        println!();
+    }
+    println!(
+        "\n(cached files show flat, tiny costs — run with --direct on a real\n\
+         disk to see the device's actual queue-depth behaviour.)"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("the real-device calibration path is Unix-only");
+}

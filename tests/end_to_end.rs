@@ -1,0 +1,178 @@
+//! End-to-end checks of the paper's qualitative claims at test scale.
+
+use pioqo::prelude::*;
+use pioqo::workload::{calibrate, cold_stats, evaluate};
+
+fn exp(name: &str, factor: u64) -> Experiment {
+    Experiment::build(
+        ExperimentConfig::by_name(name)
+            .expect("known experiment")
+            .scaled_down(factor),
+    )
+}
+
+/// §3: on SSD, PIS32 beats IS by an order of magnitude; on HDD the gain is
+/// small. (Paper: 19.9x vs 2.5x on T33.)
+#[test]
+fn pis_speedup_ssd_dwarfs_hdd() {
+    let sel = 0.05;
+    let speedup = |name: &str| {
+        let e = exp(name, 50);
+        let is = e
+            .run_cold(
+                MethodSpec::Is {
+                    workers: 1,
+                    prefetch: 0,
+                },
+                sel,
+            )
+            .expect("runs")
+            .runtime
+            .as_secs_f64();
+        let pis = e
+            .run_cold(
+                MethodSpec::Is {
+                    workers: 32,
+                    prefetch: 0,
+                },
+                sel,
+            )
+            .expect("runs")
+            .runtime
+            .as_secs_f64();
+        is / pis
+    };
+    let ssd = speedup("E33-SSD");
+    let hdd = speedup("E33-HDD");
+    assert!(ssd > 8.0, "SSD PIS32 speedup too small: {ssd}");
+    assert!(
+        hdd < ssd / 2.0,
+        "HDD gain must be far smaller: {hdd} vs {ssd}"
+    );
+}
+
+/// §3: the break-even shifts right under parallelism, much more on SSD.
+#[test]
+fn break_even_ordering_np_before_p() {
+    let e = exp("E33-SSD", 25);
+    let np = break_even(
+        &e,
+        MethodSpec::Is {
+            workers: 1,
+            prefetch: 0,
+        },
+        MethodSpec::Fts { workers: 1 },
+        1e-5,
+        0.5,
+        9,
+    );
+    let p = break_even(
+        &e,
+        MethodSpec::Is {
+            workers: 32,
+            prefetch: 0,
+        },
+        MethodSpec::Fts { workers: 32 },
+        1e-5,
+        0.8,
+        9,
+    );
+    assert!(
+        p > np * 1.5,
+        "parallel break-even should sit clearly right of serial: {np} vs {p}"
+    );
+}
+
+/// §3.3: prefetching lets few workers match many (Fig. 5's punchline).
+#[test]
+fn prefetch_substitutes_for_workers() {
+    let e = exp("E33-SSD", 50);
+    let sel = 0.01;
+    let many_workers = e
+        .run_cold(
+            MethodSpec::Is {
+                workers: 32,
+                prefetch: 0,
+            },
+            sel,
+        )
+        .expect("runs")
+        .runtime
+        .as_secs_f64();
+    let few_with_prefetch = e
+        .run_cold(
+            MethodSpec::Is {
+                workers: 4,
+                prefetch: 32,
+            },
+            sel,
+        )
+        .expect("runs")
+        .runtime
+        .as_secs_f64();
+    assert!(
+        few_with_prefetch < many_workers * 1.35,
+        "4 workers + deep prefetch should rival 32 workers: {few_with_prefetch} vs {many_workers}"
+    );
+}
+
+/// §4.3: the QDTT-driven optimizer achieves large end-to-end speedups on
+/// SSD at low selectivity and never badly regresses.
+#[test]
+fn fig8_speedup_profile() {
+    let e = exp("E33-SSD", 20);
+    let models = calibrate(&e);
+    let pts = evaluate(
+        &e,
+        &models,
+        &OptimizerConfig::default(),
+        &[0.002, 0.01, 0.3],
+    );
+    assert!(
+        pts[0].speedup > 3.0,
+        "low-selectivity speedup expected: {:?}",
+        pts[0]
+    );
+    for p in &pts {
+        assert!(p.speedup > 0.8, "no regressions: {p:?}");
+    }
+    // The old optimizer's plans are serial; the new one's are parallel
+    // somewhere.
+    assert!(pts.iter().all(|p| !p.old_plan.contains("32")));
+    assert!(pts.iter().any(|p| p.new_plan.contains("32")));
+}
+
+/// The sorted-index-scan extension really bounds page fetches.
+#[test]
+fn sorted_is_never_refetches() {
+    let e = exp("E33-SSD", 100);
+    let m = e
+        .run_cold(MethodSpec::SortedIs { prefetch: 32 }, 0.7)
+        .expect("runs");
+    assert_eq!(m.pool.refetches, 0);
+    assert!(m.io.pages_read <= e.dataset.table().n_pages() + e.dataset.index().n_pages());
+}
+
+/// The QDTT model generalizes DTT: plans chosen with QDTT at forced queue
+/// depth 1 equal plans chosen with the DTT slice.
+#[test]
+fn qdtt_at_depth_one_is_dtt() {
+    let e = exp("E33-SSD", 100);
+    let models = calibrate(&e);
+    let stats = cold_stats(&e);
+    let dtt = DttCost(models.dtt.clone());
+    let qdtt = QdttCost(models.qdtt.clone());
+    let cfg_serial = OptimizerConfig {
+        degrees: vec![1],
+        max_queue_depth: 1,
+        ..OptimizerConfig::default()
+    };
+    let o_dtt = Optimizer::new(&dtt, cfg_serial.clone());
+    let o_qdtt = Optimizer::new(&qdtt, cfg_serial);
+    for sel in [0.001, 0.01, 0.2, 0.9] {
+        let a = o_dtt.choose(&stats, sel);
+        let b = o_qdtt.choose(&stats, sel);
+        assert_eq!(a.method, b.method, "sel {sel}");
+        assert!((a.est_io_us - b.est_io_us).abs() < a.est_io_us * 0.02 + 1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the stack.
+
+use pioqo::bufpool::{Access, BufferPool};
+use pioqo::core::Qdtt;
+use pioqo::optimizer::card::{mackert_lohman_fetches, yao_pages};
+use pioqo::prelude::*;
+use pioqo::storage::{decode_heap_page, encode_heap_page};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Heap page codec: encode → decode is the identity for any row set
+    /// that fits the page.
+    #[test]
+    fn heap_page_codec_round_trips(
+        rows in prop::collection::vec((any::<u32>(), any::<u32>()), 0..33),
+        page_no in 0u64..1_000_000,
+    ) {
+        let spec = TableSpec::paper_table(33, 1_000_000, 0);
+        let img = encode_heap_page(&spec, page_no, &rows);
+        prop_assert_eq!(img.len(), 4096);
+        let decoded = decode_heap_page(&spec, &img).expect("valid image decodes");
+        prop_assert_eq!(decoded.page_no, page_no);
+        prop_assert_eq!(decoded.rows, rows);
+    }
+
+    /// Corrupting any payload byte of a non-empty page is detected.
+    #[test]
+    fn heap_page_codec_detects_any_payload_flip(
+        seed in any::<u64>(),
+        flip in 32usize..4096,
+    ) {
+        let spec = TableSpec::paper_table(33, 1_000, 0);
+        let rows: Vec<(u32, u32)> = (0..33).map(|i| (i, i * 7 + seed as u32)).collect();
+        let img = encode_heap_page(&spec, 0, &rows);
+        let mut bad = img.to_vec();
+        bad[flip] ^= 0x5A;
+        // Either the flip hit padding (decode still matches) or it is
+        // caught; silent corruption of row data is never accepted.
+        if let Ok(p) = decode_heap_page(&spec, &bad) {
+            prop_assert_eq!(p.rows, rows);
+        }
+    }
+
+    /// B+-tree range scans match a sorted filter for arbitrary data and
+    /// arbitrary ranges.
+    #[test]
+    fn btree_range_equals_filter(
+        keys in prop::collection::vec(0u32..1000, 1..400),
+        lo in 0u32..1000,
+        width in 0u32..1000,
+    ) {
+        let hi = lo.saturating_add(width);
+        let mut ts = Tablespace::new(10_000);
+        let idx = BTreeIndex::build(
+            "t",
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)),
+            4096,
+            &mut ts,
+        ).expect("fits");
+        let expected: u64 = keys.iter().filter(|&&k| k >= lo && k <= hi).count() as u64;
+        let got = idx.range(lo, hi).map_or(0, |r| r.len());
+        prop_assert_eq!(got, expected);
+        if let Some(r) = idx.range(lo, hi) {
+            // Every entry in range qualifies; rids are valid.
+            for e in r.first_entry..r.end_entry {
+                let (k, rid) = idx.entry(e);
+                prop_assert!(k >= lo && k <= hi);
+                prop_assert!(rid < keys.len() as u64);
+            }
+        }
+    }
+
+    /// Buffer pool: never exceeds capacity, never evicts pinned pages,
+    /// list/map invariants hold under arbitrary operation sequences.
+    #[test]
+    fn bufpool_invariants_under_random_ops(
+        cap in 1usize..20,
+        ops in prop::collection::vec((0u64..40, any::<bool>()), 1..200),
+    ) {
+        let mut pool = BufferPool::new(cap);
+        let mut pinned: Vec<u64> = Vec::new();
+        for (page, pin_longer) in ops {
+            if pinned.len() >= cap {
+                // Release one pin so admission can always succeed.
+                let p = pinned.remove(0);
+                pool.unpin(p).expect("was pinned");
+            }
+            match pool.request(page) {
+                Access::Hit => {
+                    if pin_longer && !pinned.contains(&page) {
+                        pinned.push(page);
+                    } else {
+                        pool.unpin(page).expect("just pinned");
+                    }
+                }
+                Access::Miss => {
+                    pool.admit(page).expect("capacity available");
+                    if pin_longer && !pinned.contains(&page) {
+                        pinned.push(page);
+                    } else {
+                        pool.unpin(page).expect("just admitted");
+                    }
+                }
+            }
+            pool.check_invariants();
+            prop_assert!(pool.len() <= cap);
+            for p in &pinned {
+                prop_assert!(pool.contains(*p), "pinned page {p} evicted");
+            }
+        }
+    }
+
+    /// Bilinear interpolation is bounded by its surrounding knots and
+    /// exact on them.
+    #[test]
+    fn qdtt_interpolation_bounded_by_knots(
+        grid in prop::collection::vec(1.0f64..10_000.0, 9),
+        band in 1u64..100_000,
+        qd in 1u32..40,
+    ) {
+        let bands = vec![1u64, 1000, 100_000];
+        let qds = vec![1u32, 8, 32];
+        let m = Qdtt::new(bands.clone(), qds.clone(), grid.clone());
+        let lo = grid.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = grid.iter().cloned().fold(0.0f64, f64::max);
+        let c = m.cost(band, qd);
+        prop_assert!(c >= lo - 1e-9 && c <= hi + 1e-9, "{c} outside [{lo}, {hi}]");
+        for (bi, &b) in bands.iter().enumerate() {
+            for (qi, &q) in qds.iter().enumerate() {
+                prop_assert!((m.cost(b, q) - grid[qi * 3 + bi]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Yao: bounded by min(k, m) from below by ... and monotone in k.
+    #[test]
+    fn yao_bounds_and_monotonicity(
+        m in 1u64..5_000,
+        rpp in 1u64..100,
+        k1 in 0u64..10_000,
+        k2 in 0u64..10_000,
+    ) {
+        let n = m * rpp;
+        let (ka, kb) = (k1.min(k2).min(n), k1.max(k2).min(n));
+        let pa = yao_pages(m, n, ka);
+        let pb = yao_pages(m, n, kb);
+        prop_assert!(pa <= pb + 1e-6, "monotone in k");
+        prop_assert!(pb <= m as f64 + 1e-6, "bounded by page count");
+        prop_assert!(pa <= ka as f64 + 1e-6, "bounded by access count");
+        if ka > 0 {
+            prop_assert!(pa >= 1.0 - 1e-9, "at least one page");
+        }
+    }
+
+    /// Mackert–Lohman: never below the no-refetch distinct-page bound's
+    /// cap behaviour and never above k.
+    #[test]
+    fn mackert_lohman_bounds(
+        t in 1u64..100_000,
+        k in 0u64..1_000_000,
+        b in 1u64..50_000,
+    ) {
+        let f = mackert_lohman_fetches(t, k, b);
+        prop_assert!(f >= 0.0);
+        prop_assert!(f <= k as f64 + 1e-6, "cannot fetch more than accesses");
+        if t <= b {
+            prop_assert!(f <= t as f64 + 1e-6, "table fits: each page once");
+        }
+    }
+
+    /// The simulated devices never complete an I/O before it was submitted,
+    /// and deliver exactly one completion per request.
+    #[test]
+    fn devices_conserve_requests(
+        offsets in prop::collection::vec(0u64..(1 << 14), 1..80),
+        ssd in any::<bool>(),
+    ) {
+        let mut dev: Box<dyn DeviceModel> = if ssd {
+            Box::new(presets::consumer_pcie_ssd(1 << 14, 3))
+        } else {
+            Box::new(presets::hdd_7200(1 << 14, 3))
+        };
+        for (i, &o) in offsets.iter().enumerate() {
+            dev.submit(SimTime::ZERO, IoRequest::page(i as u64, o));
+        }
+        let mut out = Vec::new();
+        pioqo::device::drain_all(&mut *dev, SimTime::ZERO, &mut out);
+        prop_assert_eq!(out.len(), offsets.len());
+        let mut ids: Vec<u64> = out.iter().map(|c| c.req.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..offsets.len() as u64).collect::<Vec<_>>());
+        for c in &out {
+            prop_assert!(c.completed > c.submitted);
+            prop_assert!(c.status == IoStatus::Ok);
+        }
+    }
+
+    /// The event calendar pops in non-decreasing time order with FIFO ties,
+    /// for arbitrary schedules.
+    #[test]
+    fn event_queue_total_order(
+        delays in prop::collection::vec(0u64..1_000, 1..300),
+    ) {
+        let mut q = pioqo::simkit::EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(d), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time order");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO tie-break");
+                }
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// Time-weighted level tracking integrates a random step function to
+    /// the same mean as a direct Riemann sum.
+    #[test]
+    fn time_weighted_matches_riemann_sum(
+        steps in prop::collection::vec((1u64..1_000, 0u32..50), 1..100),
+    ) {
+        use pioqo::simkit::TimeWeighted;
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut now = 0u64;
+        let mut integral = 0.0f64;
+        let mut level = 0.0f64;
+        for &(dt, l) in &steps {
+            integral += level * dt as f64;
+            now += dt;
+            level = l as f64;
+            tw.set(SimTime::from_nanos(now), level);
+        }
+        // Extend one more tick so the final level contributes.
+        integral += level * 1_000.0;
+        now += 1_000;
+        let expected = integral / now as f64;
+        let got = tw.mean(SimTime::from_nanos(now));
+        prop_assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    /// All scan operators return the oracle answer on arbitrary small
+    /// tables and ranges.
+    #[test]
+    fn scans_equal_oracle_on_arbitrary_tables(
+        rows in 100u64..2_000,
+        rpp in prop::sample::select(vec![1u32, 7, 33, 120]),
+        sel in 0.0f64..1.0,
+        workers in prop::sample::select(vec![1u32, 3, 8]),
+        seed in any::<u64>(),
+    ) {
+        let spec = TableSpec::paper_table(rpp, rows, seed);
+        let mut ts = Tablespace::new(4 * spec.n_pages() + 1000);
+        let table = HeapTable::create(spec, &mut ts).expect("fits");
+        let index = BTreeIndex::build(
+            "i",
+            table.data().c2_entries(),
+            4096,
+            &mut ts,
+        ).expect("fits");
+        let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
+        let expected = table.data().naive_max_c1(lo, hi);
+
+        let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
+        let mut pool = BufferPool::new(512);
+        let fts = run_fts(
+            &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
+            &table, lo, hi, &FtsConfig { workers, ..FtsConfig::default() },
+        ).expect("fts runs");
+        prop_assert_eq!(fts.max_c1, expected);
+
+        let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
+        let mut pool = BufferPool::new(512);
+        let is = run_is(
+            &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
+            &table, &index, lo, hi,
+            &IsConfig { workers, prefetch_depth: workers % 3 },
+        ).expect("is runs");
+        prop_assert_eq!(is.max_c1, expected);
+    }
+}

@@ -1,0 +1,104 @@
+//! Long-running randomized stress test: hundreds of scans with random
+//! methods, selectivities, pool sizes and devices, every answer checked
+//! against the oracle and every run checked for basic sanity invariants.
+//!
+//! Ignored by default (several minutes in debug builds); run with
+//! `cargo test --release --test stress -- --ignored`.
+
+use pioqo::bufpool::BufferPool;
+use pioqo::prelude::*;
+use pioqo::storage::range_for_selectivity;
+
+#[test]
+#[ignore = "long-running randomized stress; run explicitly with --ignored"]
+fn randomized_scan_storm() {
+    let mut rng = SimRng::seeded(0xBEEF);
+    // A handful of datasets with varied geometry.
+    let fixtures: Vec<(HeapTable, BTreeIndex, u64)> =
+        [(1u32, 20_000u64), (33, 60_000), (120, 120_000)]
+            .iter()
+            .map(|&(rpp, rows)| {
+                let spec = TableSpec::paper_table(rpp, rows, 1000 + rpp as u64);
+                let mut ts = Tablespace::new(4 * spec.n_pages() + 2000);
+                let t = HeapTable::create(spec, &mut ts).expect("fits");
+                let i = BTreeIndex::build("i", t.data().c2_entries(), 4096, &mut ts).expect("fits");
+                (t, i, ts.capacity())
+            })
+            .collect();
+
+    for round in 0..300u32 {
+        let (table, index, cap) = &fixtures[rng.below(fixtures.len() as u64) as usize];
+        let sel = rng.unit().powi(3); // skew toward low selectivity
+        let (lo, hi) = range_for_selectivity(sel, u32::MAX - 1);
+        let expected = table.data().naive_max_c1(lo, hi);
+        let frames = 32 + rng.below(4096) as usize;
+        let mut pool = BufferPool::new(frames);
+        let seed = rng.below(1 << 32);
+        let mut device: Box<dyn DeviceModel> = match rng.below(3) {
+            0 => Box::new(presets::hdd_7200(*cap, seed)),
+            1 => Box::new(presets::consumer_pcie_ssd(*cap, seed)),
+            _ => Box::new(presets::raid_15k(4, *cap, seed)),
+        };
+        let cpu = CpuConfig::paper_xeon();
+        let costs = CpuCosts::default();
+        let workers = [1u32, 2, 3, 8, 17, 32][rng.below(6) as usize];
+
+        let metrics = match rng.below(3) {
+            0 => run_fts(
+                &mut *device,
+                &mut pool,
+                cpu,
+                costs,
+                table,
+                lo,
+                hi,
+                &FtsConfig {
+                    workers,
+                    prefetch_blocks: rng.below(12) as u32,
+                    block_pages: 1 + rng.below(32) as u32,
+                },
+            ),
+            1 => run_is(
+                &mut *device,
+                &mut pool,
+                cpu,
+                costs,
+                table,
+                index,
+                lo,
+                hi,
+                &IsConfig {
+                    workers,
+                    prefetch_depth: rng.below(16) as u32,
+                },
+            ),
+            _ => run_sorted_is(
+                &mut *device,
+                &mut pool,
+                cpu,
+                costs,
+                table,
+                index,
+                lo,
+                hi,
+                &SortedIsConfig {
+                    prefetch_depth: 1 + rng.below(48) as u32,
+                    leaf_prefetch: 1 + rng.below(16) as u32,
+                },
+            ),
+        }
+        .unwrap_or_else(|e| panic!("round {round}: scan failed: {e}"));
+
+        assert_eq!(metrics.max_c1, expected, "round {round} wrong answer");
+        assert!(
+            metrics.runtime > pioqo::simkit::SimDuration::ZERO || metrics.rows_matched == 0,
+            "round {round}: zero runtime with work done"
+        );
+        assert!(
+            metrics.io.peak_queue_depth <= (workers as f64 + 1.0) * 49.0,
+            "round {round}: absurd queue depth {}",
+            metrics.io.peak_queue_depth
+        );
+        assert_eq!(device.outstanding(), 0, "round {round}: device left busy");
+    }
+}
