@@ -8,6 +8,7 @@
 //! down would never ship in an embedded DBMS.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};
 
@@ -25,8 +26,9 @@ pub struct BenchData {
 pub fn bench_data(rows: u64) -> BenchData {
     let spec = TableSpec::paper_table(33, rows, 99);
     let mut ts = Tablespace::new(4 * spec.n_pages() + 2000);
-    let table = HeapTable::create(spec, &mut ts).expect("fits");
-    let index = BTreeIndex::build("c2", table.data().c2_entries(), 4096, &mut ts).expect("fits");
+    let table = HeapTable::create(spec, &mut ts).expect("bench table spec fits the tablespace");
+    let index = BTreeIndex::build("c2", table.data().c2_entries(), 4096, &mut ts)
+        .expect("bench index build fits the tablespace");
     BenchData {
         table,
         index,

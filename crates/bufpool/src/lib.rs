@@ -16,9 +16,10 @@
 //! miss, eviction and refetch is counted.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of a page request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,14 +85,14 @@ struct Frame {
 pub struct BufferPool {
     cap: usize,
     frames: Vec<Frame>,
-    map: HashMap<u64, u32>,
+    map: BTreeMap<u64, u32>,
     free: Vec<u32>,
     /// LRU list head (least recent) and tail (most recent) among resident
     /// frames; pinned frames stay in the list but are skipped by eviction.
     head: u32,
     tail: u32,
     stats: PoolStats,
-    ever_seen: HashSet<u64>,
+    ever_seen: BTreeSet<u64>,
 }
 
 impl BufferPool {
@@ -102,12 +103,12 @@ impl BufferPool {
         BufferPool {
             cap: capacity,
             frames: Vec::new(),
-            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            map: BTreeMap::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             stats: PoolStats::default(),
-            ever_seen: HashSet::new(),
+            ever_seen: BTreeSet::new(),
         }
     }
 

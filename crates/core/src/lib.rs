@@ -17,6 +17,7 @@
 //! paths; nothing in this crate knows about tables or plans.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod calibrate;
 pub mod dtt;

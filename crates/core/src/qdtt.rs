@@ -120,7 +120,10 @@ impl Qdtt {
     /// The largest calibrated queue depth (what a single-query optimizer
     /// passes for a maximally parallel plan, §4.3).
     pub fn max_queue_depth(&self) -> u32 {
-        *self.queue_depths.last().expect("non-empty")
+        *self
+            .queue_depths
+            .last()
+            .expect("QDTT always has at least one calibrated queue depth")
     }
 
     /// The smallest calibrated queue depth whose cost at `band` is within

@@ -8,13 +8,13 @@
 
 use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
 use pioqo_simkit::SimTime;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Which completions to fail.
 #[derive(Debug, Clone)]
 pub enum FaultPlan {
     /// Fail requests with these exact ids.
-    Ids(HashSet<u64>),
+    Ids(BTreeSet<u64>),
     /// Fail every `n`-th completed request (1-based: `EveryNth(3)` fails the
     /// 3rd, 6th, ... completion).
     EveryNth(u64),

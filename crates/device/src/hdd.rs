@@ -347,7 +347,7 @@ mod tests {
             vec![IoRequest::page(42, 100), IoRequest::page(43, 101)],
         );
         assert_eq!(out.len(), 2);
-        let ids: std::collections::HashSet<_> = out.iter().map(|c| c.req.id).collect();
+        let ids: std::collections::BTreeSet<_> = out.iter().map(|c| c.req.id).collect();
         assert!(ids.contains(&42) && ids.contains(&43));
         assert!(out.iter().all(|c| c.status == IoStatus::Ok));
         assert!(out.iter().all(|c| c.completed > c.submitted));

@@ -17,6 +17,7 @@
 //! the calibration against actual hardware.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod background;
 pub mod fault;

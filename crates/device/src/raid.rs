@@ -12,7 +12,7 @@ use crate::hdd::{Hdd, HddConfig};
 use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
 use pioqo_simkit::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Array parameters: a spindle template plus geometry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,8 +41,8 @@ pub struct Raid {
     cfg: RaidConfig,
     spindles: Vec<Hdd>,
     /// sub-request id -> parent request id
-    sub_parent: HashMap<u64, u64>,
-    parents: HashMap<u64, Parent>,
+    sub_parent: BTreeMap<u64, u64>,
+    parents: BTreeMap<u64, Parent>,
     next_sub_id: u64,
     scratch: Vec<IoCompletion>,
 }
@@ -62,8 +62,8 @@ impl Raid {
         Raid {
             cfg,
             spindles,
-            sub_parent: HashMap::new(),
-            parents: HashMap::new(),
+            sub_parent: BTreeMap::new(),
+            parents: BTreeMap::new(),
             next_sub_id: 0,
             scratch: Vec::new(),
         }
@@ -158,7 +158,10 @@ impl DeviceModel for Raid {
             parent.failed |= sub.status == IoStatus::Error;
             parent.last_done = parent.last_done.max(sub.completed);
             if parent.remaining == 0 {
-                let parent = self.parents.remove(&pid).expect("present");
+                let parent = self
+                    .parents
+                    .remove(&pid)
+                    .expect("completed sub-request maps to a live parent request");
                 out.push(IoCompletion {
                     req: parent.req,
                     submitted: parent.submitted,

@@ -191,7 +191,10 @@ impl DeviceModel for Ssd {
             if t > now {
                 break;
             }
-            let (t, (req, submitted)) = self.done.pop().expect("peeked");
+            let (t, (req, submitted)) = self
+                .done
+                .pop()
+                .expect("completion heap was non-empty when peeked");
             out.push(IoCompletion {
                 req,
                 submitted,

@@ -21,7 +21,7 @@
 
 use pioqo_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// CPU geometry and hyper-threading efficiency.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,7 +76,7 @@ struct Task {
 #[derive(Debug)]
 pub struct CpuScheduler {
     cfg: CpuConfig,
-    tasks: HashMap<TaskId, Task>,
+    tasks: BTreeMap<TaskId, Task>,
     next_id: u64,
     /// Time at which `remaining` values were last brought current.
     last_update: SimTime,
@@ -87,7 +87,7 @@ impl CpuScheduler {
     pub fn new(cfg: CpuConfig) -> CpuScheduler {
         CpuScheduler {
             cfg,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
             next_id: 0,
             last_update: SimTime::ZERO,
         }

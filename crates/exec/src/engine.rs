@@ -7,7 +7,7 @@ use pioqo_bufpool::BufferPool;
 use pioqo_device::{DeviceModel, IoCompletion, IoRequest, IoStatus};
 use pioqo_simkit::{SimDuration, SimTime, TimeWeighted};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// CPU work constants for the scan operators, in microseconds.
 ///
@@ -60,6 +60,12 @@ pub enum ExecError {
     },
     /// The buffer pool could not make room (all frames pinned).
     PoolExhausted,
+    /// An executor state-machine invariant was violated (a bug in the
+    /// engine, not in the caller's configuration).
+    Internal {
+        /// Description of the violated invariant.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -67,6 +73,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Io { device_page } => write!(f, "I/O error at device page {device_page}"),
             ExecError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            ExecError::Internal { detail } => {
+                write!(f, "executor invariant violated: {detail}")
+            }
         }
     }
 }
@@ -144,8 +153,8 @@ pub struct SimContext<'a> {
     costs: CpuCosts,
     now: SimTime,
     next_io: u64,
-    inflight_page: HashMap<u64, u64>, // device page -> io id
-    io_meta: HashMap<u64, IoMeta>,
+    inflight_page: BTreeMap<u64, u64>, // device page -> io id
+    io_meta: BTreeMap<u64, IoMeta>,
     io_buf: Vec<IoCompletion>,
     cpu_buf: Vec<TaskId>,
     depth: TimeWeighted,
@@ -171,8 +180,8 @@ impl<'a> SimContext<'a> {
             costs,
             now: SimTime::ZERO,
             next_io: 0,
-            inflight_page: HashMap::new(),
-            io_meta: HashMap::new(),
+            inflight_page: BTreeMap::new(),
+            io_meta: BTreeMap::new(),
             io_buf: Vec::new(),
             cpu_buf: Vec::new(),
             depth: TimeWeighted::new(SimTime::ZERO, 0.0),

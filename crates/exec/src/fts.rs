@@ -15,7 +15,7 @@ use pioqo_bufpool::BufferPool;
 use pioqo_device::{DeviceModel, IoStatus};
 use pioqo_storage::HeapTable;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Table-scan configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,10 +82,10 @@ pub fn run_fts(
     let mut cursor: u64 = 0;
     let mut pf_next: u64 = 0;
     // io id -> workers waiting on it (demand or prefetch coverage).
-    let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut waiters: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     // device page -> in-flight prefetch io covering it.
-    let mut pf_cover: HashMap<u64, u64> = HashMap::new();
-    let mut task_owner: HashMap<TaskId, usize> = HashMap::new();
+    let mut pf_cover: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut task_owner: BTreeMap<TaskId, usize> = BTreeMap::new();
 
     let mut max_c1: Option<u32> = None;
     let mut matched: u64 = 0;
@@ -224,7 +224,11 @@ pub fn run_fts(
                             ctx.pool.unpin(table.device_page(p))?;
                             claim!(w);
                         }
-                        _ => unreachable!("cpu completion in non-compute state"),
+                        _ => {
+                            return Err(ExecError::Internal {
+                                detail: "cpu completion in non-compute state",
+                            })
+                        }
                     }
                 }
             }
@@ -290,11 +294,11 @@ pub(crate) fn diff_stats(
 /// and start the page-processing compute task.
 fn wake_waiters(
     ctx: &mut SimContext<'_>,
-    waiters: &mut HashMap<u64, Vec<usize>>,
+    waiters: &mut BTreeMap<u64, Vec<usize>>,
     io: u64,
     workers: &mut [Worker],
     table: &HeapTable,
-    task_owner: &mut HashMap<TaskId, usize>,
+    task_owner: &mut BTreeMap<TaskId, usize>,
 ) -> Result<(), ExecError> {
     if let Some(ws) = waiters.remove(&io) {
         for w in ws {

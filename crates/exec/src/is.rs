@@ -22,7 +22,7 @@ use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
 use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index-scan configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -133,9 +133,9 @@ pub fn run_is(
     let chunks_per_leaf = ((cfg.workers as u64 * 2).div_ceil(n_range_leaves)).clamp(1, 16);
     let total_units = n_range_leaves * chunks_per_leaf;
     let mut unit_cursor: u64 = 0;
-    let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
-    let mut pf_credit: HashMap<u64, Vec<usize>> = HashMap::new();
-    let mut task_owner: HashMap<TaskId, usize> = HashMap::new();
+    let mut waiters: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut pf_credit: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut task_owner: BTreeMap<TaskId, usize> = BTreeMap::new();
     let mut max_c1: Option<u32> = None;
     let mut matched: u64 = 0;
 
@@ -298,13 +298,19 @@ pub fn run_is(
                                         }
                                     }
                                 }
-                                _ => unreachable!("waiter in unexpected state"),
+                                _ => {
+                                    return Err(ExecError::Internal {
+                                        detail: "waiter in unexpected state",
+                                    })
+                                }
                             }
                         }
                     }
                 }
-                Event::IoBlock { start, .. } => {
-                    unreachable!("index scan never issues block reads (page {start})")
+                Event::IoBlock { .. } => {
+                    return Err(ExecError::Internal {
+                        detail: "index scan never issues block reads",
+                    })
                 }
                 Event::Cpu(task) => {
                     let w = task_owner.remove(&task).expect("task has an owner");
@@ -337,7 +343,11 @@ pub fn run_is(
                             workers[w].pos += 1;
                             next_entry!(w);
                         }
-                        _ => unreachable!("cpu completion in unexpected state"),
+                        _ => {
+                            return Err(ExecError::Internal {
+                                detail: "cpu completion in unexpected state",
+                            })
+                        }
                     }
                 }
             }
@@ -363,7 +373,7 @@ fn start_decode(
     workers: &mut [Worker],
     w: usize,
     chunks_per_leaf: u64,
-    task_owner: &mut HashMap<TaskId, usize>,
+    task_owner: &mut BTreeMap<TaskId, usize>,
 ) {
     let leaf = workers[w].leaf;
     let r = index.leaf_entry_range(leaf);

@@ -14,6 +14,7 @@
 //! which is what the paper's figures plot.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cpu;
 pub mod engine;

@@ -22,7 +22,7 @@ use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
 use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Sorted-index-scan configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,7 +58,7 @@ pub fn run_sorted_is(
 ) -> Result<ScanMetrics, ExecError> {
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
-    let mut completed: HashSet<u64> = HashSet::new();
+    let mut completed: BTreeSet<u64> = BTreeSet::new();
 
     // Phase 0: root-to-leaf traversal.
     let range = index.range(low, high);
@@ -176,7 +176,7 @@ pub fn run_sorted_is(
 fn wait_io(
     ctx: &mut SimContext<'_>,
     io: u64,
-    completed: &mut HashSet<u64>,
+    completed: &mut BTreeSet<u64>,
 ) -> Result<(), ExecError> {
     let mut events = Vec::new();
     while !completed.contains(&io) {
@@ -209,7 +209,7 @@ fn wait_io(
 fn pin_resident(
     ctx: &mut SimContext<'_>,
     dp: u64,
-    completed: &mut HashSet<u64>,
+    completed: &mut BTreeSet<u64>,
 ) -> Result<(), ExecError> {
     loop {
         match ctx.pool.request(dp) {
@@ -227,7 +227,7 @@ fn pin_resident(
 fn cpu_now(
     ctx: &mut SimContext<'_>,
     work_us: f64,
-    completed: &mut HashSet<u64>,
+    completed: &mut BTreeSet<u64>,
 ) -> Result<(), ExecError> {
     let task = ctx.submit_cpu(work_us);
     let mut events = Vec::new();

@@ -1,0 +1,18 @@
+//! Clean fixture crate: no lint rule fires anywhere in this file. Used by
+//! the integration tests to guard against false positives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic lookup with an error return instead of a panic.
+pub fn lookup(m: &BTreeMap<u64, u64>, key: u64) -> Result<u64, String> {
+    m.get(&key).copied().ok_or_else(|| format!("key {key} missing"))
+}
+
+/// Mentions of Instant, thread_rng, HashMap, or wait_ns * 2 in comments
+/// and strings must never trigger: "use std::time::Instant".
+pub fn prose() -> &'static str {
+    "HashMap and thread_rng and deadline + 1 are fine inside a string"
+}

@@ -1,0 +1,45 @@
+// Known-bad fixture for the pioqo-lint integration tests. Every rule
+// D1-D5 fires at least once below, and the absence of the mandatory
+// crate-root attributes makes D6 fire twice. This file is never compiled;
+// it only exists to be scanned. The trailing #[cfg(test)] module holds
+// would-be violations that must NOT be reported.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp(events: &HashMap<u64, u64>) -> u64 {
+    let started = Instant::now();
+    let seed = rand::thread_rng().gen::<u64>();
+    let wait_ns = seed * 3;
+    let deadline = wait_ns + started.elapsed().as_nanos() as u64;
+    events.get(&deadline).copied().unwrap()
+}
+
+pub fn short_message(v: Option<u64>) -> u64 {
+    v.expect("bad")
+}
+
+pub fn boom() -> ! {
+    panic!("fixture panic");
+}
+
+// A descriptive expect and BTree collections are compliant; these lines
+// must not produce diagnostics.
+pub fn compliant(v: Option<u64>, m: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    v.expect("fixture invariant: caller always passes Some") + m.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Violations inside the test region are exempt from D1-D5.
+    use std::collections::HashSet;
+    use std::time::SystemTime;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = SystemTime::now();
+        let s: HashSet<u32> = HashSet::new();
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap() + s.len() as u32, 1);
+    }
+}

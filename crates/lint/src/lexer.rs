@@ -1,0 +1,309 @@
+//! A minimal Rust lexer that masks comments and string/char literals.
+//!
+//! The rule checkers in this crate are token-level: they look for
+//! identifiers such as `Instant` or `HashMap` in source text. Doing that
+//! naively would flag prose in doc comments and message strings, so every
+//! file is first passed through [`mask_source`], which replaces the
+//! contents of comments, string literals, and char literals with spaces
+//! while preserving byte offsets and line boundaries exactly. Rules then
+//! scan the masked text, and map hits back to the original text (same
+//! offsets) when they need literal content — e.g. to measure the length of
+//! an `.expect("...")` message.
+
+/// Lexing state while walking a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside `// ...` until end of line.
+    LineComment,
+    /// Inside `/* ... */`, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside a cooked string literal (`"..."` or `b"..."`).
+    Str,
+    /// Inside a raw string literal, with this many `#` marks in the fence.
+    RawStr(u32),
+    /// Inside a char or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+}
+
+/// True when `c` can be part of an identifier.
+pub fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Replace the interior of comments and string/char literals with spaces.
+///
+/// The output has exactly the same length and the same newline positions
+/// as the input, so line numbers and byte offsets computed on the masked
+/// text are valid for the original.
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match state {
+            State::Code => {
+                if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    continue;
+                }
+                if c == b'"' {
+                    state = State::Str;
+                    out[i] = b' ';
+                    i += 1;
+                    continue;
+                }
+                // Raw strings: r"...", r#"..."#, and byte variants b"..",
+                // br#".."#. Only when the prefix letter does not terminate
+                // a longer identifier (`var` is not a raw-string start).
+                let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+                if !prev_ident && (c == b'r' || c == b'b') {
+                    if let Some((hashes, skip)) = raw_string_start(&bytes[i..]) {
+                        for b in out.iter_mut().skip(i).take(skip) {
+                            *b = b' ';
+                        }
+                        state = State::RawStr(hashes);
+                        i += skip;
+                        continue;
+                    }
+                    if c == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        state = State::Str;
+                        i += 2;
+                        continue;
+                    }
+                    if c == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        state = State::CharLit;
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == b'\'' {
+                    // Disambiguate char literals from lifetimes: `'a'` is a
+                    // char, `'a` followed by a non-quote is a lifetime.
+                    let next = bytes.get(i + 1).copied();
+                    let is_char = match next {
+                        Some(b'\\') => true,
+                        Some(n) if is_ident_char(n) => bytes.get(i + 2) == Some(&b'\''),
+                        Some(_) => true,
+                        None => false,
+                    };
+                    if is_char {
+                        out[i] = b' ';
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::LineComment => {
+                if c == b'\n' {
+                    state = State::Code;
+                } else {
+                    out[i] = b' ';
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                } else if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                } else {
+                    if c != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out[i] = b' ';
+                    if bytes[i + 1] != b'\n' {
+                        out[i + 1] = b' ';
+                    }
+                    i += 2;
+                } else if c == b'"' {
+                    out[i] = b' ';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    if c != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && fence_closes(&bytes[i + 1..], hashes) {
+                    let span = 1 + hashes as usize;
+                    for b in out.iter_mut().skip(i).take(span) {
+                        *b = b' ';
+                    }
+                    state = State::Code;
+                    i += span;
+                } else {
+                    if c != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                } else if c == b'\'' {
+                    out[i] = b' ';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+        }
+    }
+    // The input was valid UTF-8 and we only overwrote ASCII positions with
+    // spaces inside masked regions; multi-byte chars inside those regions
+    // are replaced byte-for-byte, which keeps lengths identical. Replacing
+    // continuation bytes with spaces cannot produce invalid text because we
+    // replace every byte of the region.
+    mask_non_ascii(&mut out);
+    match String::from_utf8(out) {
+        Ok(s) => s,
+        // Unreachable in practice; fall back to the original so a lexer bug
+        // degrades to extra findings rather than a crash.
+        Err(_) => src.to_string(),
+    }
+}
+
+/// Replace any remaining non-ASCII bytes with spaces so the masked buffer
+/// is always valid UTF-8 (multi-byte chars can appear inside literals).
+fn mask_non_ascii(out: &mut [u8]) {
+    for b in out.iter_mut() {
+        if !b.is_ascii() {
+            *b = b' ';
+        }
+    }
+}
+
+/// If `rest` begins a raw-string fence (`r"`, `r#"`, `br##"` ...), return
+/// the number of `#` marks and the total prefix length to skip.
+fn raw_string_start(rest: &[u8]) -> Option<(u32, usize)> {
+    let mut idx = 0;
+    if rest.first() == Some(&b'b') {
+        idx = 1;
+    }
+    if rest.get(idx) != Some(&b'r') {
+        return None;
+    }
+    idx += 1;
+    let mut hashes = 0u32;
+    while rest.get(idx) == Some(&b'#') {
+        hashes += 1;
+        idx += 1;
+    }
+    if rest.get(idx) == Some(&b'"') {
+        Some((hashes, idx + 1))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` starts with `hashes` consecutive `#` bytes.
+fn fence_closes(rest: &[u8], hashes: u32) -> bool {
+    let n = hashes as usize;
+    rest.len() >= n && rest[..n].iter().all(|&b| b == b'#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments() {
+        let m = mask_source("let x = 1; // Instant::now()\nlet y = 2;");
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.len(), "let x = 1; // Instant::now()\nlet y = 2;".len());
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask_source("a /* x /* HashMap */ y */ b");
+        assert!(!m.contains("HashMap"));
+        assert!(m.starts_with("a "));
+        assert!(m.ends_with(" b"));
+    }
+
+    #[test]
+    fn masks_strings_and_keeps_offsets() {
+        let src = r#"panic!("uses Instant here"); x"#;
+        let m = mask_source(src);
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("panic!"));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = "let s = r#\"thread_rng\"#; done";
+        let m = mask_source(src);
+        assert!(!m.contains("thread_rng"));
+        assert!(m.contains("done"));
+    }
+
+    #[test]
+    fn keeps_lifetimes_masks_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'H'; }";
+        let m = mask_source(src);
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains('H'));
+    }
+
+    #[test]
+    fn masks_escaped_quote_in_string() {
+        let src = r#"let s = "a\"HashMap"; rest"#;
+        let m = mask_source(src);
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("rest"));
+    }
+
+    #[test]
+    fn preserves_newlines_in_multiline_strings() {
+        let src = "let s = \"one\ntwo\nthree\";\nlet t = 1;";
+        let m = mask_source(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert!(m.contains("let t = 1;"));
+    }
+}

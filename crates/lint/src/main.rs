@@ -1,0 +1,96 @@
+//! Command-line entry point for the workspace linter.
+//!
+//! ```text
+//! pioqo-lint check [--root DIR] [--config FILE] [--json]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any rule fired, 2 on usage or I/O
+//! errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pioqo_lint::{check_workspace, load_config, LintError};
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: pioqo-lint check [--root DIR] [--config FILE] [--json]
+
+Enforces the workspace determinism invariants D1-D6 over every .rs file
+under <root>/crates/. The allowlist is read from --config (default:
+<root>/lint.toml). Prints a human-readable table, or a JSON report with
+--json. Exits 0 when clean, 1 on violations, 2 on errors.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pioqo-lint: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Parse arguments, run the scan, print the report.
+fn run(args: &[String]) -> Result<i32, LintError> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_out(USAGE);
+        return Ok(0);
+    }
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return Ok(2);
+    };
+    if command != "check" {
+        return Err(LintError(format!(
+            "unknown command {command:?}; only `check` is supported"
+        )));
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| LintError("--root needs a value".to_string()))?,
+                );
+            }
+            "--config" => {
+                config_path =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LintError("--config needs a value".to_string())
+                    })?));
+            }
+            "--json" => json = true,
+            other => return Err(LintError(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = load_config(&config_path)?;
+    let report = check_workspace(&root, &config)?;
+
+    if json {
+        let rendered = serde_json::to_string_pretty(&report)
+            .map_err(|e| LintError(format!("cannot serialize report: {e}")))?;
+        print_out(&rendered);
+    } else {
+        let table = report.render_table();
+        print_out(table.trim_end_matches('\n'));
+    }
+    Ok(if report.is_clean() { 0 } else { 1 })
+}
+
+/// Print a line to stdout, swallowing write errors: when the consumer
+/// closes the pipe early (`pioqo-lint check | head`), a failed write must
+/// not panic — the exit code still carries the verdict.
+fn print_out(text: &str) {
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "{text}");
+}

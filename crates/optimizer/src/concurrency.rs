@@ -13,7 +13,7 @@
 //! queries get `max(1, beneficial / k)` each. Leases are RAII-style tokens.
 
 use pioqo_core::Qdtt;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A queue-depth budget shared by concurrent queries.
 #[derive(Debug)]
@@ -22,7 +22,7 @@ pub struct QdBudget {
     /// model, e.g. [`Qdtt::beneficial_queue_depth`]).
     total: u32,
     /// Active leases: lease id -> granted depth.
-    leases: HashMap<u64, u32>,
+    leases: BTreeMap<u64, u32>,
     next_id: u64,
 }
 
@@ -40,7 +40,7 @@ impl QdBudget {
     pub fn new(total: u32) -> QdBudget {
         QdBudget {
             total: total.max(1),
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_id: 0,
         }
     }

@@ -15,6 +15,7 @@
 //!   concurrent queries.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod card;
 pub mod concurrency;

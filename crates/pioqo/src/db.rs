@@ -126,7 +126,9 @@ impl Db {
         ));
         let (qdtt, _) = cal.calibrate_qdtt(&mut *self.device);
         self.model = Some(qdtt);
-        self.model.as_ref().expect("just set")
+        self.model
+            .as_ref()
+            .expect("calibrated model was stored on the line above")
     }
 
     /// Use an externally calibrated / persisted model instead.

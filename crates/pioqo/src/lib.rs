@@ -31,6 +31,7 @@
 //! (the QDTT model itself), [`optimizer`] and [`workload`].
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod db;
 

@@ -99,8 +99,22 @@ mod tests {
         for e in ExperimentConfig::table1() {
             let g = super::fig4_grid(&e.name);
             let (np, p) = super::paper_table2(&e.name);
-            assert!(*g.first().unwrap() <= np, "{}", e.name);
-            assert!(*g.last().unwrap() >= p * 0.9, "{}", e.name);
+            let lo = g
+                .first()
+                .expect("fig4_grid returned an empty concurrency grid for experiment");
+            let hi = g
+                .last()
+                .expect("fig4_grid returned an empty concurrency grid for experiment");
+            assert!(
+                *lo <= np,
+                "grid floor above paper NP break-even for {}",
+                e.name
+            );
+            assert!(
+                *hi >= p * 0.9,
+                "grid ceiling below paper P break-even for {}",
+                e.name
+            );
         }
     }
 }

@@ -13,6 +13,7 @@
 //! without the paper's hardware.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod queue;
 mod rng;

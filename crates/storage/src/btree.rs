@@ -96,10 +96,14 @@ impl BTreeIndex {
 
         let n_leaves = (keys.len() as u64).div_ceil(leaf_fanout as u64).max(1);
         let mut levels = vec![n_leaves];
-        while *levels.last().expect("non-empty") > 1 {
+        while *levels
+            .last()
+            .expect("level stack starts with the leaf level")
+            > 1
+        {
             let above = levels
                 .last()
-                .expect("non-empty")
+                .expect("level stack starts with the leaf level")
                 .div_ceil(internal_fanout as u64);
             levels.push(above);
         }

@@ -12,6 +12,7 @@
 //! shipping padding bytes — see DESIGN.md §1.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod btree;
 pub mod gen;

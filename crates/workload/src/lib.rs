@@ -13,6 +13,7 @@
 //! * [`opteval`] — calibrate → optimize (DTT vs QDTT) → execute (Fig. 8).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod dataset;
 pub mod experiments;

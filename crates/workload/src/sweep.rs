@@ -25,7 +25,9 @@ pub fn runtime_curve(
     selectivities
         .iter()
         .map(|&sel| {
-            let m = exp.run_cold(method, sel).expect("scan runs");
+            let m = exp
+                .run_cold(method, sel)
+                .expect("sweep experiment scan completes without pool exhaustion");
             SweepPoint {
                 selectivity: sel,
                 runtime_s: m.runtime.as_secs_f64(),
@@ -49,8 +51,14 @@ pub fn break_even(
     iterations: u32,
 ) -> f64 {
     let faster = |sel: f64| {
-        let ti = exp.run_cold(index_method, sel).expect("scan runs").runtime;
-        let tt = exp.run_cold(table_method, sel).expect("scan runs").runtime;
+        let ti = exp
+            .run_cold(index_method, sel)
+            .expect("sweep index scan completes without pool exhaustion")
+            .runtime;
+        let tt = exp
+            .run_cold(table_method, sel)
+            .expect("sweep table scan completes without pool exhaustion")
+            .runtime;
         ti < tt
     };
     let mut lo = lo;

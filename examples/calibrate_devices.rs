@@ -40,7 +40,7 @@ fn main() {
         );
         println!(
             "  {} page reads in {} of virtual I/O time",
-            report.total_reads, report.virtual_time
+            report.total_reads, report.virtual_duration
         );
         let widest = *qdtt.band_sizes().last().unwrap();
         println!(

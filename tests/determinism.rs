@@ -1,0 +1,80 @@
+//! Determinism regression test: the same seeded experiment run twice must
+//! produce byte-identical serialized metrics. This is the workspace's
+//! north-star invariant (lint rules D1-D4 exist to protect it), so any
+//! hash-order leak, wall-clock read, or ambient entropy introduced
+//! anywhere in the scan path fails here even if every unit test passes.
+
+use pioqo::prelude::*;
+
+fn experiment(name: &str) -> Experiment {
+    Experiment::build(
+        ExperimentConfig::by_name(name)
+            .expect("table 1 lists this experiment")
+            .scaled_down(100),
+    )
+}
+
+/// Serialize every metric of one full cold-scan run, covering both scan
+/// operators and a multi-worker configuration (the concurrency paths are
+/// where nondeterminism likes to hide).
+fn run_fingerprint(name: &str) -> String {
+    let e = experiment(name);
+    let methods = [
+        MethodSpec::Fts { workers: 1 },
+        MethodSpec::Fts { workers: 8 },
+        MethodSpec::Is {
+            workers: 1,
+            prefetch: 0,
+        },
+        MethodSpec::Is {
+            workers: 16,
+            prefetch: 0,
+        },
+    ];
+    let mut parts = Vec::new();
+    for (i, method) in methods.iter().enumerate() {
+        let metrics = e
+            .run_cold(*method, 0.02 + 0.01 * i as f64)
+            .expect("cold scan completes at test scale");
+        parts.push(serde_json::to_string(&metrics).expect("scan metrics serialize to JSON"));
+    }
+    parts.join("\n")
+}
+
+#[test]
+fn repeated_runs_serialize_identically_ssd() {
+    let a = run_fingerprint("E33-SSD");
+    let b = run_fingerprint("E33-SSD");
+    assert_eq!(a, b, "same seed must reproduce byte-identical SSD metrics");
+}
+
+#[test]
+fn repeated_runs_serialize_identically_hdd() {
+    let a = run_fingerprint("E33-HDD");
+    let b = run_fingerprint("E33-HDD");
+    assert_eq!(a, b, "same seed must reproduce byte-identical HDD metrics");
+}
+
+#[test]
+fn fresh_experiment_instances_agree_with_reused_ones() {
+    // Rebuilding the experiment from config must not change results either:
+    // all state that matters is derived from the seed, none from ambient
+    // process state.
+    let e = experiment("E500-SSD");
+    let method = MethodSpec::Is {
+        workers: 8,
+        prefetch: 0,
+    };
+    let reused = e
+        .run_cold(method, 0.03)
+        .expect("cold scan completes at test scale");
+    let rebuilt = experiment("E500-SSD")
+        .run_cold(method, 0.03)
+        .expect("cold scan completes at test scale");
+    let a = serde_json::to_string(&reused).expect("scan metrics serialize to JSON");
+    let b = serde_json::to_string(&rebuilt).expect("scan metrics serialize to JSON");
+    assert_eq!(
+        a, b,
+        "experiment construction must be a pure function of its config"
+    );
+}

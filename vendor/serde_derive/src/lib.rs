@@ -1,0 +1,405 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream by hand (the offline environment has no
+//! `syn`/`quote`): enough to handle non-generic named structs, tuple
+//! structs, and enums whose variants are unit, tuple, or struct shaped —
+//! which covers every `#[derive(Serialize, Deserialize)]` in this
+//! workspace. Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);` — arity recorded, fields are positional.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Unit, Tuple(T), Struct { a: T } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Skip `#[...]` attributes (including doc comments) and `pub`/`pub(...)`
+/// visibility starting at `i`; returns the new index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split the tokens of a brace/paren group on commas at angle-bracket
+/// depth zero. Nested groups are single tokens, so only `<`/`>` puncts
+/// need depth tracking (e.g. `BTreeMap<u64, u32>`).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract the field name from one named-field declaration.
+fn field_name(decl: &[TokenTree]) -> Option<String> {
+    let i = skip_attrs_and_vis(decl, 0);
+    match decl.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generic item `{name}`"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            // Tuple struct.
+            let parts: Vec<TokenTree> = g.stream().into_iter().collect();
+            let arity = split_top_level_commas(&parts).len();
+            return Ok(Item::TupleStruct { name, arity });
+        }
+        other => return Err(format!("expected item body for `{name}`, got {other:?}")),
+    };
+
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for decl in split_top_level_commas(&body_tokens) {
+            if let Some(f) = field_name(&decl) {
+                fields.push(f);
+            }
+        }
+        Ok(Item::NamedStruct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        for decl in split_top_level_commas(&body_tokens) {
+            let j = skip_attrs_and_vis(&decl, 0);
+            let vname = match decl.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => continue,
+                other => return Err(format!("expected variant name, got {other:?}")),
+            };
+            let shape = match decl.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let mut fields = Vec::new();
+                    for fdecl in split_top_level_commas(&toks) {
+                        if let Some(f) = field_name(&fdecl) {
+                            fields.push(f);
+                        }
+                    }
+                    VariantShape::Struct(fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Tuple(split_top_level_commas(&toks).len())
+                }
+                _ => VariantShape::Unit,
+            };
+            variants.push(Variant { name: vname, shape });
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+/// `#[derive(Serialize)]`: emit an `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {expr} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().unwrap_or_else(|_| {
+        compile_error("vendored serde derive produced unparseable Serialize impl")
+    })
+}
+
+/// `#[derive(Deserialize)]`: emit an `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(c, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let expr = if *arity == 1 {
+                format!("{name}(::serde::Deserialize::from_content(c)?)")
+            } else {
+                format!(
+                    "{{ let __t: ({}) = ::serde::Deserialize::from_content(c)?; \
+                     {name}({}) }}",
+                    vec!["_"; *arity]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, _)| format!("__T{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    (0..*arity)
+                        .map(|k| format!("__t.{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            // Multi-field tuple structs would need field types, which this
+            // parser does not record; only newtypes occur in-tree.
+            if *arity != 1 {
+                return compile_error(&format!(
+                    "vendored serde derive supports tuple structs of arity 1 only \
+                     (`{name}` has {arity} fields)"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({expr})\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(arity) => {
+                            if *arity != 1 {
+                                return Some(format!(
+                                    "{vn:?} => ::std::result::Result::Err(\
+                                     ::serde::DeError(::std::string::String::from(\
+                                     \"multi-field tuple variants unsupported\"))),"
+                                ));
+                            }
+                            Some(format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_content(__v)?)),"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(__v, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"expected {name} variant, got {{__other:?}}\"))),\n\
+                 }}\n}}\n}}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    body.parse().unwrap_or_else(|_| {
+        compile_error("vendored serde derive produced unparseable Deserialize impl")
+    })
+}
