@@ -77,6 +77,7 @@ fn bench_scans(c: &mut Criterion) {
                     &IsConfig {
                         workers: 32,
                         prefetch_depth: 0,
+                        ..IsConfig::default()
                     },
                 )
                 .expect("runs"),
@@ -101,6 +102,7 @@ fn bench_scans(c: &mut Criterion) {
                     &IsConfig {
                         workers: 4,
                         prefetch_depth: 32,
+                        ..IsConfig::default()
                     },
                 )
                 .expect("runs"),

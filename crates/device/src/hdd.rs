@@ -9,7 +9,7 @@
 //! ordering) — this is why a deeper queue helps a single spindle only a
 //! little (Fig. 1: random @ qd 32 reaches ~1.3% of sequential bandwidth).
 
-use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
+use crate::io::{DeviceModel, IoCompletion, IoRequest};
 use pioqo_simkit::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -193,12 +193,7 @@ impl DeviceModel for Hdd {
                 break;
             }
             let s = self.in_service.take().expect("checked above");
-            out.push(IoCompletion {
-                req: s.req,
-                submitted: s.submitted,
-                completed: s.done,
-                status: IoStatus::Ok,
-            });
+            out.push(IoCompletion::ok(s.req, s.submitted, s.done));
             let done = s.done;
             self.start_next(done);
         }
@@ -225,7 +220,7 @@ impl DeviceModel for Hdd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::io::drain_all;
+    use crate::io::{drain_all, IoStatus};
 
     fn test_cfg() -> HddConfig {
         HddConfig {

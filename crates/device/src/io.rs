@@ -57,9 +57,24 @@ pub struct IoCompletion {
     pub completed: SimTime,
     /// Success or failure.
     pub status: IoStatus,
+    /// True when the read was served by redundancy reconstruction (a RAID
+    /// array with a failed spindle) rather than directly from media. The
+    /// data is correct; the latency carries the reconstruction penalty.
+    pub degraded: bool,
 }
 
 impl IoCompletion {
+    /// A successful direct completion (the common case for base models).
+    pub fn ok(req: IoRequest, submitted: SimTime, completed: SimTime) -> Self {
+        IoCompletion {
+            req,
+            submitted,
+            completed,
+            status: IoStatus::Ok,
+            degraded: false,
+        }
+    }
+
     /// Device-observed latency of this I/O.
     pub fn latency(&self) -> pioqo_simkit::SimDuration {
         self.completed.since(self.submitted)
@@ -138,12 +153,12 @@ mod tests {
 
     #[test]
     fn completion_latency() {
-        let c = IoCompletion {
-            req: IoRequest::page(0, 0),
-            submitted: SimTime::from_micros(10),
-            completed: SimTime::from_micros(110),
-            status: IoStatus::Ok,
-        };
+        let c = IoCompletion::ok(
+            IoRequest::page(0, 0),
+            SimTime::from_micros(10),
+            SimTime::from_micros(110),
+        );
         assert_eq!(c.latency().as_micros_f64(), 100.0);
+        assert!(!c.degraded);
     }
 }

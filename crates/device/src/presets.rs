@@ -120,6 +120,8 @@ pub fn raid_15k(n_spindles: u32, capacity_pages: u64, seed: u64) -> Raid {
         spindle: hdd_15k_config(per_spindle, seed),
         n_spindles,
         stripe_pages: 16, // 64 KiB
+        degraded_spindle: None,
+        reconstruct_overhead_us: 10.0,
         name: format!("raid-15k-x{n_spindles}"),
     })
 }

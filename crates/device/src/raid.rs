@@ -1,4 +1,5 @@
-//! Striped multi-spindle array (RAID-0 style data layout).
+//! Striped multi-spindle array (RAID-0 style data layout, with an
+//! optional parity-style degraded mode).
 //!
 //! The paper's third device class is an 8-spindle 15 000 RPM array: unlike a
 //! single HDD, an array *does* reward deeper queues, because independent
@@ -7,10 +8,19 @@
 //! carries seek + rotation. The model is simply `n` [`Hdd`] instances plus
 //! a striping address map; queue-depth scaling and the AW-vs-GW calibration
 //! asymmetry (Fig. 11) both emerge from that composition.
+//!
+//! **Degraded mode** (resilience extension): one spindle may be marked
+//! failed ([`Raid::set_degraded`] or [`RaidConfig::degraded_spindle`]).
+//! Reads whose stripe units land on the failed spindle are served by
+//! *reconstruction*: the corresponding stripe units are read from every
+//! surviving spindle and combined (parity-rebuild style), at a modeled
+//! per-page XOR penalty — so the parent I/O still succeeds, visibly
+//! slower, with [`IoCompletion::degraded`] set. The parent fails only if
+//! a surviving spindle itself reports an error.
 
 use crate::hdd::{Hdd, HddConfig};
 use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
-use pioqo_simkit::SimTime;
+use pioqo_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -24,6 +34,12 @@ pub struct RaidConfig {
     pub n_spindles: u32,
     /// Stripe unit in pages (consecutive pages per spindle before moving on).
     pub stripe_pages: u32,
+    /// Spindle marked failed at construction (degraded mode); `None` for a
+    /// healthy array. Requires `n_spindles >= 2`.
+    pub degraded_spindle: Option<u32>,
+    /// Per reconstructed page: XOR/recombine work added to a degraded
+    /// read's completion time, on top of the surviving spindles' reads.
+    pub reconstruct_overhead_us: f64,
     /// Model name for reports.
     pub name: String,
 }
@@ -34,12 +50,16 @@ struct Parent {
     remaining: u32,
     failed: bool,
     last_done: SimTime,
+    /// Pages served by reconstruction (0 for a direct read).
+    recon_pages: u32,
 }
 
 /// A simulated striped disk array. See the module docs.
 pub struct Raid {
     cfg: RaidConfig,
     spindles: Vec<Hdd>,
+    degraded: Option<u32>,
+    degraded_reads: u64,
     /// sub-request id -> parent request id
     sub_parent: BTreeMap<u64, u64>,
     parents: BTreeMap<u64, Parent>,
@@ -59,19 +79,55 @@ impl Raid {
                 Hdd::new(c)
             })
             .collect();
-        Raid {
+        let degraded = cfg.degraded_spindle;
+        let mut raid = Raid {
             cfg,
             spindles,
+            degraded: None,
+            degraded_reads: 0,
             sub_parent: BTreeMap::new(),
             parents: BTreeMap::new(),
             next_sub_id: 0,
             scratch: Vec::new(),
-        }
+        };
+        raid.set_degraded(degraded);
+        raid
     }
 
     /// The configuration this array was built with.
     pub fn config(&self) -> &RaidConfig {
         &self.cfg
+    }
+
+    /// Mark `spindle` failed (`None` to restore the full array). Reads on
+    /// a failed spindle are served by reconstruction from the survivors.
+    ///
+    /// # Panics
+    /// Panics if I/O is outstanding, the index is out of range, or the
+    /// array has fewer than two spindles (nothing to reconstruct from).
+    pub fn set_degraded(&mut self, spindle: Option<u32>) {
+        assert!(
+            self.parents.is_empty(),
+            "cannot change degraded state with I/O outstanding"
+        );
+        if let Some(s) = spindle {
+            assert!(s < self.cfg.n_spindles, "degraded spindle out of range");
+            assert!(
+                self.cfg.n_spindles >= 2,
+                "degraded mode needs at least one surviving spindle"
+            );
+        }
+        self.degraded = spindle;
+    }
+
+    /// The currently failed spindle, if any.
+    pub fn degraded_spindle(&self) -> Option<u32> {
+        self.degraded
+    }
+
+    /// Parent reads served by reconstruction so far.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
     }
 
     /// Map a logical page to (spindle index, spindle-local page).
@@ -118,17 +174,40 @@ impl DeviceModel for Raid {
             self.capacity_pages()
         );
         let parts = self.split(&req);
+        // Expand each part into physical spindle reads. A part on the
+        // failed spindle becomes one read of the same stripe extent on
+        // *every* surviving spindle (parity reconstruction); a part on a
+        // healthy spindle stays a single direct read.
+        let mut reads: Vec<(usize, u64, u32)> = Vec::with_capacity(parts.len());
+        let mut recon_pages: u32 = 0;
+        for (sp, inner, len) in parts {
+            match self.degraded {
+                Some(dead) if sp == dead as usize => {
+                    recon_pages += len;
+                    for s in 0..self.cfg.n_spindles as usize {
+                        if s != sp {
+                            reads.push((s, inner, len));
+                        }
+                    }
+                }
+                _ => reads.push((sp, inner, len)),
+            }
+        }
+        if recon_pages > 0 {
+            self.degraded_reads += 1;
+        }
         self.parents.insert(
             req.id,
             Parent {
                 req,
                 submitted: now,
-                remaining: parts.len() as u32,
+                remaining: reads.len() as u32,
                 failed: false,
                 last_done: now,
+                recon_pages,
             },
         );
-        for (sp, inner, len) in parts {
+        for (sp, inner, len) in reads {
             let sid = self.next_sub_id;
             self.next_sub_id += 1;
             self.sub_parent.insert(sid, req.id);
@@ -162,15 +241,19 @@ impl DeviceModel for Raid {
                     .parents
                     .remove(&pid)
                     .expect("completed sub-request maps to a live parent request");
+                let rebuild = SimDuration::from_micros_f64(
+                    parent.recon_pages as f64 * self.cfg.reconstruct_overhead_us,
+                );
                 out.push(IoCompletion {
                     req: parent.req,
                     submitted: parent.submitted,
-                    completed: parent.last_done,
+                    completed: parent.last_done + rebuild,
                     status: if parent.failed {
                         IoStatus::Error
                     } else {
                         IoStatus::Ok
                     },
+                    degraded: parent.recon_pages > 0 && !parent.failed,
                 });
             }
         }
@@ -189,6 +272,9 @@ impl DeviceModel for Raid {
         for sp in &mut self.spindles {
             sp.reset_state();
         }
+        // Degraded marking is configuration, not positional state: it
+        // survives the reset. The per-run counter restarts.
+        self.degraded_reads = 0;
     }
 }
 
@@ -221,6 +307,8 @@ mod tests {
             spindle: spindle_cfg(),
             n_spindles: 8,
             stripe_pages: 16,
+            degraded_spindle: None,
+            reconstruct_overhead_us: 10.0,
             name: "raid8-test".into(),
         })
     }
@@ -309,6 +397,77 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].req.id, 7);
         assert_eq!(out[0].status, IoStatus::Ok);
+        assert_eq!(d.outstanding(), 0);
+    }
+
+    /// Mean latency (µs) of `n` seeded random single-page reads at qd 1,
+    /// all aimed at pages that live on spindle 3 (stripe index ≡ 3 mod 8).
+    fn mean_spindle3_latency(d: &mut Raid, n: usize, seed: u64) -> f64 {
+        let stripe_pages = 16u64;
+        let stripes = d.capacity_pages() / stripe_pages;
+        let mut rng = SimRng::seeded(seed);
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..n {
+            let stripe = rng.below(stripes / 8) * 8 + 3;
+            let offset = stripe * stripe_pages + rng.below(stripe_pages);
+            d.submit(now, IoRequest::page(i as u64, offset));
+            now = drain_all(d, now, &mut out);
+        }
+        assert_eq!(out.len(), n);
+        out.iter().map(|c| c.latency().as_micros_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn degraded_read_on_failed_spindle_succeeds_with_flag() {
+        let mut d = raid8();
+        d.set_degraded(Some(0));
+        // Page 0 lives on spindle 0 (failed): must be reconstructed.
+        d.submit(SimTime::ZERO, IoRequest::page(1, 0));
+        // Page 16 lives on spindle 1 (healthy): direct read.
+        d.submit(SimTime::ZERO, IoRequest::page(2, 16));
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        let rebuilt = out.iter().find(|c| c.req.id == 1).expect("id 1 completes");
+        let direct = out.iter().find(|c| c.req.id == 2).expect("id 2 completes");
+        assert_eq!(rebuilt.status, IoStatus::Ok);
+        assert!(rebuilt.degraded, "failed-spindle read must be marked");
+        assert_eq!(direct.status, IoStatus::Ok);
+        assert!(!direct.degraded);
+        assert_eq!(d.degraded_reads(), 1);
+    }
+
+    #[test]
+    fn degraded_array_is_measurably_slower() {
+        // Every read targets spindle 3's pages: with the array degraded each
+        // one is reconstructed as max-of-seven survivor reads plus the rebuild
+        // overhead, which must clearly exceed a single spindle's latency.
+        let mut healthy = raid8();
+        let healthy_lat = mean_spindle3_latency(&mut healthy, 100, 5);
+        let mut degraded = raid8();
+        degraded.set_degraded(Some(3));
+        let degraded_lat = mean_spindle3_latency(&mut degraded, 100, 5);
+        assert_eq!(degraded.degraded_reads(), 100, "all reads reconstruct");
+        assert_eq!(healthy.degraded_reads(), 0);
+        assert!(
+            degraded_lat > healthy_lat * 1.2,
+            "reconstruction (fan-out to 7 survivors + rebuild) must cost \
+             latency: healthy {healthy_lat} vs degraded {degraded_lat}"
+        );
+    }
+
+    #[test]
+    fn degraded_sequential_block_spans_failed_spindle() {
+        let mut d = raid8();
+        d.set_degraded(Some(2));
+        // 128 pages = one full stripe across all 8 spindles.
+        d.submit(SimTime::ZERO, IoRequest::block(9, 0, 128));
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].status, IoStatus::Ok);
+        assert!(out[0].degraded);
         assert_eq!(d.outstanding(), 0);
     }
 

@@ -19,7 +19,7 @@
 //! Because channels and the bus are FIFO, every service time is computable
 //! at submit time; completions are queued on an internal calendar.
 
-use crate::io::{DeviceModel, IoCompletion, IoRequest, IoStatus};
+use crate::io::{DeviceModel, IoCompletion, IoRequest};
 use pioqo_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -195,12 +195,7 @@ impl DeviceModel for Ssd {
                 .done
                 .pop()
                 .expect("completion heap was non-empty when peeked");
-            out.push(IoCompletion {
-                req,
-                submitted,
-                completed: t,
-                status: IoStatus::Ok,
-            });
+            out.push(IoCompletion::ok(req, submitted, t));
             self.outstanding -= 1;
         }
     }

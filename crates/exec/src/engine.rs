@@ -50,13 +50,74 @@ impl Default for CpuCosts {
     }
 }
 
+/// Deterministic retry/timeout policy for reads issued through a context.
+///
+/// All times are virtual, so a policy is reproducible bit-for-bit: the k-th
+/// retry of a failed read waits `backoff * 2^(k-1)` of *simulated* time, and
+/// a timeout re-issue happens at an exact simulated instant. The default
+/// policy (`max_attempts = 1`, no timeout) disables both mechanisms, so a
+/// context without an explicit policy behaves exactly as before this layer
+/// existed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per logical read, including the first issue.
+    /// `1` means a device error surfaces immediately (no retries).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; doubled on each further retry.
+    pub backoff: SimDuration,
+    /// Re-issue a read still outstanding after this long (hedging against
+    /// tail latency). Each re-issue consumes one attempt; `None` disables.
+    pub timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: SimDuration::from_micros_f64(100.0),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_attempts` total attempts with the
+    /// default backoff and no timeout.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Fault-handling counters accumulated by a context (and reported per scan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Failed reads re-submitted after backoff.
+    pub retries: u64,
+    /// Reads re-issued because they were outstanding past the timeout.
+    pub timeouts: u64,
+    /// Completions served by redundancy reconstruction (RAID degraded mode).
+    pub degraded_reads: u64,
+}
+
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// The device reported an I/O error for this device page.
     Io {
+        /// The scan operator that issued the failed read.
+        operator: &'static str,
         /// First device page of the failed request.
         device_page: u64,
+    },
+    /// A read failed on every attempt the [`RetryPolicy`] allowed.
+    IoExhausted {
+        /// First device page of the failed request.
+        device_page: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
     },
     /// The buffer pool could not make room (all frames pinned).
     PoolExhausted,
@@ -68,10 +129,37 @@ pub enum ExecError {
     },
 }
 
+/// Map a failed read to the right error: a single-attempt failure is a
+/// plain [`ExecError::Io`]; a failure after retries is
+/// [`ExecError::IoExhausted`] (the attempt count is the diagnosis).
+pub(crate) fn io_failure(operator: &'static str, device_page: u64, attempts: u32) -> ExecError {
+    if attempts > 1 {
+        ExecError::IoExhausted {
+            device_page,
+            attempts,
+        }
+    } else {
+        ExecError::Io {
+            operator,
+            device_page,
+        }
+    }
+}
+
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::Io { device_page } => write!(f, "I/O error at device page {device_page}"),
+            ExecError::Io {
+                operator,
+                device_page,
+            } => write!(f, "{operator}: I/O error at device page {device_page}"),
+            ExecError::IoExhausted {
+                device_page,
+                attempts,
+            } => write!(
+                f,
+                "I/O error at device page {device_page} after {attempts} attempts"
+            ),
             ExecError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
             ExecError::Internal { detail } => {
                 write!(f, "executor invariant violated: {detail}")
@@ -97,6 +185,20 @@ enum IoMeta {
     Block { start: u64, len: u32 },
 }
 
+/// A logical read: one handle handed to the operator, backed by one or more
+/// physical device requests (the original plus retries / timeout re-issues).
+struct LogicalIo {
+    meta: IoMeta,
+    /// Attempts issued so far (1 = the original).
+    attempts: u32,
+    /// Physical requests currently in flight for this read.
+    live: u32,
+    /// When the newest physical request was issued (drives the timeout).
+    issue_time: SimTime,
+    /// A backoff retry is scheduled; the timeout must not also re-issue.
+    pending_retry: bool,
+}
+
 /// An event delivered by [`SimContext::step`].
 #[derive(Debug, Clone, Copy)]
 pub enum Event {
@@ -106,8 +208,10 @@ pub enum Event {
         io: u64,
         /// The device page read.
         device_page: u64,
-        /// Outcome.
+        /// Outcome. `Error` means the retry policy is exhausted.
         status: IoStatus,
+        /// Physical attempts the read took (1 = no retries).
+        attempts: u32,
     },
     /// A block read finished.
     IoBlock {
@@ -117,8 +221,10 @@ pub enum Event {
         start: u64,
         /// Block length in pages.
         len: u32,
-        /// Outcome.
+        /// Outcome. `Error` means the retry policy is exhausted.
         status: IoStatus,
+        /// Physical attempts the read took (1 = no retries).
+        attempts: u32,
     },
     /// A compute task finished.
     Cpu(TaskId),
@@ -151,10 +257,16 @@ pub struct SimContext<'a> {
     /// The CPU scheduler.
     pub cpu: CpuScheduler,
     costs: CpuCosts,
+    retry: RetryPolicy,
+    res: ResilienceStats,
     now: SimTime,
     next_io: u64,
+    next_req: u64,
     inflight_page: BTreeMap<u64, u64>, // device page -> io id
-    io_meta: BTreeMap<u64, IoMeta>,
+    ios: BTreeMap<u64, LogicalIo>,
+    req_owner: BTreeMap<u64, u64>, // physical request id -> io id
+    retry_queue: BTreeMap<SimTime, Vec<u64>>,
+    deadline_queue: BTreeMap<SimTime, Vec<u64>>,
     io_buf: Vec<IoCompletion>,
     cpu_buf: Vec<TaskId>,
     depth: TimeWeighted,
@@ -178,10 +290,16 @@ impl<'a> SimContext<'a> {
             pool,
             cpu: CpuScheduler::new(cpu_cfg),
             costs,
+            retry: RetryPolicy::default(),
+            res: ResilienceStats::default(),
             now: SimTime::ZERO,
             next_io: 0,
+            next_req: 0,
             inflight_page: BTreeMap::new(),
-            io_meta: BTreeMap::new(),
+            ios: BTreeMap::new(),
+            req_owner: BTreeMap::new(),
+            retry_queue: BTreeMap::new(),
+            deadline_queue: BTreeMap::new(),
             io_buf: Vec::new(),
             cpu_buf: Vec::new(),
             depth: TimeWeighted::new(SimTime::ZERO, 0.0),
@@ -203,6 +321,17 @@ impl<'a> SimContext<'a> {
         &self.costs
     }
 
+    /// Install a retry/timeout policy (the default policy does neither).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        assert!(retry.max_attempts >= 1, "at least one attempt is required");
+        self.retry = retry;
+    }
+
+    /// The fault-handling counters accumulated so far.
+    pub fn resilience(&self) -> ResilienceStats {
+        self.res
+    }
+
     /// Read one device page. If an identical read is already in flight the
     /// existing handle is returned, so concurrent workers (or a prefetcher
     /// and a demand read) share one physical I/O.
@@ -213,10 +342,7 @@ impl<'a> SimContext<'a> {
         let io = self.next_io;
         self.next_io += 1;
         self.inflight_page.insert(device_page, io);
-        self.io_meta.insert(io, IoMeta::Page { device_page });
-        self.track_submit();
-        self.device
-            .submit(self.now, IoRequest::page(io, device_page));
+        self.start_logical(io, IoMeta::Page { device_page });
         io
     }
 
@@ -225,11 +351,53 @@ impl<'a> SimContext<'a> {
     pub fn read_block(&mut self, start: u64, len: u32) -> u64 {
         let io = self.next_io;
         self.next_io += 1;
-        self.io_meta.insert(io, IoMeta::Block { start, len });
-        self.track_submit();
-        self.device
-            .submit(self.now, IoRequest::block(io, start, len));
+        self.start_logical(io, IoMeta::Block { start, len });
         io
+    }
+
+    fn start_logical(&mut self, io: u64, meta: IoMeta) {
+        self.ios.insert(
+            io,
+            LogicalIo {
+                meta,
+                attempts: 0,
+                live: 0,
+                issue_time: self.now,
+                pending_retry: false,
+            },
+        );
+        self.submit_physical(io);
+    }
+
+    /// Issue one physical device request for logical read `io`.
+    fn submit_physical(&mut self, io: u64) {
+        let rid = self.next_req;
+        self.next_req += 1;
+        let st = self
+            .ios
+            .get_mut(&io)
+            .expect("submit for unknown logical I/O");
+        st.attempts += 1;
+        st.live += 1;
+        st.issue_time = self.now;
+        let req = match st.meta {
+            IoMeta::Page { device_page } => IoRequest::page(rid, device_page),
+            IoMeta::Block { start, len } => IoRequest::block(rid, start, len),
+        };
+        self.req_owner.insert(rid, io);
+        if let Some(grace) = self.retry.timeout {
+            let due = self.now + grace;
+            self.deadline_queue.entry(due).or_default().push(io);
+        }
+        self.track_submit();
+        self.device.submit(self.now, req);
+    }
+
+    /// Sim-time exponential backoff before retry number `retry_no` (1-based):
+    /// `backoff * 2^(retry_no - 1)`, with the shift clamped so a pathological
+    /// policy cannot overflow.
+    fn backoff_for(&self, retry_no: u32) -> SimDuration {
+        self.retry.backoff * (1u64 << retry_no.saturating_sub(1).min(20))
     }
 
     /// Submit `work_us` core-microseconds of compute.
@@ -243,47 +411,75 @@ impl<'a> SimContext<'a> {
     }
 
     /// Advance to the next event and append the wakes to `events`.
-    /// Returns `false` when neither the device nor the CPU has anything
-    /// pending (deadlock or completion — the caller knows which).
+    /// Returns `false` when neither the device, the CPU, nor the retry
+    /// machinery has anything pending (deadlock or completion — the caller
+    /// knows which).
     pub fn step(&mut self, events: &mut Vec<Event>) -> bool {
-        let t_dev = self.device.next_event();
-        let t_cpu = self.cpu.next_event();
-        let t = match (t_dev, t_cpu) {
-            (None, None) => return false,
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (Some(a), Some(b)) => a.min(b),
-        };
+        let mut t: Option<SimTime> = None;
+        for cand in [
+            self.device.next_event(),
+            self.cpu.next_event(),
+            self.retry_queue.keys().next().copied(),
+            self.deadline_queue.keys().next().copied(),
+        ] {
+            t = match (t, cand) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let Some(t) = t else { return false };
         debug_assert!(t >= self.now);
         self.now = t;
 
-        self.io_buf.clear();
-        self.device.advance(t, &mut self.io_buf);
-        for c in &self.io_buf {
-            self.depth.add(c.completed, -1.0);
-            self.latency_sum_us += c.latency().as_micros_f64();
-            self.pages_read += c.req.len as u64;
-            self.io_ops += 1;
-            self.last_complete = self.last_complete.max(c.completed);
-            let meta = self
-                .io_meta
-                .remove(&c.req.id)
-                .expect("completion for unknown I/O");
-            match meta {
-                IoMeta::Page { device_page } => {
-                    self.inflight_page.remove(&device_page);
-                    events.push(Event::IoPage {
-                        io: c.req.id,
-                        device_page,
-                        status: c.status,
-                    });
+        let mut io_buf = std::mem::take(&mut self.io_buf);
+        io_buf.clear();
+        self.device.advance(t, &mut io_buf);
+        for c in &io_buf {
+            self.deliver(c, events);
+        }
+        self.io_buf = io_buf;
+
+        // Backoff expiries: re-submit failed reads whose wait is over.
+        while let Some((&due, _)) = self.retry_queue.iter().next() {
+            if due > t {
+                break;
+            }
+            let ios = self.retry_queue.remove(&due).expect("key just observed");
+            for io in ios {
+                let st = self
+                    .ios
+                    .get_mut(&io)
+                    .expect("retry for unknown logical I/O");
+                st.pending_retry = false;
+                self.res.retries += 1;
+                self.submit_physical(io);
+            }
+        }
+
+        // Timeout expiries: hedge reads still outstanding from the issuance
+        // the deadline was armed for (a completed, failed or already
+        // re-issued read leaves a stale entry behind — skip those).
+        while let Some((&due, _)) = self.deadline_queue.iter().next() {
+            if due > t {
+                break;
+            }
+            let ios = self.deadline_queue.remove(&due).expect("key just observed");
+            let Some(grace) = self.retry.timeout else {
+                continue;
+            };
+            for io in ios {
+                let Some(st) = self.ios.get(&io) else {
+                    continue;
+                };
+                let armed_for = st.issue_time + grace;
+                if armed_for != due || st.live == 0 || st.pending_retry {
+                    continue;
                 }
-                IoMeta::Block { start, len } => events.push(Event::IoBlock {
-                    io: c.req.id,
-                    start,
-                    len,
-                    status: c.status,
-                }),
+                if st.attempts >= self.retry.max_attempts {
+                    continue; // out of attempts: wait for what's in flight
+                }
+                self.res.timeouts += 1;
+                self.submit_physical(io);
             }
         }
 
@@ -295,13 +491,89 @@ impl<'a> SimContext<'a> {
         true
     }
 
+    /// Account for one physical completion and, when it settles the owning
+    /// logical read (success, or failure with no retry budget and no
+    /// duplicate still in flight), emit its event.
+    fn deliver(&mut self, c: &IoCompletion, events: &mut Vec<Event>) {
+        // Physical accounting happens for every completion, including
+        // duplicates of reads that already finished: the device really did
+        // the work, so the profile must see it.
+        self.depth.add(c.completed, -1.0);
+        self.latency_sum_us += c.latency().as_micros_f64();
+        self.pages_read += c.req.len as u64;
+        self.io_ops += 1;
+        self.last_complete = self.last_complete.max(c.completed);
+        if c.degraded {
+            self.res.degraded_reads += 1;
+        }
+        let io = match self.req_owner.remove(&c.req.id) {
+            Some(io) => io,
+            None => return, // duplicate of a read that already settled
+        };
+        let (attempts, live, pending) = {
+            // The logical read may have settled already via another physical
+            // attempt (a hedge raced the original); this arrival is then
+            // accounting-only.
+            let Some(st) = self.ios.get_mut(&io) else {
+                return;
+            };
+            st.live -= 1;
+            (st.attempts, st.live, st.pending_retry)
+        };
+        match c.status {
+            IoStatus::Ok => {
+                let st = self.ios.remove(&io).expect("present just above");
+                self.finish(io, &st, IoStatus::Ok, events);
+            }
+            IoStatus::Error if attempts < self.retry.max_attempts => {
+                if !pending {
+                    let due = c.completed + self.backoff_for(attempts);
+                    self.retry_queue.entry(due).or_default().push(io);
+                    self.ios
+                        .get_mut(&io)
+                        .expect("present just above")
+                        .pending_retry = true;
+                }
+            }
+            IoStatus::Error if live == 0 && !pending => {
+                let st = self.ios.remove(&io).expect("present just above");
+                self.finish(io, &st, IoStatus::Error, events);
+            }
+            // A duplicate is still in flight; let it settle the read
+            // (a late success wins over this failure).
+            IoStatus::Error => {}
+        }
+    }
+
+    fn finish(&mut self, io: u64, st: &LogicalIo, status: IoStatus, events: &mut Vec<Event>) {
+        match st.meta {
+            IoMeta::Page { device_page } => {
+                self.inflight_page.remove(&device_page);
+                events.push(Event::IoPage {
+                    io,
+                    device_page,
+                    status,
+                    attempts: st.attempts,
+                });
+            }
+            IoMeta::Block { start, len } => events.push(Event::IoBlock {
+                io,
+                start,
+                len,
+                status,
+                attempts: st.attempts,
+            }),
+        }
+    }
+
     /// Let the context's own in-flight I/O finish (without emitting events)
     /// so its pages land in the pool and its accounting closes. Bounded by
     /// the context's outstanding work, not the device's — a device carrying
     /// unrelated background load stays busy forever.
     pub fn quiesce(&mut self) {
         let mut events = Vec::new();
-        while !self.io_meta.is_empty() || self.cpu.next_event().is_some() {
+        while !self.ios.is_empty() || !self.req_owner.is_empty() || self.cpu.next_event().is_some()
+        {
             events.clear();
             if !self.step(&mut events) {
                 break;
@@ -446,6 +718,168 @@ mod tests {
         assert!(p.throughput_mb_s > 0.0);
         assert!(p.mean_latency_us > 0.0);
         assert!(p.peak_queue_depth >= 2.0);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_to_success() {
+        let inner = consumer_pcie_ssd(1 << 16, 1);
+        let mut dev = pioqo_device::Faulty::new(
+            inner,
+            pioqo_device::FaultPlan::Transient {
+                p: 1.0,
+                attempts: 2,
+                seed: 7,
+            },
+        );
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.set_retry_policy(RetryPolicy::attempts(4));
+        let io = ctx.read_page(42);
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        let done: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::IoPage {
+                    io: id,
+                    status,
+                    attempts,
+                    ..
+                } if *id == io => Some((*status, *attempts)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![(IoStatus::Ok, 3)], "fails twice, heals on 3rd");
+        assert_eq!(ctx.resilience().retries, 2);
+        assert_eq!(ctx.resilience().timeouts, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_error_with_attempts() {
+        let inner = consumer_pcie_ssd(1 << 16, 1);
+        let mut dev = pioqo_device::Faulty::new(inner, pioqo_device::FaultPlan::EveryNth(1));
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.set_retry_policy(RetryPolicy::attempts(3));
+        let io = ctx.read_page(9);
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        let done: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::IoPage {
+                    io: id,
+                    status,
+                    attempts,
+                    ..
+                } if *id == io => Some((*status, *attempts)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![(IoStatus::Error, 3)]);
+        assert_eq!(ctx.resilience().retries, 2);
+        assert_eq!(
+            io_failure("fts", 9, 3),
+            ExecError::IoExhausted {
+                device_page: 9,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_spaces_retries_in_sim_time() {
+        let inner = consumer_pcie_ssd(1 << 16, 1);
+        let mut dev = pioqo_device::Faulty::new(inner, pioqo_device::FaultPlan::EveryNth(1));
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::from_micros_f64(1000.0),
+            timeout: None,
+        });
+        ctx.read_page(9);
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        // One flash read is well under 1 ms, so the run is dominated by the
+        // two backoff waits: 1 ms + 2 ms of exponential spacing.
+        assert!(ctx.now() >= SimTime::ZERO + SimDuration::from_micros_f64(3000.0));
+        assert_eq!(ctx.resilience().retries, 2);
+    }
+
+    #[test]
+    fn timeout_reissues_a_slow_read() {
+        // A deep queue on a single spindle makes the last read wait far
+        // longer than the timeout, so the context hedges it.
+        let mut dev = pioqo_device::presets::hdd_7200(1 << 20, 1);
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff: SimDuration::from_micros_f64(100.0),
+            timeout: Some(SimDuration::from_micros_f64(500.0)),
+        });
+        for i in 0..8u64 {
+            ctx.read_page(i * 100_000);
+        }
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        let oks = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::IoPage {
+                        status: IoStatus::Ok,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(oks, 8, "every logical read settles exactly once");
+        assert!(ctx.resilience().timeouts > 0, "some reads were hedged");
+        // Hedged duplicates really ran: more physical ops than logical reads.
+        assert!(ctx.io_profile().io_ops > 8);
+        ctx.quiesce();
+        assert_eq!(ctx.device.outstanding(), 0);
+    }
+
+    #[test]
+    fn default_policy_is_inert() {
+        let mut dev = consumer_pcie_ssd(1 << 16, 1);
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.read_block(0, 16);
+        ctx.read_page(1000);
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        assert_eq!(ctx.resilience(), ResilienceStats::default());
+        assert_eq!(ctx.io_profile().io_ops, 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! scan is bound by sequential bandwidth — exactly the regimes of Table 3.
 
 use crate::cpu::{CpuConfig, TaskId};
-use crate::engine::{CpuCosts, Event, ExecError, SimContext};
+use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::BufferPool;
 use pioqo_device::{DeviceModel, IoStatus};
@@ -28,6 +28,8 @@ pub struct FtsConfig {
     /// Pages per prefetch block ("instead of prefetching pages one by one a
     /// large block consisting of several consecutive pages is read", §2).
     pub block_pages: u32,
+    /// Retry/timeout policy for the scan's reads (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl Default for FtsConfig {
@@ -36,6 +38,7 @@ impl Default for FtsConfig {
             workers: 1,
             prefetch_blocks: 8,
             block_pages: 16,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -71,6 +74,7 @@ pub fn run_fts(
     assert!(cfg.block_pages >= 1);
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
+    ctx.set_retry_policy(cfg.retry.clone());
     let n_pages = table.n_pages();
 
     let mut workers: Vec<Worker> = (0..cfg.workers)
@@ -176,9 +180,10 @@ pub fn run_fts(
                     start,
                     len,
                     status,
+                    attempts,
                 } => {
                     if status == IoStatus::Error {
-                        return Err(ExecError::Io { device_page: start });
+                        return Err(io_failure("fts", start, attempts));
                     }
                     for dp in start..start + len as u64 {
                         pf_cover.remove(&dp);
@@ -197,9 +202,10 @@ pub fn run_fts(
                     io,
                     device_page,
                     status,
+                    attempts,
                 } => {
                     if status == IoStatus::Error {
-                        return Err(ExecError::Io { device_page });
+                        return Err(io_failure("fts", device_page, attempts));
                     }
                     ctx.pool.admit_prefetched(device_page)?;
                     wake_waiters(
@@ -237,6 +243,7 @@ pub fn run_fts(
 
     let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
     let io = ctx.io_profile();
+    let resilience = ctx.resilience();
     ctx.quiesce();
     let pool_stats = diff_stats(pool.stats(), &pool_stats_before);
     Ok(ScanMetrics {
@@ -246,6 +253,7 @@ pub fn run_fts(
         rows_examined: examined,
         io,
         pool: pool_stats,
+        resilience,
     })
 }
 
@@ -484,7 +492,13 @@ mod tests {
             high,
             &FtsConfig::default(),
         );
-        assert!(matches!(r, Err(ExecError::Io { .. })));
+        assert!(matches!(
+            r,
+            Err(ExecError::Io {
+                operator: "fts",
+                ..
+            })
+        ));
     }
 
     #[test]

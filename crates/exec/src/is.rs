@@ -15,7 +15,7 @@
 //! queue depth is `M·n` and tails off near leaf boundaries.
 
 use crate::cpu::{CpuConfig, TaskId};
-use crate::engine::{CpuCosts, Event, ExecError, SimContext};
+use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
 use crate::fts::{diff_stats, merge_max};
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
@@ -32,6 +32,8 @@ pub struct IsConfig {
     /// Per-worker asynchronous prefetch depth over the current leaf's table
     /// pages (0 disables prefetching — the paper's baseline PIS).
     pub prefetch_depth: u32,
+    /// Retry/timeout policy for the scan's reads (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl Default for IsConfig {
@@ -39,6 +41,7 @@ impl Default for IsConfig {
         IsConfig {
             workers: 1,
             prefetch_depth: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -87,6 +90,7 @@ pub fn run_is(
     assert!(cfg.workers >= 1);
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
+    ctx.set_retry_policy(cfg.retry.clone());
 
     // ----- Phase 0: root-to-leaf traversal by a single worker (§2) -----
     let range = index.range(low, high);
@@ -102,6 +106,7 @@ pub fn run_is(
         // Nothing qualifies; the traversal cost is the whole runtime.
         let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
         let io = ctx.io_profile();
+        let resilience = ctx.resilience();
         ctx.quiesce();
         return Ok(ScanMetrics {
             runtime,
@@ -110,6 +115,7 @@ pub fn run_is(
             rows_examined: 0,
             io,
             pool: diff_stats(pool.stats(), &pool_stats_before),
+            resilience,
         });
     };
 
@@ -247,9 +253,10 @@ pub fn run_is(
                     io,
                     device_page,
                     status,
+                    attempts,
                 } => {
                     if status == IoStatus::Error {
-                        return Err(ExecError::Io { device_page });
+                        return Err(io_failure("is", device_page, attempts));
                     }
                     ctx.pool.admit_prefetched(device_page)?;
                     // Prefetch credit back to issuing workers.
@@ -356,6 +363,7 @@ pub fn run_is(
 
     let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
     let io = ctx.io_profile();
+    let resilience = ctx.resilience();
     ctx.quiesce();
     Ok(ScanMetrics {
         runtime,
@@ -364,6 +372,7 @@ pub fn run_is(
         rows_examined: matched,
         io,
         pool: diff_stats(pool.stats(), &pool_stats_before),
+        resilience,
     })
 }
 
@@ -405,11 +414,10 @@ fn sync_fetch(ctx: &mut SimContext<'_>, dp: u64) -> Result<(), ExecError> {
                                 io: id,
                                 device_page,
                                 status,
+                                attempts,
                             } if *id == io => {
                                 if *status == IoStatus::Error {
-                                    return Err(ExecError::Io {
-                                        device_page: *device_page,
-                                    });
+                                    return Err(io_failure("is", *device_page, *attempts));
                                 }
                                 ctx.pool.admit_prefetched(*device_page)?;
                                 break 'wait;
@@ -531,6 +539,7 @@ mod tests {
                 &IsConfig {
                     workers,
                     prefetch_depth: pf,
+                    ..IsConfig::default()
                 },
                 true,
                 4096,
@@ -551,6 +560,7 @@ mod tests {
             &IsConfig {
                 workers: 8,
                 prefetch_depth: 0,
+                ..IsConfig::default()
             },
             true,
             8192,
@@ -573,6 +583,7 @@ mod tests {
             &IsConfig {
                 workers: 16,
                 prefetch_depth: 0,
+                ..IsConfig::default()
             },
             true,
             8192,
@@ -593,6 +604,7 @@ mod tests {
             &IsConfig {
                 workers: 32,
                 prefetch_depth: 0,
+                ..IsConfig::default()
             },
             false,
             8192,
@@ -616,6 +628,7 @@ mod tests {
             &IsConfig {
                 workers: 2,
                 prefetch_depth: 0,
+                ..IsConfig::default()
             },
             true,
             8192,
@@ -626,6 +639,7 @@ mod tests {
             &IsConfig {
                 workers: 2,
                 prefetch_depth: 8,
+                ..IsConfig::default()
             },
             true,
             8192,
@@ -683,6 +697,6 @@ mod tests {
             high,
             &IsConfig::default(),
         );
-        assert!(matches!(r, Err(ExecError::Io { .. })));
+        assert!(matches!(r, Err(ExecError::Io { operator: "is", .. })));
     }
 }

@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod sorted_is;
 
 pub use cpu::{CpuConfig, CpuScheduler, TaskId};
-pub use engine::{CpuCosts, Event, ExecError, IoProfile, SimContext};
+pub use engine::{CpuCosts, Event, ExecError, IoProfile, ResilienceStats, RetryPolicy, SimContext};
 pub use fts::{run_fts, FtsConfig};
 pub use is::{run_is, IsConfig};
 pub use metrics::ScanMetrics;

@@ -1,6 +1,6 @@
 //! Scan results and observability.
 
-use crate::engine::IoProfile;
+use crate::engine::{IoProfile, ResilienceStats};
 use pioqo_bufpool::PoolStats;
 use pioqo_simkit::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -22,6 +22,8 @@ pub struct ScanMetrics {
     pub io: IoProfile,
     /// Buffer-pool counters accumulated during the run.
     pub pool: PoolStats,
+    /// Fault-handling counters for the run (all zero on a clean device).
+    pub resilience: ResilienceStats,
 }
 
 impl ScanMetrics {

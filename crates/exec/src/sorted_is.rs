@@ -15,7 +15,7 @@
 //!    non-parallel operator sustains a deep I/O queue on SSD.
 
 use crate::cpu::CpuConfig;
-use crate::engine::{CpuCosts, Event, ExecError, SimContext};
+use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
 use crate::fts::{diff_stats, merge_max};
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
@@ -32,6 +32,8 @@ pub struct SortedIsConfig {
     pub prefetch_depth: u32,
     /// Outstanding leaf-page reads kept in flight during phase 1.
     pub leaf_prefetch: u32,
+    /// Retry/timeout policy for the scan's reads (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl Default for SortedIsConfig {
@@ -39,6 +41,7 @@ impl Default for SortedIsConfig {
         SortedIsConfig {
             prefetch_depth: 32,
             leaf_prefetch: 8,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -58,6 +61,7 @@ pub fn run_sorted_is(
 ) -> Result<ScanMetrics, ExecError> {
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
+    ctx.set_retry_policy(cfg.retry.clone());
     let mut completed: BTreeSet<u64> = BTreeSet::new();
 
     // Phase 0: root-to-leaf traversal.
@@ -74,6 +78,7 @@ pub fn run_sorted_is(
         |ctx: &mut SimContext<'_>, pool_before: &pioqo_bufpool::PoolStats, max_c1, matched| {
             let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
             let io = ctx.io_profile();
+            let resilience = ctx.resilience();
             ctx.quiesce();
             ScanMetrics {
                 runtime,
@@ -82,6 +87,7 @@ pub fn run_sorted_is(
                 rows_examined: matched,
                 io,
                 pool: diff_stats(ctx.pool.stats(), pool_before),
+                resilience,
             }
         };
 
@@ -188,12 +194,11 @@ fn wait_io(
                 io: id,
                 device_page,
                 status,
+                attempts,
             } = e
             {
                 if *status == IoStatus::Error {
-                    return Err(ExecError::Io {
-                        device_page: *device_page,
-                    });
+                    return Err(io_failure("sorted_is", *device_page, *attempts));
                 }
                 ctx.pool.admit_prefetched(*device_page)?;
                 completed.insert(*id);
@@ -243,11 +248,10 @@ fn cpu_now(
                     io,
                     device_page,
                     status,
+                    attempts,
                 } => {
                     if *status == IoStatus::Error {
-                        return Err(ExecError::Io {
-                            device_page: *device_page,
-                        });
+                        return Err(io_failure("sorted_is", *device_page, *attempts));
                     }
                     ctx.pool.admit_prefetched(*device_page)?;
                     completed.insert(*io);
@@ -330,6 +334,7 @@ mod tests {
             &SortedIsConfig {
                 prefetch_depth: 1,
                 leaf_prefetch: 1,
+                ..SortedIsConfig::default()
             },
         );
         let deep = scan(&fx, 0.05, &SortedIsConfig::default());

@@ -203,6 +203,7 @@ impl Db {
                 &IsConfig {
                     workers: plan.degree,
                     prefetch_depth: self.opt_cfg.is_prefetch_depth,
+                    ..IsConfig::default()
                 },
             )?,
             AccessMethod::SortedIndexScan => run_sorted_is(

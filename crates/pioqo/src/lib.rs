@@ -48,10 +48,12 @@ pub use pioqo_workload as workload;
 pub mod prelude {
     pub use pioqo_bufpool::BufferPool;
     pub use pioqo_core::{CalibrationConfig, Calibrator, Dtt, Method, Qdtt};
-    pub use pioqo_device::{presets, DeviceModel, Hdd, IoRequest, IoStatus, Raid, Ssd, Traced};
+    pub use pioqo_device::{
+        presets, DeviceModel, FaultPlan, Faulty, Hdd, IoRequest, IoStatus, Raid, Ssd, Traced,
+    };
     pub use pioqo_exec::{
-        run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, FtsConfig, IsConfig, ScanMetrics,
-        SortedIsConfig,
+        run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
+        ResilienceStats, RetryPolicy, ScanMetrics, SortedIsConfig,
     };
     pub use pioqo_optimizer::{
         AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget, QdttCost, TableStats,

@@ -236,6 +236,7 @@ impl Experiment {
                 &IsConfig {
                     workers,
                     prefetch_depth: prefetch,
+                    ..IsConfig::default()
                 },
             ),
             MethodSpec::SortedIs { prefetch } => run_sorted_is(

@@ -1,0 +1,383 @@
+//! Chaos property suite: scans under injected faults, tail latency and
+//! degraded RAID must either return the exact fault-free answer or a clean
+//! typed error — never a wrong answer, a hang, or a nondeterministic run.
+//!
+//! The fault seed is taken from `CHAOS_SEED` (default 11) so CI can sweep
+//! distinct fault universes; within one seed every assertion is exact.
+
+use pioqo::bufpool::BufferPool;
+use pioqo::prelude::*;
+
+/// The seed for this process's fault universe (CI runs several).
+fn chaos_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => s.parse().expect("CHAOS_SEED must be an integer"),
+        Err(_) => 11,
+    }
+}
+
+struct Fixture {
+    table: HeapTable,
+    index: BTreeIndex,
+    capacity: u64,
+}
+
+fn fixture(rows: u64, rpp: u32) -> Fixture {
+    let spec = TableSpec::paper_table(rpp, rows, 4242);
+    let mut ts = Tablespace::new(4 * spec.n_pages() + 2000);
+    let table = HeapTable::create(spec, &mut ts).expect("fits");
+    let index = BTreeIndex::build("c2", table.data().c2_entries(), 4096, &mut ts).expect("fits");
+    let capacity = ts.capacity();
+    Fixture {
+        table,
+        index,
+        capacity,
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Fts { workers: u32 },
+    Is { workers: u32 },
+    SortedIs,
+}
+
+const OPS: [Op; 5] = [
+    Op::Fts { workers: 1 },
+    Op::Fts { workers: 4 },
+    Op::Is { workers: 1 },
+    Op::Is { workers: 4 },
+    Op::SortedIs,
+];
+
+fn run_op(
+    fx: &Fixture,
+    op: Op,
+    device: &mut dyn DeviceModel,
+    frames: usize,
+    sel: f64,
+    retry: RetryPolicy,
+) -> Result<ScanMetrics, ExecError> {
+    let mut pool = BufferPool::new(frames);
+    let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
+    let cpu = CpuConfig::paper_xeon();
+    let costs = CpuCosts::default();
+    match op {
+        Op::Fts { workers } => run_fts(
+            device,
+            &mut pool,
+            cpu,
+            costs,
+            &fx.table,
+            lo,
+            hi,
+            &FtsConfig {
+                workers,
+                retry,
+                ..FtsConfig::default()
+            },
+        ),
+        Op::Is { workers } => run_is(
+            device,
+            &mut pool,
+            cpu,
+            costs,
+            &fx.table,
+            &fx.index,
+            lo,
+            hi,
+            &IsConfig {
+                workers,
+                prefetch_depth: 4,
+                retry,
+            },
+        ),
+        Op::SortedIs => run_sorted_is(
+            device,
+            &mut pool,
+            cpu,
+            costs,
+            &fx.table,
+            &fx.index,
+            lo,
+            hi,
+            &SortedIsConfig {
+                retry,
+                ..SortedIsConfig::default()
+            },
+        ),
+    }
+}
+
+fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::None),
+        ("every-97th", FaultPlan::EveryNth(97)),
+        ("random-2pct", FaultPlan::Random { p: 0.02, seed }),
+        (
+            "transient-20pct",
+            FaultPlan::Transient {
+                p: 0.2,
+                attempts: 2,
+                seed,
+            },
+        ),
+    ]
+}
+
+/// Every fault plan × operator combination must produce the exact fault-free
+/// answer or a typed I/O error — and must terminate.
+#[test]
+fn fault_sweep_exact_answer_or_typed_error() {
+    let seed = chaos_seed();
+    let fx = fixture(20_000, 33);
+    let sel = 0.08;
+    let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
+    let want_max = fx.table.data().naive_max_c1(lo, hi);
+    let want_rows = fx.table.data().count_matching(lo, hi);
+
+    for (plan_name, plan) in plans(seed) {
+        for op in OPS {
+            let inner = presets::consumer_pcie_ssd(fx.capacity, seed ^ 1);
+            let mut dev = Faulty::new(inner, plan.clone());
+            let r = run_op(&fx, op, &mut dev, 1024, sel, RetryPolicy::attempts(4));
+            match r {
+                Ok(m) => {
+                    assert_eq!(
+                        m.max_c1, want_max,
+                        "{plan_name}/{op:?}: wrong MAX under faults"
+                    );
+                    assert_eq!(
+                        m.rows_matched, want_rows,
+                        "{plan_name}/{op:?}: wrong row count under faults"
+                    );
+                }
+                Err(
+                    ExecError::Io { .. } | ExecError::IoExhausted { .. } | ExecError::PoolExhausted,
+                ) => {}
+                Err(other) => panic!("{plan_name}/{op:?}: untyped failure {other}"),
+            }
+        }
+    }
+}
+
+/// Transient faults (heal after k attempts) must be fully absorbed by the
+/// retry policy: the scan succeeds, and the retry counter proves the faults
+/// actually fired.
+#[test]
+fn transient_faults_heal_under_retry() {
+    let seed = chaos_seed();
+    let fx = fixture(20_000, 33);
+    let (lo, hi) = pioqo::storage::range_for_selectivity(0.1, u32::MAX - 1);
+    let inner = presets::consumer_pcie_ssd(fx.capacity, seed);
+    let mut dev = Faulty::new(
+        inner,
+        FaultPlan::Transient {
+            p: 0.25,
+            attempts: 2,
+            seed,
+        },
+    );
+    let m = run_op(
+        &fx,
+        Op::Fts { workers: 4 },
+        &mut dev,
+        1024,
+        0.1,
+        RetryPolicy::attempts(4),
+    )
+    .expect("transient faults heal inside the retry budget");
+    assert_eq!(m.max_c1, fx.table.data().naive_max_c1(lo, hi));
+    assert_eq!(m.rows_matched, fx.table.data().count_matching(lo, hi));
+    assert!(
+        m.resilience.retries > 0,
+        "the plan must actually have injected faults"
+    );
+}
+
+/// A RAID array with a failed spindle still answers every query exactly,
+/// reports its reconstruction reads, and is measurably slower than the
+/// healthy array.
+#[test]
+fn degraded_raid_scan_is_exact_and_slower() {
+    let seed = chaos_seed();
+    let fx = fixture(20_000, 33);
+    let (lo, hi) = pioqo::storage::range_for_selectivity(0.2, u32::MAX - 1);
+
+    let mut healthy = presets::raid_15k(8, fx.capacity, seed);
+    let hm = run_op(
+        &fx,
+        Op::Is { workers: 4 },
+        &mut healthy,
+        2048,
+        0.2,
+        RetryPolicy::default(),
+    )
+    .expect("healthy raid scan runs");
+
+    let mut degraded = presets::raid_15k(8, fx.capacity, seed);
+    degraded.set_degraded(Some(2));
+    let dm = run_op(
+        &fx,
+        Op::Is { workers: 4 },
+        &mut degraded,
+        2048,
+        0.2,
+        RetryPolicy::default(),
+    )
+    .expect("degraded raid scan runs");
+
+    assert_eq!(dm.max_c1, fx.table.data().naive_max_c1(lo, hi));
+    assert_eq!(dm.rows_matched, fx.table.data().count_matching(lo, hi));
+    assert_eq!(dm.max_c1, hm.max_c1);
+    assert!(
+        dm.resilience.degraded_reads > 0,
+        "reads on the failed spindle must be reconstructed"
+    );
+    assert_eq!(hm.resilience.degraded_reads, 0);
+    assert!(
+        dm.runtime > hm.runtime,
+        "reconstruction must cost time: healthy {} vs degraded {}",
+        hm.runtime,
+        dm.runtime
+    );
+}
+
+/// The whole fault machinery is deterministic: a faulty, tail-latency,
+/// retrying run serialized twice is byte-identical (including the
+/// resilience counters).
+#[test]
+fn chaos_runs_are_byte_identical() {
+    let seed = chaos_seed();
+    let run = || {
+        let fx = fixture(20_000, 33);
+        let mut parts = Vec::new();
+        for op in OPS {
+            let inner = presets::consumer_pcie_ssd(fx.capacity, seed ^ 3);
+            let mut dev = Faulty::new(
+                inner,
+                FaultPlan::Transient {
+                    p: 0.15,
+                    attempts: 1,
+                    seed,
+                },
+            )
+            .with_tail_latency(0.1, 4.0, seed ^ 5);
+            let r = run_op(&fx, op, &mut dev, 1024, 0.07, RetryPolicy::attempts(3));
+            parts.push(match r {
+                Ok(m) => serde_json::to_string(&m).expect("metrics serialize"),
+                Err(e) => format!("error: {e}"),
+            });
+        }
+        parts.join("\n")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "chaos run must be byte-identical under one seed");
+}
+
+/// Tail-latency injection slows a scan down but never changes its answer.
+#[test]
+fn tail_latency_slows_but_does_not_corrupt() {
+    let seed = chaos_seed();
+    let fx = fixture(20_000, 33);
+    let (lo, hi) = pioqo::storage::range_for_selectivity(0.1, u32::MAX - 1);
+
+    let inner = presets::consumer_pcie_ssd(fx.capacity, seed);
+    let mut clean = Faulty::new(inner, FaultPlan::None);
+    let cm = run_op(
+        &fx,
+        Op::SortedIs,
+        &mut clean,
+        1024,
+        0.1,
+        RetryPolicy::default(),
+    )
+    .expect("clean scan runs");
+
+    let inner = presets::consumer_pcie_ssd(fx.capacity, seed);
+    let mut slow = Faulty::new(inner, FaultPlan::None).with_tail_latency(0.2, 8.0, seed ^ 9);
+    let sm = run_op(
+        &fx,
+        Op::SortedIs,
+        &mut slow,
+        1024,
+        0.1,
+        RetryPolicy::default(),
+    )
+    .expect("tail-latency scan runs");
+
+    assert_eq!(sm.max_c1, fx.table.data().naive_max_c1(lo, hi));
+    assert_eq!(sm.rows_matched, fx.table.data().count_matching(lo, hi));
+    assert_eq!(sm.max_c1, cm.max_c1);
+    assert!(
+        sm.runtime > cm.runtime,
+        "stretching 20% of completions 8x must cost time: {} vs {}",
+        cm.runtime,
+        sm.runtime
+    );
+}
+
+/// Every operator surfaces `PoolExhausted` (not a panic, not a wrong
+/// answer) when the buffer pool has no evictable frame left.
+#[test]
+fn pinned_out_pool_surfaces_typed_error() {
+    let fx = fixture(20_000, 33);
+    for op in OPS {
+        let mut dev = presets::consumer_pcie_ssd(fx.capacity, 1);
+        // A pool whose every frame is pinned by pages outside the scan's
+        // working set: the first admission has nothing to evict.
+        let frames = 8;
+        let mut pool = BufferPool::new(frames);
+        for i in 0..frames as u64 {
+            pool.admit(fx.capacity - 1 - i).expect("fresh pool admits");
+        }
+        let (lo, hi) = pioqo::storage::range_for_selectivity(0.1, u32::MAX - 1);
+        let cpu = CpuConfig::paper_xeon();
+        let costs = CpuCosts::default();
+        let r = match op {
+            Op::Fts { workers } => run_fts(
+                &mut dev,
+                &mut pool,
+                cpu,
+                costs,
+                &fx.table,
+                lo,
+                hi,
+                &FtsConfig {
+                    workers,
+                    ..FtsConfig::default()
+                },
+            ),
+            Op::Is { workers } => run_is(
+                &mut dev,
+                &mut pool,
+                cpu,
+                costs,
+                &fx.table,
+                &fx.index,
+                lo,
+                hi,
+                &IsConfig {
+                    workers,
+                    ..IsConfig::default()
+                },
+            ),
+            Op::SortedIs => run_sorted_is(
+                &mut dev,
+                &mut pool,
+                cpu,
+                costs,
+                &fx.table,
+                &fx.index,
+                lo,
+                hi,
+                &SortedIsConfig::default(),
+            ),
+        };
+        assert!(
+            matches!(r, Err(ExecError::PoolExhausted)),
+            "{op:?}: expected PoolExhausted, got {r:?}"
+        );
+    }
+}

@@ -280,7 +280,7 @@ proptest! {
         let is = run_is(
             &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
             &table, &index, lo, hi,
-            &IsConfig { workers, prefetch_depth: workers % 3 },
+            &IsConfig { workers, prefetch_depth: workers % 3, ..IsConfig::default() },
         ).expect("is runs");
         prop_assert_eq!(is.max_c1, expected);
     }

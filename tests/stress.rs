@@ -56,6 +56,7 @@ fn randomized_scan_storm() {
                     workers,
                     prefetch_blocks: rng.below(12) as u32,
                     block_pages: 1 + rng.below(32) as u32,
+                    ..FtsConfig::default()
                 },
             ),
             1 => run_is(
@@ -70,6 +71,7 @@ fn randomized_scan_storm() {
                 &IsConfig {
                     workers,
                     prefetch_depth: rng.below(16) as u32,
+                    ..IsConfig::default()
                 },
             ),
             _ => run_sorted_is(
@@ -84,6 +86,7 @@ fn randomized_scan_storm() {
                 &SortedIsConfig {
                     prefetch_depth: 1 + rng.below(48) as u32,
                     leaf_prefetch: 1 + rng.below(16) as u32,
+                    ..SortedIsConfig::default()
                 },
             ),
         }
