@@ -1,0 +1,290 @@
+//! `pioqo-bench` — wall-clock benchmark harness for the PR-3 hot paths.
+//!
+//! ```text
+//! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH]
+//! ```
+//!
+//! Measures three things and emits a JSON report (default `BENCH_pr3.json`
+//! in the current directory):
+//!
+//! 1. **Event queue** — events/sec draining a seeded schedule with
+//!    repeated `pop` vs the cohort-draining `pop_batch`.
+//! 2. **Buffer pool** — page accesses/sec replaying the same trace on the
+//!    dense-table pool vs the reference `BTreeMap` backend.
+//! 3. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//!    harness threads (the repro binary is built on demand), plus the
+//!    host's logical CPU count so single-core machines are legible in the
+//!    artifact.
+//!
+//! All numbers are wall-clock (this is the one harness crate allowed to
+//! look at the real clock; see `lint.toml`).
+
+use pioqo_bufpool::{Access, BufferPool};
+use pioqo_simkit::{EventQueue, SimRng, SimTime};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut scale: u64 = 8;
+    let mut out_path = PathBuf::from("BENCH_pr3.json");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
+            }
+            "--out" => {
+                out_path = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("[bench] host logical CPUs: {cpus}");
+
+    let eq = bench_event_queue();
+    let bp = bench_bufpool();
+    let e2e = bench_end_to_end(scale);
+
+    let report = render_json(cpus, scale, &eq, &bp, &e2e);
+    if json {
+        println!("{report}");
+    }
+    match std::fs::write(&out_path, &report) {
+        Ok(()) => eprintln!("[bench] wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("[bench] failed to write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: pioqo-bench [--json] [--scale N] [--out PATH]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// (events, pop events/sec, pop_batch events/sec).
+struct EventQueueBench {
+    events: u64,
+    pop_per_sec: f64,
+    pop_batch_per_sec: f64,
+}
+
+/// Drain a schedule shaped like a device at queue depth ~32: many events
+/// sharing each timestamp (completion cohorts), which is exactly the shape
+/// `pop_batch` exists for.
+fn bench_event_queue() -> EventQueueBench {
+    const COHORTS: u64 = 200_000;
+    const PER_COHORT: u64 = 8;
+    const EVENTS: u64 = COHORTS * PER_COHORT;
+
+    let fill = |rng: &mut SimRng| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for c in 0..COHORTS {
+            let at = SimTime::from_micros(c * 100 + rng.below(50));
+            for e in 0..PER_COHORT {
+                q.schedule(at, c * PER_COHORT + e);
+            }
+        }
+        q
+    };
+
+    let mut rng = SimRng::seeded(42);
+    let mut q = fill(&mut rng);
+    let started = Instant::now();
+    let mut sink = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sink = sink.wrapping_add(e);
+    }
+    let pop_s = started.elapsed().as_secs_f64();
+
+    let mut rng = SimRng::seeded(42);
+    let mut q = fill(&mut rng);
+    let mut batch: Vec<u64> = Vec::with_capacity(PER_COHORT as usize);
+    let started = Instant::now();
+    while q.peek_time().is_some() {
+        batch.clear();
+        if q.pop_batch(&mut batch).is_some() {
+            for &e in &batch {
+                sink = sink.wrapping_add(e);
+            }
+        }
+    }
+    let pop_batch_s = started.elapsed().as_secs_f64();
+    // Keep `sink` observable so the drains aren't optimized away.
+    eprintln!("[bench] event queue: {EVENTS} events, checksum {sink:x}");
+    eprintln!(
+        "[bench]   pop: {:.0} ev/s, pop_batch: {:.0} ev/s",
+        EVENTS as f64 / pop_s,
+        EVENTS as f64 / pop_batch_s
+    );
+    EventQueueBench {
+        events: EVENTS,
+        pop_per_sec: EVENTS as f64 / pop_s,
+        pop_batch_per_sec: EVENTS as f64 / pop_batch_s,
+    }
+}
+
+/// (accesses, dense accesses/sec, reference accesses/sec).
+struct BufpoolBench {
+    accesses: u64,
+    dense_per_sec: f64,
+    reference_per_sec: f64,
+}
+
+/// Replay an identical seeded request/admit/unpin trace against the dense
+/// page table and the reference `BTreeMap` backend — the A/B behind the
+/// PR's page-table claim. Working set ~4x the pool so the trace exercises
+/// hits, misses and evictions.
+fn bench_bufpool() -> BufpoolBench {
+    const CAP: usize = 16_384;
+    const PAGES: u64 = 65_536;
+    const OPS: u64 = 4_000_000;
+
+    let run = |mut pool: BufferPool| -> f64 {
+        let mut rng = SimRng::seeded(7);
+        let started = Instant::now();
+        for _ in 0..OPS {
+            let page = rng.below(PAGES);
+            if pool.request(page) == Access::Miss {
+                pool.admit(page)
+                    .expect("bench trace never exhausts the pool");
+            }
+            pool.unpin(page).expect("bench page was just pinned");
+        }
+        let secs = started.elapsed().as_secs_f64();
+        pool.check_invariants();
+        secs
+    };
+
+    let dense_s = run(BufferPool::new(CAP));
+    let reference_s = run(BufferPool::new_reference(CAP));
+    eprintln!(
+        "[bench] bufpool: {OPS} accesses; dense {:.0}/s, reference {:.0}/s ({:.2}x)",
+        OPS as f64 / dense_s,
+        OPS as f64 / reference_s,
+        reference_s / dense_s
+    );
+    BufpoolBench {
+        accesses: OPS,
+        dense_per_sec: OPS as f64 / dense_s,
+        reference_per_sec: OPS as f64 / reference_s,
+    }
+}
+
+/// Wall seconds of `repro all --scale N` at the given thread count, or
+/// `None` when the run failed.
+struct EndToEndBench {
+    threads_1_s: Option<f64>,
+    threads_4_s: Option<f64>,
+}
+
+/// Locate the release `repro` binary next to our own executable, building
+/// it via cargo if it isn't there yet.
+fn find_repro() -> Option<PathBuf> {
+    let sibling = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    if !sibling.exists() {
+        eprintln!("[bench] building repro (release) ...");
+        let status = std::process::Command::new("cargo")
+            .args(["build", "--release", "-p", "pioqo-repro"])
+            .status()
+            .ok()?;
+        if !status.success() {
+            return None;
+        }
+    }
+    sibling.exists().then_some(sibling)
+}
+
+fn bench_end_to_end(scale: u64) -> EndToEndBench {
+    let Some(repro) = find_repro() else {
+        eprintln!("[bench] repro binary unavailable; skipping end-to-end runs");
+        return EndToEndBench {
+            threads_1_s: None,
+            threads_4_s: None,
+        };
+    };
+    let results = std::env::temp_dir().join(format!("pioqo-bench-{}", std::process::id()));
+    let run = |threads: &str| -> Option<f64> {
+        eprintln!("[bench] repro all --scale {scale} --threads {threads} ...");
+        let started = Instant::now();
+        let out = std::process::Command::new(&repro)
+            .args(["all", "--scale", &scale.to_string(), "--threads", threads])
+            .env("PIOQO_RESULTS", &results)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .ok()?;
+        out.success().then(|| started.elapsed().as_secs_f64())
+    };
+    let t1 = run("1");
+    let t4 = run("4");
+    let _ = std::fs::remove_dir_all(&results);
+    if let (Some(a), Some(b)) = (t1, t4) {
+        eprintln!(
+            "[bench] end-to-end: 1 thread {a:.1}s, 4 threads {b:.1}s ({:.2}x)",
+            a / b
+        );
+    }
+    EndToEndBench {
+        threads_1_s: t1,
+        threads_4_s: t4,
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_num)
+}
+
+fn render_json(
+    cpus: usize,
+    scale: u64,
+    eq: &EventQueueBench,
+    bp: &BufpoolBench,
+    e2e: &EndToEndBench,
+) -> String {
+    let e2e_speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
+        (Some(a), Some(b)) if b > 0.0 => json_num(a / b),
+        _ => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"bench\": \"pr3\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {{\n    \"events\": {},\n    \"pop_events_per_sec\": {},\n    \"pop_batch_events_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"bufpool\": {{\n    \"accesses\": {},\n    \"dense_accesses_per_sec\": {},\n    \"reference_btree_accesses_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"end_to_end\": {{\n    \"target\": \"all\",\n    \"scale\": {scale},\n    \"threads_1_wall_s\": {},\n    \"threads_4_wall_s\": {},\n    \"speedup\": {}\n  }}\n}}\n",
+        eq.events,
+        json_num(eq.pop_per_sec),
+        json_num(eq.pop_batch_per_sec),
+        json_num(eq.pop_batch_per_sec / eq.pop_per_sec),
+        bp.accesses,
+        json_num(bp.dense_per_sec),
+        json_num(bp.reference_per_sec),
+        json_num(bp.dense_per_sec / bp.reference_per_sec),
+        json_opt(e2e.threads_1_s),
+        json_opt(e2e.threads_4_s),
+        e2e_speedup,
+    )
+}

@@ -80,35 +80,195 @@ struct Frame {
     next: u32,
 }
 
+/// Page-id → frame-index table, the pool's hottest data structure.
+///
+/// The default backend is **dense**: page ids are dense per tablespace
+/// (tables and indexes are laid out consecutively from page 0), so a flat
+/// `Vec<u32>` indexed by page id gives O(1) lookups where the original
+/// `BTreeMap` paid O(log n) with pointer chasing on every single page
+/// access. The vector grows geometrically to the highest page id ever
+/// admitted — a few bytes per page of *addressed* extent, not of device
+/// capacity. The `BTree` backend is retained as the reference model for
+/// the property test and the `pioqo-bench` A/B microbenchmark.
+#[derive(Debug)]
+enum PageTable {
+    /// `slots[page] == NIL` means not resident; `seen` is a bitset of page
+    /// ids ever admitted (refetch accounting).
+    Dense {
+        /// Frame index per page id, `NIL` when absent.
+        slots: Vec<u32>,
+        /// Resident count (number of non-`NIL` slots).
+        resident: usize,
+        /// One bit per page id: admitted at least once since last flush.
+        seen: Vec<u64>,
+    },
+    /// The original map-based table, kept as a comparison baseline.
+    BTree {
+        /// Page id → frame index.
+        map: BTreeMap<u64, u32>,
+        /// Page ids admitted at least once since last flush.
+        seen: BTreeSet<u64>,
+    },
+}
+
+impl PageTable {
+    #[inline]
+    fn get(&self, page: u64) -> Option<u32> {
+        match self {
+            PageTable::Dense { slots, .. } => match slots.get(page as usize) {
+                Some(&idx) if idx != NIL => Some(idx),
+                _ => None,
+            },
+            PageTable::BTree { map, .. } => map.get(&page).copied(),
+        }
+    }
+
+    /// Insert a page that is known to be absent.
+    fn insert(&mut self, page: u64, frame: u32) {
+        match self {
+            PageTable::Dense {
+                slots, resident, ..
+            } => {
+                let i = page as usize;
+                if i >= slots.len() {
+                    let new_len = (i + 1).next_power_of_two().max(64);
+                    slots.resize(new_len, NIL);
+                }
+                debug_assert_eq!(slots[i], NIL);
+                slots[i] = frame;
+                *resident += 1;
+            }
+            PageTable::BTree { map, .. } => {
+                map.insert(page, frame);
+            }
+        }
+    }
+
+    /// Remove a page that is known to be present.
+    fn remove(&mut self, page: u64) {
+        match self {
+            PageTable::Dense {
+                slots, resident, ..
+            } => {
+                debug_assert_ne!(slots[page as usize], NIL);
+                slots[page as usize] = NIL;
+                *resident -= 1;
+            }
+            PageTable::BTree { map, .. } => {
+                map.remove(&page);
+            }
+        }
+    }
+
+    #[inline]
+    fn resident(&self) -> usize {
+        match self {
+            PageTable::Dense { resident, .. } => *resident,
+            PageTable::BTree { map, .. } => map.len(),
+        }
+    }
+
+    fn mark_seen(&mut self, page: u64) {
+        match self {
+            PageTable::Dense { seen, .. } => {
+                let word = (page / 64) as usize;
+                if word >= seen.len() {
+                    let new_len = (word + 1).next_power_of_two().max(8);
+                    seen.resize(new_len, 0);
+                }
+                seen[word] |= 1 << (page % 64);
+            }
+            PageTable::BTree { seen, .. } => {
+                seen.insert(page);
+            }
+        }
+    }
+
+    #[inline]
+    fn was_seen(&self, page: u64) -> bool {
+        match self {
+            PageTable::Dense { seen, .. } => seen
+                .get((page / 64) as usize)
+                .is_some_and(|w| w & (1 << (page % 64)) != 0),
+            PageTable::BTree { seen, .. } => seen.contains(&page),
+        }
+    }
+
+    /// Drop residency and history, keeping allocations for reuse.
+    fn clear(&mut self) {
+        match self {
+            PageTable::Dense {
+                slots,
+                resident,
+                seen,
+            } => {
+                slots.iter_mut().for_each(|s| *s = NIL);
+                seen.iter_mut().for_each(|w| *w = 0);
+                *resident = 0;
+            }
+            PageTable::BTree { map, seen } => {
+                map.clear();
+                seen.clear();
+            }
+        }
+    }
+}
+
 /// An LRU buffer pool. See the crate docs.
 #[derive(Debug)]
 pub struct BufferPool {
     cap: usize,
     frames: Vec<Frame>,
-    map: BTreeMap<u64, u32>,
+    table: PageTable,
     free: Vec<u32>,
     /// LRU list head (least recent) and tail (most recent) among resident
     /// frames; pinned frames stay in the list but are skipped by eviction.
     head: u32,
     tail: u32,
     stats: PoolStats,
-    ever_seen: BTreeSet<u64>,
 }
 
 impl BufferPool {
-    /// A pool with `capacity` frames (must be >= 1).
+    /// A pool with `capacity` frames (must be >= 1), using the dense
+    /// page-table fast path.
     pub fn new(capacity: usize) -> BufferPool {
+        Self::with_table(
+            capacity,
+            PageTable::Dense {
+                slots: Vec::new(),
+                resident: 0,
+                seen: Vec::new(),
+            },
+        )
+    }
+
+    /// A pool backed by the original `BTreeMap` page table.
+    ///
+    /// Behaviourally identical to [`BufferPool::new`] — the property test
+    /// in `tests/` replays random traces against both and asserts equal
+    /// `Access` results, evictions and [`PoolStats`]; `pioqo-bench` uses
+    /// it as the baseline of the page-access A/B microbenchmark.
+    pub fn new_reference(capacity: usize) -> BufferPool {
+        Self::with_table(
+            capacity,
+            PageTable::BTree {
+                map: BTreeMap::new(),
+                seen: BTreeSet::new(),
+            },
+        )
+    }
+
+    fn with_table(capacity: usize, table: PageTable) -> BufferPool {
         assert!(capacity >= 1, "pool needs at least one frame");
         assert!(capacity < NIL as usize, "pool too large for u32 links");
         BufferPool {
             cap: capacity,
             frames: Vec::new(),
-            map: BTreeMap::new(),
+            table,
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             stats: PoolStats::default(),
-            ever_seen: BTreeSet::new(),
         }
     }
 
@@ -119,12 +279,12 @@ impl BufferPool {
 
     /// Resident page count.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.table.resident()
     }
 
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.table.resident() == 0
     }
 
     /// Counters.
@@ -134,20 +294,27 @@ impl BufferPool {
 
     /// True if `page` is resident (no side effects, no pinning).
     pub fn contains(&self, page: u64) -> bool {
-        self.map.contains_key(&page)
+        self.table.get(page).is_some()
     }
 
     /// Number of resident pages within `[base, base+len)` — the cached-page
     /// statistic the optimizer consults per table/index extent.
     pub fn resident_in_range(&self, base: u64, len: u64) -> u64 {
-        if self.map.len() as u64 <= len {
-            self.map
-                .keys()
-                .filter(|&&p| p >= base && p < base + len)
-                .count() as u64
+        if (self.table.resident() as u64) <= len {
+            // Fewer residents than range pages: walk the LRU list.
+            let mut count = 0u64;
+            let mut cur = self.head;
+            while cur != NIL {
+                let f = &self.frames[cur as usize];
+                if f.page >= base && f.page < base + len {
+                    count += 1;
+                }
+                cur = f.next;
+            }
+            count
         } else {
             (base..base + len)
-                .filter(|p| self.map.contains_key(p))
+                .filter(|&p| self.table.get(p).is_some())
                 .count() as u64
         }
     }
@@ -180,7 +347,7 @@ impl BufferPool {
     /// and promoted to MRU; on [`Access::Miss`] the caller must do the I/O
     /// and then [`admit`](BufferPool::admit) the page.
     pub fn request(&mut self, page: u64) -> Access {
-        if let Some(&idx) = self.map.get(&page) {
+        if let Some(idx) = self.table.get(page) {
             self.stats.hits += 1;
             if self.frames[idx as usize].prefetched {
                 self.stats.prefetch_hits += 1;
@@ -192,7 +359,7 @@ impl BufferPool {
             Access::Hit
         } else {
             self.stats.misses += 1;
-            if self.ever_seen.contains(&page) {
+            if self.table.was_seen(page) {
                 self.stats.refetches += 1;
             }
             Access::Miss
@@ -213,7 +380,7 @@ impl BufferPool {
     }
 
     fn admit_inner(&mut self, page: u64, prefetched: bool, pin: bool) -> Result<(), PoolError> {
-        if let Some(&idx) = self.map.get(&page) {
+        if let Some(idx) = self.table.get(page) {
             if pin {
                 self.frames[idx as usize].pins += 1;
                 self.detach(idx);
@@ -221,7 +388,7 @@ impl BufferPool {
             }
             return Ok(());
         }
-        self.ever_seen.insert(page);
+        self.table.mark_seen(page);
         if prefetched {
             self.stats.prefetch_admissions += 1;
         }
@@ -246,7 +413,7 @@ impl BufferPool {
             prev: NIL,
             next: NIL,
         };
-        self.map.insert(page, idx);
+        self.table.insert(page, idx);
         self.push_mru(idx);
         Ok(())
     }
@@ -258,7 +425,7 @@ impl BufferPool {
             if self.frames[cur as usize].pins == 0 {
                 let page = self.frames[cur as usize].page;
                 self.detach(cur);
-                self.map.remove(&page);
+                self.table.remove(page);
                 self.stats.evictions += 1;
                 return Ok(cur);
             }
@@ -269,7 +436,7 @@ impl BufferPool {
 
     /// Release one pin on `page`.
     pub fn unpin(&mut self, page: u64) -> Result<(), PoolError> {
-        let idx = *self.map.get(&page).ok_or(PoolError::NotPinned(page))?;
+        let idx = self.table.get(page).ok_or(PoolError::NotPinned(page))?;
         let f = &mut self.frames[idx as usize];
         if f.pins == 0 {
             return Err(PoolError::NotPinned(page));
@@ -286,12 +453,11 @@ impl BufferPool {
             self.frames.iter().all(|f| f.pins == 0 || f.page == 0),
             "flush with pinned pages"
         );
-        self.map.clear();
+        self.table.clear();
         self.frames.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        self.ever_seen.clear();
     }
 
     /// Reset counters to zero.
@@ -303,19 +469,19 @@ impl BufferPool {
     /// no duplicate pages, length within capacity.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        assert!(self.map.len() <= self.cap);
+        assert!(self.table.resident() <= self.cap);
         let mut seen = 0usize;
         let mut cur = self.head;
         let mut prev = NIL;
         while cur != NIL {
             let f = &self.frames[cur as usize];
             assert_eq!(f.prev, prev, "broken prev link");
-            assert_eq!(self.map.get(&f.page), Some(&cur), "map/list mismatch");
+            assert_eq!(self.table.get(f.page), Some(cur), "table/list mismatch");
             seen += 1;
             prev = cur;
             cur = f.next;
         }
-        assert_eq!(seen, self.map.len(), "list length != resident count");
+        assert_eq!(seen, self.table.resident(), "list length != resident count");
         assert_eq!(self.tail, prev, "tail mismatch");
     }
 }

@@ -1,0 +1,137 @@
+//! Property test: the dense-table `BufferPool` is observationally
+//! identical to the reference `BTreeMap`-backed pool.
+//!
+//! Both pools replay the same randomized trace of requests, admits,
+//! prefetches, unpins and flushes; after every operation the `Access`
+//! results, error values, resident set size and the full `PoolStats`
+//! (hits, misses, evictions, refetches, prefetch counters) must agree,
+//! and at the end the resident sets themselves are compared page by page.
+
+use pioqo_bufpool::{Access, BufferPool, PoolError};
+use proptest::prelude::*;
+
+/// One step of a trace: an opcode and a page argument.
+type Op = (u8, u64);
+
+fn stats_eq(a: &BufferPool, b: &BufferPool) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        format!("{:?}", a.stats()),
+        format!("{:?}", b.stats()),
+        "stats diverged: dense={:?} reference={:?}",
+        a.stats(),
+        b.stats()
+    );
+    prop_assert_eq!(a.len(), b.len(), "resident counts diverged");
+    Ok(())
+}
+
+/// Replay `ops` against a dense pool and a reference pool in lockstep.
+fn replay(cap: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut dense = BufferPool::new(cap);
+    let mut reference = BufferPool::new_reference(cap);
+    // Pages currently holding pins (same for both pools by induction).
+    let mut pinned: Vec<u64> = Vec::new();
+
+    for &(code, page) in ops {
+        // Never wedge the trace: with every frame pinned, unpin first.
+        let code = if pinned.len() >= cap { 7 } else { code };
+        match code {
+            // Demand request, admit on miss, sometimes keep the pin.
+            0..=5 => {
+                let a = dense.request(page);
+                let b = reference.request(page);
+                prop_assert_eq!(a, b, "request({}) diverged", page);
+                if a == Access::Miss {
+                    let ra = dense.admit(page);
+                    let rb = reference.admit(page);
+                    prop_assert_eq!(&ra, &rb, "admit({}) diverged", page);
+                    if ra.is_err() {
+                        stats_eq(&dense, &reference)?;
+                        continue;
+                    }
+                }
+                if code % 2 == 0 {
+                    prop_assert_eq!(dense.unpin(page), Ok(()));
+                    prop_assert_eq!(reference.unpin(page), Ok(()));
+                } else {
+                    pinned.push(page);
+                }
+            }
+            // Asynchronous prefetch completion (admits unpinned).
+            6 => {
+                let ra = dense.admit_prefetched(page);
+                let rb = reference.admit_prefetched(page);
+                prop_assert_eq!(ra, rb, "admit_prefetched({}) diverged", page);
+            }
+            // Release a tracked pin (or probe an unpinned page's error).
+            7 => {
+                if let Some(i) = pinned
+                    .len()
+                    .checked_sub(1)
+                    .map(|last| (page as usize) % (last + 1))
+                {
+                    let p = pinned.swap_remove(i);
+                    prop_assert_eq!(dense.unpin(p), Ok(()));
+                    prop_assert_eq!(reference.unpin(p), Ok(()));
+                } else {
+                    prop_assert_eq!(dense.unpin(page), Err(PoolError::NotPinned(page)));
+                    prop_assert_eq!(reference.unpin(page), Err(PoolError::NotPinned(page)));
+                }
+            }
+            // Cold-start flush (requires no pins outstanding).
+            8 => {
+                for p in pinned.drain(..) {
+                    dense.unpin(p).expect("tracked pin");
+                    reference.unpin(p).expect("tracked pin");
+                }
+                dense.flush_all();
+                reference.flush_all();
+            }
+            // Read-only probes.
+            _ => {
+                prop_assert_eq!(dense.contains(page), reference.contains(page));
+                let (base, len) = (page.saturating_sub(16), 64);
+                prop_assert_eq!(
+                    dense.resident_in_range(base, len),
+                    reference.resident_in_range(base, len)
+                );
+            }
+        }
+        stats_eq(&dense, &reference)?;
+    }
+
+    // Final deep comparison: identical resident sets and internal
+    // consistency on both backends.
+    dense.check_invariants();
+    reference.check_invariants();
+    for &(_, page) in ops {
+        prop_assert_eq!(
+            dense.contains(page),
+            reference.contains(page),
+            "final residency of page {} diverged",
+            page
+        );
+    }
+    prop_assert_eq!(dense.resident_in_range(0, 1 << 17), dense.len() as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_pool_matches_reference_model(
+        cap in 1usize..48,
+        ops in prop::collection::vec((0u8..10, 0u64..4096), 0usize..600),
+    ) {
+        replay(cap, &ops)?;
+    }
+
+    #[test]
+    fn dense_pool_matches_reference_on_wide_page_domain(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u8..10, 0u64..100_000), 0usize..300),
+    ) {
+        replay(cap, &ops)?;
+    }
+}

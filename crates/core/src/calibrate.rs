@@ -174,6 +174,131 @@ impl Calibrator {
         (Qdtt::new(bands.clone(), qds.clone(), grid), report)
     }
 
+    /// Calibrate the full QDTT grid in parallel, one fresh device per point.
+    ///
+    /// The parallel analogue of [`Calibrator::calibrate_qdtt`]:
+    /// `make_device` builds an identical cold device for every grid point,
+    /// each point draws its offsets from an rng derived purely from the
+    /// config seed and the point's grid coordinates
+    /// ([`SimRng::derive`]), and the per-point work fans out over
+    /// [`pioqo_simkit::par::par_map`]. Rows still run in ascending
+    /// queue-depth order and the largest band of each row is probed
+    /// *before* the rest of the row fans out, so the §4.6 early stop
+    /// measures and skips exactly the points the sequential protocol
+    /// would.
+    ///
+    /// Because points no longer thread one rng/device/clock through the
+    /// grid, the measured values differ numerically from
+    /// [`Calibrator::calibrate_qdtt`] — but they are identical at every
+    /// thread count, which is the invariant the harness enforces.
+    pub fn calibrate_qdtt_with<D, F>(&self, make_device: F) -> (Qdtt, CalibrationReport)
+    where
+        D: DeviceModel,
+        F: Fn() -> D + Sync,
+    {
+        let bands = &self.cfg.band_sizes;
+        let qds = &self.cfg.queue_depths;
+        let nb = bands.len();
+        let mut grid = vec![f64::NAN; nb * qds.len()];
+        let mut report = CalibrationReport::default();
+
+        'qd_loop: for (qi, &qd) in qds.iter().enumerate() {
+            // One derivation base per row; streams within the row are the
+            // band indexes, so every grid point gets a globally unique
+            // (base, stream) pair.
+            let row_seed = self
+                .cfg
+                .seed
+                .wrapping_add((qi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+            // §4.6 ordering: probe the largest band first.
+            let probe_rng = SimRng::derive(row_seed, (nb - 1) as u64);
+            let (cost, local) = self.measure_fresh(&make_device, bands[nb - 1], qd, probe_rng);
+            grid[qi * nb + (nb - 1)] = cost;
+            merge_report(&mut report, &local);
+
+            if qi > 0 {
+                if let Some(t_pct) = self.cfg.early_stop_pct {
+                    let prev = grid[(qi - 1) * nb + (nb - 1)];
+                    let improvement = (prev - cost) / prev * 100.0;
+                    if improvement < t_pct {
+                        report.stopped_at_qd = Some(qd);
+                        for qj in qi..qds.len() {
+                            for bj in 0..nb {
+                                let fill = grid[bj] * self.cfg.stop_fill_factor;
+                                let cell = &mut grid[qj * nb + bj];
+                                if cell.is_nan() {
+                                    *cell = fill;
+                                    report.points_defaulted += 1;
+                                }
+                            }
+                        }
+                        break 'qd_loop;
+                    }
+                }
+            }
+
+            // Fan the rest of the row out across threads.
+            if nb > 1 {
+                let rest: Vec<(usize, u64)> = (0..nb - 1).rev().map(|bi| (bi, bands[bi])).collect();
+                let results = pioqo_simkit::par::par_map(row_seed, &rest, |rng, &(_, band)| {
+                    self.measure_fresh(&make_device, band, qd, rng)
+                });
+                for (&(bi, _), (cost, local)) in rest.iter().zip(&results) {
+                    grid[qi * nb + bi] = *cost;
+                    merge_report(&mut report, local);
+                }
+            }
+        }
+        debug_assert!(grid.iter().all(|c| !c.is_nan()));
+        (Qdtt::new(bands.clone(), qds.clone(), grid), report)
+    }
+
+    /// Parallel analogue of [`Calibrator::calibrate_dtt`]: every band is
+    /// measured on a fresh device from `make_device` with a derived rng,
+    /// fanned out over [`pioqo_simkit::par::par_map`].
+    pub fn calibrate_dtt_with<D, F>(&self, make_device: F) -> (Dtt, CalibrationReport)
+    where
+        D: DeviceModel,
+        F: Fn() -> D + Sync,
+    {
+        let mut report = CalibrationReport::default();
+        let bands: Vec<u64> = self.cfg.band_sizes.iter().rev().copied().collect();
+        let results = pioqo_simkit::par::par_map(self.cfg.seed, &bands, |rng, &band| {
+            self.measure_fresh(&make_device, band, 1, rng)
+        });
+        let points = bands
+            .iter()
+            .zip(&results)
+            .map(|(&band, (cost, local))| {
+                merge_report(&mut report, local);
+                (band, *cost)
+            })
+            .collect();
+        (Dtt::new(points), report)
+    }
+
+    /// Measure one point on a freshly built device with its own clock —
+    /// the unit of work `calibrate_*_with` hands to worker threads.
+    fn measure_fresh<D, F>(
+        &self,
+        make_device: &F,
+        band: u64,
+        qd: u32,
+        mut rng: SimRng,
+    ) -> (f64, CalibrationReport)
+    where
+        D: DeviceModel,
+        F: Fn() -> D + Sync,
+    {
+        let mut dev = make_device();
+        let mut clock = PointClock::default();
+        let mut local = CalibrationReport::default();
+        let cost = self.measure_avg(&mut dev, band, qd, &mut rng, &mut clock, &mut local);
+        local.points_measured = 1;
+        (cost, local)
+    }
+
     /// Calibrate only the DTT (queue depth 1).
     pub fn calibrate_dtt(&self, dev: &mut dyn DeviceModel) -> (Dtt, CalibrationReport) {
         let mut report = CalibrationReport::default();
@@ -276,6 +401,15 @@ impl Calibrator {
         report.virtual_duration += elapsed;
         elapsed.as_micros_f64() / offsets.len() as f64
     }
+}
+
+/// Fold one per-point report into the aggregate (order-independent sums,
+/// so the merge order cannot leak thread scheduling into the result).
+fn merge_report(into: &mut CalibrationReport, from: &CalibrationReport) {
+    into.points_measured += from.points_measured;
+    into.points_defaulted += from.points_defaulted;
+    into.total_reads += from.total_reads;
+    into.virtual_duration += from.virtual_duration;
 }
 
 /// Monotonic clock shared across calibration points (device pipeline state
@@ -534,6 +668,60 @@ mod tests {
         let (m, report) = cal.calibrate_qdtt(&mut dev);
         assert!(report.total_reads > 0);
         assert!(m.cost(1, 1) > 0.0);
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_physics() {
+        // The _with variant measures with per-point devices/rngs, so the
+        // numbers differ from the sequential grid — but the device physics
+        // conclusions must be the same.
+        let cal = Calibrator::new(small_cfg(Method::ActiveWait));
+        let (m, report) = cal.calibrate_qdtt_with(|| consumer_pcie_ssd(1 << 18, 1));
+        assert_eq!(report.points_measured, 18);
+        assert_eq!(report.points_defaulted, 0);
+        let c1 = m.cost(1 << 18, 1);
+        let c32 = m.cost(1 << 18, 32);
+        assert!(c32 < c1 / 4.0, "SSD qd32 ≪ qd1: {c1} vs {c32}");
+    }
+
+    #[test]
+    fn parallel_early_stop_matches_sequential_protocol() {
+        let mut cfg = small_cfg(Method::ActiveWait);
+        cfg.early_stop_pct = Some(20.0);
+        let cal = Calibrator::new(cfg);
+        let (_, par_report) = cal.calibrate_qdtt_with(|| hdd_7200(1 << 18, 1));
+        let mut dev = hdd_7200(1 << 18, 1);
+        let (_, seq_report) = cal.calibrate_qdtt(&mut dev);
+        // Same stop depth and same measured/defaulted point counts: the
+        // parallel protocol probes and skips exactly the same cells.
+        assert_eq!(par_report.stopped_at_qd, seq_report.stopped_at_qd);
+        assert_eq!(par_report.points_measured, seq_report.points_measured);
+        assert_eq!(par_report.points_defaulted, seq_report.points_defaulted);
+    }
+
+    #[test]
+    fn parallel_calibration_is_deterministic() {
+        let run = || {
+            let cal = Calibrator::new(small_cfg(Method::ActiveWait));
+            cal.calibrate_qdtt_with(|| consumer_pcie_ssd(1 << 18, 7)).0
+        };
+        assert_eq!(run(), run());
+        let run_dtt = || {
+            let cal = Calibrator::new(small_cfg(Method::ActiveWait));
+            cal.calibrate_dtt_with(|| hdd_7200(1 << 18, 7)).0
+        };
+        assert_eq!(run_dtt(), run_dtt());
+    }
+
+    #[test]
+    fn boxed_device_factory_works() {
+        // Experiment::make_device returns Box<dyn DeviceModel>; the blanket
+        // impl lets the factory hand those straight to the calibrator.
+        let cal = Calibrator::new(small_cfg(Method::ActiveWait));
+        let make =
+            || -> Box<dyn pioqo_device::DeviceModel> { Box::new(consumer_pcie_ssd(1 << 18, 3)) };
+        let (m, _) = cal.calibrate_dtt_with(make);
+        assert!(m.cost(64) > 0.0);
     }
 
     #[test]

@@ -126,6 +126,43 @@ pub trait DeviceModel {
     fn reset_state(&mut self);
 }
 
+/// A boxed device is itself a device — lets generic drivers (e.g. the
+/// calibrator's per-point device factories) accept `Box<dyn DeviceModel>`
+/// from preset constructors without unwrapping.
+impl DeviceModel for Box<dyn DeviceModel> {
+    fn page_size(&self) -> u32 {
+        (**self).page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        (**self).capacity_pages()
+    }
+
+    fn submit(&mut self, now: SimTime, req: IoRequest) {
+        (**self).submit(now, req)
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        (**self).next_event()
+    }
+
+    fn advance(&mut self, now: SimTime, out: &mut Vec<IoCompletion>) {
+        (**self).advance(now, out)
+    }
+
+    fn outstanding(&self) -> usize {
+        (**self).outstanding()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn reset_state(&mut self) {
+        (**self).reset_state()
+    }
+}
+
 /// Convenience: drain *all* remaining completions from a device by
 /// repeatedly advancing to its next event. Returns the time of the last
 /// completion (or `now` if none were outstanding).

@@ -74,6 +74,8 @@ pub struct Ssd {
     seq_next: u64,
     /// Internal completion calendar.
     done: EventQueue<(IoRequest, SimTime)>,
+    /// Scratch buffer reused by `advance` to drain same-instant cohorts.
+    batch: Vec<(IoRequest, SimTime)>,
     outstanding: usize,
 }
 
@@ -92,6 +94,7 @@ impl Ssd {
             map_cache: Vec::with_capacity(cache),
             seq_next: u64::MAX,
             done: EventQueue::new(),
+            batch: Vec::new(),
             outstanding: 0,
         }
     }
@@ -187,16 +190,17 @@ impl DeviceModel for Ssd {
     }
 
     fn advance(&mut self, now: SimTime, out: &mut Vec<IoCompletion>) {
-        while let Some(t) = self.done.peek_time() {
-            if t > now {
-                break;
+        // Completions pile up on shared instants (interface pacing rounds
+        // same-batch finish times together), so drain each cohort in one
+        // heap pass instead of a peek/pop pair per event.
+        while self.done.peek_time().is_some_and(|t| t <= now) {
+            self.batch.clear();
+            if let Some(t) = self.done.pop_batch(&mut self.batch) {
+                for (req, submitted) in self.batch.drain(..) {
+                    out.push(IoCompletion::ok(req, submitted, t));
+                    self.outstanding -= 1;
+                }
             }
-            let (t, (req, submitted)) = self
-                .done
-                .pop()
-                .expect("completion heap was non-empty when peeked");
-            out.push(IoCompletion::ok(req, submitted, t));
-            self.outstanding -= 1;
         }
     }
 

@@ -1,8 +1,8 @@
 // Known-bad fixture for the pioqo-lint integration tests. Every rule
-// D1-D5 fires at least once below, and the absence of the mandatory
-// crate-root attributes makes D6 fire twice. This file is never compiled;
-// it only exists to be scanned. The trailing #[cfg(test)] module holds
-// would-be violations that must NOT be reported.
+// D1-D5 and D7 fires at least once below, and the absence of the
+// mandatory crate-root attributes makes D6 fire twice. This file is never
+// compiled; it only exists to be scanned. The trailing #[cfg(test)]
+// module holds would-be violations that must NOT be reported.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -21,6 +21,10 @@ pub fn short_message(v: Option<u64>) -> u64 {
 
 pub fn boom() -> ! {
     panic!("fixture panic");
+}
+
+pub fn race() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
 }
 
 // A descriptive expect and BTree collections are compliant; these lines

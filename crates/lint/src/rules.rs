@@ -14,12 +14,13 @@
 //! | D4   | No raw arithmetic on time-named bindings — use `SimTime`/`SimDuration` |
 //! | D5   | No panics in library crates (`unwrap`, `panic!`, ...) — return errors |
 //! | D6   | Library crates declare `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | D7   | No OS threads in simulation crates — concurrency is modeled in virtual time |
 
 use crate::diag::Diagnostic;
 use crate::lexer::is_ident_char;
 
 /// All rule identifiers, in severity-agnostic lexical order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7"];
 
 /// Crates whose code runs inside the deterministic simulation; D3/D4
 /// apply only here (matching the `crates/<name>` directory name).
@@ -166,6 +167,29 @@ pub fn check_file(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
                      wrap it in SimTime/SimDuration so units cannot mix"
                 ),
             );
+        }
+    }
+
+    // D7: OS threading primitives in simulation crates. Harness crates
+    // (repro, bench, workload) may spawn real threads freely; inside the
+    // simulation, concurrency must be modeled in virtual time, and the
+    // only sanctioned real-thread site is `simkit::par` (allowlisted in
+    // lint.toml with its determinism argument).
+    if is_sim {
+        for token in ["thread", "spawn", "JoinHandle"] {
+            for off in word_hits(&masked, token) {
+                if off >= test_start {
+                    continue;
+                }
+                emit(
+                    "D7",
+                    off,
+                    format!(
+                        "OS thread primitive `{token}` in simulation crate: model concurrency \
+                         in virtual time; real threads belong to the harness (simkit::par)"
+                    ),
+                );
+            }
         }
     }
 
@@ -447,6 +471,29 @@ mod tests {
     fn d4_ignores_method_calls_and_derefs() {
         let src = "let a = c.latency();\nlet b = *wait_ns;\nfn f(x_ns: u64) -> u64 { x_ns }\n";
         assert!(lint(src, "device", true, false).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_os_threads_in_sim_crates_only() {
+        let src =
+            "pub fn go() -> std::thread::JoinHandle<()> {\n    std::thread::spawn(|| {})\n}\n";
+        let diags = lint(src, "exec", true, false);
+        let fired = rules(&diags);
+        assert!(
+            fired.iter().all(|&r| r == "D7") && fired.len() >= 2,
+            "expected only D7 findings: {fired:?}"
+        );
+        // Harness crates may use real threads.
+        assert!(lint(src, "workload", true, false).is_empty());
+        assert!(lint(src, "repro", false, false).is_empty());
+    }
+
+    #[test]
+    fn d7_ignores_virtual_thread_names_and_comments() {
+        // `Threads` (the calibration driver enum) and prose mentions must
+        // not trip the OS-thread rule.
+        let src = "pub enum Method { Threads }\n// a thread of execution in prose\n";
+        assert!(lint(src, "core", true, false).is_empty());
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn fixtures_trip_every_rule() {
     assert_eq!(
         fired,
         expected,
-        "every rule D1-D6 must fire on the known-bad fixture:\n{}",
+        "every rule D1-D7 must fire on the known-bad fixture:\n{}",
         report.render_table()
     );
 
@@ -63,7 +63,7 @@ fn fixtures_trip_every_rule() {
             "unexpected finding outside the known-bad file: {d:?}"
         );
     }
-    let test_region_line = 32; // the #[cfg(test)] attribute in the fixture
+    let test_region_line = 36; // the #[cfg(test)] attribute in the fixture
     for d in &report.diagnostics {
         assert!(
             d.line < test_region_line,

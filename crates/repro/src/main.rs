@@ -1,13 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale N] [--reps N] <target>...
+//! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] <target>...
 //!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 all
 //! ```
 //!
 //! `--scale N` divides experiment row counts by N (quick runs);
-//! `--reps N` sets calibration repetitions for the AW/GW figures.
+//! `--reps N` sets calibration repetitions for the AW/GW figures;
+//! `--threads N` sets the harness thread count (equivalent to the
+//! `PIOQO_THREADS` environment variable — results are byte-identical at
+//! any thread count, threads only change wall-clock time).
 //! Output: aligned text tables on stdout plus CSVs under `results/`
 //! (override with `PIOQO_RESULTS`).
 
@@ -24,23 +27,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--scale" => {
-                opts.scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
-            }
-            "--reps" => {
-                opts.reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
-            }
-            "--buffer-mb" => {
-                opts.buffer_mb = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--buffer-mb needs a positive integer"));
+            "--scale" => opts.scale = parse_positive(&mut args, "--scale"),
+            "--reps" => opts.reps = parse_positive(&mut args, "--reps") as u32,
+            "--buffer-mb" => opts.buffer_mb = parse_positive(&mut args, "--buffer-mb"),
+            "--threads" => {
+                let n = parse_positive(&mut args, "--threads");
+                // The harness pool reads this on every par_map call; the
+                // flag is just a spelling of the environment variable.
+                std::env::set_var("PIOQO_THREADS", n.to_string());
             }
             "--help" | "-h" => usage(""),
             t => targets.push(t.to_string()),
@@ -55,6 +49,17 @@ fn main() {
         run_target(t, opts);
     }
     eprintln!("[done] {:.1}s wall", started.elapsed().as_secs_f64());
+}
+
+/// Parse the next argument as a strictly positive integer, or exit with a
+/// usage error. `0` is rejected: a zero scale would divide row counts away
+/// entirely, zero reps would produce empty statistics, and zero threads or
+/// buffer pages are meaningless.
+fn parse_positive(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    match args.next().and_then(|v| v.parse::<u64>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => usage(&format!("{flag} needs a positive integer (>= 1)")),
+    }
 }
 
 fn run_target(target: &str, opts: Opts) {
@@ -98,7 +103,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--reps N] [--buffer-mb N] <target>...\n\
+        "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"
     );

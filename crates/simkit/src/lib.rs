@@ -5,7 +5,9 @@
 //! * [`SimTime`] / [`SimDuration`] — an exact integer virtual clock;
 //! * [`EventQueue`] — a deterministic event calendar (FIFO tie-breaking);
 //! * [`SimRng`] — seeded randomness with sampling helpers;
-//! * [`stats`] — running statistics and time-weighted level tracking.
+//! * [`stats`] — running statistics and time-weighted level tracking;
+//! * [`par`] — deterministic scoped-thread fan-out for independent
+//!   experiment grid points (results merged in submission order).
 //!
 //! Device models (`pioqo-device`) and the execution engine (`pioqo-exec`)
 //! are actors driven by a single event loop built from these pieces; the
@@ -15,6 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod par;
 mod queue;
 mod rng;
 pub mod stats;

@@ -1,0 +1,174 @@
+//! Deterministic scoped-thread fan-out for embarrassingly parallel grids.
+//!
+//! The experiment harness evaluates large grids of *independent*
+//! simulation points (figure curves, calibration cells, repetitions).
+//! [`par_map`] runs such a grid across OS threads while keeping the
+//! workspace's byte-determinism invariant:
+//!
+//! * every item gets its own [`SimRng`] derived as a pure function of
+//!   `(master_seed, item_index)` via [`SimRng::derive`] — no generator is
+//!   ever shared or advanced across items, so RNG streams are invariant
+//!   under scheduling order;
+//! * results are merged back **in submission order**, so the output `Vec`
+//!   is identical no matter how the items were interleaved across threads.
+//!
+//! Together these make `PIOQO_THREADS=1` and `PIOQO_THREADS=N` produce
+//! byte-identical CSVs (enforced by `crates/repro/tests/` and CI).
+//!
+//! The pool is dependency-free: plain `std::thread::scope`, one atomic
+//! work index, no channels. Worker threads exist only inside `par_map`;
+//! nothing simulated ever runs concurrently with itself. This module is
+//! the one allowlisted `std::thread` exception in a simulation crate
+//! (lint rule D7, see `lint.toml`).
+
+use crate::SimRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the harness should use.
+///
+/// Reads `PIOQO_THREADS` (the `repro --threads N` flag sets it); any
+/// value that is not a positive integer falls back to the host's
+/// available parallelism. The returned count only affects wall-clock
+/// time, never results — see the module docs.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("PIOQO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on [`thread_count`] threads, returning results in
+/// submission order.
+///
+/// Item `i` receives `SimRng::derive(master_seed, i)`, so its random
+/// stream depends only on its position in `items`, not on which thread
+/// ran it or when. With one thread (or one item) the items run inline on
+/// the caller's thread with the *same* derived seeds, which is what makes
+/// the single-threaded and multi-threaded outputs byte-identical.
+pub fn par_map<T, R, F>(master_seed: u64, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(SimRng, &T) -> R + Sync,
+{
+    par_map_threads(thread_count(), master_seed, items, f)
+}
+
+/// [`par_map`] with an explicit thread count (used by tests and the
+/// benchmark harness to pin both sides of a 1-vs-N comparison).
+pub fn par_map_threads<T, R, F>(threads: usize, master_seed: u64, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(SimRng, &T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(SimRng::derive(master_seed, i as u64), item))
+            .collect();
+    }
+
+    // One shared claim counter; each worker grabs the next unclaimed index
+    // and keeps `(index, result)` pairs locally so no lock sits on the
+    // result path. Which worker computes which item varies run to run —
+    // the derived seeds and the index-ordered merge below are what keep
+    // the output independent of that.
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(SimRng::derive(master_seed, i as u64), &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            buckets.push(handle.join().expect("par_map worker thread panicked"));
+        }
+    });
+
+    // Merge in submission order.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("par_map worker skipped a claimed item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A little simulation-shaped job: consume the derived rng and fold it
+    /// with the item so both seed and payload show up in the result.
+    fn job(mut rng: SimRng, item: &u64) -> u64 {
+        let mut acc = *item;
+        for _ in 0..16 {
+            acc = acc.wrapping_add(rng.below(1 << 20));
+        }
+        acc
+    }
+
+    #[test]
+    fn order_matches_input_and_thread_count_is_invisible() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq = par_map_threads(1, 0xC0FFEE, &items, job);
+        for threads in [2, 3, 4, 8, 64] {
+            let par = par_map_threads(threads, 0xC0FFEE, &items, job);
+            assert_eq!(seq, par, "threads={threads} diverged from threads=1");
+        }
+    }
+
+    #[test]
+    fn each_item_gets_its_derived_stream() {
+        let items = [5u64, 5, 5];
+        let out = par_map_threads(2, 99, &items, |mut rng, _| rng.next_u64());
+        // Same payloads, different streams.
+        assert_ne!(out[0], out[1]);
+        assert_ne!(out[1], out[2]);
+        // And stream i is exactly SimRng::derive(seed, i).
+        assert_eq!(out[0], SimRng::derive(99, 0).next_u64());
+        assert_eq!(out[2], SimRng::derive(99, 2).next_u64());
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_threads(4, 1, &empty, job).is_empty());
+        let one = [7u64];
+        assert_eq!(
+            par_map_threads(4, 1, &one, job),
+            par_map_threads(1, 1, &one, job)
+        );
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u64> = (0..3).collect();
+        let a = par_map_threads(16, 2, &items, job);
+        let b = par_map_threads(1, 2, &items, job);
+        assert_eq!(a, b);
+    }
+}

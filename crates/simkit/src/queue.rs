@@ -95,6 +95,34 @@ impl<E> EventQueue<E> {
         Some((entry.at, entry.event))
     }
 
+    /// Drain every event sharing the earliest firing time into `out` in
+    /// one pass, advancing the clock to that time.
+    ///
+    /// Device schedulers frequently complete several I/Os at the same
+    /// virtual instant (e.g. a striped read finishing across channels);
+    /// draining the cohort in one call saves a peek/pop pair per event and
+    /// lets the caller process the batch with the timestamp hoisted out of
+    /// the loop. Events are appended in schedule order (FIFO tie-break),
+    /// identical to repeated [`EventQueue::pop`] calls. Returns the shared
+    /// firing time, or `None` when the calendar is empty (`out` untouched).
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let first = self.heap.pop()?;
+        debug_assert!(first.at >= self.now);
+        let at = first.at;
+        self.now = at;
+        out.push(first.event);
+        while let Some(next) = self.heap.peek() {
+            if next.at != at {
+                break;
+            }
+            // Unwrap is fine: peek just proved the heap is non-empty.
+            if let Some(entry) = self.heap.pop() {
+                out.push(entry.event);
+            }
+        }
+        Some(at)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -149,6 +177,47 @@ mod tests {
         q.schedule(SimTime::from_micros(10), ());
         q.pop();
         q.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn pop_batch_drains_cohort_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), "a");
+        q.schedule(SimTime::from_micros(9), "d");
+        q.schedule(SimTime::from_micros(5), "b");
+        q.schedule(SimTime::from_micros(5), "c");
+        let mut batch = Vec::new();
+        let t = q.pop_batch(&mut batch);
+        assert_eq!(t, Some(SimTime::from_micros(5)));
+        assert_eq!(batch, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_micros(5));
+        assert_eq!(q.len(), 1);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_micros(9)));
+        assert_eq!(batch, vec!["d"]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert_eq!(batch, vec!["d"], "empty queue must leave out untouched");
+    }
+
+    #[test]
+    fn pop_batch_matches_repeated_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let times = [3u64, 1, 3, 2, 1, 1, 9, 2];
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule(SimTime::from_micros(t), i);
+            b.schedule(SimTime::from_micros(t), i);
+        }
+        let mut via_pop = Vec::new();
+        while let Some((t, e)) = a.pop() {
+            via_pop.push((t, e));
+        }
+        let mut via_batch = Vec::new();
+        let mut scratch = Vec::new();
+        while let Some(t) = b.pop_batch(&mut scratch) {
+            via_batch.extend(scratch.drain(..).map(|e| (t, e)));
+        }
+        assert_eq!(via_pop, via_batch);
     }
 
     #[test]

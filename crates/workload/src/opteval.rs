@@ -39,11 +39,15 @@ pub struct CalibratedModels {
 }
 
 /// Calibrate the experiment's device with the paper's defaults.
+///
+/// Grid points run in parallel on the harness pool, one fresh cold
+/// device per point (`calibrate_qdtt_with`), so the result is identical
+/// at any thread count.
 pub fn calibrate(exp: &Experiment) -> CalibratedModels {
-    let mut dev = exp.make_device();
+    let dev = exp.make_device();
     let cfg = CalibrationConfig::for_device(dev.capacity_pages(), exp.cfg.seed ^ 0xCA11);
     let cal = Calibrator::new(cfg);
-    let (qdtt, _) = cal.calibrate_qdtt(&mut *dev);
+    let (qdtt, _) = cal.calibrate_qdtt_with(|| exp.make_device());
     CalibratedModels {
         dtt: qdtt.to_dtt(),
         qdtt,
@@ -81,31 +85,32 @@ pub fn evaluate(
 ) -> Vec<OptEvalPoint> {
     let old_model = DttCost(models.dtt.clone());
     let new_model = QdttCost(models.qdtt.clone());
-    let old = Optimizer::new(&old_model, opt_cfg.clone());
-    let new = Optimizer::new(&new_model, opt_cfg.clone());
     let stats = cold_stats(exp);
 
-    selectivities
-        .iter()
-        .map(|&sel| {
-            let old_plan = old.choose(&stats, sel);
-            let new_plan = new.choose(&stats, sel);
-            let old_method = plan_to_method(&old_plan, opt_cfg.is_prefetch_depth);
-            let new_method = plan_to_method(&new_plan, opt_cfg.is_prefetch_depth);
-            let old_m = exp.run_cold(old_method, sel).expect("old plan runs");
-            let new_m = exp.run_cold(new_method, sel).expect("new plan runs");
-            let old_s = old_m.runtime.as_secs_f64();
-            let new_s = new_m.runtime.as_secs_f64();
-            OptEvalPoint {
-                selectivity: sel,
-                old_plan: format!("{old_method}"),
-                old_runtime_s: old_s,
-                new_plan: format!("{new_method}"),
-                new_runtime_s: new_s,
-                speedup: if new_s > 0.0 { old_s / new_s } else { 1.0 },
-            }
-        })
-        .collect()
+    // Each selectivity plans and executes independently against its own
+    // cold device+pool — fan the points out across the harness pool.
+    // (Optimizers are built per point: they are a couple of pointers, and
+    // `Optimizer` borrows a `dyn IoCostModel` that carries no Sync bound.)
+    pioqo_simkit::par::par_map(exp.cfg.seed, selectivities, |_rng, &sel| {
+        let old = Optimizer::new(&old_model, opt_cfg.clone());
+        let new = Optimizer::new(&new_model, opt_cfg.clone());
+        let old_plan = old.choose(&stats, sel);
+        let new_plan = new.choose(&stats, sel);
+        let old_method = plan_to_method(&old_plan, opt_cfg.is_prefetch_depth);
+        let new_method = plan_to_method(&new_plan, opt_cfg.is_prefetch_depth);
+        let old_m = exp.run_cold(old_method, sel).expect("old plan runs");
+        let new_m = exp.run_cold(new_method, sel).expect("new plan runs");
+        let old_s = old_m.runtime.as_secs_f64();
+        let new_s = new_m.runtime.as_secs_f64();
+        OptEvalPoint {
+            selectivity: sel,
+            old_plan: format!("{old_method}"),
+            old_runtime_s: old_s,
+            new_plan: format!("{new_method}"),
+            new_runtime_s: new_s,
+            speedup: if new_s > 0.0 { old_s / new_s } else { 1.0 },
+        }
+    })
 }
 
 #[cfg(test)]

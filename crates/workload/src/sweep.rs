@@ -17,25 +17,27 @@ pub struct SweepPoint {
 }
 
 /// Run `method` across `selectivities` on cold device+pool per point.
+///
+/// Points are independent cold runs (each builds its own device and pool
+/// and seeds itself from the experiment config), so they fan out across
+/// the harness thread pool; results come back in selectivity order and
+/// are identical at any thread count.
 pub fn runtime_curve(
     exp: &Experiment,
     method: MethodSpec,
     selectivities: &[f64],
 ) -> Vec<SweepPoint> {
-    selectivities
-        .iter()
-        .map(|&sel| {
-            let m = exp
-                .run_cold(method, sel)
-                .expect("sweep experiment scan completes without pool exhaustion");
-            SweepPoint {
-                selectivity: sel,
-                runtime_s: m.runtime.as_secs_f64(),
-                mean_qd: m.io.mean_queue_depth,
-                throughput_mb_s: m.io.throughput_mb_s,
-            }
-        })
-        .collect()
+    pioqo_simkit::par::par_map(exp.cfg.seed, selectivities, |_rng, &sel| {
+        let m = exp
+            .run_cold(method, sel)
+            .expect("sweep experiment scan completes without pool exhaustion");
+        SweepPoint {
+            selectivity: sel,
+            runtime_s: m.runtime.as_secs_f64(),
+            mean_qd: m.io.mean_queue_depth,
+            throughput_mb_s: m.io.throughput_mb_s,
+        }
+    })
 }
 
 /// The selectivity at which the runtime curves of `index_method` and
@@ -50,16 +52,17 @@ pub fn break_even(
     hi: f64,
     iterations: u32,
 ) -> f64 {
+    // The bisection itself is inherently sequential, but the two cold
+    // runs compared at each probe are independent — run them as a pair on
+    // the harness pool.
     let faster = |sel: f64| {
-        let ti = exp
-            .run_cold(index_method, sel)
-            .expect("sweep index scan completes without pool exhaustion")
-            .runtime;
-        let tt = exp
-            .run_cold(table_method, sel)
-            .expect("sweep table scan completes without pool exhaustion")
-            .runtime;
-        ti < tt
+        let methods = [index_method, table_method];
+        let times = pioqo_simkit::par::par_map(exp.cfg.seed, &methods, |_rng, &m| {
+            exp.run_cold(m, sel)
+                .expect("sweep break-even scan completes without pool exhaustion")
+                .runtime
+        });
+        times[0] < times[1]
     };
     let mut lo = lo;
     let mut hi = hi;
