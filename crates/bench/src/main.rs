@@ -1,37 +1,48 @@
-//! `pioqo-bench` — wall-clock benchmark harness for the PR-3 hot paths.
+//! `pioqo-bench` — wall-clock benchmark harness for the simulator hot
+//! paths and the observability layer.
 //!
 //! ```text
-//! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH]
+//! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace]
 //! ```
 //!
-//! Measures three things and emits a JSON report (default `BENCH_pr3.json`
+//! Measures four things and emits a JSON report (default `BENCH_pr4.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
 //!    repeated `pop` vs the cohort-draining `pop_batch`.
 //! 2. **Buffer pool** — page accesses/sec replaying the same trace on the
 //!    dense-table pool vs the reference `BTreeMap` backend.
-//! 3. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//! 3. **Tracing** — the same PIS scan with tracing disabled (`NullSink`
+//!    never installed — the zero-cost claim) vs enabled (`RingSink`
+//!    recording every event).
+//! 4. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
 //!    harness threads (the repro binary is built on demand), plus the
 //!    host's logical CPU count so single-core machines are legible in the
 //!    artifact.
+//!
+//! `--trace` runs only the tracing comparison (quick check of the
+//! overhead ratio; the report's other sections are null).
 //!
 //! All numbers are wall-clock (this is the one harness crate allowed to
 //! look at the real clock; see `lint.toml`).
 
 use pioqo_bufpool::{Access, BufferPool};
+use pioqo_obs::RingSink;
 use pioqo_simkit::{EventQueue, SimRng, SimTime};
+use pioqo_workload::{Experiment, ExperimentConfig, MethodSpec};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr3.json");
+    let mut out_path = PathBuf::from("BENCH_pr4.json");
     let mut json = false;
+    let mut trace_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--trace" => trace_only = true,
             "--scale" => {
                 scale = args
                     .next()
@@ -53,11 +64,18 @@ fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("[bench] host logical CPUs: {cpus}");
 
-    let eq = bench_event_queue();
-    let bp = bench_bufpool();
-    let e2e = bench_end_to_end(scale);
+    let tr = bench_tracing();
+    let (eq, bp, e2e) = if trace_only {
+        (None, None, None)
+    } else {
+        (
+            Some(bench_event_queue()),
+            Some(bench_bufpool()),
+            Some(bench_end_to_end(scale)),
+        )
+    };
 
-    let report = render_json(cpus, scale, &eq, &bp, &e2e);
+    let report = render_json(cpus, scale, eq.as_ref(), bp.as_ref(), &tr, e2e.as_ref());
     if json {
         println!("{report}");
     }
@@ -74,7 +92,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: pioqo-bench [--json] [--scale N] [--out PATH]");
+    eprintln!("usage: pioqo-bench [--json] [--scale N] [--out PATH] [--trace]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -187,6 +205,79 @@ fn bench_bufpool() -> BufpoolBench {
     }
 }
 
+/// Disabled-vs-enabled tracing timings for the same scan.
+struct TracingBench {
+    runs: u64,
+    disabled_s: f64,
+    enabled_s: f64,
+    events_per_run: u64,
+}
+
+/// Run the default-scenario PIS8 scan `RUNS` times untraced (`run_with`,
+/// which never installs a sink — the zero-cost configuration) and `RUNS`
+/// times with a `RingSink` capturing every event, and compare wall time.
+fn bench_tracing() -> TracingBench {
+    const RUNS: u64 = 24;
+    let cfg = ExperimentConfig::by_name("E33-SSD")
+        .expect("E33-SSD is a Table 1 row")
+        .scaled_down(64);
+    let exp = Experiment::build(cfg);
+    let method = MethodSpec::Is {
+        workers: 8,
+        prefetch: 0,
+    };
+
+    // One untimed warm-up so first-touch costs (page faults, lazy init)
+    // don't land in whichever loop happens to run first.
+    let mut checksum = 0u64;
+    {
+        let mut dev = exp.make_device();
+        let mut pool = exp.make_pool();
+        let m = exp
+            .run_with(dev.as_mut(), &mut pool, method, 0.01)
+            .expect("clean device cannot fail");
+        checksum ^= m.io.io_ops;
+    }
+
+    let started = Instant::now();
+    for _ in 0..RUNS {
+        let mut dev = exp.make_device();
+        let mut pool = exp.make_pool();
+        let m = exp
+            .run_with(dev.as_mut(), &mut pool, method, 0.01)
+            .expect("clean device cannot fail");
+        checksum ^= m.io.io_ops;
+    }
+    let disabled_s = started.elapsed().as_secs_f64();
+
+    let mut events_per_run = 0u64;
+    let started = Instant::now();
+    for _ in 0..RUNS {
+        let mut dev = exp.make_device();
+        let mut pool = exp.make_pool();
+        let mut sink = RingSink::with_capacity(1 << 16);
+        let m = exp
+            .run_with_traced(dev.as_mut(), &mut pool, method, 0.01, &mut sink)
+            .expect("clean device cannot fail");
+        checksum ^= m.io.io_ops;
+        events_per_run = sink.recorded();
+    }
+    let enabled_s = started.elapsed().as_secs_f64();
+
+    eprintln!(
+        "[bench] tracing: {RUNS} PIS8 scans (checksum {checksum:x}); \
+         disabled {disabled_s:.3}s, enabled {enabled_s:.3}s ({:.2}x), \
+         {events_per_run} events/run",
+        enabled_s / disabled_s
+    );
+    TracingBench {
+        runs: RUNS,
+        disabled_s,
+        enabled_s,
+        events_per_run,
+    }
+}
+
 /// Wall seconds of `repro all --scale N` at the given thread count, or
 /// `None` when the run failed.
 struct EndToEndBench {
@@ -265,26 +356,55 @@ fn json_opt(v: Option<f64>) -> String {
 fn render_json(
     cpus: usize,
     scale: u64,
-    eq: &EventQueueBench,
-    bp: &BufpoolBench,
-    e2e: &EndToEndBench,
+    eq: Option<&EventQueueBench>,
+    bp: Option<&BufpoolBench>,
+    tr: &TracingBench,
+    e2e: Option<&EndToEndBench>,
 ) -> String {
-    let e2e_speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
-        (Some(a), Some(b)) if b > 0.0 => json_num(a / b),
-        _ => "null".to_string(),
+    let eq_json = match eq {
+        Some(eq) => format!(
+            "{{\n    \"events\": {},\n    \"pop_events_per_sec\": {},\n    \"pop_batch_events_per_sec\": {},\n    \"speedup\": {}\n  }}",
+            eq.events,
+            json_num(eq.pop_per_sec),
+            json_num(eq.pop_batch_per_sec),
+            json_num(eq.pop_batch_per_sec / eq.pop_per_sec),
+        ),
+        None => "null".to_string(),
+    };
+    let bp_json = match bp {
+        Some(bp) => format!(
+            "{{\n    \"accesses\": {},\n    \"dense_accesses_per_sec\": {},\n    \"reference_btree_accesses_per_sec\": {},\n    \"speedup\": {}\n  }}",
+            bp.accesses,
+            json_num(bp.dense_per_sec),
+            json_num(bp.reference_per_sec),
+            json_num(bp.dense_per_sec / bp.reference_per_sec),
+        ),
+        None => "null".to_string(),
+    };
+    let tr_json = format!(
+        "{{\n    \"runs\": {},\n    \"disabled_wall_s\": {},\n    \"enabled_wall_s\": {},\n    \"overhead_ratio\": {},\n    \"events_per_run\": {}\n  }}",
+        tr.runs,
+        json_num(tr.disabled_s),
+        json_num(tr.enabled_s),
+        json_num(tr.enabled_s / tr.disabled_s),
+        tr.events_per_run,
+    );
+    let e2e_json = match e2e {
+        Some(e2e) => {
+            let speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
+                (Some(a), Some(b)) if b > 0.0 => json_num(a / b),
+                _ => "null".to_string(),
+            };
+            format!(
+                "{{\n    \"target\": \"all\",\n    \"scale\": {scale},\n    \"threads_1_wall_s\": {},\n    \"threads_4_wall_s\": {},\n    \"speedup\": {}\n  }}",
+                json_opt(e2e.threads_1_s),
+                json_opt(e2e.threads_4_s),
+                speedup,
+            )
+        }
+        None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr3\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {{\n    \"events\": {},\n    \"pop_events_per_sec\": {},\n    \"pop_batch_events_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"bufpool\": {{\n    \"accesses\": {},\n    \"dense_accesses_per_sec\": {},\n    \"reference_btree_accesses_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"end_to_end\": {{\n    \"target\": \"all\",\n    \"scale\": {scale},\n    \"threads_1_wall_s\": {},\n    \"threads_4_wall_s\": {},\n    \"speedup\": {}\n  }}\n}}\n",
-        eq.events,
-        json_num(eq.pop_per_sec),
-        json_num(eq.pop_batch_per_sec),
-        json_num(eq.pop_batch_per_sec / eq.pop_per_sec),
-        bp.accesses,
-        json_num(bp.dense_per_sec),
-        json_num(bp.reference_per_sec),
-        json_num(bp.dense_per_sec / bp.reference_per_sec),
-        json_opt(e2e.threads_1_s),
-        json_opt(e2e.threads_4_s),
-        e2e_speedup,
+        "{{\n  \"bench\": \"pr4\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

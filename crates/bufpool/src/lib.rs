@@ -69,6 +69,50 @@ pub struct PoolStats {
     pub prefetch_hits: u64,
 }
 
+impl PoolStats {
+    /// Fold another snapshot into this one, field by field — the single
+    /// reduction used by parallel harnesses and trace summaries.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.refetches += other.refetches;
+        self.prefetch_admissions += other.prefetch_admissions;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+
+    /// Counters accumulated since the `before` snapshot (`self - before`).
+    /// `before` must be an earlier snapshot of the same pool.
+    pub fn diff(&self, before: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            evictions: self.evictions - before.evictions,
+            refetches: self.refetches - before.refetches,
+            prefetch_admissions: self.prefetch_admissions - before.prefetch_admissions,
+            prefetch_hits: self.prefetch_hits - before.prefetch_hits,
+        }
+    }
+}
+
+/// One entry of the pool's optional event journal (see
+/// [`BufferPool::set_event_log`]). Events carry no timestamp: the pool has
+/// no clock; the simulation context stamps them with virtual time when it
+/// drains the journal into a trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// Request satisfied from memory.
+    Hit(u64),
+    /// First demand hit on a page a prefetch admitted.
+    PrefetchHit(u64),
+    /// Request needs I/O (page never resident before).
+    Miss(u64),
+    /// Request needs I/O on a previously-resident page (a §2 refetch).
+    Refetch(u64),
+    /// Page evicted to make room.
+    Evict(u64),
+}
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
@@ -226,6 +270,8 @@ pub struct BufferPool {
     head: u32,
     tail: u32,
     stats: PoolStats,
+    /// Event journal, disabled (and costless beyond one branch) by default.
+    journal: Option<Vec<PoolEvent>>,
 }
 
 impl BufferPool {
@@ -269,6 +315,30 @@ impl BufferPool {
             head: NIL,
             tail: NIL,
             stats: PoolStats::default(),
+            journal: None,
+        }
+    }
+
+    /// Enable or disable the event journal. While enabled, every hit,
+    /// miss, refetch, prefetch hit and eviction is appended to an internal
+    /// buffer the caller drains with [`BufferPool::take_events`].
+    /// Disabling clears any undrained entries.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.journal = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Move every journaled event (in occurrence order) into `out`.
+    /// No-op when the journal is disabled.
+    pub fn take_events(&mut self, out: &mut Vec<PoolEvent>) {
+        if let Some(j) = &mut self.journal {
+            out.append(j);
+        }
+    }
+
+    #[inline]
+    fn log(&mut self, ev: PoolEvent) {
+        if let Some(j) = &mut self.journal {
+            j.push(ev);
         }
     }
 
@@ -352,6 +422,9 @@ impl BufferPool {
             if self.frames[idx as usize].prefetched {
                 self.stats.prefetch_hits += 1;
                 self.frames[idx as usize].prefetched = false;
+                self.log(PoolEvent::PrefetchHit(page));
+            } else {
+                self.log(PoolEvent::Hit(page));
             }
             self.frames[idx as usize].pins += 1;
             self.detach(idx);
@@ -361,6 +434,9 @@ impl BufferPool {
             self.stats.misses += 1;
             if self.table.was_seen(page) {
                 self.stats.refetches += 1;
+                self.log(PoolEvent::Refetch(page));
+            } else {
+                self.log(PoolEvent::Miss(page));
             }
             Access::Miss
         }
@@ -427,6 +503,7 @@ impl BufferPool {
                 self.detach(cur);
                 self.table.remove(page);
                 self.stats.evictions += 1;
+                self.log(PoolEvent::Evict(page));
                 return Ok(cur);
             }
             cur = self.frames[cur as usize].next;
@@ -615,6 +692,84 @@ mod tests {
     fn unpin_unknown_page_errors() {
         let mut p = BufferPool::new(2);
         assert_eq!(p.unpin(9), Err(PoolError::NotPinned(9)));
+    }
+
+    #[test]
+    fn stats_merge_and_diff_are_inverse_field_sums() {
+        let a = PoolStats {
+            hits: 10,
+            misses: 4,
+            evictions: 2,
+            refetches: 1,
+            prefetch_admissions: 3,
+            prefetch_hits: 2,
+        };
+        let b = PoolStats {
+            hits: 5,
+            misses: 1,
+            evictions: 0,
+            refetches: 0,
+            prefetch_admissions: 7,
+            prefetch_hits: 1,
+        };
+        let mut sum = a.clone();
+        sum.merge(&b);
+        assert_eq!(sum.hits, 15);
+        assert_eq!(sum.prefetch_admissions, 10);
+        let back = sum.diff(&b);
+        assert_eq!(back.hits, a.hits);
+        assert_eq!(back.misses, a.misses);
+        assert_eq!(back.evictions, a.evictions);
+        assert_eq!(back.refetches, a.refetches);
+        assert_eq!(back.prefetch_admissions, a.prefetch_admissions);
+        assert_eq!(back.prefetch_hits, a.prefetch_hits);
+    }
+
+    #[test]
+    fn event_journal_records_in_order_and_matches_stats() {
+        let mut p = BufferPool::new(1);
+        p.set_event_log(true);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.unpin(1).expect("unpin");
+        p.request(2);
+        p.admit(2).expect("admit"); // evicts 1
+        p.unpin(2).expect("unpin");
+        p.request(1); // refetch
+        let mut evs = Vec::new();
+        p.take_events(&mut evs);
+        assert_eq!(
+            evs,
+            vec![
+                PoolEvent::Miss(1),
+                PoolEvent::Miss(2),
+                PoolEvent::Evict(1),
+                PoolEvent::Refetch(1),
+            ]
+        );
+        // Drained: a second take yields nothing.
+        evs.clear();
+        p.take_events(&mut evs);
+        assert!(evs.is_empty());
+        // Journal off by default and after disabling.
+        p.set_event_log(false);
+        p.request(5);
+        p.take_events(&mut evs);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn prefetch_hit_is_journaled_distinctly() {
+        let mut p = BufferPool::new(4);
+        p.set_event_log(true);
+        p.admit_prefetched(7).expect("admit");
+        assert_eq!(p.request(7), Access::Hit);
+        p.unpin(7).expect("unpin");
+        assert_eq!(p.request(7), Access::Hit);
+        p.unpin(7).expect("unpin");
+        let mut evs = Vec::new();
+        p.take_events(&mut evs);
+        assert_eq!(evs, vec![PoolEvent::PrefetchHit(7), PoolEvent::Hit(7)]);
     }
 
     #[test]

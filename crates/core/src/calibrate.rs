@@ -129,6 +129,41 @@ impl Calibrator {
 
     /// Calibrate the full QDTT grid (with early stopping if configured).
     pub fn calibrate_qdtt(&self, dev: &mut dyn DeviceModel) -> (Qdtt, CalibrationReport) {
+        self.calibrate_qdtt_probed(dev, &mut |_, _, _, _| {})
+    }
+
+    /// [`Calibrator::calibrate_qdtt`] with a trace sink: every measured
+    /// grid point is recorded as a [`pioqo_obs::EventKind::Probe`] event,
+    /// stamped with the cumulative virtual calibration time at which the
+    /// point finished (`a` = band pages, `b` = per-page cost in ns).
+    pub fn calibrate_qdtt_traced(
+        &self,
+        dev: &mut dyn DeviceModel,
+        sink: &mut dyn pioqo_obs::TraceSink,
+    ) -> (Qdtt, CalibrationReport) {
+        if !sink.enabled() {
+            return self.calibrate_qdtt(dev);
+        }
+        let track = sink.track("calibrate");
+        self.calibrate_qdtt_probed(dev, &mut |band, qd, cost_us, elapsed| {
+            sink.record(pioqo_obs::TraceEvent {
+                t: SimTime::ZERO + elapsed,
+                track,
+                span: qd as u64,
+                kind: pioqo_obs::EventKind::Probe,
+                a: band,
+                b: (cost_us * 1000.0).max(0.0) as u64,
+            });
+        })
+    }
+
+    /// The sequential calibration loop, reporting every measured point to
+    /// `probe` as `(band, qd, cost_us, cumulative_virtual_duration)`.
+    fn calibrate_qdtt_probed(
+        &self,
+        dev: &mut dyn DeviceModel,
+        probe: &mut dyn FnMut(u64, u32, f64, SimDuration),
+    ) -> (Qdtt, CalibrationReport) {
         let bands = &self.cfg.band_sizes;
         let qds = &self.cfg.queue_depths;
         let nb = bands.len();
@@ -144,6 +179,7 @@ impl Calibrator {
                 let cost = self.measure_avg(dev, band, qd, &mut rng, &mut clock, &mut report);
                 grid[qi * nb + bi] = cost;
                 report.points_measured += 1;
+                probe(band, qd, cost, report.virtual_duration);
 
                 // Early-stop check after the largest band of each qd > 1.
                 if bi == nb - 1 && qi > 0 {
@@ -722,6 +758,24 @@ mod tests {
             || -> Box<dyn pioqo_device::DeviceModel> { Box::new(consumer_pcie_ssd(1 << 18, 3)) };
         let (m, _) = cal.calibrate_dtt_with(make);
         assert!(m.cost(64) > 0.0);
+    }
+
+    #[test]
+    fn traced_calibration_emits_probes_without_perturbing_the_grid() {
+        let cal = Calibrator::new(small_cfg(Method::ActiveWait));
+        let mut d1 = consumer_pcie_ssd(1 << 18, 1);
+        let (plain, _) = cal.calibrate_qdtt(&mut d1);
+        let mut d2 = consumer_pcie_ssd(1 << 18, 1);
+        let mut sink = pioqo_obs::RingSink::with_capacity(256);
+        let (traced, report) = cal.calibrate_qdtt_traced(&mut d2, &mut sink);
+        assert_eq!(plain, traced, "tracing must not perturb the measurement");
+        assert_eq!(sink.len() as u64, report.points_measured);
+        assert!(sink
+            .events()
+            .all(|e| matches!(e.kind, pioqo_obs::EventKind::Probe)));
+        // Probes are stamped with cumulative virtual time: monotone.
+        let times: Vec<_> = sink.events().map(|e| e.t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! n is clearly observable" — is something we verify rather than assume.
 //! [`Traced`] wraps any [`DeviceModel`] and tracks the time-weighted mean and
 //! peak number of outstanding I/Os plus basic latency/throughput counters.
+//! The counters are backed by `pioqo-obs` histograms ([`Traced::hists`]), and
+//! an optional ring sink ([`Traced::enable_events`]) records per-I/O
+//! submit/complete events for Chrome-trace export.
 
 use crate::io::{DeviceModel, IoCompletion, IoRequest};
+use pioqo_obs::{EventKind, HistSet, RingSink, TraceEvent, TraceSink};
 use pioqo_simkit::{Running, SimTime, TimeWeighted};
 
 /// A [`DeviceModel`] decorator that records queue-depth and latency
@@ -14,11 +18,15 @@ use pioqo_simkit::{Running, SimTime, TimeWeighted};
 pub struct Traced<D> {
     inner: D,
     depth: TimeWeighted,
+    depth_now: u32,
     latency_us: Running,
+    hists: HistSet,
     pages_read: u64,
     ios: u64,
     first_submit: Option<SimTime>,
-    last_complete: SimTime,
+    last_complete: Option<SimTime>,
+    sink: Option<RingSink>,
+    track: u32,
     scratch: Vec<IoCompletion>,
 }
 
@@ -28,11 +36,15 @@ impl<D: DeviceModel> Traced<D> {
         Traced {
             inner,
             depth: TimeWeighted::new(SimTime::ZERO, 0.0),
+            depth_now: 0,
             latency_us: Running::new(),
+            hists: HistSet::new(),
             pages_read: 0,
             ios: 0,
             first_submit: None,
-            last_complete: SimTime::ZERO,
+            last_complete: None,
+            sink: None,
+            track: 0,
             scratch: Vec::new(),
         }
     }
@@ -40,6 +52,24 @@ impl<D: DeviceModel> Traced<D> {
     /// Access the wrapped device.
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+
+    /// Record per-I/O submit/complete events into a ring of `capacity`
+    /// events (for Chrome-trace export via [`Traced::take_sink`]).
+    pub fn enable_events(&mut self, capacity: usize) {
+        let mut sink = RingSink::with_capacity(capacity);
+        self.track = sink.track("device");
+        self.sink = Some(sink);
+    }
+
+    /// The event ring, if [`Traced::enable_events`] was called.
+    pub fn sink(&self) -> Option<&RingSink> {
+        self.sink.as_ref()
+    }
+
+    /// Detach and return the event ring (event recording stops).
+    pub fn take_sink(&mut self) -> Option<RingSink> {
+        self.sink.take()
     }
 
     /// Time-weighted mean queue depth from the first submission to `now`.
@@ -57,6 +87,13 @@ impl<D: DeviceModel> Traced<D> {
         &self.latency_us
     }
 
+    /// The latency / queue-depth histogram bundle (`io_latency_us` and
+    /// `queue_depth` are populated; the logical-read histograms stay empty
+    /// at this layer).
+    pub fn hists(&self) -> &HistSet {
+        &self.hists
+    }
+
     /// Total pages read so far.
     pub fn pages_read(&self) -> u64 {
         self.pages_read
@@ -68,14 +105,15 @@ impl<D: DeviceModel> Traced<D> {
     }
 
     /// Mean read throughput in MB/s between the first submission and the
-    /// last completion.
+    /// last completion (0.0 until at least one I/O has *completed* — a
+    /// device with submissions still in flight has no meaningful window).
     pub fn throughput_mb_s(&self) -> f64 {
-        match self.first_submit {
-            Some(t0) => pioqo_simkit::stats::mb_per_sec(
+        match (self.first_submit, self.last_complete) {
+            (Some(t0), Some(t1)) if t1 > t0 => pioqo_simkit::stats::mb_per_sec(
                 self.pages_read * self.inner.page_size() as u64,
-                self.last_complete - t0,
+                t1 - t0,
             ),
-            None => 0.0,
+            _ => 0.0,
         }
     }
 }
@@ -92,6 +130,18 @@ impl<D: DeviceModel> DeviceModel for Traced<D> {
     fn submit(&mut self, now: SimTime, req: IoRequest) {
         self.first_submit.get_or_insert(now);
         self.depth.add(now, 1.0);
+        self.depth_now += 1;
+        self.hists.queue_depth.record(self.depth_now as u64);
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent {
+                t: now,
+                track: self.track,
+                span: req.id,
+                kind: EventKind::IoSubmit,
+                a: req.offset,
+                b: req.len as u64,
+            });
+        }
         self.inner.submit(now, req);
     }
 
@@ -104,10 +154,27 @@ impl<D: DeviceModel> DeviceModel for Traced<D> {
         self.inner.advance(now, &mut self.scratch);
         for c in &self.scratch {
             self.depth.add(c.completed, -1.0);
+            self.depth_now = self.depth_now.saturating_sub(1);
             self.latency_us.push(c.latency().as_micros_f64());
+            self.hists
+                .io_latency_us
+                .record(c.latency().as_nanos() / 1000);
             self.pages_read += c.req.len as u64;
             self.ios += 1;
-            self.last_complete = self.last_complete.max(c.completed);
+            self.last_complete = Some(match self.last_complete {
+                Some(t) => t.max(c.completed),
+                None => c.completed,
+            });
+            if let Some(sink) = &mut self.sink {
+                sink.record(TraceEvent {
+                    t: c.completed,
+                    track: self.track,
+                    span: c.req.id,
+                    kind: EventKind::IoComplete,
+                    a: c.req.len as u64,
+                    b: (c.status == crate::io::IoStatus::Ok) as u64,
+                });
+            }
         }
         out.extend_from_slice(&self.scratch);
     }
@@ -164,6 +231,10 @@ mod tests {
         );
         assert!(d.latency_us().mean() > 0.0);
         assert!(d.throughput_mb_s() > 0.0);
+        // The histogram twins agree with the running counters.
+        assert_eq!(d.hists().io_latency_us.count, 200);
+        assert_eq!(d.hists().queue_depth.count, 200);
+        assert!(d.hists().queue_depth.max >= 8);
     }
 
     #[test]
@@ -179,5 +250,43 @@ mod tests {
         drain_all(&mut plain, SimTime::ZERO, &mut out_a);
         drain_all(&mut traced, SimTime::ZERO, &mut out_b);
         assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn throughput_is_zero_before_any_completion() {
+        let mut d = Traced::new(consumer_pcie_ssd(1 << 20, 1));
+        assert_eq!(d.throughput_mb_s(), 0.0, "nothing submitted");
+        d.submit(SimTime::ZERO, IoRequest::page(0, 0));
+        // Submitted but not completed: there is no transfer window yet, so
+        // the rate must stay 0 (not divide a positive byte count by a
+        // zero-or-negative window).
+        assert_eq!(d.throughput_mb_s(), 0.0, "nothing completed");
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        assert!(d.throughput_mb_s() > 0.0);
+    }
+
+    #[test]
+    fn event_ring_captures_submit_complete_pairs() {
+        let mut d = Traced::new(consumer_pcie_ssd(1 << 20, 3));
+        d.enable_events(64);
+        for i in 0..5u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i * 512));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        let sink = d.take_sink().expect("enabled");
+        let submits = sink
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::IoSubmit))
+            .count();
+        let completes = sink
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::IoComplete))
+            .count();
+        assert_eq!(submits, 5);
+        assert_eq!(completes, 5);
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"device\""));
     }
 }

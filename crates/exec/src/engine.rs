@@ -3,8 +3,9 @@
 //! deduplication and queue-depth profiling.
 
 use crate::cpu::{CpuConfig, CpuScheduler, TaskId};
-use pioqo_bufpool::BufferPool;
+use pioqo_bufpool::{BufferPool, PoolEvent};
 use pioqo_device::{DeviceModel, IoCompletion, IoRequest, IoStatus};
+use pioqo_obs::{EventKind, HistSet, TraceEvent, TraceSink};
 use pioqo_simkit::{SimDuration, SimTime, TimeWeighted};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -102,6 +103,16 @@ pub struct ResilienceStats {
     pub degraded_reads: u64,
 }
 
+impl ResilienceStats {
+    /// Fold another counter set into this one (par_map reduction / trace
+    /// summary).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.degraded_reads += other.degraded_reads;
+    }
+}
+
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
@@ -193,6 +204,9 @@ struct LogicalIo {
     attempts: u32,
     /// Physical requests currently in flight for this read.
     live: u32,
+    /// When the operator first asked for this read (drives the page-wait
+    /// histogram).
+    started: SimTime,
     /// When the newest physical request was issued (drives the timeout).
     issue_time: SimTime,
     /// A backoff retry is scheduled; the timeout must not also re-issue.
@@ -275,6 +289,14 @@ pub struct SimContext<'a> {
     io_ops: u64,
     first_submit: Option<SimTime>,
     last_complete: SimTime,
+    hists: HistSet,
+    /// Requests currently outstanding on the device (integer twin of
+    /// `depth`, sampled into the queue-depth histogram at every submit).
+    depth_now: u32,
+    trace: Option<&'a mut dyn TraceSink>,
+    io_track: u32,
+    pool_track: u32,
+    pool_evbuf: Vec<PoolEvent>,
 }
 
 impl<'a> SimContext<'a> {
@@ -308,6 +330,12 @@ impl<'a> SimContext<'a> {
             io_ops: 0,
             first_submit: None,
             last_complete: SimTime::ZERO,
+            hists: HistSet::new(),
+            depth_now: 0,
+            trace: None,
+            io_track: 0,
+            pool_track: 0,
+            pool_evbuf: Vec::new(),
         }
     }
 
@@ -330,6 +358,102 @@ impl<'a> SimContext<'a> {
     /// The fault-handling counters accumulated so far.
     pub fn resilience(&self) -> ResilienceStats {
         self.res
+    }
+
+    /// Install a trace sink. Disabled sinks (the default
+    /// [`pioqo_obs::NullSink`]) are never installed, so the untraced hot
+    /// path stays a single `None` branch. An enabled sink also switches on
+    /// the buffer pool's event journal, which the context drains and
+    /// timestamps at every step.
+    pub fn set_trace_sink(&mut self, sink: &'a mut dyn TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        self.io_track = sink.track("io");
+        self.pool_track = sink.track("pool");
+        self.pool.set_event_log(true);
+        self.trace = Some(sink);
+    }
+
+    /// Whether an enabled trace sink is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Intern a track name on the installed sink (0 when untraced).
+    pub fn trace_track(&mut self, name: &str) -> u32 {
+        match &mut self.trace {
+            Some(sink) => sink.track(name),
+            None => 0,
+        }
+    }
+
+    /// Open a named phase span on `track` at the current virtual time.
+    pub fn trace_span_begin(&mut self, track: u32, name: &'static str) {
+        self.emit(EventKind::SpanBegin(name), track, 0, 0, 0);
+    }
+
+    /// Close the innermost phase span on `track`.
+    pub fn trace_span_end(&mut self, track: u32, name: &'static str) {
+        self.emit(EventKind::SpanEnd(name), track, 0, 0, 0);
+    }
+
+    /// The histogram bundle collected so far. Histograms are always
+    /// collected (integer-only recording, no sink required).
+    pub fn histograms(&self) -> &HistSet {
+        &self.hists
+    }
+
+    /// Take the histogram bundle for attachment to a
+    /// [`crate::ScanMetrics`], flushing any journaled pool events to the
+    /// trace sink first.
+    pub fn take_histograms(&mut self) -> HistSet {
+        self.pump_pool_events();
+        std::mem::take(&mut self.hists)
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: EventKind, track: u32, span: u64, a: u64, b: u64) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(TraceEvent {
+                t: self.now,
+                track,
+                span,
+                kind,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Drain the pool's event journal into the sink, stamped at the
+    /// current virtual time (pool activity happens synchronously between
+    /// steps, so `now` is exact).
+    fn pump_pool_events(&mut self) {
+        let Some(sink) = &mut self.trace else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut self.pool_evbuf);
+        buf.clear();
+        self.pool.take_events(&mut buf);
+        for ev in &buf {
+            let (kind, page) = match *ev {
+                PoolEvent::Hit(p) => (EventKind::PoolHit, p),
+                PoolEvent::PrefetchHit(p) => (EventKind::PoolPrefetchHit, p),
+                PoolEvent::Miss(p) => (EventKind::PoolMiss, p),
+                PoolEvent::Refetch(p) => (EventKind::PoolRefetch, p),
+                PoolEvent::Evict(p) => (EventKind::PoolEvict, p),
+            };
+            sink.record(TraceEvent {
+                t: self.now,
+                track: self.pool_track,
+                span: 0,
+                kind,
+                a: page,
+                b: 0,
+            });
+        }
+        self.pool_evbuf = buf;
     }
 
     /// Read one device page. If an identical read is already in flight the
@@ -362,6 +486,7 @@ impl<'a> SimContext<'a> {
                 meta,
                 attempts: 0,
                 live: 0,
+                started: self.now,
                 issue_time: self.now,
                 pending_retry: false,
             },
@@ -384,12 +509,14 @@ impl<'a> SimContext<'a> {
             IoMeta::Page { device_page } => IoRequest::page(rid, device_page),
             IoMeta::Block { start, len } => IoRequest::block(rid, start, len),
         };
+        let (first_page, len) = (req.offset, req.len as u64);
         self.req_owner.insert(rid, io);
         if let Some(grace) = self.retry.timeout {
             let due = self.now + grace;
             self.deadline_queue.entry(due).or_default().push(io);
         }
         self.track_submit();
+        self.emit(EventKind::IoSubmit, self.io_track, rid, first_page, len);
         self.device.submit(self.now, req);
     }
 
@@ -408,6 +535,12 @@ impl<'a> SimContext<'a> {
     fn track_submit(&mut self) {
         self.first_submit.get_or_insert(self.now);
         self.depth.add(self.now, 1.0);
+        self.depth_now += 1;
+        self.hists.queue_depth.record(self.depth_now as u64);
+        if self.trace.is_some() {
+            let depth = self.depth_now as u64;
+            self.emit(EventKind::QueueDepth, self.io_track, 0, depth, 0);
+        }
     }
 
     /// Advance to the next event and append the wakes to `events`.
@@ -415,6 +548,11 @@ impl<'a> SimContext<'a> {
     /// machinery has anything pending (deadlock or completion — the caller
     /// knows which).
     pub fn step(&mut self, events: &mut Vec<Event>) -> bool {
+        if self.trace.is_some() {
+            // Flush pool activity that happened since the last step, before
+            // virtual time moves on (pool calls are synchronous at `now`).
+            self.pump_pool_events();
+        }
         let mut t: Option<SimTime> = None;
         for cand in [
             self.device.next_event(),
@@ -451,7 +589,9 @@ impl<'a> SimContext<'a> {
                     .get_mut(&io)
                     .expect("retry for unknown logical I/O");
                 st.pending_retry = false;
+                let attempts = st.attempts as u64;
                 self.res.retries += 1;
+                self.emit(EventKind::Retry, self.io_track, 0, io, attempts);
                 self.submit_physical(io);
             }
         }
@@ -478,7 +618,9 @@ impl<'a> SimContext<'a> {
                 if st.attempts >= self.retry.max_attempts {
                     continue; // out of attempts: wait for what's in flight
                 }
+                let attempts = st.attempts as u64;
                 self.res.timeouts += 1;
+                self.emit(EventKind::TimeoutHedge, self.io_track, 0, io, attempts);
                 self.submit_physical(io);
             }
         }
@@ -499,12 +641,26 @@ impl<'a> SimContext<'a> {
         // duplicates of reads that already finished: the device really did
         // the work, so the profile must see it.
         self.depth.add(c.completed, -1.0);
+        self.depth_now = self.depth_now.saturating_sub(1);
         self.latency_sum_us += c.latency().as_micros_f64();
+        self.hists
+            .io_latency_us
+            .record(c.latency().as_nanos() / 1000);
         self.pages_read += c.req.len as u64;
         self.io_ops += 1;
         self.last_complete = self.last_complete.max(c.completed);
         if c.degraded {
             self.res.degraded_reads += 1;
+        }
+        if let Some(sink) = &mut self.trace {
+            sink.record(TraceEvent {
+                t: c.completed,
+                track: self.io_track,
+                span: c.req.id,
+                kind: EventKind::IoComplete,
+                a: c.req.len as u64,
+                b: (c.status == IoStatus::Ok) as u64,
+            });
         }
         let io = match self.req_owner.remove(&c.req.id) {
             Some(io) => io,
@@ -527,12 +683,15 @@ impl<'a> SimContext<'a> {
             }
             IoStatus::Error if attempts < self.retry.max_attempts => {
                 if !pending {
-                    let due = c.completed + self.backoff_for(attempts);
+                    let wait = self.backoff_for(attempts);
+                    let due = c.completed + wait;
                     self.retry_queue.entry(due).or_default().push(io);
                     self.ios
                         .get_mut(&io)
                         .expect("present just above")
                         .pending_retry = true;
+                    let wait_us = wait.as_nanos() / 1000;
+                    self.emit(EventKind::Backoff, self.io_track, 0, io, wait_us);
                 }
             }
             IoStatus::Error if live == 0 && !pending => {
@@ -546,6 +705,12 @@ impl<'a> SimContext<'a> {
     }
 
     fn finish(&mut self, io: u64, st: &LogicalIo, status: IoStatus, events: &mut Vec<Event>) {
+        self.hists
+            .page_wait_us
+            .record((self.now - st.started).as_nanos() / 1000);
+        self.hists
+            .retries
+            .record(st.attempts.saturating_sub(1) as u64);
         match st.meta {
             IoMeta::Page { device_page } => {
                 self.inflight_page.remove(&device_page);
@@ -880,6 +1045,109 @@ mod tests {
         while ctx.step(&mut events) {}
         assert_eq!(ctx.resilience(), ResilienceStats::default());
         assert_eq!(ctx.io_profile().io_ops, 2);
+    }
+
+    #[test]
+    fn tracing_records_io_events_and_histograms() {
+        let mut dev = consumer_pcie_ssd(1 << 16, 1);
+        let mut pool = BufferPool::new(64);
+        let mut sink = pioqo_obs::RingSink::with_capacity(1024);
+        {
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            ctx.set_trace_sink(&mut sink);
+            assert!(ctx.trace_enabled());
+            ctx.read_block(0, 4);
+            ctx.read_page(1000);
+            ctx.pool.request(0); // miss journaled by the pool
+            let mut events = Vec::new();
+            while ctx.step(&mut events) {}
+            let h = ctx.take_histograms();
+            assert_eq!(h.io_latency_us.count, 2);
+            assert_eq!(h.queue_depth.count, 2);
+            assert_eq!(h.page_wait_us.count, 2);
+            assert_eq!(h.retries.count, 2);
+            assert_eq!(h.retries.max, 0, "clean device: no retries");
+        }
+        let mut submits = 0;
+        let mut completes = 0;
+        let mut depth_samples = 0;
+        let mut pool_misses = 0;
+        for ev in sink.events() {
+            match ev.kind {
+                EventKind::IoSubmit => submits += 1,
+                EventKind::IoComplete => completes += 1,
+                EventKind::QueueDepth => depth_samples += 1,
+                EventKind::PoolMiss => pool_misses += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(submits, 2);
+        assert_eq!(completes, 2);
+        assert_eq!(depth_samples, 2);
+        assert_eq!(pool_misses, 1);
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"cat\":\"io\""));
+    }
+
+    #[test]
+    fn histograms_collected_without_a_sink() {
+        let mut dev = consumer_pcie_ssd(1 << 16, 1);
+        let mut pool = BufferPool::new(64);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        assert!(!ctx.trace_enabled());
+        ctx.read_page(7);
+        let mut events = Vec::new();
+        while ctx.step(&mut events) {}
+        assert_eq!(ctx.histograms().io_latency_us.count, 1);
+        assert_eq!(ctx.histograms().queue_depth.mode_lo(), 1);
+    }
+
+    #[test]
+    fn disabled_sink_is_never_installed() {
+        let mut dev = consumer_pcie_ssd(1 << 16, 1);
+        let mut pool = BufferPool::new(64);
+        let mut null = pioqo_obs::NullSink;
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        ctx.set_trace_sink(&mut null);
+        assert!(!ctx.trace_enabled());
+    }
+
+    #[test]
+    fn resilience_stats_merge_sums_fields() {
+        let mut a = ResilienceStats {
+            retries: 1,
+            timeouts: 2,
+            degraded_reads: 3,
+        };
+        let b = ResilienceStats {
+            retries: 10,
+            timeouts: 20,
+            degraded_reads: 30,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ResilienceStats {
+                retries: 11,
+                timeouts: 22,
+                degraded_reads: 33,
+            }
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimCont
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::BufferPool;
 use pioqo_device::{DeviceModel, IoStatus};
+use pioqo_obs::{NullSink, TraceSink};
 use pioqo_storage::HeapTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -70,11 +71,41 @@ pub fn run_fts(
     high: u32,
     cfg: &FtsConfig,
 ) -> Result<ScanMetrics, ExecError> {
+    run_fts_traced(
+        device,
+        pool,
+        cpu,
+        costs,
+        table,
+        low,
+        high,
+        cfg,
+        &mut NullSink,
+    )
+}
+
+/// [`run_fts`] with a trace sink: when the sink is enabled the scan records
+/// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
+#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+pub fn run_fts_traced(
+    device: &mut dyn DeviceModel,
+    pool: &mut BufferPool,
+    cpu: CpuConfig,
+    costs: CpuCosts,
+    table: &HeapTable,
+    low: u32,
+    high: u32,
+    cfg: &FtsConfig,
+    trace: &mut dyn TraceSink,
+) -> Result<ScanMetrics, ExecError> {
     assert!(cfg.workers >= 1);
     assert!(cfg.block_pages >= 1);
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
     ctx.set_retry_policy(cfg.retry.clone());
+    ctx.set_trace_sink(trace);
+    let op_track = ctx.trace_track("fts");
+    ctx.trace_span_begin(op_track, "fts_scan");
     let n_pages = table.n_pages();
 
     let mut workers: Vec<Worker> = (0..cfg.workers)
@@ -241,11 +272,13 @@ pub fn run_fts(
         }
     }
 
+    ctx.trace_span_end(op_track, "fts_scan");
     let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
     let io = ctx.io_profile();
     let resilience = ctx.resilience();
     ctx.quiesce();
-    let pool_stats = diff_stats(pool.stats(), &pool_stats_before);
+    let hists = ctx.take_histograms();
+    let pool_stats = pool.stats().diff(&pool_stats_before);
     Ok(ScanMetrics {
         runtime,
         max_c1,
@@ -254,6 +287,7 @@ pub fn run_fts(
         io,
         pool: pool_stats,
         resilience,
+        hists,
     })
 }
 
@@ -281,20 +315,6 @@ pub(crate) fn merge_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
     match (a, b) {
         (Some(x), Some(y)) => Some(x.max(y)),
         (x, y) => x.or(y),
-    }
-}
-
-pub(crate) fn diff_stats(
-    after: &pioqo_bufpool::PoolStats,
-    before: &pioqo_bufpool::PoolStats,
-) -> pioqo_bufpool::PoolStats {
-    pioqo_bufpool::PoolStats {
-        hits: after.hits - before.hits,
-        misses: after.misses - before.misses,
-        evictions: after.evictions - before.evictions,
-        refetches: after.refetches - before.refetches,
-        prefetch_admissions: after.prefetch_admissions - before.prefetch_admissions,
-        prefetch_hits: after.prefetch_hits - before.prefetch_hits,
     }
 }
 

@@ -16,10 +16,11 @@
 
 use crate::cpu::{CpuConfig, TaskId};
 use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
-use crate::fts::{diff_stats, merge_max};
+use crate::fts::merge_max;
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
+use pioqo_obs::{NullSink, TraceSink};
 use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -87,12 +88,44 @@ pub fn run_is(
     high: u32,
     cfg: &IsConfig,
 ) -> Result<ScanMetrics, ExecError> {
+    run_is_traced(
+        device,
+        pool,
+        cpu,
+        costs,
+        table,
+        index,
+        low,
+        high,
+        cfg,
+        &mut NullSink,
+    )
+}
+
+/// [`run_is`] with a trace sink: when the sink is enabled the scan records
+/// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
+#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+pub fn run_is_traced(
+    device: &mut dyn DeviceModel,
+    pool: &mut BufferPool,
+    cpu: CpuConfig,
+    costs: CpuCosts,
+    table: &HeapTable,
+    index: &BTreeIndex,
+    low: u32,
+    high: u32,
+    cfg: &IsConfig,
+    trace: &mut dyn TraceSink,
+) -> Result<ScanMetrics, ExecError> {
     assert!(cfg.workers >= 1);
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
     ctx.set_retry_policy(cfg.retry.clone());
+    ctx.set_trace_sink(trace);
+    let op_track = ctx.trace_track("is");
 
     // ----- Phase 0: root-to-leaf traversal by a single worker (§2) -----
+    ctx.trace_span_begin(op_track, "is_traverse");
     let range = index.range(low, high);
     let probe_leaf = range.map_or(0, |r| r.first_leaf);
     for dp in index.path_to_leaf(probe_leaf) {
@@ -101,6 +134,7 @@ pub fn run_is(
         sync_cpu(&mut ctx, work);
         ctx.pool.unpin(dp)?;
     }
+    ctx.trace_span_end(op_track, "is_traverse");
 
     let Some(range) = range else {
         // Nothing qualifies; the traversal cost is the whole runtime.
@@ -108,16 +142,19 @@ pub fn run_is(
         let io = ctx.io_profile();
         let resilience = ctx.resilience();
         ctx.quiesce();
+        let hists = ctx.take_histograms();
         return Ok(ScanMetrics {
             runtime,
             max_c1: None,
             rows_matched: 0,
             rows_examined: 0,
             io,
-            pool: diff_stats(pool.stats(), &pool_stats_before),
+            pool: pool.stats().diff(&pool_stats_before),
             resilience,
+            hists,
         });
     };
+    ctx.trace_span_begin(op_track, "is_scan");
 
     // ----- Phase 1: workers drain the leaf range -----
     let mut workers: Vec<Worker> = (0..cfg.workers)
@@ -361,18 +398,21 @@ pub fn run_is(
         }
     }
 
+    ctx.trace_span_end(op_track, "is_scan");
     let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
     let io = ctx.io_profile();
     let resilience = ctx.resilience();
     ctx.quiesce();
+    let hists = ctx.take_histograms();
     Ok(ScanMetrics {
         runtime,
         max_c1,
         rows_matched: matched,
         rows_examined: matched,
         io,
-        pool: diff_stats(pool.stats(), &pool_stats_before),
+        pool: pool.stats().diff(&pool_stats_before),
         resilience,
+        hists,
     })
 }
 

@@ -25,7 +25,7 @@ pub mod sorted_is;
 
 pub use cpu::{CpuConfig, CpuScheduler, TaskId};
 pub use engine::{CpuCosts, Event, ExecError, IoProfile, ResilienceStats, RetryPolicy, SimContext};
-pub use fts::{run_fts, FtsConfig};
-pub use is::{run_is, IsConfig};
+pub use fts::{run_fts, run_fts_traced, FtsConfig};
+pub use is::{run_is, run_is_traced, IsConfig};
 pub use metrics::ScanMetrics;
-pub use sorted_is::{run_sorted_is, SortedIsConfig};
+pub use sorted_is::{run_sorted_is, run_sorted_is_traced, SortedIsConfig};

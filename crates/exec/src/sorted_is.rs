@@ -16,10 +16,11 @@
 
 use crate::cpu::CpuConfig;
 use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
-use crate::fts::{diff_stats, merge_max};
+use crate::fts::merge_max;
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
+use pioqo_obs::{NullSink, TraceSink};
 use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -59,12 +60,45 @@ pub fn run_sorted_is(
     high: u32,
     cfg: &SortedIsConfig,
 ) -> Result<ScanMetrics, ExecError> {
+    run_sorted_is_traced(
+        device,
+        pool,
+        cpu,
+        costs,
+        table,
+        index,
+        low,
+        high,
+        cfg,
+        &mut NullSink,
+    )
+}
+
+/// [`run_sorted_is`] with a trace sink: when the sink is enabled the scan
+/// records sim-time I/O, pool and phase-span events into it (and nothing
+/// otherwise).
+#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+pub fn run_sorted_is_traced(
+    device: &mut dyn DeviceModel,
+    pool: &mut BufferPool,
+    cpu: CpuConfig,
+    costs: CpuCosts,
+    table: &HeapTable,
+    index: &BTreeIndex,
+    low: u32,
+    high: u32,
+    cfg: &SortedIsConfig,
+    trace: &mut dyn TraceSink,
+) -> Result<ScanMetrics, ExecError> {
     let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
     ctx.set_retry_policy(cfg.retry.clone());
+    ctx.set_trace_sink(trace);
+    let op_track = ctx.trace_track("sorted_is");
     let mut completed: BTreeSet<u64> = BTreeSet::new();
 
     // Phase 0: root-to-leaf traversal.
+    ctx.trace_span_begin(op_track, "sorted_is_traverse");
     let range = index.range(low, high);
     let probe_leaf = range.map_or(0, |r| r.first_leaf);
     for dp in index.path_to_leaf(probe_leaf) {
@@ -73,6 +107,7 @@ pub fn run_sorted_is(
         cpu_now(&mut ctx, work, &mut completed)?;
         ctx.pool.unpin(dp)?;
     }
+    ctx.trace_span_end(op_track, "sorted_is_traverse");
 
     let finish =
         |ctx: &mut SimContext<'_>, pool_before: &pioqo_bufpool::PoolStats, max_c1, matched| {
@@ -80,14 +115,16 @@ pub fn run_sorted_is(
             let io = ctx.io_profile();
             let resilience = ctx.resilience();
             ctx.quiesce();
+            let hists = ctx.take_histograms();
             ScanMetrics {
                 runtime,
                 max_c1,
                 rows_matched: matched,
                 rows_examined: matched,
                 io,
-                pool: diff_stats(ctx.pool.stats(), pool_before),
+                pool: ctx.pool.stats().diff(pool_before),
                 resilience,
+                hists,
             }
         };
 
@@ -96,6 +133,7 @@ pub fn run_sorted_is(
     };
 
     // Phase 1: stream leaf pages with a prefetch ring; collect row ids.
+    ctx.trace_span_begin(op_track, "sorted_is_leaves");
     let mut rids: Vec<u64> = Vec::with_capacity(range.len() as usize);
     {
         let leaves: Vec<u64> = (range.first_leaf..=range.last_leaf).collect();
@@ -124,14 +162,18 @@ pub fn run_sorted_is(
         }
     }
 
+    ctx.trace_span_end(op_track, "sorted_is_leaves");
+
     // Phase 2: sort row ids into page order (row id order == page order in
     // a heap table), charging k·log2(k) CPU.
+    ctx.trace_span_begin(op_track, "sorted_is_sort");
     let k = rids.len() as f64;
     if k > 1.0 {
         let work = k * k.log2() * ctx.costs().sort_entry_us;
         cpu_now(&mut ctx, work, &mut completed)?;
     }
     rids.sort_unstable();
+    ctx.trace_span_end(op_track, "sorted_is_sort");
 
     // Phase 3: fetch each distinct page once, ascending, prefetch ring of
     // `prefetch_depth`.
@@ -146,6 +188,7 @@ pub fn run_sorted_is(
 
     let mut max_c1: Option<u32> = None;
     let mut matched: u64 = 0;
+    ctx.trace_span_begin(op_track, "sorted_is_fetch");
     {
         let depth = cfg.prefetch_depth.max(1) as usize;
         let mut ring: std::collections::VecDeque<(u64, usize)> = Default::default();
@@ -173,6 +216,7 @@ pub fn run_sorted_is(
             ctx.pool.unpin(dp)?;
         }
     }
+    ctx.trace_span_end(op_track, "sorted_is_fetch");
 
     Ok(finish(&mut ctx, &pool_stats_before, max_c1, matched))
 }

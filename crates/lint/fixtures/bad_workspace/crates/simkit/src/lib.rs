@@ -33,6 +33,21 @@ pub fn compliant(v: Option<u64>, m: &std::collections::BTreeMap<u64, u64>) -> u6
     v.expect("fixture invariant: caller always passes Some") + m.len() as u64
 }
 
+// A trace sink that stamps events with the wall clock instead of the
+// virtual one — exactly the bug the observability layer's D1 coverage
+// exists to catch (sinks run inside the simulation, so a SystemTime
+// read here would leak host timing into "deterministic" exports).
+pub struct WallClockSink;
+
+impl WallClockSink {
+    pub fn record(&mut self, event: u64) -> u64 {
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap();
+        event ^ stamp.subsec_nanos() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Violations inside the test region are exempt from D1-D5.

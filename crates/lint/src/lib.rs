@@ -26,9 +26,11 @@ pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod trace_check;
 
 pub use config::{load_config, LintConfig, LintError};
 pub use diag::{Diagnostic, Report};
+pub use trace_check::validate_chrome_trace;
 
 use std::path::{Path, PathBuf};
 

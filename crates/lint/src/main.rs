@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! pioqo-lint check [--root DIR] [--config FILE] [--json]
+//! pioqo-lint trace-check <file>...
 //! ```
 //!
-//! Exit status: 0 when clean, 1 when any rule fired, 2 on usage or I/O
-//! errors.
+//! `check` runs the D1-D7 determinism scan; `trace-check` validates
+//! exported Chrome trace JSON files against the exporter's schema.
+//!
+//! Exit status: 0 when clean, 1 when any rule fired or a trace file is
+//! malformed, 2 on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,11 +19,17 @@ use std::io::Write;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: pioqo-lint check [--root DIR] [--config FILE] [--json]
+       pioqo-lint trace-check <file>...
 
-Enforces the workspace determinism invariants D1-D6 over every .rs file
-under <root>/crates/. The allowlist is read from --config (default:
-<root>/lint.toml). Prints a human-readable table, or a JSON report with
---json. Exits 0 when clean, 1 on violations, 2 on errors.";
+`check` enforces the workspace determinism invariants D1-D7 over every
+.rs file under <root>/crates/. The allowlist is read from --config
+(default: <root>/lint.toml). Prints a human-readable table, or a JSON
+report with --json.
+
+`trace-check` validates exported Chrome trace JSON (from `repro --trace`)
+against the exporter's event schema.
+
+Exits 0 when clean, 1 on violations/malformed traces, 2 on errors.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,9 +53,12 @@ fn run(args: &[String]) -> Result<i32, LintError> {
         eprintln!("{USAGE}");
         return Ok(2);
     };
+    if command == "trace-check" {
+        return run_trace_check(rest);
+    }
     if command != "check" {
         return Err(LintError(format!(
-            "unknown command {command:?}; only `check` is supported"
+            "unknown command {command:?}; only `check` and `trace-check` are supported"
         )));
     }
 
@@ -85,6 +98,29 @@ fn run(args: &[String]) -> Result<i32, LintError> {
         print_out(table.trim_end_matches('\n'));
     }
     Ok(if report.is_clean() { 0 } else { 1 })
+}
+
+/// Validate each named Chrome trace JSON file against the exporter's
+/// schema; exit 1 on the first malformed document.
+fn run_trace_check(files: &[String]) -> Result<i32, LintError> {
+    if files.is_empty() {
+        return Err(LintError(
+            "trace-check needs at least one trace JSON file".to_string(),
+        ));
+    }
+    let mut code = 0;
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| LintError(format!("cannot read {file}: {e}")))?;
+        match pioqo_lint::validate_chrome_trace(&text) {
+            Ok(events) => print_out(&format!("{file}: ok ({events} events)")),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                code = 1;
+            }
+        }
+    }
+    Ok(code)
 }
 
 /// Print a line to stdout, swallowing write errors: when the consumer

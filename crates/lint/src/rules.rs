@@ -24,7 +24,15 @@ pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7"];
 
 /// Crates whose code runs inside the deterministic simulation; D3/D4
 /// apply only here (matching the `crates/<name>` directory name).
-pub const SIM_CRATES: &[&str] = &["simkit", "device", "exec", "bufpool", "core", "optimizer"];
+pub const SIM_CRATES: &[&str] = &[
+    "simkit",
+    "device",
+    "exec",
+    "bufpool",
+    "core",
+    "optimizer",
+    "obs",
+];
 
 /// Shortest `.expect("...")` message D5 accepts as descriptive.
 const MIN_EXPECT_MESSAGE: usize = 10;

@@ -63,13 +63,25 @@ fn fixtures_trip_every_rule() {
             "unexpected finding outside the known-bad file: {d:?}"
         );
     }
-    let test_region_line = 36; // the #[cfg(test)] attribute in the fixture
+    let test_region_line = 51; // the #[cfg(test)] attribute in the fixture
     for d in &report.diagnostics {
         assert!(
             d.line < test_region_line,
             "finding leaked out of the exempt test region: {d:?}"
         );
     }
+
+    // The wall-clock trace sink (lines 37-48) must trip D1: a sink runs
+    // inside the simulation, so reading SystemTime there is exactly the
+    // determinism leak the observability layer must never introduce.
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "D1" && (37..test_region_line).contains(&d.line)),
+        "no D1 finding on the wall-clock trace sink:\n{}",
+        report.render_table()
+    );
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Trace event taxonomy.
+
+use pioqo_simkit::SimTime;
+
+/// What a [`TraceEvent`] describes.
+///
+/// The two generic payload words of the event (`a`, `b`) are interpreted
+/// per kind — see each variant. Span-like kinds correlate through the
+/// event's `span` id, which is stable across runs (it is derived from
+/// simulator sequence numbers, never from addresses or wall-clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named phase opens on the event's track (`ph: "B"`).
+    SpanBegin(&'static str),
+    /// The matching phase closes (`ph: "E"`).
+    SpanEnd(&'static str),
+    /// A physical device request was submitted (`a` = first device page,
+    /// `b` = length in pages). Correlates with [`EventKind::IoComplete`]
+    /// through `span` (the physical request id).
+    IoSubmit,
+    /// A physical device request completed (`a` = pages transferred,
+    /// `b` = 1 on success, 0 on error).
+    IoComplete,
+    /// Buffer-pool request satisfied from memory (`a` = page).
+    PoolHit,
+    /// Buffer-pool request needs I/O (`a` = page).
+    PoolMiss,
+    /// A frame was evicted to make room (`a` = page evicted).
+    PoolEvict,
+    /// A miss on a page that had been resident before (`a` = page).
+    PoolRefetch,
+    /// A demand request hit a page a prefetch admitted (`a` = page).
+    PoolPrefetchHit,
+    /// A failed read was re-submitted after backoff (`a` = logical io id,
+    /// `b` = attempts so far).
+    Retry,
+    /// A read outstanding past the policy timeout was hedged
+    /// (`a` = logical io id, `b` = attempts so far).
+    TimeoutHedge,
+    /// A backoff wait was scheduled (`a` = logical io id, `b` = wait µs).
+    Backoff,
+    /// A calibration probe measured one grid point (`a` = band pages,
+    /// `b` = measured cost in ns).
+    Probe,
+    /// Device queue-depth counter sample (`a` = outstanding requests).
+    QueueDepth,
+}
+
+impl EventKind {
+    /// Stable display name (used for Chrome `name` fields and summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SpanBegin(n) | EventKind::SpanEnd(n) => n,
+            EventKind::IoSubmit | EventKind::IoComplete => "io",
+            EventKind::PoolHit => "pool_hit",
+            EventKind::PoolMiss => "pool_miss",
+            EventKind::PoolEvict => "pool_evict",
+            EventKind::PoolRefetch => "pool_refetch",
+            EventKind::PoolPrefetchHit => "pool_prefetch_hit",
+            EventKind::Retry => "retry",
+            EventKind::TimeoutHedge => "timeout_hedge",
+            EventKind::Backoff => "backoff",
+            EventKind::Probe => "probe",
+            EventKind::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+/// One structured trace record, stamped with virtual time.
+///
+/// Events are plain `Copy` data: 8 machine words, no allocation, so a
+/// disabled sink costs one predictable branch and an enabled ring sink
+/// costs one array store per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual timestamp.
+    pub t: SimTime,
+    /// Track the event belongs to (interned via [`crate::TraceSink::track`];
+    /// rendered as one Perfetto thread per track).
+    pub track: u32,
+    /// Correlation id for span-like kinds (0 for instants).
+    pub span: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (kind-specific, see [`EventKind`]).
+    pub b: u64,
+}

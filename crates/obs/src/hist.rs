@@ -1,0 +1,338 @@
+//! HDR-style log-bucketed integer histograms.
+//!
+//! Bucket selection uses only integer ops (leading-zero count, shifts,
+//! masks) so histograms are byte-deterministic on every platform. The
+//! layout is the classic octave/sub-bucket scheme: values below 16 get
+//! exact unit buckets; above that, each power-of-two octave is split into
+//! 8 sub-buckets, bounding relative error at 12.5% while covering the full
+//! `u64` range in 496 buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// Values below this have exact one-per-value buckets.
+const LINEAR_MAX: u64 = 16;
+/// log2 of sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total addressable buckets (value `u64::MAX` lands in the last one).
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - 1 - SUB_BITS as usize) * SUB as usize;
+
+/// Bucket index for a value — integer ops only.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+        LINEAR_MAX as usize + (msb as usize - SUB_BITS as usize - 1) * SUB as usize + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let oct = (i - LINEAR_MAX as usize) / SUB as usize;
+        let sub = ((i - LINEAR_MAX as usize) % SUB as usize) as u64;
+        (SUB + sub) << (oct + 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1) - 1
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples.
+///
+/// `buckets` is trimmed to the highest occupied index, so an empty or
+/// narrow histogram serializes compactly; [`Histogram::merge`] aligns
+/// lengths automatically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, index 0 upward, trimmed at the top.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty). Floating
+    /// point is only used here, for reporting — never in bucket selection.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket holding the `num/den` quantile sample
+    /// (0 when empty). `num/den` must be a proportion in `[0, 1]`.
+    pub fn quantile_lo(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile must lie in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lo(i);
+            }
+        }
+        self.max
+    }
+
+    /// Lower bound of the most populated bucket (first wins ties; 0 when
+    /// empty). For distributions concentrated below 16 this is exact —
+    /// e.g. the modal queue depth of a PIS run.
+    pub fn mode_lo(&self) -> u64 {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((i, c));
+            }
+        }
+        best.map_or(0, |(i, _)| bucket_lo(i))
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+
+    /// Append `name,bucket_lo,bucket_hi,count` CSV rows for every occupied
+    /// bucket.
+    pub fn csv_rows(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                let _ = writeln!(out, "{name},{},{},{c}", bucket_lo(i), bucket_hi(i));
+            }
+        }
+    }
+}
+
+/// The per-scan histogram bundle attached to
+/// `pioqo_exec::ScanMetrics`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSet {
+    /// Per-physical-I/O completion latency, µs.
+    pub io_latency_us: Histogram,
+    /// Device queue depth sampled at every submission.
+    pub queue_depth: Histogram,
+    /// Per-logical-read wall time from issue to settle, µs (the time an
+    /// operator phase spends waiting on a page).
+    pub page_wait_us: Histogram,
+    /// Retries per settled logical read (0 for clean reads).
+    pub retries: Histogram,
+}
+
+impl HistSet {
+    /// An empty set.
+    pub fn new() -> HistSet {
+        HistSet::default()
+    }
+
+    /// True when every member histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.io_latency_us.is_empty()
+            && self.queue_depth.is_empty()
+            && self.page_wait_us.is_empty()
+            && self.retries.is_empty()
+    }
+
+    /// Fold another set into this one (par_map reduction / trace summary).
+    pub fn merge(&mut self, other: &HistSet) {
+        self.io_latency_us.merge(&other.io_latency_us);
+        self.queue_depth.merge(&other.queue_depth);
+        self.page_wait_us.merge(&other.page_wait_us);
+        self.retries.merge(&other.retries);
+    }
+
+    /// Render every occupied bucket as CSV with a `hist,bucket_lo,
+    /// bucket_hi,count` header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("hist,bucket_lo,bucket_hi,count\n");
+        self.io_latency_us.csv_rows("io_latency_us", &mut out);
+        self.queue_depth.csv_rows("queue_depth", &mut out);
+        self.page_wait_us.csv_rows("page_wait_us", &mut out);
+        self.retries.csv_rows("retries", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        // Every sampled value must land in a bucket whose [lo, hi] range
+        // contains it, and bucket index must be monotone in the value.
+        let mut prev_idx = 0usize;
+        let samples: Vec<u64> = (0..100)
+            .chain((1..40).map(|k| (1u64 << k) - 1))
+            .chain((1..40).map(|k| 1u64 << k))
+            .chain((1..40).map(|k| (1u64 << k) + 1))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} i={i}");
+            assert!(i >= prev_idx, "bucket index must be monotone at v={v}");
+            assert!(i < NUM_BUCKETS);
+            prev_idx = i;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(h.buckets[v as usize], 1);
+        }
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 15);
+        assert_eq!(h.count, 16);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1 << 30, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_hi(i) - bucket_lo(i);
+            assert!(
+                (width as f64) <= bucket_lo(i) as f64 * 0.125 + 1.0,
+                "bucket at {v} too wide: [{}, {}]",
+                bucket_lo(i),
+                bucket_hi(i)
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_and_mode() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.mode_lo(), 8);
+        assert_eq!(h.quantile_lo(50, 100), 8);
+        assert!(h.quantile_lo(99, 100) >= 960);
+        assert_eq!(h.quantile_lo(0, 100), 8, "q0 is the first sample");
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let vals_a = [0u64, 5, 17, 300, 1 << 20];
+        let vals_b = [3u64, 17, 999_999];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &vals_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &vals_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn histset_csv_has_header_and_rows() {
+        let mut hs = HistSet::new();
+        hs.queue_depth.record(8);
+        hs.queue_depth.record(8);
+        hs.io_latency_us.record(120);
+        let csv = hs.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("hist,bucket_lo,bucket_hi,count"));
+        assert!(csv.contains("queue_depth,8,8,2"));
+        assert!(csv.contains("io_latency_us,"));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_exact() {
+        let mut hs = HistSet::new();
+        for v in [1u64, 9, 1000, 1 << 33] {
+            hs.io_latency_us.record(v);
+            hs.page_wait_us.record(v * 2);
+        }
+        hs.retries.record(0);
+        let json = serde_json::to_string(&hs).expect("histogram set serializes");
+        let back: HistSet = serde_json::from_str(&json).expect("histogram set deserializes");
+        assert_eq!(hs, back);
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace sinks: the emission trait, the no-op default and the ring buffer.
+
+use crate::event::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Where instrumented code sends [`TraceEvent`]s.
+///
+/// Instrumentation sites are expected to guard event *construction* on
+/// [`TraceSink::enabled`]: the disabled path (the default [`NullSink`], or a
+/// context with no sink installed) must cost one predictable branch and
+/// nothing else. Implementations must be deterministic — no wall-clock, no
+/// ambient entropy, ordered collections only — so that recorded traces are
+/// byte-identical across runs and thread counts.
+pub trait TraceSink {
+    /// Whether events are being kept. Callers skip payload construction
+    /// when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Intern a track name (one Perfetto thread per track), returning its
+    /// stable id. Interning the same name twice returns the same id; ids
+    /// are assigned in first-interning order, which is deterministic
+    /// because instrumented code runs in virtual-time order.
+    fn track(&mut self, name: &str) -> u32;
+
+    /// Record one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn track(&mut self, _name: &str) -> u32 {
+        0
+    }
+
+    #[inline]
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` events in a
+/// ring, counting (not keeping) everything older. No OS threads, no locks,
+/// no allocation after the ring fills — a plain `Vec` with a rotating
+/// start index.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    events: Vec<TraceEvent>,
+    /// Index of the chronologically oldest retained event.
+    start: usize,
+    dropped: u64,
+    ids: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl RingSink {
+    /// A sink retaining at most `capacity` events (must be >= 1).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        assert!(capacity >= 1, "ring sink needs room for at least one event");
+        RingSink {
+            cap: capacity,
+            events: Vec::new(),
+            start: 0,
+            dropped: 0,
+            ids: BTreeMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// Interned track names, indexed by track id.
+    pub fn track_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Retained events in recording order (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.events.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Render the retained events as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::chrome_trace_json(&self.names, self.events())
+    }
+}
+
+impl TraceSink for RingSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn track(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.start] = ev;
+            self.start += 1;
+            if self.start == self.cap {
+                self.start = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use pioqo_simkit::SimTime;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_micros(n),
+            track: 0,
+            span: n,
+            kind: EventKind::PoolHit,
+            a: n,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut s = RingSink::with_capacity(3);
+        for n in 0..5u64 {
+            s.record(ev(n));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.recorded(), 5);
+        let spans: Vec<u64> = s.events().map(|e| e.span).collect();
+        assert_eq!(spans, vec![2, 3, 4], "oldest-first chronological order");
+    }
+
+    #[test]
+    fn track_interning_is_stable() {
+        let mut s = RingSink::with_capacity(4);
+        let a = s.track("io");
+        let b = s.track("pool");
+        assert_eq!(s.track("io"), a);
+        assert_eq!(s.track("pool"), b);
+        assert_ne!(a, b);
+        assert_eq!(s.track_names(), &["io".to_string(), "pool".to_string()]);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(ev(1));
+        assert_eq!(s.track("anything"), 0);
+    }
+}

@@ -27,8 +27,9 @@
 //! ```
 //!
 //! The individual layers are also published as their own crates:
-//! [`simkit`], [`device`], [`storage`], [`bufpool`], [`exec`], [`core`]
-//! (the QDTT model itself), [`optimizer`] and [`workload`].
+//! [`simkit`], [`device`], [`storage`], [`bufpool`], [`exec`], [`obs`]
+//! (sim-time tracing and histograms), [`core`] (the QDTT model itself),
+//! [`optimizer`] and [`workload`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +40,7 @@ pub use pioqo_bufpool as bufpool;
 pub use pioqo_core as core;
 pub use pioqo_device as device;
 pub use pioqo_exec as exec;
+pub use pioqo_obs as obs;
 pub use pioqo_optimizer as optimizer;
 pub use pioqo_simkit as simkit;
 pub use pioqo_storage as storage;
@@ -55,12 +57,14 @@ pub mod prelude {
         run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
         ResilienceStats, RetryPolicy, ScanMetrics, SortedIsConfig,
     };
+    pub use pioqo_obs::{HistSet, Histogram, NullSink, RingSink, TraceSink};
     pub use pioqo_optimizer::{
         AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget, QdttCost, TableStats,
     };
     pub use pioqo_simkit::{SimDuration, SimRng, SimTime};
     pub use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};
     pub use pioqo_workload::{
-        break_even, runtime_curve, DeviceKind, Experiment, ExperimentConfig, MethodSpec,
+        break_even, capture_trace, default_trace_cells, runtime_curve, DeviceKind, Experiment,
+        ExperimentConfig, MethodSpec, TraceBundle, TraceCell,
     };
 }

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] <target>...
+//! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N]
+//!       [--trace DIR] [--trace-seed N] <target>...
 //!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 all
 //! ```
@@ -10,7 +11,12 @@
 //! `--reps N` sets calibration repetitions for the AW/GW figures;
 //! `--threads N` sets the harness thread count (equivalent to the
 //! `PIOQO_THREADS` environment variable — results are byte-identical at
-//! any thread count, threads only change wall-clock time).
+//! any thread count, threads only change wall-clock time);
+//! `--trace DIR` captures the default observability scenario (see
+//! `pioqo_workload::trace`) and writes `trace.json` (Perfetto-loadable
+//! Chrome trace), `hists.csv` and `summary.json` into DIR —
+//! `--trace-seed N` varies its dataset/device seed. With `--trace`,
+//! targets are optional.
 //! Output: aligned text tables on stdout plus CSVs under `results/`
 //! (override with `PIOQO_RESULTS`).
 
@@ -24,6 +30,8 @@ use figs::Opts;
 fn main() {
     let mut opts = Opts::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut trace_dir: Option<String> = None;
+    let mut trace_seed: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -36,11 +44,19 @@ fn main() {
                 // flag is just a spelling of the environment variable.
                 std::env::set_var("PIOQO_THREADS", n.to_string());
             }
+            "--trace" => match args.next() {
+                Some(dir) => trace_dir = Some(dir),
+                None => usage("--trace needs an output directory"),
+            },
+            "--trace-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => trace_seed = n,
+                None => usage("--trace-seed needs an integer"),
+            },
             "--help" | "-h" => usage(""),
             t => targets.push(t.to_string()),
         }
     }
-    if targets.is_empty() {
+    if targets.is_empty() && trace_dir.is_none() {
         usage("no target given");
     }
 
@@ -48,7 +64,57 @@ fn main() {
     for t in &targets {
         run_target(t, opts);
     }
+    if let Some(dir) = trace_dir {
+        run_trace(opts, &dir, trace_seed);
+    }
     eprintln!("[done] {:.1}s wall", started.elapsed().as_secs_f64());
+}
+
+/// Capture the default trace scenario and write the three exports into
+/// `dir`. The capture is deterministic in (`--scale`, `--trace-seed`) and
+/// independent of the thread count.
+fn run_trace(opts: Opts, dir: &str, seed: u64) {
+    let mut cells = pioqo_workload::default_trace_cells(seed);
+    for c in &mut cells {
+        // --scale shrinks the trace cells the same way it shrinks the
+        // figure/table experiments.
+        c.scale_down = c.scale_down.saturating_mul(opts.scale);
+    }
+    let threads = pioqo_simkit::par::thread_count();
+    let bundle = match pioqo_workload::capture_trace(&cells, 1 << 16, threads) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: trace capture failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let writes = [
+        ("trace.json", &bundle.chrome_json),
+        ("hists.csv", &bundle.hist_csv),
+        ("summary.json", &bundle.summary_json),
+    ];
+    for (name, body) in writes {
+        let path = std::path::Path::new(dir).join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("[trace] wrote {} ({} bytes)", path.display(), body.len());
+    }
+    for cell in &bundle.cells {
+        println!(
+            "[trace] {}: runtime {:.3}s, {} ios, modal depth {}, p99 {} us",
+            cell.label,
+            cell.runtime_secs,
+            cell.io_ops,
+            cell.modal_queue_depth,
+            cell.p99_io_latency_us
+        );
+    }
 }
 
 /// Parse the next argument as a strictly positive integer, or exit with a
@@ -103,7 +169,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] <target>...\n\
+        "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
+         [--trace DIR] [--trace-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"
     );

@@ -12,9 +12,10 @@ use pioqo_bufpool::BufferPool;
 use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200, raid_15k, PAGE_SIZE};
 use pioqo_device::DeviceModel;
 use pioqo_exec::{
-    run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
-    ScanMetrics, SortedIsConfig,
+    run_fts_traced, run_is_traced, run_sorted_is_traced, CpuConfig, CpuCosts, ExecError, FtsConfig,
+    IsConfig, ScanMetrics, SortedIsConfig,
 };
+use pioqo_obs::{NullSink, TraceSink};
 use pioqo_storage::range_for_selectivity;
 use serde::{Deserialize, Serialize};
 
@@ -207,11 +208,24 @@ impl Experiment {
         method: MethodSpec,
         selectivity: f64,
     ) -> Result<ScanMetrics, ExecError> {
+        self.run_with_traced(device, pool, method, selectivity, &mut NullSink)
+    }
+
+    /// [`Experiment::run_with`] plus a trace sink: when the sink is enabled
+    /// the scan streams sim-time events into it (see `pioqo-obs`).
+    pub fn run_with_traced(
+        &self,
+        device: &mut dyn DeviceModel,
+        pool: &mut BufferPool,
+        method: MethodSpec,
+        selectivity: f64,
+        trace: &mut dyn TraceSink,
+    ) -> Result<ScanMetrics, ExecError> {
         let (low, high) = range_for_selectivity(selectivity, self.dataset.c2_max());
         let cpu = CpuConfig::paper_xeon();
         let costs = CpuCosts::default();
         match method {
-            MethodSpec::Fts { workers } => run_fts(
+            MethodSpec::Fts { workers } => run_fts_traced(
                 device,
                 pool,
                 cpu,
@@ -223,8 +237,9 @@ impl Experiment {
                     workers,
                     ..FtsConfig::default()
                 },
+                trace,
             ),
-            MethodSpec::Is { workers, prefetch } => run_is(
+            MethodSpec::Is { workers, prefetch } => run_is_traced(
                 device,
                 pool,
                 cpu,
@@ -238,8 +253,9 @@ impl Experiment {
                     prefetch_depth: prefetch,
                     ..IsConfig::default()
                 },
+                trace,
             ),
-            MethodSpec::SortedIs { prefetch } => run_sorted_is(
+            MethodSpec::SortedIs { prefetch } => run_sorted_is_traced(
                 device,
                 pool,
                 cpu,
@@ -252,6 +268,7 @@ impl Experiment {
                     prefetch_depth: prefetch,
                     ..SortedIsConfig::default()
                 },
+                trace,
             ),
         }
     }

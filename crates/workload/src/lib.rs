@@ -19,6 +19,7 @@ pub mod dataset;
 pub mod experiments;
 pub mod opteval;
 pub mod sweep;
+pub mod trace;
 
 pub use dataset::Dataset;
 pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
@@ -26,3 +27,4 @@ pub use opteval::{
     calibrate, cold_stats, evaluate, plan_to_method, CalibratedModels, OptEvalPoint,
 };
 pub use sweep::{break_even, runtime_curve, SweepPoint};
+pub use trace::{capture_trace, default_trace_cells, TraceBundle, TraceCell, TraceError};

@@ -78,3 +78,76 @@ fn fresh_experiment_instances_agree_with_reused_ones() {
         "experiment construction must be a pure function of its config"
     );
 }
+
+/// The observability exports extend the invariant from metrics to full
+/// traces: `repro --trace` and `pioqo-bench --trace` write exactly what
+/// [`capture_trace`] returns, so the Chrome JSON, histogram CSV and
+/// summary JSON must each be byte-identical across runs and across any
+/// worker-thread count.
+fn trace_cells() -> Vec<TraceCell> {
+    let mut cells = default_trace_cells(11);
+    for c in &mut cells {
+        c.scale_down = 1024; // keep the integration test quick
+    }
+    cells
+}
+
+fn trace_exports(threads: usize) -> (String, String, String) {
+    let bundle = pioqo::workload::trace::capture_trace(&trace_cells(), 1 << 14, threads)
+        .expect("trace capture completes at test scale");
+    (bundle.chrome_json, bundle.hist_csv, bundle.summary_json)
+}
+
+#[test]
+fn trace_exports_are_identical_across_double_runs() {
+    let a = trace_exports(1);
+    let b = trace_exports(1);
+    assert_eq!(a.0, b.0, "chrome trace JSON must survive a double run");
+    assert_eq!(a.1, b.1, "histogram CSV must survive a double run");
+    assert_eq!(a.2, b.2, "summary JSON must survive a double run");
+}
+
+#[test]
+fn trace_exports_are_identical_across_thread_counts() {
+    let a = trace_exports(1);
+    let b = trace_exports(4);
+    assert_eq!(
+        a.0, b.0,
+        "chrome trace JSON must not depend on the worker-thread count"
+    );
+    assert_eq!(
+        a.1, b.1,
+        "histogram CSV must not depend on the worker-thread count"
+    );
+    assert_eq!(
+        a.2, b.2,
+        "summary JSON must not depend on the worker-thread count"
+    );
+}
+
+#[test]
+fn traced_and_untraced_runs_report_identical_metrics() {
+    // Installing a sink must observe the simulation, never perturb it:
+    // the scan results with a recording RingSink and with no sink at all
+    // have to match field for field (histograms included).
+    let e = experiment("E33-SSD");
+    let method = MethodSpec::Is {
+        workers: 8,
+        prefetch: 0,
+    };
+    let mut dev_a = e.make_device();
+    let mut pool_a = e.make_pool();
+    let untraced = e
+        .run_with(dev_a.as_mut(), &mut pool_a, method, 0.02)
+        .expect("cold scan completes at test scale");
+    let mut dev_b = e.make_device();
+    let mut pool_b = e.make_pool();
+    let mut sink = RingSink::with_capacity(1 << 14);
+    let traced = e
+        .run_with_traced(dev_b.as_mut(), &mut pool_b, method, 0.02, &mut sink)
+        .expect("cold scan completes at test scale");
+    let a = serde_json::to_string(&untraced).expect("scan metrics serialize to JSON");
+    let b = serde_json::to_string(&traced).expect("scan metrics serialize to JSON");
+    assert_eq!(a, b, "tracing must be observation-only");
+    assert!(sink.recorded() > 0, "the sink actually saw the run");
+}
