@@ -6,7 +6,8 @@ use pioqo_bench::{bench_data, BenchData};
 use pioqo_bufpool::BufferPool;
 use pioqo_device::presets;
 use pioqo_exec::{
-    run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, FtsConfig, IsConfig, SortedIsConfig,
+    execute, CpuConfig, CpuCosts, FtsConfig, IsConfig, PlanSpec, ScanInputs, SimContext,
+    SortedIsConfig,
 };
 use pioqo_storage::range_for_selectivity;
 use std::hint::black_box;
@@ -17,118 +18,58 @@ fn bench_scans(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan_simulation");
     g.sample_size(20);
 
+    let run_plan = |data: &BenchData, plan: &PlanSpec| {
+        let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
+        let mut pool = BufferPool::new(4096);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let inputs = ScanInputs {
+            table: &data.table,
+            index: Some(&data.index),
+            low: lo,
+            high: hi,
+        };
+        execute(&mut ctx, plan, &inputs).expect("runs")
+    };
+
     g.bench_function("fts_serial", |b| {
-        b.iter(|| {
-            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
-            let mut pool = BufferPool::new(4096);
-            black_box(
-                run_fts(
-                    &mut dev,
-                    &mut pool,
-                    CpuConfig::paper_xeon(),
-                    CpuCosts::default(),
-                    &data.table,
-                    lo,
-                    hi,
-                    &FtsConfig::default(),
-                )
-                .expect("runs"),
-            )
-        })
+        let plan = PlanSpec::Fts(FtsConfig::default());
+        b.iter(|| black_box(run_plan(&data, &plan)))
     });
 
     g.bench_function("pfts32", |b| {
-        b.iter(|| {
-            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
-            let mut pool = BufferPool::new(4096);
-            black_box(
-                run_fts(
-                    &mut dev,
-                    &mut pool,
-                    CpuConfig::paper_xeon(),
-                    CpuCosts::default(),
-                    &data.table,
-                    lo,
-                    hi,
-                    &FtsConfig {
-                        workers: 32,
-                        ..FtsConfig::default()
-                    },
-                )
-                .expect("runs"),
-            )
-        })
+        let plan = PlanSpec::Fts(FtsConfig {
+            workers: 32,
+            ..FtsConfig::default()
+        });
+        b.iter(|| black_box(run_plan(&data, &plan)))
     });
 
     g.bench_function("pis32", |b| {
-        b.iter(|| {
-            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
-            let mut pool = BufferPool::new(4096);
-            black_box(
-                run_is(
-                    &mut dev,
-                    &mut pool,
-                    CpuConfig::paper_xeon(),
-                    CpuCosts::default(),
-                    &data.table,
-                    &data.index,
-                    lo,
-                    hi,
-                    &IsConfig {
-                        workers: 32,
-                        prefetch_depth: 0,
-                        ..IsConfig::default()
-                    },
-                )
-                .expect("runs"),
-            )
-        })
+        let plan = PlanSpec::Is(IsConfig {
+            workers: 32,
+            prefetch_depth: 0,
+            ..IsConfig::default()
+        });
+        b.iter(|| black_box(run_plan(&data, &plan)))
     });
 
     g.bench_function("pis4_pf32", |b| {
-        b.iter(|| {
-            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
-            let mut pool = BufferPool::new(4096);
-            black_box(
-                run_is(
-                    &mut dev,
-                    &mut pool,
-                    CpuConfig::paper_xeon(),
-                    CpuCosts::default(),
-                    &data.table,
-                    &data.index,
-                    lo,
-                    hi,
-                    &IsConfig {
-                        workers: 4,
-                        prefetch_depth: 32,
-                        ..IsConfig::default()
-                    },
-                )
-                .expect("runs"),
-            )
-        })
+        let plan = PlanSpec::Is(IsConfig {
+            workers: 4,
+            prefetch_depth: 32,
+            ..IsConfig::default()
+        });
+        b.iter(|| black_box(run_plan(&data, &plan)))
     });
 
     g.bench_function("sorted_is", |b| {
-        b.iter(|| {
-            let mut dev = presets::consumer_pcie_ssd(data.capacity, 1);
-            let mut pool = BufferPool::new(4096);
-            black_box(
-                run_sorted_is(
-                    &mut dev,
-                    &mut pool,
-                    CpuConfig::paper_xeon(),
-                    CpuCosts::default(),
-                    &data.table,
-                    &data.index,
-                    lo,
-                    hi,
-                    &SortedIsConfig::default(),
-                )
-                .expect("runs"),
-            )
-        })
+        let plan = PlanSpec::SortedIs(SortedIsConfig::default());
+        b.iter(|| black_box(run_plan(&data, &plan)))
     });
     g.finish();
 }

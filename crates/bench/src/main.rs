@@ -5,7 +5,7 @@
 //! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace]
 //! ```
 //!
-//! Measures four things and emits a JSON report (default `BENCH_pr4.json`
+//! Measures five things and emits a JSON report (default `BENCH_pr5.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
@@ -15,7 +15,11 @@
 //! 3. **Tracing** — the same PIS scan with tracing disabled (`NullSink`
 //!    never installed — the zero-cost claim) vs enabled (`RingSink`
 //!    recording every event).
-//! 4. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//! 4. **Concurrency** — wall seconds of the canonical traced 8-session
+//!    workload under QDTT-aware admission control (calibration + engine
+//!    run + exports), with the engine's simulated makespan alongside so
+//!    sim-time-per-wall-second is legible.
+//! 5. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
 //!    harness threads (the repro binary is built on demand), plus the
 //!    host's logical CPU count so single-core machines are legible in the
 //!    artifact.
@@ -29,13 +33,13 @@
 use pioqo_bufpool::{Access, BufferPool};
 use pioqo_obs::RingSink;
 use pioqo_simkit::{EventQueue, SimRng, SimTime};
-use pioqo_workload::{Experiment, ExperimentConfig, MethodSpec};
+use pioqo_workload::{session_export, Experiment, ExperimentConfig, MethodSpec};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr4.json");
+    let mut out_path = PathBuf::from("BENCH_pr5.json");
     let mut json = false;
     let mut trace_only = false;
     let mut args = std::env::args().skip(1);
@@ -65,17 +69,26 @@ fn main() {
     eprintln!("[bench] host logical CPUs: {cpus}");
 
     let tr = bench_tracing();
-    let (eq, bp, e2e) = if trace_only {
-        (None, None, None)
+    let (eq, bp, conc, e2e) = if trace_only {
+        (None, None, None, None)
     } else {
         (
             Some(bench_event_queue()),
             Some(bench_bufpool()),
+            Some(bench_concurrency()),
             Some(bench_end_to_end(scale)),
         )
     };
 
-    let report = render_json(cpus, scale, eq.as_ref(), bp.as_ref(), &tr, e2e.as_ref());
+    let report = render_json(
+        cpus,
+        scale,
+        eq.as_ref(),
+        bp.as_ref(),
+        &tr,
+        conc.as_ref(),
+        e2e.as_ref(),
+    );
     if json {
         println!("{report}");
     }
@@ -278,6 +291,50 @@ fn bench_tracing() -> TracingBench {
     }
 }
 
+/// Wall time of the canonical traced 8-session workload, with the
+/// engine's own simulated makespan for scale.
+struct ConcurrencyBench {
+    runs: u64,
+    sessions: u32,
+    queries: u64,
+    wall_s_per_run: f64,
+    sim_makespan_ms: f64,
+    admissions: u64,
+}
+
+/// Run `session_export` (calibrate the SSD fixture, execute 8 closed-loop
+/// sessions through QDTT-aware admission control with per-session trace
+/// tracks, render the JSON exports) end to end and time it. One untimed
+/// warm-up run absorbs first-touch costs, same as the tracing bench.
+fn bench_concurrency() -> ConcurrencyBench {
+    const RUNS: u64 = 3;
+    let warm = session_export(42).expect("canonical session export cannot fail");
+    let sessions = warm.report.spec.sessions;
+    let queries = warm.report.total_completed() as u64;
+    let sim_makespan_ms = warm.report.makespan.as_micros_f64() / 1_000.0;
+    let admissions = warm.admissions.len() as u64;
+
+    let started = Instant::now();
+    let mut checksum = 0usize;
+    for _ in 0..RUNS {
+        let export = session_export(42).expect("canonical session export cannot fail");
+        checksum ^= export.chrome_json.len();
+    }
+    let wall_s_per_run = started.elapsed().as_secs_f64() / RUNS as f64;
+    eprintln!(
+        "[bench] concurrency: {RUNS} runs of {sessions} sessions / {queries} queries \
+         (checksum {checksum:x}); {wall_s_per_run:.3}s/run, sim makespan {sim_makespan_ms:.1}ms"
+    );
+    ConcurrencyBench {
+        runs: RUNS,
+        sessions,
+        queries,
+        wall_s_per_run,
+        sim_makespan_ms,
+        admissions,
+    }
+}
+
 /// Wall seconds of `repro all --scale N` at the given thread count, or
 /// `None` when the run failed.
 struct EndToEndBench {
@@ -359,6 +416,7 @@ fn render_json(
     eq: Option<&EventQueueBench>,
     bp: Option<&BufpoolBench>,
     tr: &TracingBench,
+    conc: Option<&ConcurrencyBench>,
     e2e: Option<&EndToEndBench>,
 ) -> String {
     let eq_json = match eq {
@@ -389,6 +447,19 @@ fn render_json(
         json_num(tr.enabled_s / tr.disabled_s),
         tr.events_per_run,
     );
+    let conc_json = match conc {
+        Some(c) => format!(
+            "{{\n    \"runs\": {},\n    \"sessions\": {},\n    \"queries\": {},\n    \"wall_s_per_run\": {},\n    \"sim_makespan_ms\": {},\n    \"queries_per_wall_s\": {},\n    \"admissions\": {}\n  }}",
+            c.runs,
+            c.sessions,
+            c.queries,
+            json_num(c.wall_s_per_run),
+            json_num(c.sim_makespan_ms),
+            json_num(c.queries as f64 / c.wall_s_per_run),
+            c.admissions,
+        ),
+        None => "null".to_string(),
+    };
     let e2e_json = match e2e {
         Some(e2e) => {
             let speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
@@ -405,6 +476,6 @@ fn render_json(
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr4\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
+        "{{\n  \"bench\": \"pr5\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

@@ -115,11 +115,17 @@ pub fn nvme_gen4(capacity_pages: u64, seed: u64) -> Ssd {
 /// The paper's RAID array: `n_spindles` 15K drives, 64 KiB stripes.
 /// `capacity_pages` is the **total** array capacity.
 pub fn raid_15k(n_spindles: u32, capacity_pages: u64, seed: u64) -> Raid {
-    let per_spindle = capacity_pages.div_ceil(n_spindles as u64);
+    let stripe_pages = 16u64; // 64 KiB
+                              // Round the per-spindle size up to whole stripe units: the striped
+                              // page mapping addresses spindles stripe-by-stripe, so a spindle cut
+                              // mid-stripe would put the array's last pages past its end whenever
+                              // the requested capacity is not a multiple of spindles × stripe.
+    let stripes = capacity_pages.div_ceil(stripe_pages);
+    let per_spindle = stripes.div_ceil(n_spindles as u64) * stripe_pages;
     Raid::new(RaidConfig {
         spindle: hdd_15k_config(per_spindle, seed),
         n_spindles,
-        stripe_pages: 16, // 64 KiB
+        stripe_pages: stripe_pages as u32,
         degraded_spindle: None,
         reconstruct_overhead_us: 10.0,
         name: format!("raid-15k-x{n_spindles}"),

@@ -71,6 +71,16 @@ impl Raid {
     /// Build an array from its configuration. Each spindle gets a distinct
     /// RNG seed derived from the template seed.
     pub fn new(cfg: RaidConfig) -> Self {
+        assert!(
+            cfg.spindle
+                .capacity_pages
+                .is_multiple_of(cfg.stripe_pages as u64),
+            "per-spindle capacity ({} pages) must be a whole number of \
+             stripe units ({} pages): the striped mapping would otherwise \
+             address past a spindle's end",
+            cfg.spindle.capacity_pages,
+            cfg.stripe_pages
+        );
         let spindles = (0..cfg.n_spindles)
             .map(|i| {
                 let mut c = cfg.spindle.clone();

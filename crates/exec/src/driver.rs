@@ -1,0 +1,53 @@
+//! The event-driven query-driver abstraction behind [`crate::execute`] and
+//! [`crate::MultiEngine`].
+//!
+//! A `QueryDriver` is one query's state machine, decoupled from the event
+//! loop that feeds it: [`QueryDriver::start`] issues the initial I/O and
+//! compute, and [`QueryDriver::on_event`] advances the machine on each
+//! [`Event`] delivered by [`SimContext::step`]. Drivers track exactly which
+//! I/O handles, compute tasks and timers belong to them and *silently
+//! ignore everything else*, which is what lets many drivers share one
+//! context: the multi-query engine broadcasts every event to every active
+//! driver in session order, and only the owner reacts. A driver returns an
+//! error only for a failure on I/O it issued itself.
+//!
+//! Determinism: drivers hold ordered collections only, never consult
+//! wall-clock time, and react to events in the order the context delivers
+//! them — the same invariants as the rest of the sim crates (DESIGN.md §8).
+
+use crate::engine::{Event, ExecError, SimContext};
+
+/// The answer of one range-MAX query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// `MAX(C1)` over the matching rows (`None` when nothing matched).
+    pub max_c1: Option<u32>,
+    /// Rows satisfying the BETWEEN predicate.
+    pub rows_matched: u64,
+    /// Rows the operator actually evaluated.
+    pub rows_examined: u64,
+}
+
+/// One query's scan state machine, drivable by any event loop over a
+/// [`SimContext`] (see the module docs).
+pub trait QueryDriver {
+    /// The operator name used in traces and [`ExecError::Io`].
+    fn operator(&self) -> &'static str;
+
+    /// Issue the query's initial work (startup compute, root fetch,
+    /// prefetch window). Called exactly once, before any event delivery.
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError>;
+
+    /// React to one context event. Events for I/O, compute or timers the
+    /// driver does not own must be ignored (return `Ok`); an error on the
+    /// driver's own I/O surfaces as `Err`.
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError>;
+
+    /// Whether the query has produced its final answer. A done driver
+    /// receives no further events (stray completions of its outstanding
+    /// prefetch are absorbed by the event loop).
+    fn done(&self) -> bool;
+
+    /// The final answer. Meaningful once [`QueryDriver::done`] is true.
+    fn answer(&self) -> QueryAnswer;
+}

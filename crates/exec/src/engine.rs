@@ -242,6 +242,12 @@ pub enum Event {
     },
     /// A compute task finished.
     Cpu(TaskId),
+    /// A virtual-time timer armed with [`SimContext::schedule_timer`]
+    /// expired (session think time, periodic samplers).
+    Timer {
+        /// The handle returned by [`SimContext::schedule_timer`].
+        id: u64,
+    },
 }
 
 /// Aggregate I/O statistics observed by a context over its lifetime.
@@ -281,6 +287,8 @@ pub struct SimContext<'a> {
     req_owner: BTreeMap<u64, u64>, // physical request id -> io id
     retry_queue: BTreeMap<SimTime, Vec<u64>>,
     deadline_queue: BTreeMap<SimTime, Vec<u64>>,
+    timer_queue: BTreeMap<SimTime, Vec<u64>>,
+    next_timer: u64,
     io_buf: Vec<IoCompletion>,
     cpu_buf: Vec<TaskId>,
     depth: TimeWeighted,
@@ -322,6 +330,8 @@ impl<'a> SimContext<'a> {
             req_owner: BTreeMap::new(),
             retry_queue: BTreeMap::new(),
             deadline_queue: BTreeMap::new(),
+            timer_queue: BTreeMap::new(),
+            next_timer: 0,
             io_buf: Vec::new(),
             cpu_buf: Vec::new(),
             depth: TimeWeighted::new(SimTime::ZERO, 0.0),
@@ -532,6 +542,21 @@ impl<'a> SimContext<'a> {
         self.cpu.submit(self.now, work_us)
     }
 
+    /// Arm a virtual-time timer that fires as [`Event::Timer`] once `after`
+    /// has elapsed. Timers keep [`SimContext::step`] progressing even when
+    /// no I/O or compute is pending (e.g. every session of a closed-loop
+    /// workload is in think time), and consume neither device nor CPU
+    /// capacity. Timers armed for the same instant fire in arming order.
+    pub fn schedule_timer(&mut self, after: SimDuration) -> u64 {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.timer_queue
+            .entry(self.now + after)
+            .or_default()
+            .push(id);
+        id
+    }
+
     fn track_submit(&mut self) {
         self.first_submit.get_or_insert(self.now);
         self.depth.add(self.now, 1.0);
@@ -559,6 +584,7 @@ impl<'a> SimContext<'a> {
             self.cpu.next_event(),
             self.retry_queue.keys().next().copied(),
             self.deadline_queue.keys().next().copied(),
+            self.timer_queue.keys().next().copied(),
         ] {
             t = match (t, cand) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -622,6 +648,17 @@ impl<'a> SimContext<'a> {
                 self.res.timeouts += 1;
                 self.emit(EventKind::TimeoutHedge, self.io_track, 0, io, attempts);
                 self.submit_physical(io);
+            }
+        }
+
+        // Expired timers, in arming order within each instant.
+        while let Some((&due, _)) = self.timer_queue.iter().next() {
+            if due > t {
+                break;
+            }
+            let ids = self.timer_queue.remove(&due).expect("key just observed");
+            for id in ids {
+                events.push(Event::Timer { id });
             }
         }
 

@@ -1,0 +1,160 @@
+//! The unified execution entry point: one function, any scan operator.
+//!
+//! [`execute`] replaces the six `run_fts`/`run_is`/`run_sorted_is` (+
+//! `_traced`) entry points: the caller builds a [`SimContext`] (installing
+//! a trace sink and retry policy on it as needed), describes the chosen
+//! plan as a [`PlanSpec`] and the operands as [`ScanInputs`], and gets back
+//! the same [`ScanOutput`] the old entry points produced. Internally the
+//! plan is lowered to a [`QueryDriver`] and pumped on the context's event
+//! loop until the answer is complete.
+
+use crate::driver::QueryDriver;
+use crate::engine::{Event, ExecError, RetryPolicy, SimContext};
+use crate::fts::{FtsConfig, FtsDriver};
+use crate::is::{IsConfig, IsDriver};
+use crate::metrics::ScanMetrics;
+use crate::sorted_is::{SortedIsConfig, SortedIsDriver};
+use pioqo_storage::{BTreeIndex, HeapTable};
+use serde::{Deserialize, Serialize};
+
+/// What [`execute`] returns: the metrics bundle of one scan.
+pub type ScanOutput = ScanMetrics;
+
+/// A physical plan, fully specified: the access method plus its operator
+/// configuration. This is the executor-side twin of the optimizer's `Plan`
+/// (the optimizer crate depends on this one, so the lowering lives there).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlanSpec {
+    /// (Parallel) full table scan.
+    Fts(FtsConfig),
+    /// (Parallel) index scan.
+    Is(IsConfig),
+    /// Sorted index scan.
+    SortedIs(SortedIsConfig),
+}
+
+impl PlanSpec {
+    /// Short human-readable plan label ("FTS", "PIS8+pf4", "SortedIS").
+    pub fn label(&self) -> String {
+        match self {
+            PlanSpec::Fts(c) if c.workers == 1 => "FTS".to_string(),
+            PlanSpec::Fts(c) => format!("PFTS{}", c.workers),
+            PlanSpec::Is(c) if c.workers == 1 && c.prefetch_depth == 0 => "IS".to_string(),
+            PlanSpec::Is(c) if c.prefetch_depth == 0 => format!("PIS{}", c.workers),
+            PlanSpec::Is(c) => format!("PIS{}+pf{}", c.workers, c.prefetch_depth),
+            PlanSpec::SortedIs(_) => "SortedIS".to_string(),
+        }
+    }
+
+    /// The parallel degree the plan runs at.
+    pub fn degree(&self) -> u32 {
+        match self {
+            PlanSpec::Fts(c) => c.workers,
+            PlanSpec::Is(c) => c.workers,
+            PlanSpec::SortedIs(_) => 1,
+        }
+    }
+
+    /// The plan's retry/timeout policy (installed on the context by
+    /// [`execute`]).
+    pub fn retry(&self) -> &RetryPolicy {
+        match self {
+            PlanSpec::Fts(c) => &c.retry,
+            PlanSpec::Is(c) => &c.retry,
+            PlanSpec::SortedIs(c) => &c.retry,
+        }
+    }
+}
+
+/// The operands of one range-MAX query.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanInputs<'a> {
+    /// The heap table to scan.
+    pub table: &'a HeapTable,
+    /// The C2 index (required by the index-scan plans, unused by FTS).
+    pub index: Option<&'a BTreeIndex>,
+    /// Predicate lower bound (inclusive).
+    pub low: u32,
+    /// Predicate upper bound (inclusive).
+    pub high: u32,
+}
+
+/// Lower a plan to its driver. Fails if the plan needs an index the inputs
+/// do not provide.
+pub fn make_driver<'q>(
+    plan: &PlanSpec,
+    inputs: &ScanInputs<'q>,
+) -> Result<Box<dyn QueryDriver + 'q>, ExecError> {
+    let need_index = || {
+        inputs.index.ok_or(ExecError::Internal {
+            detail: "index-scan plan without an index",
+        })
+    };
+    Ok(match plan {
+        PlanSpec::Fts(cfg) => Box::new(FtsDriver::new(
+            cfg.clone(),
+            inputs.table,
+            inputs.low,
+            inputs.high,
+        )),
+        PlanSpec::Is(cfg) => Box::new(IsDriver::new(
+            cfg.clone(),
+            inputs.table,
+            need_index()?,
+            inputs.low,
+            inputs.high,
+        )),
+        PlanSpec::SortedIs(cfg) => Box::new(SortedIsDriver::new(
+            cfg.clone(),
+            inputs.table,
+            need_index()?,
+            inputs.low,
+            inputs.high,
+        )),
+    })
+}
+
+/// Execute one query to completion on `ctx` and return its metrics.
+///
+/// The context is not consumed: callers can run several queries back to
+/// back on one context (warm pool, monotone virtual time) or install a
+/// trace sink up front. The plan's retry policy is installed on the
+/// context; each scan's metrics cover only its own window (runtime is
+/// measured from the context time at entry, pool stats are diffed).
+pub fn execute(
+    ctx: &mut SimContext<'_>,
+    plan: &PlanSpec,
+    inputs: &ScanInputs<'_>,
+) -> Result<ScanOutput, ExecError> {
+    ctx.set_retry_policy(plan.retry().clone());
+    let start = ctx.now();
+    let pool_before = ctx.pool.stats().clone();
+    let mut driver = make_driver(plan, inputs)?;
+    driver.start(ctx)?;
+    let mut events: Vec<Event> = Vec::new();
+    while !driver.done() {
+        events.clear();
+        let progressed = ctx.step(&mut events);
+        assert!(progressed, "scan deadlocked with work pending");
+        for e in &events {
+            driver.on_event(ctx, e)?;
+        }
+    }
+    let answer = driver.answer();
+    let runtime = ctx.now() - start;
+    let io = ctx.io_profile();
+    let resilience = ctx.resilience();
+    ctx.quiesce();
+    let hists = ctx.take_histograms();
+    let pool = ctx.pool.stats().diff(&pool_before);
+    Ok(ScanMetrics {
+        runtime,
+        max_c1: answer.max_c1,
+        rows_matched: answer.rows_matched,
+        rows_examined: answer.rows_examined,
+        io,
+        pool,
+        resilience,
+        hists,
+    })
+}

@@ -7,16 +7,22 @@
 //! page already in the buffer pool and the device sees a sequential I/O
 //! pattern. With rows-per-page high the scan is CPU-bound; with it low the
 //! scan is bound by sequential bandwidth — exactly the regimes of Table 3.
+//!
+//! The scan is a [`QueryDriver`]: it owns no event loop of its own and can
+//! therefore run alone (via [`crate::execute`]) or interleaved with other
+//! queries on a shared context (via [`crate::MultiEngine`]).
 
 use crate::cpu::{CpuConfig, TaskId};
+use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
+use crate::execute::{execute, ScanInputs};
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::BufferPool;
 use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::{NullSink, TraceSink};
+use pioqo_obs::TraceSink;
 use pioqo_storage::HeapTable;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Table-scan configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,9 +64,259 @@ struct Worker {
     page: u64,
 }
 
+/// The (parallel) full-table-scan state machine. See the module docs.
+pub struct FtsDriver<'q> {
+    cfg: FtsConfig,
+    table: &'q HeapTable,
+    low: u32,
+    high: u32,
+    n_pages: u64,
+    workers: Vec<Worker>,
+    cursor: u64,
+    pf_next: u64,
+    /// io id -> workers waiting on it (demand or prefetch coverage).
+    waiters: BTreeMap<u64, Vec<usize>>,
+    /// device page -> in-flight prefetch io covering it.
+    pf_cover: BTreeMap<u64, u64>,
+    /// Block I/O this driver issued (prefetch); everything else is foreign.
+    my_blocks: BTreeSet<u64>,
+    task_owner: BTreeMap<TaskId, usize>,
+    max_c1: Option<u32>,
+    matched: u64,
+    examined: u64,
+    op_track: u32,
+    finished: bool,
+}
+
+impl<'q> FtsDriver<'q> {
+    /// A driver for `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND
+    /// high` with a (parallel) full table scan.
+    pub fn new(cfg: FtsConfig, table: &'q HeapTable, low: u32, high: u32) -> FtsDriver<'q> {
+        assert!(cfg.workers >= 1);
+        assert!(cfg.block_pages >= 1);
+        let workers = (0..cfg.workers)
+            .map(|_| Worker {
+                state: WState::Startup,
+                page: 0,
+            })
+            .collect();
+        FtsDriver {
+            n_pages: table.n_pages(),
+            cfg,
+            table,
+            low,
+            high,
+            workers,
+            cursor: 0,
+            pf_next: 0,
+            waiters: BTreeMap::new(),
+            pf_cover: BTreeMap::new(),
+            my_blocks: BTreeSet::new(),
+            task_owner: BTreeMap::new(),
+            max_c1: None,
+            matched: 0,
+            examined: 0,
+            op_track: 0,
+            finished: false,
+        }
+    }
+
+    /// Keep the prefetcher `prefetch_blocks` blocks ahead of the frontier.
+    /// Never prefetch behind the cursor (those pages are already claimed
+    /// and demand-read).
+    fn top_up_prefetch(&mut self, ctx: &mut SimContext<'_>) {
+        if self.cfg.prefetch_blocks == 0 {
+            return;
+        }
+        if self.pf_next < self.cursor {
+            self.pf_next = self.cursor;
+        }
+        let window_end = self
+            .n_pages
+            .min(self.cursor + (self.cfg.prefetch_blocks * self.cfg.block_pages) as u64);
+        while self.pf_next < window_end {
+            let len = (self.cfg.block_pages as u64).min(self.n_pages - self.pf_next) as u32;
+            let first_dp = self.table.device_page(self.pf_next);
+            let all_resident = (0..len as u64).all(|i| ctx.pool.contains(first_dp + i));
+            if !all_resident {
+                let io = ctx.read_block(first_dp, len);
+                self.my_blocks.insert(io);
+                for i in 0..len as u64 {
+                    self.pf_cover.insert(first_dp + i, io);
+                }
+            }
+            self.pf_next += len as u64;
+        }
+    }
+
+    /// Hand worker `w` its next page (or retire it).
+    fn claim(&mut self, ctx: &mut SimContext<'_>, w: usize) {
+        if self.cursor >= self.n_pages {
+            self.workers[w].state = WState::Done;
+            return;
+        }
+        let p = self.cursor;
+        self.cursor += 1;
+        self.workers[w].page = p;
+        self.top_up_prefetch(ctx);
+        let dp = self.table.device_page(p);
+        match ctx.pool.request(dp) {
+            pioqo_bufpool::Access::Hit => {
+                let work = page_work(ctx, self.table, p);
+                let t = ctx.submit_cpu(work);
+                self.task_owner.insert(t, w);
+                self.workers[w].state = WState::Compute;
+            }
+            pioqo_bufpool::Access::Miss => {
+                let io = match self.pf_cover.get(&dp) {
+                    Some(&io) => io,
+                    None => ctx.read_page(dp),
+                };
+                self.waiters.entry(io).or_default().push(w);
+                self.workers[w].state = WState::WaitIo;
+            }
+        }
+    }
+
+    /// Wake every worker waiting on `io`: their page is now resident, so
+    /// pin it and start the page-processing compute task.
+    fn wake_waiters(&mut self, ctx: &mut SimContext<'_>, io: u64) {
+        let Some(ws) = self.waiters.remove(&io) else {
+            return;
+        };
+        for w in ws {
+            debug_assert!(matches!(self.workers[w].state, WState::WaitIo));
+            let p = self.workers[w].page;
+            let dp = self.table.device_page(p);
+            match ctx.pool.request(dp) {
+                pioqo_bufpool::Access::Hit => {}
+                pioqo_bufpool::Access::Miss => {
+                    // Evicted between admit and wake (pathologically small
+                    // pool): fall back to a fresh demand read.
+                    let iop = ctx.read_page(dp);
+                    self.waiters.entry(iop).or_default().push(w);
+                    continue;
+                }
+            }
+            let work = page_work(ctx, self.table, p);
+            let t = ctx.submit_cpu(work);
+            self.task_owner.insert(t, w);
+            self.workers[w].state = WState::Compute;
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut SimContext<'_>) {
+        if !self.finished && self.workers.iter().all(|w| matches!(w.state, WState::Done)) {
+            ctx.trace_span_end(self.op_track, "fts_scan");
+            self.finished = true;
+        }
+    }
+}
+
+impl QueryDriver for FtsDriver<'_> {
+    fn operator(&self) -> &'static str {
+        "fts"
+    }
+
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        self.op_track = ctx.trace_track("fts");
+        ctx.trace_span_begin(self.op_track, "fts_scan");
+        // Worker startup cost: threads wake and attach to the plan fragment.
+        for w in 0..self.workers.len() {
+            let startup = if self.cfg.workers > 1 {
+                ctx.costs().worker_startup_us
+            } else {
+                0.0
+            };
+            let t = ctx.submit_cpu(startup);
+            self.task_owner.insert(t, w);
+            self.workers[w].state = WState::Startup;
+        }
+        self.top_up_prefetch(ctx);
+        Ok(())
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError> {
+        match *ev {
+            Event::IoBlock {
+                io,
+                start,
+                len,
+                status,
+                attempts,
+            } => {
+                if !self.my_blocks.remove(&io) {
+                    return Ok(()); // another query's prefetch
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("fts", start, attempts));
+                }
+                for dp in start..start + len as u64 {
+                    self.pf_cover.remove(&dp);
+                    ctx.pool.admit_prefetched(dp)?;
+                }
+                self.wake_waiters(ctx, io);
+            }
+            Event::IoPage {
+                io,
+                device_page,
+                status,
+                attempts,
+            } => {
+                if !self.waiters.contains_key(&io) {
+                    return Ok(()); // not a read this driver is waiting on
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("fts", device_page, attempts));
+                }
+                ctx.pool.admit_prefetched(device_page)?;
+                self.wake_waiters(ctx, io);
+            }
+            Event::Cpu(task) => {
+                let Some(w) = self.task_owner.remove(&task) else {
+                    return Ok(()); // another query's compute
+                };
+                match self.workers[w].state {
+                    WState::Startup => self.claim(ctx, w),
+                    WState::Compute => {
+                        let p = self.workers[w].page;
+                        let (m, cnt, ex) = evaluate_page(self.table, p, self.low, self.high);
+                        self.max_c1 = merge_max(self.max_c1, m);
+                        self.matched += cnt;
+                        self.examined += ex;
+                        ctx.pool.unpin(self.table.device_page(p))?;
+                        self.claim(ctx, w);
+                    }
+                    _ => {
+                        return Err(ExecError::Internal {
+                            detail: "cpu completion in non-compute state",
+                        })
+                    }
+                }
+            }
+            Event::Timer { .. } => {}
+        }
+        self.maybe_finish(ctx);
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+
+    fn answer(&self) -> QueryAnswer {
+        QueryAnswer {
+            max_c1: self.max_c1,
+            rows_matched: self.matched,
+            rows_examined: self.examined,
+        }
+    }
+}
+
 /// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
 /// (parallel) full table scan.
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::Fts`")]
 pub fn run_fts(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -71,22 +327,23 @@ pub fn run_fts(
     high: u32,
     cfg: &FtsConfig,
 ) -> Result<ScanMetrics, ExecError> {
-    run_fts_traced(
-        device,
-        pool,
-        cpu,
-        costs,
-        table,
-        low,
-        high,
-        cfg,
-        &mut NullSink,
+    let mut ctx = SimContext::new(device, pool, cpu, costs);
+    execute(
+        &mut ctx,
+        &crate::execute::PlanSpec::Fts(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: None,
+            low,
+            high,
+        },
     )
 }
 
 /// [`run_fts`] with a trace sink: when the sink is enabled the scan records
 /// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
 pub fn run_fts_traced(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -98,197 +355,18 @@ pub fn run_fts_traced(
     cfg: &FtsConfig,
     trace: &mut dyn TraceSink,
 ) -> Result<ScanMetrics, ExecError> {
-    assert!(cfg.workers >= 1);
-    assert!(cfg.block_pages >= 1);
-    let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_retry_policy(cfg.retry.clone());
     ctx.set_trace_sink(trace);
-    let op_track = ctx.trace_track("fts");
-    ctx.trace_span_begin(op_track, "fts_scan");
-    let n_pages = table.n_pages();
-
-    let mut workers: Vec<Worker> = (0..cfg.workers)
-        .map(|_| Worker {
-            state: WState::Startup,
-            page: 0,
-        })
-        .collect();
-    let mut cursor: u64 = 0;
-    let mut pf_next: u64 = 0;
-    // io id -> workers waiting on it (demand or prefetch coverage).
-    let mut waiters: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-    // device page -> in-flight prefetch io covering it.
-    let mut pf_cover: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut task_owner: BTreeMap<TaskId, usize> = BTreeMap::new();
-
-    let mut max_c1: Option<u32> = None;
-    let mut matched: u64 = 0;
-    let mut examined: u64 = 0;
-
-    // Worker startup cost: threads wake and attach to the plan fragment.
-    for (w, worker) in workers.iter_mut().enumerate() {
-        let startup = if cfg.workers > 1 {
-            ctx.costs().worker_startup_us
-        } else {
-            0.0
-        };
-        let t = ctx.submit_cpu(startup);
-        task_owner.insert(t, w);
-        worker.state = WState::Startup;
-    }
-
-    // Helper: keep the prefetcher `prefetch_blocks` blocks ahead of the
-    // frontier. Never prefetch behind the cursor (those pages are already
-    // claimed and demand-read).
-    macro_rules! top_up_prefetch {
-        () => {
-            if cfg.prefetch_blocks > 0 {
-                if pf_next < cursor {
-                    pf_next = cursor;
-                }
-                let window_end =
-                    n_pages.min(cursor + (cfg.prefetch_blocks * cfg.block_pages) as u64);
-                while pf_next < window_end {
-                    let len = (cfg.block_pages as u64).min(n_pages - pf_next) as u32;
-                    let first_dp = table.device_page(pf_next);
-                    let all_resident = (0..len as u64).all(|i| ctx.pool.contains(first_dp + i));
-                    if !all_resident {
-                        let io = ctx.read_block(first_dp, len);
-                        for i in 0..len as u64 {
-                            pf_cover.insert(first_dp + i, io);
-                        }
-                    }
-                    pf_next += len as u64;
-                }
-            }
-        };
-    }
-
-    // Helper: hand worker `w` its next page (or retire it).
-    macro_rules! claim {
-        ($w:expr) => {{
-            let w: usize = $w;
-            if cursor >= n_pages {
-                workers[w].state = WState::Done;
-            } else {
-                let p = cursor;
-                cursor += 1;
-                workers[w].page = p;
-                top_up_prefetch!();
-                let dp = table.device_page(p);
-                match ctx.pool.request(dp) {
-                    pioqo_bufpool::Access::Hit => {
-                        let work = page_work(&ctx, table, p);
-                        let t = ctx.submit_cpu(work);
-                        task_owner.insert(t, w);
-                        workers[w].state = WState::Compute;
-                    }
-                    pioqo_bufpool::Access::Miss => {
-                        let io = match pf_cover.get(&dp) {
-                            Some(&io) => io,
-                            None => ctx.read_page(dp),
-                        };
-                        waiters.entry(io).or_default().push(w);
-                        workers[w].state = WState::WaitIo;
-                    }
-                }
-            }
-        }};
-    }
-
-    top_up_prefetch!();
-
-    let mut events: Vec<Event> = Vec::new();
-    while workers.iter().any(|w| !matches!(w.state, WState::Done)) {
-        events.clear();
-        let progressed = ctx.step(&mut events);
-        assert!(progressed, "scan deadlocked with workers pending");
-        for e in std::mem::take(&mut events) {
-            match e {
-                Event::IoBlock {
-                    io,
-                    start,
-                    len,
-                    status,
-                    attempts,
-                } => {
-                    if status == IoStatus::Error {
-                        return Err(io_failure("fts", start, attempts));
-                    }
-                    for dp in start..start + len as u64 {
-                        pf_cover.remove(&dp);
-                        ctx.pool.admit_prefetched(dp)?;
-                    }
-                    wake_waiters(
-                        &mut ctx,
-                        &mut waiters,
-                        io,
-                        &mut workers,
-                        table,
-                        &mut task_owner,
-                    )?;
-                }
-                Event::IoPage {
-                    io,
-                    device_page,
-                    status,
-                    attempts,
-                } => {
-                    if status == IoStatus::Error {
-                        return Err(io_failure("fts", device_page, attempts));
-                    }
-                    ctx.pool.admit_prefetched(device_page)?;
-                    wake_waiters(
-                        &mut ctx,
-                        &mut waiters,
-                        io,
-                        &mut workers,
-                        table,
-                        &mut task_owner,
-                    )?;
-                }
-                Event::Cpu(task) => {
-                    let w = task_owner.remove(&task).expect("task has an owner");
-                    match workers[w].state {
-                        WState::Startup => claim!(w),
-                        WState::Compute => {
-                            let p = workers[w].page;
-                            let (m, cnt, ex) = evaluate_page(table, p, low, high);
-                            max_c1 = merge_max(max_c1, m);
-                            matched += cnt;
-                            examined += ex;
-                            ctx.pool.unpin(table.device_page(p))?;
-                            claim!(w);
-                        }
-                        _ => {
-                            return Err(ExecError::Internal {
-                                detail: "cpu completion in non-compute state",
-                            })
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    ctx.trace_span_end(op_track, "fts_scan");
-    let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
-    let io = ctx.io_profile();
-    let resilience = ctx.resilience();
-    ctx.quiesce();
-    let hists = ctx.take_histograms();
-    let pool_stats = pool.stats().diff(&pool_stats_before);
-    Ok(ScanMetrics {
-        runtime,
-        max_c1,
-        rows_matched: matched,
-        rows_examined: examined,
-        io,
-        pool: pool_stats,
-        resilience,
-        hists,
-    })
+    execute(
+        &mut ctx,
+        &crate::execute::PlanSpec::Fts(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: None,
+            low,
+            high,
+        },
+    )
 }
 
 fn page_work(ctx: &SimContext<'_>, table: &HeapTable, page: u64) -> f64 {
@@ -318,43 +396,10 @@ pub(crate) fn merge_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
     }
 }
 
-/// Wake every worker waiting on `io`: their page is now resident, so pin it
-/// and start the page-processing compute task.
-fn wake_waiters(
-    ctx: &mut SimContext<'_>,
-    waiters: &mut BTreeMap<u64, Vec<usize>>,
-    io: u64,
-    workers: &mut [Worker],
-    table: &HeapTable,
-    task_owner: &mut BTreeMap<TaskId, usize>,
-) -> Result<(), ExecError> {
-    if let Some(ws) = waiters.remove(&io) {
-        for w in ws {
-            debug_assert!(matches!(workers[w].state, WState::WaitIo));
-            let p = workers[w].page;
-            let dp = table.device_page(p);
-            match ctx.pool.request(dp) {
-                pioqo_bufpool::Access::Hit => {}
-                pioqo_bufpool::Access::Miss => {
-                    // Evicted between admit and wake (pathologically small
-                    // pool): fall back to a fresh demand read.
-                    let iop = ctx.read_page(dp);
-                    waiters.entry(iop).or_default().push(w);
-                    continue;
-                }
-            }
-            let work = page_work(ctx, table, p);
-            let t = ctx.submit_cpu(work);
-            task_owner.insert(t, w);
-            workers[w].state = WState::Compute;
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::execute::PlanSpec;
     use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
 
@@ -368,32 +413,30 @@ mod tests {
         let cap = table.n_pages() + 200;
         let mut pool = BufferPool::new(1024);
         let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+        let inputs = ScanInputs {
+            table,
+            index: None,
+            low,
+            high,
+        };
         if ssd {
             let mut dev = consumer_pcie_ssd(cap, 9);
-            run_fts(
+            let mut ctx = SimContext::new(
                 &mut dev,
                 &mut pool,
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
-                table,
-                low,
-                high,
-                cfg,
-            )
-            .expect("scan runs")
+            );
+            execute(&mut ctx, &PlanSpec::Fts(cfg.clone()), &inputs).expect("scan runs")
         } else {
             let mut dev = hdd_7200(cap, 9);
-            run_fts(
+            let mut ctx = SimContext::new(
                 &mut dev,
                 &mut pool,
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
-                table,
-                low,
-                high,
-                cfg,
-            )
-            .expect("scan runs")
+            );
+            execute(&mut ctx, &PlanSpec::Fts(cfg.clone()), &inputs).expect("scan runs")
         }
     }
 
@@ -502,15 +545,21 @@ mod tests {
         let mut dev = pioqo_device::Faulty::new(dev, pioqo_device::FaultPlan::EveryNth(2));
         let mut pool = BufferPool::new(256);
         let (low, high) = range_for_selectivity(0.5, u32::MAX - 1);
-        let r = run_fts(
+        let mut ctx = SimContext::new(
             &mut dev,
             &mut pool,
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
-            &table,
-            low,
-            high,
-            &FtsConfig::default(),
+        );
+        let r = execute(
+            &mut ctx,
+            &PlanSpec::Fts(FtsConfig::default()),
+            &ScanInputs {
+                table: &table,
+                index: None,
+                low,
+                high,
+            },
         );
         assert!(matches!(
             r,
@@ -527,5 +576,29 @@ mod tests {
         let m = scan(&table, 1.0, &FtsConfig::default(), true);
         assert_eq!(m.rows_examined, 5);
         assert_eq!(m.rows_matched, 5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_execute() {
+        let table = make_table(6_000, 33);
+        let (low, high) = range_for_selectivity(0.3, u32::MAX - 1);
+        let mut dev = consumer_pcie_ssd(table.n_pages() + 200, 9);
+        let mut pool = BufferPool::new(1024);
+        let shim = run_fts(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+            &table,
+            low,
+            high,
+            &FtsConfig::default(),
+        )
+        .expect("scan runs");
+        let new = scan(&table, 0.3, &FtsConfig::default(), true);
+        assert_eq!(shim.max_c1, new.max_c1);
+        assert_eq!(shim.rows_matched, new.rows_matched);
+        assert_eq!(shim.runtime, new.runtime, "shim is the same machine");
     }
 }

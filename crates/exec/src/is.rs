@@ -13,15 +13,21 @@
 //! table-page reads outstanding, but only for pages referenced by its
 //! *current* leaf page (the paper's simplification), so the expected peak
 //! queue depth is `M·n` and tails off near leaf boundaries.
+//!
+//! The scan is a [`QueryDriver`] (see `driver.rs`): the root-to-leaf
+//! traversal, formerly a blocking loop, is itself a small state machine so
+//! the whole operator can share a context with other queries.
 
 use crate::cpu::{CpuConfig, TaskId};
+use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
+use crate::execute::{execute, PlanSpec, ScanInputs};
 use crate::fts::merge_max;
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::{NullSink, TraceSink};
-use pioqo_storage::{BTreeIndex, HeapTable};
+use pioqo_obs::TraceSink;
+use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -74,9 +80,420 @@ struct Worker {
     outstanding_pf: u32,
 }
 
+/// Root-to-leaf traversal progress (phase 0, single worker, §2).
+struct Traverse {
+    path: Vec<u64>,
+    idx: usize,
+    wait_io: Option<u64>,
+    wait_cpu: Option<TaskId>,
+}
+
+enum Phase {
+    Traverse,
+    Scan,
+}
+
+/// The (parallel) index-scan state machine. See the module docs.
+pub struct IsDriver<'q> {
+    cfg: IsConfig,
+    table: &'q HeapTable,
+    index: &'q BTreeIndex,
+    low: u32,
+    high: u32,
+    range: Option<LeafRange>,
+    phase: Phase,
+    trav: Traverse,
+    workers: Vec<Worker>,
+    chunks_per_leaf: u64,
+    total_units: u64,
+    unit_cursor: u64,
+    /// io id -> workers blocked on that page.
+    waiters: BTreeMap<u64, Vec<usize>>,
+    /// io id -> workers holding prefetch credit on it.
+    pf_credit: BTreeMap<u64, Vec<usize>>,
+    task_owner: BTreeMap<TaskId, usize>,
+    max_c1: Option<u32>,
+    matched: u64,
+    op_track: u32,
+    finished: bool,
+}
+
+impl<'q> IsDriver<'q> {
+    /// A driver for `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND
+    /// high` with a (parallel) index scan over the `C2` B+-tree.
+    pub fn new(
+        cfg: IsConfig,
+        table: &'q HeapTable,
+        index: &'q BTreeIndex,
+        low: u32,
+        high: u32,
+    ) -> IsDriver<'q> {
+        assert!(cfg.workers >= 1);
+        IsDriver {
+            cfg,
+            table,
+            index,
+            low,
+            high,
+            range: None,
+            phase: Phase::Traverse,
+            trav: Traverse {
+                path: Vec::new(),
+                idx: 0,
+                wait_io: None,
+                wait_cpu: None,
+            },
+            workers: Vec::new(),
+            chunks_per_leaf: 1,
+            total_units: 0,
+            unit_cursor: 0,
+            waiters: BTreeMap::new(),
+            pf_credit: BTreeMap::new(),
+            task_owner: BTreeMap::new(),
+            max_c1: None,
+            matched: 0,
+            op_track: 0,
+            finished: false,
+        }
+    }
+
+    /// Device page of the table page holding `rid`.
+    fn dp_of_rid(&self, rid: u64) -> u64 {
+        self.table.device_page(self.table.spec().page_of_row(rid))
+    }
+
+    /// Push the traversal as far as it can go without waiting: pin the next
+    /// path page (issuing a read on a miss) or, past the last page, switch
+    /// to the scan phase.
+    fn advance_traverse(&mut self, ctx: &mut SimContext<'_>) {
+        if self.trav.idx >= self.trav.path.len() {
+            ctx.trace_span_end(self.op_track, "is_traverse");
+            match self.range {
+                None => {
+                    // Nothing qualifies; the traversal cost is the whole
+                    // runtime.
+                    self.finished = true;
+                }
+                Some(_) => self.enter_scan(ctx),
+            }
+            return;
+        }
+        let dp = self.trav.path[self.trav.idx];
+        match ctx.pool.request(dp) {
+            Access::Hit => {
+                let work = ctx.costs().leaf_decode_us;
+                self.trav.wait_cpu = Some(ctx.submit_cpu(work));
+            }
+            Access::Miss => {
+                self.trav.wait_io = Some(ctx.read_page(dp));
+            }
+        }
+    }
+
+    /// Start phase 1: workers drain the leaf range.
+    fn enter_scan(&mut self, ctx: &mut SimContext<'_>) {
+        let range = self.range.expect("scan phase requires a range");
+        ctx.trace_span_begin(self.op_track, "is_scan");
+        self.phase = Phase::Scan;
+        self.workers = (0..self.cfg.workers)
+            .map(|_| Worker {
+                state: WState::Startup,
+                leaf: 0,
+                chunk: 0,
+                rids: Vec::new(),
+                pos: 0,
+                pf_pos: 0,
+                outstanding_pf: 0,
+            })
+            .collect();
+        // Work units: when fewer qualifying leaves than workers, each leaf
+        // is split into chunks so every worker stays busy (very selective
+        // queries otherwise idle most of the pool — §2 notes the queue
+        // depth only reaches n when enough leaf pages qualify).
+        let n_range_leaves = range.last_leaf - range.first_leaf + 1;
+        self.chunks_per_leaf =
+            ((self.cfg.workers as u64 * 2).div_ceil(n_range_leaves)).clamp(1, 16);
+        self.total_units = n_range_leaves * self.chunks_per_leaf;
+        self.unit_cursor = 0;
+        for w in 0..self.workers.len() {
+            let startup = if self.cfg.workers > 1 {
+                ctx.costs().worker_startup_us
+            } else {
+                0.0
+            };
+            let t = ctx.submit_cpu(startup);
+            self.task_owner.insert(t, w);
+        }
+    }
+
+    fn top_up_prefetch(&mut self, ctx: &mut SimContext<'_>, w: usize) {
+        if self.cfg.prefetch_depth == 0 {
+            return;
+        }
+        if self.workers[w].pf_pos < self.workers[w].pos {
+            self.workers[w].pf_pos = self.workers[w].pos;
+        }
+        while self.workers[w].outstanding_pf < self.cfg.prefetch_depth
+            && self.workers[w].pf_pos < self.workers[w].rids.len()
+        {
+            let rid = self.workers[w].rids[self.workers[w].pf_pos];
+            self.workers[w].pf_pos += 1;
+            let dp = self.dp_of_rid(rid);
+            if ctx.pool.contains(dp) {
+                continue;
+            }
+            let io = ctx.read_page(dp);
+            self.pf_credit.entry(io).or_default().push(w);
+            self.workers[w].outstanding_pf += 1;
+        }
+    }
+
+    fn claim_leaf(&mut self, ctx: &mut SimContext<'_>, w: usize) {
+        if self.unit_cursor >= self.total_units {
+            self.workers[w].state = WState::Done;
+            return;
+        }
+        let range = self.range.expect("scan phase requires a range");
+        let unit = self.unit_cursor;
+        self.unit_cursor += 1;
+        self.workers[w].leaf = range.first_leaf + unit / self.chunks_per_leaf;
+        self.workers[w].chunk = unit % self.chunks_per_leaf;
+        let dp = self.index.device_page_of_leaf(self.workers[w].leaf);
+        match ctx.pool.request(dp) {
+            Access::Hit => self.start_decode(ctx, w),
+            Access::Miss => {
+                let io = ctx.read_page(dp);
+                self.waiters.entry(io).or_default().push(w);
+                self.workers[w].state = WState::WaitLeaf;
+            }
+        }
+    }
+
+    fn next_entry(&mut self, ctx: &mut SimContext<'_>, w: usize) {
+        if self.workers[w].pos >= self.workers[w].rids.len() {
+            // Current leaf exhausted: move to the next one. The decode
+            // completion (or retirement) continues the cycle.
+            self.claim_leaf(ctx, w);
+            return;
+        }
+        self.top_up_prefetch(ctx, w);
+        let rid = self.workers[w].rids[self.workers[w].pos];
+        let dp = self.dp_of_rid(rid);
+        match ctx.pool.request(dp) {
+            Access::Hit => {
+                let work = ctx.costs().row_lookup_us;
+                let t = ctx.submit_cpu(work);
+                self.task_owner.insert(t, w);
+                self.workers[w].state = WState::ComputeRow;
+            }
+            Access::Miss => {
+                let io = ctx.read_page(dp);
+                self.waiters.entry(io).or_default().push(w);
+                self.workers[w].state = WState::WaitRow;
+            }
+        }
+    }
+
+    fn start_decode(&mut self, ctx: &mut SimContext<'_>, w: usize) {
+        let leaf = self.workers[w].leaf;
+        let r = self.index.leaf_entry_range(leaf);
+        let n = (r.end - r.start) as f64;
+        // Chunked leaves share the decode work across their owners.
+        let work = (ctx.costs().leaf_decode_us + n * ctx.costs().entry_decode_us)
+            / self.chunks_per_leaf as f64;
+        let t = ctx.submit_cpu(work);
+        self.task_owner.insert(t, w);
+        self.workers[w].state = WState::DecodeLeaf;
+    }
+
+    fn on_scan_page(&mut self, ctx: &mut SimContext<'_>, io: u64) -> Result<(), ExecError> {
+        // Prefetch credit back to issuing workers.
+        if let Some(ws) = self.pf_credit.remove(&io) {
+            for w in ws {
+                self.workers[w].outstanding_pf -= 1;
+                if !matches!(self.workers[w].state, WState::Done) {
+                    self.top_up_prefetch(ctx, w);
+                }
+            }
+        }
+        // Wake workers blocked on this page.
+        if let Some(ws) = self.waiters.remove(&io) {
+            for w in ws {
+                match self.workers[w].state {
+                    WState::WaitLeaf => {
+                        let dp = self.index.device_page_of_leaf(self.workers[w].leaf);
+                        match ctx.pool.request(dp) {
+                            Access::Hit => self.start_decode(ctx, w),
+                            Access::Miss => {
+                                let io2 = ctx.read_page(dp);
+                                self.waiters.entry(io2).or_default().push(w);
+                            }
+                        }
+                    }
+                    WState::WaitRow => {
+                        let rid = self.workers[w].rids[self.workers[w].pos];
+                        let dp = self.dp_of_rid(rid);
+                        match ctx.pool.request(dp) {
+                            Access::Hit => {
+                                let work = ctx.costs().row_lookup_us;
+                                let t = ctx.submit_cpu(work);
+                                self.task_owner.insert(t, w);
+                                self.workers[w].state = WState::ComputeRow;
+                            }
+                            Access::Miss => {
+                                let io2 = ctx.read_page(dp);
+                                self.waiters.entry(io2).or_default().push(w);
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ExecError::Internal {
+                            detail: "waiter in unexpected state",
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_scan_cpu(&mut self, ctx: &mut SimContext<'_>, w: usize) -> Result<(), ExecError> {
+        match self.workers[w].state {
+            WState::Startup => self.claim_leaf(ctx, w),
+            WState::DecodeLeaf => {
+                // Leaf decoded: collect this chunk's qualifying rids.
+                let range = self.range.expect("scan phase requires a range");
+                let leaf = self.workers[w].leaf;
+                ctx.pool.unpin(self.index.device_page_of_leaf(leaf))?;
+                let entry_range = self.index.leaf_entry_range(leaf);
+                let from = entry_range.start.max(range.first_entry);
+                let to = entry_range.end.min(range.end_entry);
+                let span = to.saturating_sub(from);
+                let chunk_sz = span.div_ceil(self.chunks_per_leaf);
+                let cfrom = (from + self.workers[w].chunk * chunk_sz).min(to);
+                let cto = (cfrom + chunk_sz).min(to);
+                self.workers[w].rids = (cfrom..cto).map(|i| self.index.entry(i).1).collect();
+                self.workers[w].pos = 0;
+                self.workers[w].pf_pos = 0;
+                self.next_entry(ctx, w);
+            }
+            WState::ComputeRow => {
+                let rid = self.workers[w].rids[self.workers[w].pos];
+                let (c1, c2) = self.table.row(rid);
+                debug_assert!(c2 >= self.low && c2 <= self.high);
+                self.max_c1 = merge_max(self.max_c1, Some(c1));
+                self.matched += 1;
+                ctx.pool.unpin(self.dp_of_rid(rid))?;
+                self.workers[w].pos += 1;
+                self.next_entry(ctx, w);
+            }
+            _ => {
+                return Err(ExecError::Internal {
+                    detail: "cpu completion in unexpected state",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut SimContext<'_>) {
+        if !self.finished
+            && matches!(self.phase, Phase::Scan)
+            && self.workers.iter().all(|w| matches!(w.state, WState::Done))
+        {
+            ctx.trace_span_end(self.op_track, "is_scan");
+            self.finished = true;
+        }
+    }
+}
+
+impl QueryDriver for IsDriver<'_> {
+    fn operator(&self) -> &'static str {
+        "is"
+    }
+
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        self.op_track = ctx.trace_track("is");
+        ctx.trace_span_begin(self.op_track, "is_traverse");
+        self.range = self.index.range(self.low, self.high);
+        let probe_leaf = self.range.map_or(0, |r| r.first_leaf);
+        self.trav.path = self.index.path_to_leaf(probe_leaf);
+        self.advance_traverse(ctx);
+        Ok(())
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError> {
+        match self.phase {
+            Phase::Traverse => match *ev {
+                Event::IoPage {
+                    io,
+                    device_page,
+                    status,
+                    attempts,
+                } if self.trav.wait_io == Some(io) => {
+                    if status == IoStatus::Error {
+                        return Err(io_failure("is", device_page, attempts));
+                    }
+                    ctx.pool.admit_prefetched(device_page)?;
+                    self.trav.wait_io = None;
+                    self.advance_traverse(ctx);
+                }
+                Event::Cpu(task) if self.trav.wait_cpu == Some(task) => {
+                    ctx.pool.unpin(self.trav.path[self.trav.idx])?;
+                    self.trav.wait_cpu = None;
+                    self.trav.idx += 1;
+                    self.advance_traverse(ctx);
+                }
+                _ => {} // another query's event
+            },
+            Phase::Scan => match *ev {
+                Event::IoPage {
+                    io,
+                    device_page,
+                    status,
+                    attempts,
+                } => {
+                    if !self.pf_credit.contains_key(&io) && !self.waiters.contains_key(&io) {
+                        return Ok(()); // not a read this driver issued
+                    }
+                    if status == IoStatus::Error {
+                        return Err(io_failure("is", device_page, attempts));
+                    }
+                    ctx.pool.admit_prefetched(device_page)?;
+                    self.on_scan_page(ctx, io)?;
+                }
+                Event::Cpu(task) => {
+                    let Some(w) = self.task_owner.remove(&task) else {
+                        return Ok(()); // another query's compute
+                    };
+                    self.on_scan_cpu(ctx, w)?;
+                }
+                // Block reads are never ours (the index scan issues only
+                // page reads); timers belong to the session layer.
+                Event::IoBlock { .. } | Event::Timer { .. } => {}
+            },
+        }
+        self.maybe_finish(ctx);
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+
+    fn answer(&self) -> QueryAnswer {
+        QueryAnswer {
+            max_c1: self.max_c1,
+            rows_matched: self.matched,
+            rows_examined: self.matched,
+        }
+    }
+}
+
 /// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
 /// (parallel) index scan over the `C2` B+-tree.
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::Is`")]
 pub fn run_is(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -88,23 +505,23 @@ pub fn run_is(
     high: u32,
     cfg: &IsConfig,
 ) -> Result<ScanMetrics, ExecError> {
-    run_is_traced(
-        device,
-        pool,
-        cpu,
-        costs,
-        table,
-        index,
-        low,
-        high,
-        cfg,
-        &mut NullSink,
+    let mut ctx = SimContext::new(device, pool, cpu, costs);
+    execute(
+        &mut ctx,
+        &PlanSpec::Is(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: Some(index),
+            low,
+            high,
+        },
     )
 }
 
 /// [`run_is`] with a trace sink: when the sink is enabled the scan records
 /// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
 pub fn run_is_traced(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -117,375 +534,18 @@ pub fn run_is_traced(
     cfg: &IsConfig,
     trace: &mut dyn TraceSink,
 ) -> Result<ScanMetrics, ExecError> {
-    assert!(cfg.workers >= 1);
-    let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_retry_policy(cfg.retry.clone());
     ctx.set_trace_sink(trace);
-    let op_track = ctx.trace_track("is");
-
-    // ----- Phase 0: root-to-leaf traversal by a single worker (§2) -----
-    ctx.trace_span_begin(op_track, "is_traverse");
-    let range = index.range(low, high);
-    let probe_leaf = range.map_or(0, |r| r.first_leaf);
-    for dp in index.path_to_leaf(probe_leaf) {
-        sync_fetch(&mut ctx, dp)?;
-        let work = ctx.costs().leaf_decode_us;
-        sync_cpu(&mut ctx, work);
-        ctx.pool.unpin(dp)?;
-    }
-    ctx.trace_span_end(op_track, "is_traverse");
-
-    let Some(range) = range else {
-        // Nothing qualifies; the traversal cost is the whole runtime.
-        let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
-        let io = ctx.io_profile();
-        let resilience = ctx.resilience();
-        ctx.quiesce();
-        let hists = ctx.take_histograms();
-        return Ok(ScanMetrics {
-            runtime,
-            max_c1: None,
-            rows_matched: 0,
-            rows_examined: 0,
-            io,
-            pool: pool.stats().diff(&pool_stats_before),
-            resilience,
-            hists,
-        });
-    };
-    ctx.trace_span_begin(op_track, "is_scan");
-
-    // ----- Phase 1: workers drain the leaf range -----
-    let mut workers: Vec<Worker> = (0..cfg.workers)
-        .map(|_| Worker {
-            state: WState::Startup,
-            leaf: 0,
-            chunk: 0,
-            rids: Vec::new(),
-            pos: 0,
-            pf_pos: 0,
-            outstanding_pf: 0,
-        })
-        .collect();
-    // Work units: when fewer qualifying leaves than workers, each leaf is
-    // split into chunks so every worker stays busy (very selective queries
-    // otherwise idle most of the pool — §2 notes the queue depth only
-    // reaches n when enough leaf pages qualify).
-    let n_range_leaves = range.last_leaf - range.first_leaf + 1;
-    let chunks_per_leaf = ((cfg.workers as u64 * 2).div_ceil(n_range_leaves)).clamp(1, 16);
-    let total_units = n_range_leaves * chunks_per_leaf;
-    let mut unit_cursor: u64 = 0;
-    let mut waiters: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-    let mut pf_credit: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-    let mut task_owner: BTreeMap<TaskId, usize> = BTreeMap::new();
-    let mut max_c1: Option<u32> = None;
-    let mut matched: u64 = 0;
-
-    for (w, _) in workers.iter().enumerate() {
-        let startup = if cfg.workers > 1 {
-            ctx.costs().worker_startup_us
-        } else {
-            0.0
-        };
-        let t = ctx.submit_cpu(startup);
-        task_owner.insert(t, w);
-    }
-
-    // Device page of the table page holding `rid`.
-    let dp_of_rid = |table: &HeapTable, rid: u64| table.device_page(table.spec().page_of_row(rid));
-
-    macro_rules! top_up_prefetch {
-        ($w:expr) => {{
-            let w: usize = $w;
-            if cfg.prefetch_depth > 0 {
-                if workers[w].pf_pos < workers[w].pos {
-                    workers[w].pf_pos = workers[w].pos;
-                }
-                while workers[w].outstanding_pf < cfg.prefetch_depth
-                    && workers[w].pf_pos < workers[w].rids.len()
-                {
-                    let rid = workers[w].rids[workers[w].pf_pos];
-                    workers[w].pf_pos += 1;
-                    let dp = dp_of_rid(table, rid);
-                    if ctx.pool.contains(dp) {
-                        continue;
-                    }
-                    let io = ctx.read_page(dp);
-                    pf_credit.entry(io).or_default().push(w);
-                    workers[w].outstanding_pf += 1;
-                }
-            }
-        }};
-    }
-
-    macro_rules! claim_leaf {
-        ($w:expr) => {{
-            let w: usize = $w;
-            if unit_cursor >= total_units {
-                workers[w].state = WState::Done;
-            } else {
-                let unit = unit_cursor;
-                unit_cursor += 1;
-                workers[w].leaf = range.first_leaf + unit / chunks_per_leaf;
-                workers[w].chunk = unit % chunks_per_leaf;
-                let dp = index.device_page_of_leaf(workers[w].leaf);
-                match ctx.pool.request(dp) {
-                    Access::Hit => {
-                        start_decode(
-                            &mut ctx,
-                            index,
-                            &mut workers,
-                            w,
-                            chunks_per_leaf,
-                            &mut task_owner,
-                        );
-                    }
-                    Access::Miss => {
-                        let io = ctx.read_page(dp);
-                        waiters.entry(io).or_default().push(w);
-                        workers[w].state = WState::WaitLeaf;
-                    }
-                }
-            }
-        }};
-    }
-
-    macro_rules! next_entry {
-        ($w:expr) => {{
-            let w: usize = $w;
-            if workers[w].pos >= workers[w].rids.len() {
-                // Current leaf exhausted: move to the next one. The decode
-                // completion (or retirement) continues the cycle.
-                claim_leaf!(w);
-            } else {
-                top_up_prefetch!(w);
-                let rid = workers[w].rids[workers[w].pos];
-                let dp = dp_of_rid(table, rid);
-                match ctx.pool.request(dp) {
-                    Access::Hit => {
-                        let work = ctx.costs().row_lookup_us;
-                        let t = ctx.submit_cpu(work);
-                        task_owner.insert(t, w);
-                        workers[w].state = WState::ComputeRow;
-                    }
-                    Access::Miss => {
-                        let io = ctx.read_page(dp);
-                        waiters.entry(io).or_default().push(w);
-                        workers[w].state = WState::WaitRow;
-                    }
-                }
-            }
-        }};
-    }
-
-    let mut events: Vec<Event> = Vec::new();
-    while workers.iter().any(|w| !matches!(w.state, WState::Done)) {
-        events.clear();
-        let progressed = ctx.step(&mut events);
-        assert!(progressed, "index scan deadlocked with workers pending");
-        for e in std::mem::take(&mut events) {
-            match e {
-                Event::IoPage {
-                    io,
-                    device_page,
-                    status,
-                    attempts,
-                } => {
-                    if status == IoStatus::Error {
-                        return Err(io_failure("is", device_page, attempts));
-                    }
-                    ctx.pool.admit_prefetched(device_page)?;
-                    // Prefetch credit back to issuing workers.
-                    if let Some(ws) = pf_credit.remove(&io) {
-                        for w in ws {
-                            workers[w].outstanding_pf -= 1;
-                            if !matches!(workers[w].state, WState::Done) {
-                                top_up_prefetch!(w);
-                            }
-                        }
-                    }
-                    // Wake workers blocked on this page.
-                    if let Some(ws) = waiters.remove(&io) {
-                        for w in ws {
-                            match workers[w].state {
-                                WState::WaitLeaf => {
-                                    let dp = index.device_page_of_leaf(workers[w].leaf);
-                                    match ctx.pool.request(dp) {
-                                        Access::Hit => start_decode(
-                                            &mut ctx,
-                                            index,
-                                            &mut workers,
-                                            w,
-                                            chunks_per_leaf,
-                                            &mut task_owner,
-                                        ),
-                                        Access::Miss => {
-                                            let io2 = ctx.read_page(dp);
-                                            waiters.entry(io2).or_default().push(w);
-                                        }
-                                    }
-                                }
-                                WState::WaitRow => {
-                                    let rid = workers[w].rids[workers[w].pos];
-                                    let dp = dp_of_rid(table, rid);
-                                    match ctx.pool.request(dp) {
-                                        Access::Hit => {
-                                            let work = ctx.costs().row_lookup_us;
-                                            let t = ctx.submit_cpu(work);
-                                            task_owner.insert(t, w);
-                                            workers[w].state = WState::ComputeRow;
-                                        }
-                                        Access::Miss => {
-                                            let io2 = ctx.read_page(dp);
-                                            waiters.entry(io2).or_default().push(w);
-                                        }
-                                    }
-                                }
-                                _ => {
-                                    return Err(ExecError::Internal {
-                                        detail: "waiter in unexpected state",
-                                    })
-                                }
-                            }
-                        }
-                    }
-                }
-                Event::IoBlock { .. } => {
-                    return Err(ExecError::Internal {
-                        detail: "index scan never issues block reads",
-                    })
-                }
-                Event::Cpu(task) => {
-                    let w = task_owner.remove(&task).expect("task has an owner");
-                    match workers[w].state {
-                        WState::Startup => claim_leaf!(w),
-                        WState::DecodeLeaf => {
-                            // Leaf decoded: collect this chunk's qualifying
-                            // rids.
-                            let leaf = workers[w].leaf;
-                            ctx.pool.unpin(index.device_page_of_leaf(leaf))?;
-                            let entry_range = index.leaf_entry_range(leaf);
-                            let from = entry_range.start.max(range.first_entry);
-                            let to = entry_range.end.min(range.end_entry);
-                            let span = to.saturating_sub(from);
-                            let chunk_sz = span.div_ceil(chunks_per_leaf);
-                            let cfrom = (from + workers[w].chunk * chunk_sz).min(to);
-                            let cto = (cfrom + chunk_sz).min(to);
-                            workers[w].rids = (cfrom..cto).map(|i| index.entry(i).1).collect();
-                            workers[w].pos = 0;
-                            workers[w].pf_pos = 0;
-                            next_entry!(w);
-                        }
-                        WState::ComputeRow => {
-                            let rid = workers[w].rids[workers[w].pos];
-                            let (c1, c2) = table.row(rid);
-                            debug_assert!(c2 >= low && c2 <= high);
-                            max_c1 = merge_max(max_c1, Some(c1));
-                            matched += 1;
-                            ctx.pool.unpin(dp_of_rid(table, rid))?;
-                            workers[w].pos += 1;
-                            next_entry!(w);
-                        }
-                        _ => {
-                            return Err(ExecError::Internal {
-                                detail: "cpu completion in unexpected state",
-                            })
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    ctx.trace_span_end(op_track, "is_scan");
-    let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
-    let io = ctx.io_profile();
-    let resilience = ctx.resilience();
-    ctx.quiesce();
-    let hists = ctx.take_histograms();
-    Ok(ScanMetrics {
-        runtime,
-        max_c1,
-        rows_matched: matched,
-        rows_examined: matched,
-        io,
-        pool: pool.stats().diff(&pool_stats_before),
-        resilience,
-        hists,
-    })
-}
-
-fn start_decode(
-    ctx: &mut SimContext<'_>,
-    index: &BTreeIndex,
-    workers: &mut [Worker],
-    w: usize,
-    chunks_per_leaf: u64,
-    task_owner: &mut BTreeMap<TaskId, usize>,
-) {
-    let leaf = workers[w].leaf;
-    let r = index.leaf_entry_range(leaf);
-    let n = (r.end - r.start) as f64;
-    // Chunked leaves share the decode work across their owners.
-    let work =
-        (ctx.costs().leaf_decode_us + n * ctx.costs().entry_decode_us) / chunks_per_leaf as f64;
-    let t = ctx.submit_cpu(work);
-    task_owner.insert(t, w);
-    workers[w].state = WState::DecodeLeaf;
-}
-
-/// Synchronously fetch one device page (phase-0 traversal): issue the read
-/// if needed and step the context until it is resident and pinned.
-fn sync_fetch(ctx: &mut SimContext<'_>, dp: u64) -> Result<(), ExecError> {
-    loop {
-        match ctx.pool.request(dp) {
-            Access::Hit => return Ok(()),
-            Access::Miss => {
-                let io = ctx.read_page(dp);
-                let mut events = Vec::new();
-                'wait: loop {
-                    events.clear();
-                    let progressed = ctx.step(&mut events);
-                    assert!(progressed, "traversal deadlocked");
-                    for e in &events {
-                        match e {
-                            Event::IoPage {
-                                io: id,
-                                device_page,
-                                status,
-                                attempts,
-                            } if *id == io => {
-                                if *status == IoStatus::Error {
-                                    return Err(io_failure("is", *device_page, *attempts));
-                                }
-                                ctx.pool.admit_prefetched(*device_page)?;
-                                break 'wait;
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Synchronously run a compute task to completion (phase-0 traversal).
-fn sync_cpu(ctx: &mut SimContext<'_>, work_us: f64) {
-    let task = ctx.submit_cpu(work_us);
-    let mut events = Vec::new();
-    loop {
-        events.clear();
-        let progressed = ctx.step(&mut events);
-        assert!(progressed, "cpu task never completed");
-        if events
-            .iter()
-            .any(|e| matches!(e, Event::Cpu(t) if *t == task))
-        {
-            return;
-        }
-    }
+    execute(
+        &mut ctx,
+        &PlanSpec::Is(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: Some(index),
+            low,
+            high,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -522,34 +582,30 @@ mod tests {
     fn scan(fx: &Fixture, sel: f64, cfg: &IsConfig, ssd: bool, pool_frames: usize) -> ScanMetrics {
         let mut pool = BufferPool::new(pool_frames);
         let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
+        let inputs = ScanInputs {
+            table: &fx.table,
+            index: Some(&fx.index),
+            low,
+            high,
+        };
         if ssd {
             let mut dev = consumer_pcie_ssd(fx.capacity, 13);
-            run_is(
+            let mut ctx = SimContext::new(
                 &mut dev,
                 &mut pool,
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
-                &fx.table,
-                &fx.index,
-                low,
-                high,
-                cfg,
-            )
-            .expect("scan runs")
+            );
+            execute(&mut ctx, &PlanSpec::Is(cfg.clone()), &inputs).expect("scan runs")
         } else {
             let mut dev = hdd_7200(fx.capacity, 13);
-            run_is(
+            let mut ctx = SimContext::new(
                 &mut dev,
                 &mut pool,
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
-                &fx.table,
-                &fx.index,
-                low,
-                high,
-                cfg,
-            )
-            .expect("scan runs")
+            );
+            execute(&mut ctx, &PlanSpec::Is(cfg.clone()), &inputs).expect("scan runs")
         }
     }
 
@@ -726,7 +782,33 @@ mod tests {
         let mut dev = pioqo_device::Faulty::new(dev, pioqo_device::FaultPlan::EveryNth(4));
         let mut pool = BufferPool::new(1024);
         let (low, high) = range_for_selectivity(0.2, u32::MAX - 1);
-        let r = run_is(
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let r = execute(
+            &mut ctx,
+            &PlanSpec::Is(IsConfig::default()),
+            &ScanInputs {
+                table: &fx.table,
+                index: Some(&fx.index),
+                low,
+                high,
+            },
+        );
+        assert!(matches!(r, Err(ExecError::Io { operator: "is", .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_execute() {
+        let fx = fixture(8_000, 33);
+        let (low, high) = range_for_selectivity(0.05, u32::MAX - 1);
+        let mut dev = consumer_pcie_ssd(fx.capacity, 13);
+        let mut pool = BufferPool::new(4096);
+        let shim = run_is(
             &mut dev,
             &mut pool,
             CpuConfig::paper_xeon(),
@@ -736,7 +818,29 @@ mod tests {
             low,
             high,
             &IsConfig::default(),
+        )
+        .expect("scan runs");
+        let mut pool2 = BufferPool::new(4096);
+        let mut dev2 = consumer_pcie_ssd(fx.capacity, 13);
+        let mut ctx = SimContext::new(
+            &mut dev2,
+            &mut pool2,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
         );
-        assert!(matches!(r, Err(ExecError::Io { operator: "is", .. })));
+        let new = execute(
+            &mut ctx,
+            &PlanSpec::Is(IsConfig::default()),
+            &ScanInputs {
+                table: &fx.table,
+                index: Some(&fx.index),
+                low,
+                high,
+            },
+        )
+        .expect("scan runs");
+        assert_eq!(shim.max_c1, new.max_c1);
+        assert_eq!(shim.rows_matched, new.rows_matched);
+        assert_eq!(shim.runtime, new.runtime, "shim is the same machine");
     }
 }

@@ -1,31 +1,52 @@
 //! # pioqo-exec — scan operator execution engine
 //!
-//! The paper's four access methods, executed over simulated hardware:
+//! The paper's access methods, executed over simulated hardware:
 //!
-//! * [`run_fts`] — full table scan / parallel full table scan (Fig. 2),
+//! * [`FtsConfig`] — full table scan / parallel full table scan (Fig. 2),
 //!   with asynchronous block prefetching;
-//! * [`run_is`] — index scan / parallel index scan (Fig. 3), with the
-//!   §3.3 per-worker, per-leaf asynchronous prefetch ring.
+//! * [`IsConfig`] — index scan / parallel index scan (Fig. 3), with the
+//!   §3.3 per-worker, per-leaf asynchronous prefetch ring;
+//! * [`SortedIsConfig`] — sorted index scan (§3.1), each table page fetched
+//!   at most once.
 //!
 //! Everything runs inside one discrete-event loop ([`SimContext`]) binding
 //! the device model, a hyper-threaded CPU scheduler ([`CpuScheduler`]) and
-//! the buffer pool. Each scan returns [`ScanMetrics`]: the query answer, the
-//! virtual runtime, and the observed I/O profile (queue depth, throughput),
-//! which is what the paper's figures plot.
+//! the buffer pool. A query is described by a [`PlanSpec`] + [`ScanInputs`]
+//! and executed by [`execute`] (single query) or interleaved with others by
+//! [`MultiEngine`] (concurrent closed-loop sessions). Each scan returns
+//! [`ScanMetrics`]: the query answer, the virtual runtime, and the observed
+//! I/O profile (queue depth, throughput), which is what the paper's figures
+//! plot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+pub mod driver;
 pub mod engine;
+pub mod execute;
 pub mod fts;
 pub mod is;
 pub mod metrics;
+pub mod session;
 pub mod sorted_is;
 
 pub use cpu::{CpuConfig, CpuScheduler, TaskId};
+pub use driver::{QueryAnswer, QueryDriver};
 pub use engine::{CpuCosts, Event, ExecError, IoProfile, ResilienceStats, RetryPolicy, SimContext};
-pub use fts::{run_fts, run_fts_traced, FtsConfig};
-pub use is::{run_is, run_is_traced, IsConfig};
+pub use execute::{execute, make_driver, PlanSpec, ScanInputs, ScanOutput};
+pub use fts::FtsConfig;
+pub use is::IsConfig;
 pub use metrics::ScanMetrics;
-pub use sorted_is::{run_sorted_is, run_sorted_is_traced, SortedIsConfig};
+pub use session::{
+    AdmissionPlanner, FixedPlanner, MultiEngine, QueryAdmission, QueryRecord, SessionSummary,
+    ThinkTime, WorkloadReport, WorkloadSpec,
+};
+pub use sorted_is::SortedIsConfig;
+
+#[allow(deprecated)]
+pub use fts::{run_fts, run_fts_traced};
+#[allow(deprecated)]
+pub use is::{run_is, run_is_traced};
+#[allow(deprecated)]
+pub use sorted_is::{run_sorted_is, run_sorted_is_traced};

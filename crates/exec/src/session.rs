@@ -1,0 +1,720 @@
+//! Concurrent multi-query execution: closed-loop sessions sharing one
+//! simulated machine.
+//!
+//! The paper's experiments run one query at a time; real servers admit many.
+//! [`MultiEngine`] interleaves N *sessions* — each a closed loop of
+//! range-MAX queries separated by seeded think time — on **one**
+//! [`SimContext`]: one device, one buffer pool, one CPU scheduler. Every
+//! event the context produces is broadcast to every active query driver in
+//! session order; drivers own their I/O handles and compute tasks and
+//! ignore the rest (see [`crate::driver`]), so the interleaving is exact
+//! and byte-deterministic for a given [`WorkloadSpec`] seed.
+//!
+//! Plan choice is delegated to an [`AdmissionPlanner`]: the engine tells it
+//! how many queries are already running when a new one arrives, and the
+//! planner answers with the [`PlanSpec`] to execute. The trivial
+//! [`FixedPlanner`] always picks the same plan; the QDTT-aware planner in
+//! the optimizer crate hands out queue-depth leases from the device budget
+//! and re-costs every candidate under its lease, which is how plan choice
+//! shifts as concurrency rises (§4.3's "under concurrency pass a lower
+//! queue depth", made operational).
+//!
+//! Determinism invariants: per-session randomness comes from
+//! `SimRng::derive(spec.seed, session)`, think time advances on virtual
+//! [`Event::Timer`]s, and all engine state lives in ordered collections.
+
+use crate::driver::QueryDriver;
+use crate::engine::{Event, ExecError, IoProfile, ResilienceStats, SimContext};
+use crate::execute::{make_driver, PlanSpec, ScanInputs};
+use pioqo_bufpool::{BufferPool, PoolStats};
+use pioqo_device::IoStatus;
+use pioqo_obs::{HistSet, Histogram};
+use pioqo_simkit::{SimDuration, SimRng, SimTime};
+use pioqo_storage::range_for_selectivity;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Distribution of the pause between a session's consecutive queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ThinkTime {
+    /// The same pause every time.
+    Fixed(SimDuration),
+    /// Exponentially distributed pause (memoryless arrivals, the classic
+    /// closed-loop client model).
+    Exponential {
+        /// Mean of the distribution.
+        mean: SimDuration,
+    },
+}
+
+impl ThinkTime {
+    /// Draw one pause from the session's generator.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            ThinkTime::Fixed(d) => d,
+            ThinkTime::Exponential { mean } => {
+                // Inverse CDF on (0, 1]: -ln(1-u) is Exp(1).
+                let u = rng.unit();
+                mean * (-(1.0 - u).ln())
+            }
+        }
+    }
+}
+
+/// A multi-session closed-loop workload, fully described (and so fully
+/// reproducible: the spec plus the machine is the experiment).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of concurrent closed-loop sessions.
+    pub sessions: u32,
+    /// Queries each session issues before it stops.
+    pub queries_per_session: u32,
+    /// Pause between a session's queries (sampled per query).
+    pub think: ThinkTime,
+    /// Selectivities cycled through by each session (query `i` uses
+    /// `selectivities[i % len]`).
+    pub selectivities: Vec<f64>,
+    /// Master seed; session `s` draws from `SimRng::derive(seed, s)`.
+    pub seed: u64,
+    /// Stop issuing new queries past this much virtual time (in-flight
+    /// queries still finish). `None` means every session runs its full
+    /// query count. A horizon makes per-session completion counts diverge,
+    /// which is what the fairness metrics are for.
+    pub horizon: Option<SimDuration>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            sessions: 4,
+            queries_per_session: 4,
+            think: ThinkTime::Exponential {
+                mean: SimDuration::from_micros_f64(2_000.0),
+            },
+            selectivities: vec![0.001, 0.01, 0.05],
+            seed: 42,
+            horizon: None,
+        }
+    }
+}
+
+/// What the engine tells the planner about a query asking for admission.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryAdmission {
+    /// The issuing session.
+    pub session: u32,
+    /// The session-local query index (0-based).
+    pub query_index: u32,
+    /// Queries of *other* sessions running at admission time (this query
+    /// will make it `active + 1`).
+    pub active: u32,
+    /// The query's predicate selectivity.
+    pub selectivity: f64,
+    /// Predicate lower bound (inclusive).
+    pub low: u32,
+    /// Predicate upper bound (inclusive).
+    pub high: u32,
+}
+
+/// Chooses the physical plan for each admitted query.
+///
+/// Implementations see the live concurrency level and buffer pool, so they
+/// can be as simple as [`FixedPlanner`] or as involved as the optimizer
+/// crate's QDTT admission layer (lease out device queue depth, re-cost all
+/// candidates under the lease). [`AdmissionPlanner::complete`] is the
+/// engine's promise that every admission is paired with exactly one
+/// completion — the hook where leases are returned.
+pub trait AdmissionPlanner {
+    /// Choose the plan for `q`. Called once per query, at admission.
+    fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec;
+
+    /// The query admitted for `session` finished (successfully or not).
+    fn complete(&mut self, session: u32) {
+        let _ = session;
+    }
+}
+
+/// The null admission policy: every query runs the same plan.
+#[derive(Debug, Clone)]
+pub struct FixedPlanner {
+    /// The plan to run.
+    pub plan: PlanSpec,
+}
+
+impl AdmissionPlanner for FixedPlanner {
+    fn admit(&mut self, _q: &QueryAdmission, _pool: &BufferPool) -> PlanSpec {
+        self.plan.clone()
+    }
+}
+
+/// Passing `&mut planner` lets the caller keep the planner (and whatever
+/// journal it accumulated) after [`MultiEngine::run`] consumes the engine.
+impl<P: AdmissionPlanner + ?Sized> AdmissionPlanner for &mut P {
+    fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec {
+        (**self).admit(q, pool)
+    }
+
+    fn complete(&mut self, session: u32) {
+        (**self).complete(session);
+    }
+}
+
+/// One completed query, as the workload report records it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// The issuing session.
+    pub session: u32,
+    /// The session-local query index.
+    pub query_index: u32,
+    /// The predicate selectivity the query ran with.
+    pub selectivity: f64,
+    /// Label of the plan the planner chose ("FTS", "PIS8+pf4", ...).
+    pub plan: String,
+    /// The plan's parallel degree.
+    pub degree: u32,
+    /// Concurrent queries (other sessions) when this one was admitted.
+    pub active_at_admit: u32,
+    /// Virtual admission time.
+    pub submitted: SimTime,
+    /// Admission-to-answer virtual latency.
+    pub latency: SimDuration,
+    /// The query answer.
+    pub max_c1: Option<u32>,
+    /// Rows matching the predicate.
+    pub rows_matched: u64,
+}
+
+/// Per-session accounting in the workload report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// The session.
+    pub session: u32,
+    /// Queries the session completed.
+    pub completed: u32,
+    /// Mean query latency, µs.
+    pub mean_latency_us: f64,
+    /// Query latency histogram, µs.
+    pub latency_us: Histogram,
+}
+
+/// Everything a [`MultiEngine`] run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// The spec that produced this report (self-describing exports).
+    pub spec: WorkloadSpec,
+    /// Every completed query, in completion order.
+    pub records: Vec<QueryRecord>,
+    /// Per-session accounting.
+    pub per_session: Vec<SessionSummary>,
+    /// How often each plan label was chosen.
+    pub plan_counts: BTreeMap<String, u64>,
+    /// Query latencies across all sessions, µs.
+    pub query_latency_us: Histogram,
+    /// First admission to last completion, virtual time.
+    pub makespan: SimDuration,
+    /// Device-level I/O profile over the whole workload.
+    pub io: IoProfile,
+    /// Buffer-pool counters over the whole workload.
+    pub pool: PoolStats,
+    /// Fault-handling counters over the whole workload.
+    pub resilience: ResilienceStats,
+    /// Machine-level histograms (I/O latency, queue depth, page waits).
+    pub hists: HistSet,
+}
+
+impl WorkloadReport {
+    /// Total queries completed across all sessions.
+    pub fn total_completed(&self) -> u64 {
+        self.per_session.iter().map(|s| s.completed as u64).sum()
+    }
+
+    /// Max/min completed-query ratio across sessions: 1.0 is perfectly
+    /// fair, `f64::INFINITY` means a session starved completely. Only
+    /// meaningful for horizon-bounded workloads (without a horizon every
+    /// session completes its full count and the ratio is trivially 1).
+    pub fn fairness_ratio(&self) -> f64 {
+        let min = self.per_session.iter().map(|s| s.completed).min();
+        let max = self.per_session.iter().map(|s| s.completed).max();
+        match (min, max) {
+            (Some(0), Some(0)) | (None, _) | (_, None) => 1.0,
+            (Some(0), Some(_)) => f64::INFINITY,
+            (Some(min), Some(max)) => max as f64 / min as f64,
+        }
+    }
+
+    /// The report as pretty JSON (the byte-identity artifact the
+    /// determinism tests and CI compare).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// A query in flight on one session.
+struct ActiveQuery<'q> {
+    driver: Box<dyn QueryDriver + 'q>,
+    submitted: SimTime,
+    query_index: u32,
+    selectivity: f64,
+    plan_label: String,
+    degree: u32,
+    active_at_admit: u32,
+}
+
+enum SessState<'q> {
+    /// Waiting on a think timer (the engine's timer map holds the id).
+    Thinking,
+    Running(ActiveQuery<'q>),
+    Finished,
+}
+
+struct Sess<'q> {
+    rng: SimRng,
+    track: u32,
+    issued: u32,
+    completed: u32,
+    latency: Histogram,
+    latency_sum_us: f64,
+    state: SessState<'q>,
+}
+
+/// The concurrent multi-query engine. See the module docs.
+///
+/// ```
+/// use pioqo_exec::{
+///     CpuConfig, CpuCosts, FixedPlanner, MultiEngine, PlanSpec, ScanInputs,
+///     SimContext, SortedIsConfig, WorkloadSpec,
+/// };
+/// use pioqo_bufpool::BufferPool;
+/// use pioqo_device::presets::consumer_pcie_ssd;
+/// use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};
+///
+/// let spec = TableSpec::paper_table(33, 20_000, 7);
+/// let mut ts = Tablespace::new(4 * spec.n_pages() + 1000);
+/// let table = HeapTable::create(spec, &mut ts).unwrap();
+/// let index = BTreeIndex::build(
+///     "c2_idx", table.data().c2_entries(), table.spec().page_size, &mut ts,
+/// ).unwrap();
+/// let mut dev = consumer_pcie_ssd(ts.capacity(), 7);
+/// let mut pool = BufferPool::new(4096);
+/// let mut ctx = SimContext::new(
+///     &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
+/// );
+/// let engine = MultiEngine::new(
+///     WorkloadSpec { sessions: 2, queries_per_session: 2, ..WorkloadSpec::default() },
+///     ScanInputs { table: &table, index: Some(&index), low: 0, high: 0 },
+///     FixedPlanner { plan: PlanSpec::SortedIs(SortedIsConfig::default()) },
+/// );
+/// let report = engine.run(&mut ctx).unwrap();
+/// assert_eq!(report.total_completed(), 4);
+/// ```
+pub struct MultiEngine<'q, P: AdmissionPlanner> {
+    spec: WorkloadSpec,
+    inputs: ScanInputs<'q>,
+    planner: P,
+}
+
+impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
+    /// An engine for `spec` over the given table/index, with `planner`
+    /// choosing each query's plan. The `low`/`high` fields of `inputs` are
+    /// ignored: each query's predicate comes from the spec's selectivity
+    /// cycle.
+    pub fn new(spec: WorkloadSpec, inputs: ScanInputs<'q>, planner: P) -> MultiEngine<'q, P> {
+        assert!(spec.sessions >= 1, "a workload needs at least one session");
+        assert!(
+            !spec.selectivities.is_empty(),
+            "a workload needs at least one selectivity"
+        );
+        MultiEngine {
+            spec,
+            inputs,
+            planner,
+        }
+    }
+
+    /// Run the workload to completion on `ctx` and report.
+    ///
+    /// Returns `ExecError::Internal` if the event loop stalls with sessions
+    /// outstanding (an engine bug, not a caller error), or the underlying
+    /// error if any query's own I/O fails.
+    pub fn run(mut self, ctx: &mut SimContext<'_>) -> Result<WorkloadReport, ExecError> {
+        let start = ctx.now();
+        let pool_before = ctx.pool.stats().clone();
+        let mut timer_owner: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut sessions: Vec<Sess<'q>> = Vec::with_capacity(self.spec.sessions as usize);
+        for s in 0..self.spec.sessions {
+            let track = ctx.trace_track(&format!("session{s}"));
+            let mut rng = SimRng::derive(self.spec.seed, s as u64);
+            // Initial stagger: sessions do not all arrive at t=0.
+            let delay = self.spec.think.sample(&mut rng);
+            let timer = ctx.schedule_timer(delay);
+            timer_owner.insert(timer, s as usize);
+            sessions.push(Sess {
+                rng,
+                track,
+                issued: 0,
+                completed: 0,
+                latency: Histogram::new(),
+                latency_sum_us: 0.0,
+                state: SessState::Thinking,
+            });
+        }
+
+        let mut records: Vec<QueryRecord> = Vec::new();
+        let mut plan_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut query_latency = Histogram::new();
+        let mut last_complete = start;
+        let mut events: Vec<Event> = Vec::new();
+
+        while sessions
+            .iter()
+            .any(|s| !matches!(s.state, SessState::Finished))
+        {
+            events.clear();
+            if !ctx.step(&mut events) {
+                return Err(ExecError::Internal {
+                    detail: "multi-query engine stalled with sessions outstanding",
+                });
+            }
+            for &ev in &events {
+                // Land every successful read in the pool up front. Drivers
+                // admit their own pages anyway (admission is idempotent);
+                // this covers completions whose owning query already
+                // finished, so a stray prefetch still warms the pool exact
+                // as `SimContext::quiesce` would have in single-query mode.
+                match ev {
+                    Event::IoPage {
+                        device_page,
+                        status: IoStatus::Ok,
+                        ..
+                    } => {
+                        let _ = ctx.pool.admit_prefetched(device_page);
+                    }
+                    Event::IoBlock {
+                        start,
+                        len,
+                        status: IoStatus::Ok,
+                        ..
+                    } => {
+                        for p in start..start + len as u64 {
+                            let _ = ctx.pool.admit_prefetched(p);
+                        }
+                    }
+                    _ => {}
+                }
+                if let Event::Timer { id } = ev {
+                    if let Some(s) = timer_owner.remove(&id) {
+                        self.start_query(ctx, &mut sessions, &mut plan_counts, s)?;
+                        if self.query_done(&sessions, s) {
+                            // Degenerate (empty-range) query: finished at
+                            // admission time.
+                            self.complete_query(
+                                ctx,
+                                &mut sessions,
+                                &mut timer_owner,
+                                &mut records,
+                                &mut query_latency,
+                                &mut last_complete,
+                                s,
+                            );
+                        }
+                    }
+                    continue;
+                }
+                // Broadcast to every active driver in session order; only
+                // owners react (shared reads can have several owners).
+                for s in 0..sessions.len() {
+                    if let SessState::Running(q) = &mut sessions[s].state {
+                        q.driver.on_event(ctx, &ev)?;
+                        if q.driver.done() {
+                            self.complete_query(
+                                ctx,
+                                &mut sessions,
+                                &mut timer_owner,
+                                &mut records,
+                                &mut query_latency,
+                                &mut last_complete,
+                                s,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let io = ctx.io_profile();
+        let resilience = ctx.resilience();
+        ctx.quiesce();
+        let hists = ctx.take_histograms();
+        let pool = ctx.pool.stats().diff(&pool_before);
+        let per_session = sessions
+            .iter()
+            .enumerate()
+            .map(|(s, sess)| SessionSummary {
+                session: s as u32,
+                completed: sess.completed,
+                mean_latency_us: if sess.completed == 0 {
+                    0.0
+                } else {
+                    sess.latency_sum_us / sess.completed as f64
+                },
+                latency_us: sess.latency.clone(),
+            })
+            .collect();
+        Ok(WorkloadReport {
+            spec: self.spec,
+            records,
+            per_session,
+            plan_counts,
+            query_latency_us: query_latency,
+            makespan: last_complete.since(start),
+            io,
+            pool,
+            resilience,
+            hists,
+        })
+    }
+
+    fn query_done(&self, sessions: &[Sess<'q>], s: usize) -> bool {
+        matches!(&sessions[s].state, SessState::Running(q) if q.driver.done())
+    }
+
+    /// A session's think timer fired: admit its next query, or retire the
+    /// session if its count is done or the horizon has passed.
+    fn start_query(
+        &mut self,
+        ctx: &mut SimContext<'_>,
+        sessions: &mut [Sess<'q>],
+        plan_counts: &mut BTreeMap<String, u64>,
+        s: usize,
+    ) -> Result<(), ExecError> {
+        let now = ctx.now();
+        let horizon_passed = self
+            .spec
+            .horizon
+            .is_some_and(|h| now.since(SimTime::ZERO) >= h);
+        if sessions[s].issued >= self.spec.queries_per_session || horizon_passed {
+            sessions[s].state = SessState::Finished;
+            return Ok(());
+        }
+        let active = sessions
+            .iter()
+            .filter(|x| matches!(x.state, SessState::Running(_)))
+            .count() as u32;
+        let query_index = sessions[s].issued;
+        sessions[s].issued += 1;
+        let selectivity =
+            self.spec.selectivities[query_index as usize % self.spec.selectivities.len()];
+        let (low, high) = range_for_selectivity(selectivity, self.inputs.table.spec().c2_max);
+        let admission = QueryAdmission {
+            session: s as u32,
+            query_index,
+            active,
+            selectivity,
+            low,
+            high,
+        };
+        let plan = self.planner.admit(&admission, ctx.pool);
+        *plan_counts.entry(plan.label()).or_insert(0) += 1;
+        ctx.set_retry_policy(plan.retry().clone());
+        let inputs = ScanInputs {
+            low,
+            high,
+            ..self.inputs
+        };
+        let mut driver = make_driver(&plan, &inputs)?;
+        ctx.trace_span_begin(sessions[s].track, "query");
+        driver.start(ctx)?;
+        sessions[s].state = SessState::Running(ActiveQuery {
+            driver,
+            submitted: now,
+            query_index,
+            selectivity,
+            plan_label: plan.label(),
+            degree: plan.degree(),
+            active_at_admit: active,
+        });
+        Ok(())
+    }
+
+    /// A running query produced its answer: record it, return the lease,
+    /// start the next think pause (or retire the session).
+    #[allow(clippy::too_many_arguments)] // internal plumbing over `run`'s locals
+    fn complete_query(
+        &mut self,
+        ctx: &mut SimContext<'_>,
+        sessions: &mut [Sess<'q>],
+        timer_owner: &mut BTreeMap<u64, usize>,
+        records: &mut Vec<QueryRecord>,
+        query_latency: &mut Histogram,
+        last_complete: &mut SimTime,
+        s: usize,
+    ) {
+        let sess = &mut sessions[s];
+        let q = match std::mem::replace(&mut sess.state, SessState::Thinking) {
+            SessState::Running(q) => q,
+            other => {
+                // A completion for a session that isn't running would be
+                // an event-loop bug; library code may not panic, so put
+                // the state back and drop the spurious event.
+                sess.state = other;
+                return;
+            }
+        };
+        let answer = q.driver.answer();
+        let latency = ctx.now().since(q.submitted);
+        ctx.trace_span_end(sess.track, "query");
+        let latency_us = latency.as_nanos() / 1000;
+        sess.latency.record(latency_us);
+        query_latency.record(latency_us);
+        sess.latency_sum_us += latency.as_micros_f64();
+        sess.completed += 1;
+        *last_complete = (*last_complete).max(ctx.now());
+        records.push(QueryRecord {
+            session: s as u32,
+            query_index: q.query_index,
+            selectivity: q.selectivity,
+            plan: q.plan_label,
+            degree: q.degree,
+            active_at_admit: q.active_at_admit,
+            submitted: q.submitted,
+            latency,
+            max_c1: answer.max_c1,
+            rows_matched: answer.rows_matched,
+        });
+        self.planner.complete(s as u32);
+        if sess.issued >= self.spec.queries_per_session {
+            sess.state = SessState::Finished;
+        } else {
+            let delay = self.spec.think.sample(&mut sess.rng);
+            let timer = ctx.schedule_timer(delay);
+            timer_owner.insert(timer, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuConfig;
+    use crate::engine::CpuCosts;
+    use crate::is::IsConfig;
+    use crate::sorted_is::SortedIsConfig;
+    use pioqo_device::presets::consumer_pcie_ssd;
+    use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};
+
+    fn fixture(rows: u64, rpp: u32) -> (HeapTable, BTreeIndex, u64) {
+        let spec = TableSpec::paper_table(rpp, rows, 31);
+        let mut ts = Tablespace::new(4 * spec.n_pages() + 1000);
+        let table = HeapTable::create(spec, &mut ts).expect("fits");
+        let index = BTreeIndex::build(
+            "c2_idx",
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("fits");
+        let cap = ts.capacity();
+        (table, index, cap)
+    }
+
+    fn run_workload(
+        fx: &(HeapTable, BTreeIndex, u64),
+        spec: WorkloadSpec,
+        plan: PlanSpec,
+    ) -> WorkloadReport {
+        let mut dev = consumer_pcie_ssd(fx.2, 13);
+        let mut pool = BufferPool::new(4096);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let engine = MultiEngine::new(
+            spec,
+            ScanInputs {
+                table: &fx.0,
+                index: Some(&fx.1),
+                low: 0,
+                high: 0,
+            },
+            FixedPlanner { plan },
+        );
+        engine.run(&mut ctx).expect("workload runs")
+    }
+
+    #[test]
+    fn every_query_answers_the_oracle() {
+        let fx = fixture(20_000, 33);
+        let spec = WorkloadSpec {
+            sessions: 3,
+            queries_per_session: 3,
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&fx, spec, PlanSpec::Is(IsConfig::default()));
+        assert_eq!(report.total_completed(), 9);
+        assert_eq!(report.records.len(), 9);
+        for r in &report.records {
+            let (low, high) = range_for_selectivity(r.selectivity, fx.0.spec().c2_max);
+            assert_eq!(
+                r.max_c1,
+                fx.0.data().naive_max_c1(low, high),
+                "session {} query {}",
+                r.session,
+                r.query_index
+            );
+        }
+        assert_eq!(report.fairness_ratio(), 1.0);
+        assert!(report.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_run_is_deterministic() {
+        let fx = fixture(20_000, 33);
+        let spec = WorkloadSpec {
+            sessions: 4,
+            queries_per_session: 2,
+            ..WorkloadSpec::default()
+        };
+        let a = run_workload(
+            &fx,
+            spec.clone(),
+            PlanSpec::SortedIs(SortedIsConfig::default()),
+        );
+        let b = run_workload(&fx, spec, PlanSpec::SortedIs(SortedIsConfig::default()));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "double run must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn sessions_overlap_in_time() {
+        let fx = fixture(40_000, 33);
+        let spec = WorkloadSpec {
+            sessions: 8,
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&fx, spec, PlanSpec::Is(IsConfig::default()));
+        assert!(
+            report.records.iter().any(|r| r.active_at_admit > 0),
+            "8 closed-loop sessions with short think time must overlap"
+        );
+    }
+
+    #[test]
+    fn horizon_caps_issuance() {
+        let fx = fixture(20_000, 33);
+        let spec = WorkloadSpec {
+            sessions: 2,
+            queries_per_session: 1000,
+            horizon: Some(SimDuration::from_micros_f64(30_000.0)),
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&fx, spec, PlanSpec::Is(IsConfig::default()));
+        let total = report.total_completed();
+        assert!(total > 0, "some queries run before the horizon");
+        assert!(total < 2000, "the horizon must stop issuance");
+    }
+}

@@ -13,17 +13,23 @@
 //! 3. each distinct table page fetched exactly once, ascending, with an
 //!    active-waiting prefetch ring of configurable depth — so even this
 //!    non-parallel operator sustains a deep I/O queue on SSD.
+//!
+//! The scan is a [`QueryDriver`] (see `driver.rs`): what used to be three
+//! blocking wait loops is now one resumable state machine (`pump`), so the
+//! operator can share its context with concurrent queries.
 
-use crate::cpu::CpuConfig;
+use crate::cpu::{CpuConfig, TaskId};
+use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
+use crate::execute::{execute, PlanSpec, ScanInputs};
 use crate::fts::merge_max;
 use crate::metrics::ScanMetrics;
 use pioqo_bufpool::{Access, BufferPool};
 use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::{NullSink, TraceSink};
-use pioqo_storage::{BTreeIndex, HeapTable};
+use pioqo_obs::TraceSink;
+use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Sorted-index-scan configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,8 +53,436 @@ impl Default for SortedIsConfig {
     }
 }
 
+#[derive(Clone, Copy)]
+enum TravStep {
+    Pin,
+    AwaitRead(u64),
+    AwaitCpu(TaskId),
+}
+
+#[derive(Clone, Copy)]
+enum RingStep {
+    /// Top the ring up and pop the next item.
+    Front,
+    /// Waiting for the popped item's read.
+    AwaitFront(u64),
+    /// The item's read landed; pin its page (re-reading on eviction).
+    Pin,
+    /// Waiting for an eviction re-read.
+    AwaitRepin(u64),
+    /// Waiting for the item's compute (leaf decode / row lookups).
+    AwaitCpu(TaskId),
+}
+
+#[derive(Clone, Copy)]
+enum Phase {
+    Traverse {
+        idx: usize,
+        step: TravStep,
+    },
+    /// `item` is the popped leaf id.
+    Leaves {
+        item: u64,
+        step: RingStep,
+    },
+    Sort {
+        task: TaskId,
+    },
+    /// `item` indexes `pages`.
+    Fetch {
+        item: usize,
+        step: RingStep,
+    },
+    Done,
+}
+
+/// The sorted-index-scan state machine. See the module docs.
+pub struct SortedIsDriver<'q> {
+    cfg: SortedIsConfig,
+    table: &'q HeapTable,
+    index: &'q BTreeIndex,
+    low: u32,
+    high: u32,
+    range: Option<LeafRange>,
+    path: Vec<u64>,
+    phase: Phase,
+    /// Page reads this driver issued and still expects.
+    pending: BTreeSet<u64>,
+    /// Own reads that completed but have not been consumed by a wait yet.
+    completed: BTreeSet<u64>,
+    leaves: Vec<u64>,
+    l_ring: VecDeque<(u64, u64)>,
+    l_next: usize,
+    rids: Vec<u64>,
+    pages: Vec<(u64, Vec<u64>)>,
+    f_ring: VecDeque<(u64, usize)>,
+    f_next: usize,
+    max_c1: Option<u32>,
+    matched: u64,
+    op_track: u32,
+    finished: bool,
+}
+
+impl<'q> SortedIsDriver<'q> {
+    /// A driver for the query with a sorted index scan.
+    pub fn new(
+        cfg: SortedIsConfig,
+        table: &'q HeapTable,
+        index: &'q BTreeIndex,
+        low: u32,
+        high: u32,
+    ) -> SortedIsDriver<'q> {
+        SortedIsDriver {
+            cfg,
+            table,
+            index,
+            low,
+            high,
+            range: None,
+            path: Vec::new(),
+            phase: Phase::Traverse {
+                idx: 0,
+                step: TravStep::Pin,
+            },
+            pending: BTreeSet::new(),
+            completed: BTreeSet::new(),
+            leaves: Vec::new(),
+            l_ring: VecDeque::new(),
+            l_next: 0,
+            rids: Vec::new(),
+            pages: Vec::new(),
+            f_ring: VecDeque::new(),
+            f_next: 0,
+            max_c1: None,
+            matched: 0,
+            op_track: 0,
+            finished: false,
+        }
+    }
+
+    fn read(&mut self, ctx: &mut SimContext<'_>, dp: u64) -> u64 {
+        let io = ctx.read_page(dp);
+        self.pending.insert(io);
+        io
+    }
+
+    /// Advance the machine as far as it can go without waiting.
+    fn pump(&mut self, ctx: &mut SimContext<'_>) {
+        loop {
+            // The phase is `Copy`: match on a snapshot, write the successor
+            // back explicitly (the arms need `&mut self` for the rings).
+            match self.phase {
+                Phase::Traverse { idx, step } => match step {
+                    TravStep::Pin => {
+                        if idx >= self.path.len() {
+                            ctx.trace_span_end(self.op_track, "sorted_is_traverse");
+                            match self.range {
+                                None => {
+                                    // Nothing qualifies; the traversal cost
+                                    // is the whole runtime.
+                                    self.phase = Phase::Done;
+                                    self.finished = true;
+                                }
+                                Some(range) => {
+                                    ctx.trace_span_begin(self.op_track, "sorted_is_leaves");
+                                    self.leaves = (range.first_leaf..=range.last_leaf).collect();
+                                    self.rids = Vec::with_capacity(range.len() as usize);
+                                    self.phase = Phase::Leaves {
+                                        item: 0,
+                                        step: RingStep::Front,
+                                    };
+                                }
+                            }
+                            continue;
+                        }
+                        let dp = self.path[idx];
+                        let step = match ctx.pool.request(dp) {
+                            Access::Hit => {
+                                let work = ctx.costs().leaf_decode_us;
+                                TravStep::AwaitCpu(ctx.submit_cpu(work))
+                            }
+                            Access::Miss => TravStep::AwaitRead(self.read(ctx, dp)),
+                        };
+                        self.phase = Phase::Traverse { idx, step };
+                        return;
+                    }
+                    TravStep::AwaitRead(io) => {
+                        if self.completed.remove(&io) {
+                            self.phase = Phase::Traverse {
+                                idx,
+                                step: TravStep::Pin,
+                            };
+                            continue;
+                        }
+                        return;
+                    }
+                    TravStep::AwaitCpu(_) => return, // advanced by on_event
+                },
+                Phase::Leaves { item, step } => match step {
+                    RingStep::Front => {
+                        // Keep the ring primed ahead of the consumer.
+                        let depth = self.cfg.leaf_prefetch.max(1) as usize;
+                        while self.l_next < self.leaves.len() && self.l_ring.len() < depth {
+                            let leaf = self.leaves[self.l_next];
+                            let dp = self.index.device_page_of_leaf(leaf);
+                            let io = self.read(ctx, dp);
+                            self.l_ring.push_back((io, leaf));
+                            self.l_next += 1;
+                        }
+                        match self.l_ring.pop_front() {
+                            None => {
+                                ctx.trace_span_end(self.op_track, "sorted_is_leaves");
+                                ctx.trace_span_begin(self.op_track, "sorted_is_sort");
+                                // Phase 2: sort row ids into page order (row
+                                // id order == page order in a heap table),
+                                // charging k·log2(k) CPU.
+                                let k = self.rids.len() as f64;
+                                if k > 1.0 {
+                                    let work = k * k.log2() * ctx.costs().sort_entry_us;
+                                    self.phase = Phase::Sort {
+                                        task: ctx.submit_cpu(work),
+                                    };
+                                    return;
+                                }
+                                self.finish_sort(ctx);
+                                continue;
+                            }
+                            Some((io, leaf)) => {
+                                self.phase = Phase::Leaves {
+                                    item: leaf,
+                                    step: RingStep::AwaitFront(io),
+                                };
+                                continue;
+                            }
+                        }
+                    }
+                    RingStep::AwaitFront(io) | RingStep::AwaitRepin(io) => {
+                        if self.completed.remove(&io) {
+                            self.phase = Phase::Leaves {
+                                item,
+                                step: RingStep::Pin,
+                            };
+                            continue;
+                        }
+                        return;
+                    }
+                    RingStep::Pin => {
+                        let dp = self.index.device_page_of_leaf(item);
+                        let step = match ctx.pool.request(dp) {
+                            Access::Hit => {
+                                let entry_range = self.index.leaf_entry_range(item);
+                                let n = (entry_range.end - entry_range.start) as f64;
+                                let work =
+                                    ctx.costs().leaf_decode_us + n * ctx.costs().entry_decode_us;
+                                RingStep::AwaitCpu(ctx.submit_cpu(work))
+                            }
+                            // Evicted by a pathologically small pool:
+                            // re-read on demand.
+                            Access::Miss => RingStep::AwaitRepin(self.read(ctx, dp)),
+                        };
+                        self.phase = Phase::Leaves { item, step };
+                        return;
+                    }
+                    RingStep::AwaitCpu(_) => return, // advanced by on_event
+                },
+                Phase::Sort { .. } => return, // advanced by on_event
+                Phase::Fetch { item, step } => match step {
+                    RingStep::Front => {
+                        let depth = self.cfg.prefetch_depth.max(1) as usize;
+                        while self.f_next < self.pages.len() && self.f_ring.len() < depth {
+                            let dp = self.table.device_page(self.pages[self.f_next].0);
+                            let io = self.read(ctx, dp);
+                            self.f_ring.push_back((io, self.f_next));
+                            self.f_next += 1;
+                        }
+                        match self.f_ring.pop_front() {
+                            None => {
+                                ctx.trace_span_end(self.op_track, "sorted_is_fetch");
+                                self.phase = Phase::Done;
+                                self.finished = true;
+                                return;
+                            }
+                            Some((io, idx)) => {
+                                self.phase = Phase::Fetch {
+                                    item: idx,
+                                    step: RingStep::AwaitFront(io),
+                                };
+                                continue;
+                            }
+                        }
+                    }
+                    RingStep::AwaitFront(io) | RingStep::AwaitRepin(io) => {
+                        if self.completed.remove(&io) {
+                            self.phase = Phase::Fetch {
+                                item,
+                                step: RingStep::Pin,
+                            };
+                            continue;
+                        }
+                        return;
+                    }
+                    RingStep::Pin => {
+                        let dp = self.table.device_page(self.pages[item].0);
+                        let step = match ctx.pool.request(dp) {
+                            Access::Hit => {
+                                let work =
+                                    self.pages[item].1.len() as f64 * ctx.costs().row_lookup_us;
+                                RingStep::AwaitCpu(ctx.submit_cpu(work))
+                            }
+                            Access::Miss => RingStep::AwaitRepin(self.read(ctx, dp)),
+                        };
+                        self.phase = Phase::Fetch { item, step };
+                        return;
+                    }
+                    RingStep::AwaitCpu(_) => return, // advanced by on_event
+                },
+                Phase::Done => return,
+            }
+        }
+    }
+
+    /// Phase 2 → phase 3 transition: sort, group consecutive rids by table
+    /// page, open the fetch ring.
+    fn finish_sort(&mut self, ctx: &mut SimContext<'_>) {
+        self.rids.sort_unstable();
+        ctx.trace_span_end(self.op_track, "sorted_is_sort");
+        let mut pages: Vec<(u64, Vec<u64>)> = Vec::new();
+        for &rid in &self.rids {
+            let p = self.table.spec().page_of_row(rid);
+            match pages.last_mut() {
+                Some((lp, v)) if *lp == p => v.push(rid),
+                _ => pages.push((p, vec![rid])),
+            }
+        }
+        self.pages = pages;
+        ctx.trace_span_begin(self.op_track, "sorted_is_fetch");
+        self.phase = Phase::Fetch {
+            item: 0,
+            step: RingStep::Front,
+        };
+    }
+
+    /// Handle a compute completion that belongs to this driver; returns
+    /// whether it did.
+    fn on_cpu(&mut self, ctx: &mut SimContext<'_>, task: TaskId) -> Result<bool, ExecError> {
+        match &self.phase {
+            Phase::Traverse {
+                idx,
+                step: TravStep::AwaitCpu(t),
+            } if *t == task => {
+                let idx = *idx;
+                ctx.pool.unpin(self.path[idx])?;
+                self.phase = Phase::Traverse {
+                    idx: idx + 1,
+                    step: TravStep::Pin,
+                };
+                Ok(true)
+            }
+            Phase::Leaves {
+                item,
+                step: RingStep::AwaitCpu(t),
+            } if *t == task => {
+                let leaf = *item;
+                let range = self.range.expect("leaf phase requires a range");
+                let entry_range = self.index.leaf_entry_range(leaf);
+                let from = entry_range.start.max(range.first_entry);
+                let to = entry_range.end.min(range.end_entry);
+                self.rids.extend((from..to).map(|i| self.index.entry(i).1));
+                ctx.pool.unpin(self.index.device_page_of_leaf(leaf))?;
+                self.phase = Phase::Leaves {
+                    item: leaf,
+                    step: RingStep::Front,
+                };
+                Ok(true)
+            }
+            Phase::Sort { task: t } if *t == task => {
+                self.finish_sort(ctx);
+                Ok(true)
+            }
+            Phase::Fetch {
+                item,
+                step: RingStep::AwaitCpu(t),
+            } if *t == task => {
+                let idx = *item;
+                let dp = self.table.device_page(self.pages[idx].0);
+                for i in 0..self.pages[idx].1.len() {
+                    let rid = self.pages[idx].1[i];
+                    let (c1, c2) = self.table.row(rid);
+                    debug_assert!(c2 >= self.low && c2 <= self.high);
+                    self.max_c1 = merge_max(self.max_c1, Some(c1));
+                    self.matched += 1;
+                }
+                ctx.pool.unpin(dp)?;
+                self.phase = Phase::Fetch {
+                    item: idx,
+                    step: RingStep::Front,
+                };
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+impl QueryDriver for SortedIsDriver<'_> {
+    fn operator(&self) -> &'static str {
+        "sorted_is"
+    }
+
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        self.op_track = ctx.trace_track("sorted_is");
+        ctx.trace_span_begin(self.op_track, "sorted_is_traverse");
+        self.range = self.index.range(self.low, self.high);
+        let probe_leaf = self.range.map_or(0, |r| r.first_leaf);
+        self.path = self.index.path_to_leaf(probe_leaf);
+        self.pump(ctx);
+        Ok(())
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError> {
+        match *ev {
+            Event::IoPage {
+                io,
+                device_page,
+                status,
+                attempts,
+            } => {
+                if !self.pending.remove(&io) {
+                    return Ok(()); // another query's read
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("sorted_is", device_page, attempts));
+                }
+                ctx.pool.admit_prefetched(device_page)?;
+                self.completed.insert(io);
+                self.pump(ctx);
+            }
+            Event::Cpu(task) => {
+                if self.on_cpu(ctx, task)? {
+                    self.pump(ctx);
+                }
+            }
+            Event::IoBlock { .. } | Event::Timer { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+
+    fn answer(&self) -> QueryAnswer {
+        QueryAnswer {
+            max_c1: self.max_c1,
+            rows_matched: self.matched,
+            rows_examined: self.matched,
+        }
+    }
+}
+
 /// Execute the query with a sorted index scan. See the module docs.
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::SortedIs`")]
 pub fn run_sorted_is(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -60,17 +494,16 @@ pub fn run_sorted_is(
     high: u32,
     cfg: &SortedIsConfig,
 ) -> Result<ScanMetrics, ExecError> {
-    run_sorted_is_traced(
-        device,
-        pool,
-        cpu,
-        costs,
-        table,
-        index,
-        low,
-        high,
-        cfg,
-        &mut NullSink,
+    let mut ctx = SimContext::new(device, pool, cpu, costs);
+    execute(
+        &mut ctx,
+        &PlanSpec::SortedIs(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: Some(index),
+            low,
+            high,
+        },
     )
 }
 
@@ -78,6 +511,7 @@ pub fn run_sorted_is(
 /// records sim-time I/O, pool and phase-span events into it (and nothing
 /// otherwise).
 #[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
+#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
 pub fn run_sorted_is_traced(
     device: &mut dyn DeviceModel,
     pool: &mut BufferPool,
@@ -90,229 +524,24 @@ pub fn run_sorted_is_traced(
     cfg: &SortedIsConfig,
     trace: &mut dyn TraceSink,
 ) -> Result<ScanMetrics, ExecError> {
-    let pool_stats_before = pool.stats().clone();
     let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_retry_policy(cfg.retry.clone());
     ctx.set_trace_sink(trace);
-    let op_track = ctx.trace_track("sorted_is");
-    let mut completed: BTreeSet<u64> = BTreeSet::new();
-
-    // Phase 0: root-to-leaf traversal.
-    ctx.trace_span_begin(op_track, "sorted_is_traverse");
-    let range = index.range(low, high);
-    let probe_leaf = range.map_or(0, |r| r.first_leaf);
-    for dp in index.path_to_leaf(probe_leaf) {
-        pin_resident(&mut ctx, dp, &mut completed)?;
-        let work = ctx.costs().leaf_decode_us;
-        cpu_now(&mut ctx, work, &mut completed)?;
-        ctx.pool.unpin(dp)?;
-    }
-    ctx.trace_span_end(op_track, "sorted_is_traverse");
-
-    let finish =
-        |ctx: &mut SimContext<'_>, pool_before: &pioqo_bufpool::PoolStats, max_c1, matched| {
-            let runtime = ctx.now() - pioqo_simkit::SimTime::ZERO;
-            let io = ctx.io_profile();
-            let resilience = ctx.resilience();
-            ctx.quiesce();
-            let hists = ctx.take_histograms();
-            ScanMetrics {
-                runtime,
-                max_c1,
-                rows_matched: matched,
-                rows_examined: matched,
-                io,
-                pool: ctx.pool.stats().diff(pool_before),
-                resilience,
-                hists,
-            }
-        };
-
-    let Some(range) = range else {
-        return Ok(finish(&mut ctx, &pool_stats_before, None, 0));
-    };
-
-    // Phase 1: stream leaf pages with a prefetch ring; collect row ids.
-    ctx.trace_span_begin(op_track, "sorted_is_leaves");
-    let mut rids: Vec<u64> = Vec::with_capacity(range.len() as usize);
-    {
-        let leaves: Vec<u64> = (range.first_leaf..=range.last_leaf).collect();
-        let mut ring: std::collections::VecDeque<(u64, u64)> = Default::default();
-        let mut next = 0usize;
-        let depth = cfg.leaf_prefetch.max(1) as usize;
-        while next < leaves.len() || !ring.is_empty() {
-            while next < leaves.len() && ring.len() < depth {
-                let dp = index.device_page_of_leaf(leaves[next]);
-                let io = ctx.read_page(dp);
-                ring.push_back((io, leaves[next]));
-                next += 1;
-            }
-            let (io, leaf) = ring.pop_front().expect("ring primed");
-            wait_io(&mut ctx, io, &mut completed)?;
-            let dp = index.device_page_of_leaf(leaf);
-            pin_resident(&mut ctx, dp, &mut completed)?;
-            let entry_range = index.leaf_entry_range(leaf);
-            let n = (entry_range.end - entry_range.start) as f64;
-            let work = ctx.costs().leaf_decode_us + n * ctx.costs().entry_decode_us;
-            cpu_now(&mut ctx, work, &mut completed)?;
-            let from = entry_range.start.max(range.first_entry);
-            let to = entry_range.end.min(range.end_entry);
-            rids.extend((from..to).map(|i| index.entry(i).1));
-            ctx.pool.unpin(dp)?;
-        }
-    }
-
-    ctx.trace_span_end(op_track, "sorted_is_leaves");
-
-    // Phase 2: sort row ids into page order (row id order == page order in
-    // a heap table), charging k·log2(k) CPU.
-    ctx.trace_span_begin(op_track, "sorted_is_sort");
-    let k = rids.len() as f64;
-    if k > 1.0 {
-        let work = k * k.log2() * ctx.costs().sort_entry_us;
-        cpu_now(&mut ctx, work, &mut completed)?;
-    }
-    rids.sort_unstable();
-    ctx.trace_span_end(op_track, "sorted_is_sort");
-
-    // Phase 3: fetch each distinct page once, ascending, prefetch ring of
-    // `prefetch_depth`.
-    let mut pages: Vec<(u64, Vec<u64>)> = Vec::new();
-    for &rid in &rids {
-        let p = table.spec().page_of_row(rid);
-        match pages.last_mut() {
-            Some((lp, v)) if *lp == p => v.push(rid),
-            _ => pages.push((p, vec![rid])),
-        }
-    }
-
-    let mut max_c1: Option<u32> = None;
-    let mut matched: u64 = 0;
-    ctx.trace_span_begin(op_track, "sorted_is_fetch");
-    {
-        let depth = cfg.prefetch_depth.max(1) as usize;
-        let mut ring: std::collections::VecDeque<(u64, usize)> = Default::default();
-        let mut next = 0usize;
-        while next < pages.len() || !ring.is_empty() {
-            while next < pages.len() && ring.len() < depth {
-                let dp = table.device_page(pages[next].0);
-                let io = ctx.read_page(dp);
-                ring.push_back((io, next));
-                next += 1;
-            }
-            let (io, idx) = ring.pop_front().expect("ring primed");
-            wait_io(&mut ctx, io, &mut completed)?;
-            let (page, page_rids) = &pages[idx];
-            let dp = table.device_page(*page);
-            pin_resident(&mut ctx, dp, &mut completed)?;
-            let work = page_rids.len() as f64 * ctx.costs().row_lookup_us;
-            cpu_now(&mut ctx, work, &mut completed)?;
-            for &rid in page_rids {
-                let (c1, c2) = table.row(rid);
-                debug_assert!(c2 >= low && c2 <= high);
-                max_c1 = merge_max(max_c1, Some(c1));
-                matched += 1;
-            }
-            ctx.pool.unpin(dp)?;
-        }
-    }
-    ctx.trace_span_end(op_track, "sorted_is_fetch");
-
-    Ok(finish(&mut ctx, &pool_stats_before, max_c1, matched))
-}
-
-/// Step until single-page I/O `io` completes, recording all completions
-/// (admitting their pages) into `completed`.
-fn wait_io(
-    ctx: &mut SimContext<'_>,
-    io: u64,
-    completed: &mut BTreeSet<u64>,
-) -> Result<(), ExecError> {
-    let mut events = Vec::new();
-    while !completed.contains(&io) {
-        events.clear();
-        let progressed = ctx.step(&mut events);
-        assert!(progressed, "sorted index scan deadlocked");
-        for e in &events {
-            if let Event::IoPage {
-                io: id,
-                device_page,
-                status,
-                attempts,
-            } = e
-            {
-                if *status == IoStatus::Error {
-                    return Err(io_failure("sorted_is", *device_page, *attempts));
-                }
-                ctx.pool.admit_prefetched(*device_page)?;
-                completed.insert(*id);
-            }
-        }
-    }
-    completed.remove(&io);
-    Ok(())
-}
-
-/// Pin a page that should be resident; re-read if it was evicted by a
-/// pathologically small pool.
-fn pin_resident(
-    ctx: &mut SimContext<'_>,
-    dp: u64,
-    completed: &mut BTreeSet<u64>,
-) -> Result<(), ExecError> {
-    loop {
-        match ctx.pool.request(dp) {
-            Access::Hit => return Ok(()),
-            Access::Miss => {
-                let io = ctx.read_page(dp);
-                wait_io(ctx, io, completed)?;
-            }
-        }
-    }
-}
-
-/// Run a compute task to completion while I/O keeps flowing; page
-/// completions encountered along the way are admitted and recorded.
-fn cpu_now(
-    ctx: &mut SimContext<'_>,
-    work_us: f64,
-    completed: &mut BTreeSet<u64>,
-) -> Result<(), ExecError> {
-    let task = ctx.submit_cpu(work_us);
-    let mut events = Vec::new();
-    loop {
-        events.clear();
-        let progressed = ctx.step(&mut events);
-        assert!(progressed, "cpu task never completed");
-        let mut done = false;
-        for e in &events {
-            match e {
-                Event::Cpu(t) if *t == task => done = true,
-                Event::IoPage {
-                    io,
-                    device_page,
-                    status,
-                    attempts,
-                } => {
-                    if *status == IoStatus::Error {
-                        return Err(io_failure("sorted_is", *device_page, *attempts));
-                    }
-                    ctx.pool.admit_prefetched(*device_page)?;
-                    completed.insert(*io);
-                }
-                _ => {}
-            }
-        }
-        if done {
-            return Ok(());
-        }
-    }
+    execute(
+        &mut ctx,
+        &PlanSpec::SortedIs(cfg.clone()),
+        &ScanInputs {
+            table,
+            index: Some(index),
+            low,
+            high,
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::is::{run_is, IsConfig};
+    use crate::is::IsConfig;
     use pioqo_device::presets::consumer_pcie_ssd;
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
 
@@ -331,22 +560,36 @@ mod tests {
         (table, index, cap)
     }
 
-    fn scan(fx: &(HeapTable, BTreeIndex, u64), sel: f64, cfg: &SortedIsConfig) -> ScanMetrics {
+    fn run(
+        fx: &(HeapTable, BTreeIndex, u64),
+        sel: f64,
+        plan: &PlanSpec,
+        pool_frames: usize,
+    ) -> ScanMetrics {
         let mut dev = consumer_pcie_ssd(fx.2, 13);
-        let mut pool = BufferPool::new(4096);
+        let mut pool = BufferPool::new(pool_frames);
         let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
-        run_sorted_is(
+        let mut ctx = SimContext::new(
             &mut dev,
             &mut pool,
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
-            &fx.0,
-            &fx.1,
-            low,
-            high,
-            cfg,
+        );
+        execute(
+            &mut ctx,
+            plan,
+            &ScanInputs {
+                table: &fx.0,
+                index: Some(&fx.1),
+                low,
+                high,
+            },
         )
         .expect("scan runs")
+    }
+
+    fn scan(fx: &(HeapTable, BTreeIndex, u64), sel: f64, cfg: &SortedIsConfig) -> ScanMetrics {
+        run(fx, sel, &PlanSpec::SortedIs(cfg.clone()), 4096)
     }
 
     #[test]
@@ -394,35 +637,14 @@ mod tests {
     #[test]
     fn beats_plain_is_at_high_selectivity() {
         let fx = fixture(40_000, 33);
-        let (low, high) = range_for_selectivity(0.5, u32::MAX - 1);
-        let mut dev = consumer_pcie_ssd(fx.2, 13);
-        let mut pool = BufferPool::new(512); // small: plain IS will refetch
-        let plain = run_is(
-            &mut dev,
-            &mut pool,
-            CpuConfig::paper_xeon(),
-            CpuCosts::default(),
-            &fx.0,
-            &fx.1,
-            low,
-            high,
-            &IsConfig::default(),
-        )
-        .expect("is runs");
-        let mut dev2 = consumer_pcie_ssd(fx.2, 13);
-        let mut pool2 = BufferPool::new(512);
-        let sorted = run_sorted_is(
-            &mut dev2,
-            &mut pool2,
-            CpuConfig::paper_xeon(),
-            CpuCosts::default(),
-            &fx.0,
-            &fx.1,
-            low,
-            high,
-            &SortedIsConfig::default(),
-        )
-        .expect("sorted runs");
+        // Small pool: plain IS will refetch.
+        let plain = run(&fx, 0.5, &PlanSpec::Is(IsConfig::default()), 512);
+        let sorted = run(
+            &fx,
+            0.5,
+            &PlanSpec::SortedIs(SortedIsConfig::default()),
+            512,
+        );
         assert_eq!(plain.max_c1, sorted.max_c1);
         assert!(
             sorted.runtime < plain.runtime,

@@ -1,0 +1,30 @@
+//! Known-bad fixture: a multi-session engine that breaks determinism in
+//! the three ways a concurrency layer is most tempted to. The lint must
+//! treat `exec/src/session.rs` exactly like the rest of the sim crate —
+//! D1/D3/D7 all fire here. Never compiled; only scanned.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-session state keyed by session id. D3: `HashMap` iteration order
+/// would decide which session is admitted first — the classic
+/// plan-choice-depends-on-hasher bug.
+pub struct SessionTable {
+    pub sessions: HashMap<u32, u64>,
+}
+
+impl SessionTable {
+    /// D3 again at the use site, plus D1: stamping admission with the
+    /// wall clock instead of virtual time.
+    pub fn admit_next(&mut self) -> Option<u32> {
+        let started = Instant::now();
+        let _ = started.elapsed();
+        self.sessions.keys().next().copied()
+    }
+}
+
+/// D7: real OS threads inside the simulation — sessions must interleave
+/// on the virtual event loop, not the host scheduler.
+pub fn run_sessions_on_host_threads(n: u32) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n).map(|_| std::thread::spawn(|| {})).collect()
+}

@@ -84,6 +84,36 @@ fn fixtures_trip_every_rule() {
     );
 }
 
+/// The concurrency layer lives in `exec/src/session.rs`; `exec` is in the
+/// sim-crate determinism set, and module files must get the same scrutiny
+/// as the crate root. The fixture plants the three classic multi-session
+/// determinism bugs (wall-clock admission stamps, HashMap session tables,
+/// host threads) in a session module and expects D1, D3 and D7 to fire
+/// there — and nowhere else in the tree.
+#[test]
+fn session_module_is_in_the_sim_crate_determinism_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("session_module");
+    let report = pioqo_lint::check_workspace(&root, &pioqo_lint::LintConfig::default())
+        .expect("session fixture scan succeeds");
+
+    for d in &report.diagnostics {
+        assert_eq!(
+            d.path, "crates/exec/src/session.rs",
+            "the clean crate root must stay silent: {d:?}"
+        );
+    }
+    let fired: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    for rule in ["D1", "D3", "D7"] {
+        assert!(
+            fired.contains(rule),
+            "{rule} must fire on the session module:\n{}",
+            report.render_table()
+        );
+    }
+}
+
 #[test]
 fn allowlist_suppresses_matching_rule_only() {
     let config = pioqo_lint::config::parse_config(

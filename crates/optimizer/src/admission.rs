@@ -1,0 +1,316 @@
+//! QDTT-aware admission control: the bridge between the optimizer and the
+//! concurrent multi-query engine.
+//!
+//! §4.3's future-work paragraph says the optimizer "needs to pass a lower
+//! queue depth number to the QDTT model" when queries run concurrently.
+//! [`QdttAdmission`] operationalizes that: it implements the executor's
+//! [`AdmissionPlanner`] hook, and on every admission it
+//!
+//! 1. takes a queue-depth lease from the shared [`QdBudget`] (the device's
+//!    beneficial depth split over the active queries),
+//! 2. gathers live [`TableStats`] — including what is *currently cached*,
+//!    which under concurrency reflects the other sessions' footprints,
+//! 3. re-runs plan selection with `max_queue_depth` capped at the lease, and
+//! 4. lowers the winning [`Plan`] to an executable [`PlanSpec`] whose
+//!    prefetch depths respect the lease.
+//!
+//! The lease is returned when the engine reports the query complete, so a
+//! lull re-grants the full depth. Every decision is journaled in an
+//! [`AdmissionDecision`] — the experiment harness reads that log to show
+//! plan choice and parallel degree shifting with the concurrency level.
+
+use crate::concurrency::{QdBudget, QdLease};
+use crate::cost::QdttCost;
+use crate::optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};
+use crate::stats::TableStats;
+use pioqo_bufpool::BufferPool;
+use pioqo_core::Qdtt;
+use pioqo_exec::{AdmissionPlanner, FtsConfig, IsConfig, PlanSpec, QueryAdmission, SortedIsConfig};
+use pioqo_storage::{BTreeIndex, HeapTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Lower a costed [`Plan`] to the executor's [`PlanSpec`].
+///
+/// The operator configuration is sized from the plan's costing assumptions:
+/// an index scan gets the per-worker prefetch depth the cost model assumed,
+/// scaled down when a queue-depth cap clipped the plan's depth, and a
+/// sorted index scan sizes its fetch ring to the plan's queue depth.
+pub fn plan_to_spec(plan: &Plan, cfg: &OptimizerConfig) -> PlanSpec {
+    match plan.method {
+        AccessMethod::TableScan => PlanSpec::Fts(FtsConfig {
+            workers: plan.degree,
+            ..FtsConfig::default()
+        }),
+        AccessMethod::IndexScan => {
+            let per_worker = if cfg.is_prefetch_depth == 0 {
+                0
+            } else {
+                // `plan.queue_depth = (degree * pf).min(cap)`: recover the
+                // per-worker share so the executor's outstanding I/O stays
+                // within what the plan was costed (and leased) for.
+                cfg.is_prefetch_depth
+                    .min((plan.queue_depth / plan.degree.max(1)).max(1))
+            };
+            PlanSpec::Is(IsConfig {
+                workers: plan.degree,
+                prefetch_depth: per_worker,
+                ..IsConfig::default()
+            })
+        }
+        AccessMethod::SortedIndexScan => PlanSpec::SortedIs(SortedIsConfig {
+            prefetch_depth: plan.queue_depth.max(1),
+            leaf_prefetch: plan.queue_depth.clamp(1, 8),
+            ..SortedIsConfig::default()
+        }),
+    }
+}
+
+/// One admission decision, journaled for the concurrency experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// The admitted session.
+    pub session: u32,
+    /// The session-local query index.
+    pub query_index: u32,
+    /// Queries of other sessions running at admission time.
+    pub active: u32,
+    /// Queue depth the lease granted this query.
+    pub lease_depth: u32,
+    /// The query's selectivity.
+    pub selectivity: f64,
+    /// The chosen access method.
+    pub method: AccessMethod,
+    /// The chosen parallel degree.
+    pub degree: u32,
+    /// Queue depth the winning plan was costed with (≤ `lease_depth`).
+    pub queue_depth: u32,
+    /// Executable plan label ("PIS8+pf4", ...).
+    pub plan: String,
+}
+
+/// The QDTT-aware admission planner. See the module docs.
+pub struct QdttAdmission<'a> {
+    table: &'a HeapTable,
+    index: &'a BTreeIndex,
+    model: QdttCost,
+    cfg: OptimizerConfig,
+    budget: QdBudget,
+    leases: BTreeMap<u32, QdLease>,
+    decisions: Vec<AdmissionDecision>,
+}
+
+impl<'a> QdttAdmission<'a> {
+    /// An admission planner over the calibrated `model`, choosing plans for
+    /// queries against `table`/`index` with `cfg` as the *uncontended*
+    /// configuration (its `max_queue_depth` is the single-query cap; leases
+    /// can only lower it). The queue-depth budget is derived from the
+    /// model's beneficial depth.
+    pub fn new(
+        table: &'a HeapTable,
+        index: &'a BTreeIndex,
+        model: Qdtt,
+        cfg: OptimizerConfig,
+    ) -> QdttAdmission<'a> {
+        let budget = QdBudget::from_model(&model);
+        QdttAdmission {
+            table,
+            index,
+            model: QdttCost(model),
+            cfg,
+            budget,
+            leases: BTreeMap::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The shared queue-depth budget (for reporting).
+    pub fn budget(&self) -> &QdBudget {
+        &self.budget
+    }
+
+    /// The admission journal so far, in admission order.
+    pub fn decisions(&self) -> &[AdmissionDecision] {
+        &self.decisions
+    }
+
+    /// Consume the planner, keeping its journal.
+    pub fn into_decisions(self) -> Vec<AdmissionDecision> {
+        self.decisions
+    }
+}
+
+impl AdmissionPlanner for QdttAdmission<'_> {
+    fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec {
+        let lease = self.budget.acquire();
+        let stats = TableStats::gather(self.table, self.index, pool);
+        let mut cfg = self.cfg.clone();
+        cfg.max_queue_depth = cfg.max_queue_depth.min(lease.depth);
+        let plan = Optimizer::new(&self.model, cfg.clone()).choose(&stats, q.selectivity);
+        let spec = plan_to_spec(&plan, &cfg);
+        self.decisions.push(AdmissionDecision {
+            session: q.session,
+            query_index: q.query_index,
+            active: q.active,
+            lease_depth: lease.depth,
+            selectivity: q.selectivity,
+            method: plan.method,
+            degree: plan.degree,
+            queue_depth: plan.queue_depth,
+            plan: spec.label(),
+        });
+        // The engine pairs every admit with one complete, so a session can
+        // never hold two leases; release defensively if it somehow does.
+        if let Some(stale) = self.leases.insert(q.session, lease) {
+            debug_assert!(false, "session {} admitted twice", q.session);
+            self.budget.release(stale);
+        }
+        spec
+    }
+
+    fn complete(&mut self, session: u32) {
+        if let Some(lease) = self.leases.remove(&session) {
+            self.budget.release(lease);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioqo_storage::{TableSpec, Tablespace};
+
+    fn fixture() -> (HeapTable, BTreeIndex) {
+        let spec = TableSpec::paper_table(33, 100_000, 5);
+        let mut ts = Tablespace::new(4 * spec.n_pages() + 2000);
+        let table = HeapTable::create(spec, &mut ts).expect("fits");
+        let index = BTreeIndex::build(
+            "c2_idx",
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("fits");
+        (table, index)
+    }
+
+    /// SSD-like synthetic QDTT: per-page cost halves with every doubling of
+    /// queue depth, at every band size.
+    fn ssd_model() -> Qdtt {
+        Qdtt::new(
+            vec![1, 1 << 20],
+            vec![1, 2, 4, 8, 16, 32],
+            vec![
+                100.0, 100.0, 50.0, 50.0, 25.0, 25.0, 12.0, 12.0, 6.0, 6.0, 3.0, 3.0,
+            ],
+        )
+    }
+
+    fn admission(session: u32, active: u32, sel: f64) -> QueryAdmission {
+        QueryAdmission {
+            session,
+            query_index: 0,
+            active,
+            selectivity: sel,
+            low: 0,
+            high: 0,
+        }
+    }
+
+    #[test]
+    fn leases_shrink_and_degree_steps_down_under_concurrency() {
+        let (table, index) = fixture();
+        let pool = BufferPool::new(4096);
+        // Index-scan-only configuration so the lease effect shows up in the
+        // parallel degree (with sorted IS enabled, a serial deep-ring plan
+        // can dominate at every lease level).
+        let cfg = OptimizerConfig {
+            consider_sorted_is: false,
+            ..OptimizerConfig::fine_grained()
+        };
+        let mut adm = QdttAdmission::new(&table, &index, ssd_model(), cfg);
+        // Admit 16 sessions without completing any: the lease shrinks from
+        // the full 32 down to 2, and the chosen plans must follow.
+        for s in 0..16 {
+            adm.admit(&admission(s, s, 0.01), &pool);
+        }
+        let d = adm.decisions();
+        assert_eq!(d[0].lease_depth, 32);
+        assert_eq!(d[15].lease_depth, 2);
+        assert!(
+            d[15].queue_depth < d[0].queue_depth,
+            "costed queue depth must shrink with the lease: {} vs {}",
+            d[0].queue_depth,
+            d[15].queue_depth
+        );
+        assert!(
+            d[0].degree > 1,
+            "uncontended, the query should parallelize: {:?}",
+            d[0]
+        );
+        assert!(
+            d[15].degree < d[0].degree,
+            "parallel degree must step down as leases shrink: {} vs {}",
+            d[0].degree,
+            d[15].degree
+        );
+    }
+
+    #[test]
+    fn completion_returns_the_lease() {
+        let (table, index) = fixture();
+        let pool = BufferPool::new(4096);
+        let mut adm =
+            QdttAdmission::new(&table, &index, ssd_model(), OptimizerConfig::fine_grained());
+        adm.admit(&admission(0, 0, 0.01), &pool);
+        assert_eq!(adm.budget().active(), 1);
+        adm.complete(0);
+        assert_eq!(adm.budget().active(), 0);
+        adm.admit(&admission(1, 0, 0.01), &pool);
+        assert_eq!(
+            adm.decisions()[1].lease_depth,
+            adm.decisions()[0].lease_depth,
+            "after a completion the next query gets the full depth again"
+        );
+    }
+
+    #[test]
+    fn completing_an_unknown_session_is_a_no_op() {
+        let (table, index) = fixture();
+        let mut adm =
+            QdttAdmission::new(&table, &index, ssd_model(), OptimizerConfig::fine_grained());
+        adm.complete(7); // engine never admitted session 7: nothing to release
+        assert_eq!(adm.budget().active(), 0);
+    }
+
+    #[test]
+    fn plan_to_spec_respects_the_costed_queue_depth() {
+        let cfg = OptimizerConfig::fine_grained();
+        let plan = Plan {
+            method: AccessMethod::IndexScan,
+            degree: 8,
+            queue_depth: 8, // capped: 8 workers x pf4 = 32 assumed, leased to 8
+            band: 1000,
+            est_page_fetches: 10.0,
+            est_io_us: 100.0,
+            est_cpu_us: 10.0,
+            est_total_us: 110.0,
+        };
+        let PlanSpec::Is(is) = plan_to_spec(&plan, &cfg) else {
+            panic!("index plan must lower to an index scan");
+        };
+        assert_eq!(is.workers, 8);
+        assert_eq!(is.prefetch_depth, 1, "8 workers share a depth-8 lease");
+        let sorted = Plan {
+            method: AccessMethod::SortedIndexScan,
+            degree: 1,
+            queue_depth: 4,
+            ..plan
+        };
+        let PlanSpec::SortedIs(s) = plan_to_spec(&sorted, &cfg) else {
+            panic!("sorted plan must lower to a sorted index scan");
+        };
+        assert_eq!(s.prefetch_depth, 4);
+        assert_eq!(s.leaf_prefetch, 4);
+    }
+}

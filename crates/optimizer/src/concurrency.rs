@@ -27,7 +27,12 @@ pub struct QdBudget {
 }
 
 /// A granted queue-depth lease. Return it with [`QdBudget::release`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Deliberately neither `Copy` nor `Clone`: `release` consumes the lease by
+/// value, so a lease cannot be returned twice by accident — the admission
+/// layer moves it from grant to release exactly once. (A hand-constructed
+/// duplicate is still caught by a debug assertion in `release`.)
+#[derive(Debug, PartialEq, Eq)]
 pub struct QdLease {
     /// Lease identifier.
     pub id: u64,
@@ -68,9 +73,16 @@ impl QdBudget {
         QdLease { id, depth: share }
     }
 
-    /// Release a lease when its query finishes.
+    /// Release a lease when its query finishes. Consumes the lease; a lease
+    /// released twice (only possible by reconstructing one) is a bug in the
+    /// admission layer and trips a debug assertion.
     pub fn release(&mut self, lease: QdLease) {
-        self.leases.remove(&lease.id);
+        let granted = self.leases.remove(&lease.id);
+        debug_assert!(
+            granted.is_some(),
+            "queue-depth lease {} released twice",
+            lease.id
+        );
     }
 
     /// The depth a hypothetical `k`-way concurrent workload would grant
@@ -124,6 +136,22 @@ mod tests {
         assert_eq!(b.share_at(32), 1);
         assert_eq!(b.share_at(64), 1);
         assert_eq!(b.share_at(0), 32);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "released twice")]
+    fn double_release_is_detected() {
+        let mut b = QdBudget::new(8);
+        let lease = b.acquire();
+        // `QdLease` is not `Copy`/`Clone`, so the only way to release twice
+        // is to forge a duplicate — which the debug assertion catches.
+        let forged = QdLease {
+            id: lease.id,
+            depth: lease.depth,
+        };
+        b.release(lease);
+        b.release(forged);
     }
 
     #[test]

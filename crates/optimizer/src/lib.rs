@@ -12,17 +12,22 @@
 //!   one; nothing else differs;
 //! * [`Optimizer`] — plan enumeration over `{FTS, IS} × degree`;
 //! * [`QdBudget`] — the future-work extension budgeting queue depth across
-//!   concurrent queries.
+//!   concurrent queries;
+//! * [`QdttAdmission`] — the admission planner plugging that budget into
+//!   the executor's concurrent multi-query engine: each admitted query is
+//!   re-optimized with its queue-depth lease as the cap.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod card;
 pub mod concurrency;
 pub mod cost;
 pub mod optimizer;
 pub mod stats;
 
+pub use admission::{plan_to_spec, AdmissionDecision, QdttAdmission};
 pub use concurrency::{QdBudget, QdLease};
 pub use cost::{DttCost, EstCpuCosts, IoCostModel, QdttCost};
 pub use optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};

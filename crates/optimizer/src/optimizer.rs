@@ -60,6 +60,20 @@ pub struct Plan {
     pub est_total_us: f64,
 }
 
+impl Plan {
+    /// Short human-readable plan label ("FTS", "PIS8", "SortedIS"),
+    /// matching the executor-side `PlanSpec::label` family.
+    pub fn label(&self) -> String {
+        match (self.method, self.degree) {
+            (AccessMethod::TableScan, 1) => "FTS".to_string(),
+            (AccessMethod::TableScan, d) => format!("PFTS{d}"),
+            (AccessMethod::IndexScan, 1) => "IS".to_string(),
+            (AccessMethod::IndexScan, d) => format!("PIS{d}"),
+            (AccessMethod::SortedIndexScan, _) => "SortedIS".to_string(),
+        }
+    }
+}
+
 /// Optimizer knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OptimizerConfig {
@@ -92,6 +106,21 @@ impl Default for OptimizerConfig {
             max_queue_depth: 32,
             cpu: CpuConfig::paper_xeon(),
             est: EstCpuCosts::default(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The configuration the admission layer uses under concurrency: all
+    /// intermediate degrees plus the sorted-IS extension, and a per-worker
+    /// prefetch assumption, so a shrinking queue-depth lease has degrees to
+    /// step down through instead of a binary serial/32 choice.
+    pub fn fine_grained() -> OptimizerConfig {
+        OptimizerConfig {
+            degrees: vec![1, 2, 4, 8, 16, 32],
+            consider_sorted_is: true,
+            is_prefetch_depth: 4,
+            ..OptimizerConfig::default()
         }
     }
 }

@@ -1,37 +1,61 @@
 //! A small embedded-database-shaped wrapper tying the whole stack
 //! together: create a table, calibrate the storage, run range-MAX queries
-//! through the cost-based optimizer.
+//! through the cost-based optimizer — one at a time or as a concurrent
+//! multi-session workload with QDTT-aware admission control.
 //!
 //! This is the "downstream user" API: everything the reproduction harness
 //! does by hand — device construction, tablespace layout, calibration,
-//! statistics gathering, plan choice, execution — behind four methods.
+//! statistics gathering, plan choice, execution — behind a handful of
+//! methods. Databases are built with [`Db::builder`]; every knob has a
+//! sensible default.
 //!
 //! ```
-//! use pioqo::db::{Db, DbConfig, StorageKind};
+//! use pioqo::db::{Db, StorageKind};
 //!
-//! let mut db = Db::create(DbConfig {
-//!     storage: StorageKind::Ssd,
-//!     buffer_mb: 16,
-//!     rows: 50_000,
-//!     rows_per_page: 33,
-//!     seed: 7,
-//! });
+//! let mut db = Db::builder()
+//!     .storage(StorageKind::Ssd)
+//!     .rows(50_000)
+//!     .seed(7)
+//!     .build();
 //! db.calibrate();
 //! let out = db.query_max_between(1 << 30, 3 << 30).expect("query runs");
 //! assert_eq!(out.value, db.oracle_max_between(1 << 30, 3 << 30));
+//! ```
+//!
+//! Concurrent workloads go through [`Db::run_workload`]: N closed-loop
+//! sessions interleaved on the shared event loop, each query re-optimized
+//! under its queue-depth lease:
+//!
+//! ```
+//! use pioqo::db::Db;
+//! use pioqo::exec::WorkloadSpec;
+//!
+//! let mut db = Db::builder().rows(20_000).build();
+//! let spec = WorkloadSpec {
+//!     sessions: 4,
+//!     queries_per_session: 2,
+//!     ..WorkloadSpec::default()
+//! };
+//! let out = db.run_workload(spec).expect("workload runs");
+//! assert_eq!(out.report.total_completed(), 8);
+//! assert_eq!(out.admissions.len(), 8);
 //! ```
 
 use pioqo_bufpool::BufferPool;
 use pioqo_core::{CalibrationConfig, Calibrator, Qdtt};
 use pioqo_device::{presets, DeviceModel};
 use pioqo_exec::{
-    run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
-    ScanMetrics, SortedIsConfig,
+    execute, CpuConfig, CpuCosts, ExecError, MultiEngine, PlanSpec, ScanInputs, ScanMetrics,
+    SimContext, WorkloadReport, WorkloadSpec,
 };
+use pioqo_obs::TraceSink;
 use pioqo_optimizer::{
-    AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdttCost, TableStats,
+    plan_to_spec, AdmissionDecision, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget, QdLease,
+    QdttAdmission, QdttCost, TableStats,
 };
 use pioqo_storage::{selectivity_of_range, BTreeIndex, HeapTable, TableSpec, Tablespace};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Which simulated device backs the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +68,8 @@ pub enum StorageKind {
     Raid8,
 }
 
-/// Database construction parameters.
+/// Database construction parameters. Prefer [`Db::builder`], which fills
+/// in the defaults below field by field.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
     /// Backing device.
@@ -57,6 +82,66 @@ pub struct DbConfig {
     pub rows_per_page: u32,
     /// Data/determinism seed.
     pub seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            storage: StorageKind::Ssd,
+            buffer_mb: 16,
+            rows: 50_000,
+            rows_per_page: 33,
+            seed: 42,
+        }
+    }
+}
+
+/// Builder for [`Db`]. Obtain one with [`Db::builder`]; every setter has a
+/// default ([`StorageKind::Ssd`], 16 MB pool, 50 000 rows, 33 rows/page,
+/// seed 42), so `Db::builder().build()` already yields a working database.
+#[derive(Debug, Clone)]
+#[must_use = "the builder does nothing until .build() is called"]
+pub struct DbBuilder {
+    cfg: DbConfig,
+}
+
+impl DbBuilder {
+    /// Backing device kind.
+    pub fn storage(mut self, storage: StorageKind) -> DbBuilder {
+        self.cfg.storage = storage;
+        self
+    }
+
+    /// Buffer pool size in MB (floored at 64 frames).
+    pub fn buffer_mb(mut self, mb: u64) -> DbBuilder {
+        self.cfg.buffer_mb = mb;
+        self
+    }
+
+    /// Rows in the generated table.
+    pub fn rows(mut self, rows: u64) -> DbBuilder {
+        self.cfg.rows = rows;
+        self
+    }
+
+    /// Rows per page (the paper's RPP knob).
+    pub fn rows_per_page(mut self, rpp: u32) -> DbBuilder {
+        self.cfg.rows_per_page = rpp;
+        self
+    }
+
+    /// Data/determinism seed: fixes table contents, device jitter, and
+    /// calibration sampling.
+    pub fn seed(mut self, seed: u64) -> DbBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Materialize the database: generate the table and its `C2` index and
+    /// lay them out on a fresh device sized ~2× the data.
+    pub fn build(self) -> Db {
+        Db::from_config(self.cfg)
+    }
 }
 
 /// Result of one query: the answer, the plan that produced it, and the
@@ -73,6 +158,58 @@ pub struct QueryOutput {
     pub metrics: ScanMetrics,
 }
 
+/// Result of a concurrent workload: the engine's report plus the admission
+/// journal (one entry per query, recording the lease depth and the plan
+/// re-costed under it).
+#[derive(Debug, Clone)]
+pub struct WorkloadOutput {
+    /// Per-query records, per-session summaries, histograms, I/O profile.
+    pub report: WorkloadReport,
+    /// The QDTT admission journal, in admission order.
+    pub admissions: Vec<AdmissionDecision>,
+}
+
+/// An open session: holds a queue-depth lease from the database's shared
+/// budget for as long as it lives, so concurrently open sessions plan
+/// their queries with proportionally lower depths (§4.3's future work).
+///
+/// Dropping the session returns the lease.
+pub struct Session {
+    budget: Rc<RefCell<QdBudget>>,
+    lease: Option<QdLease>,
+}
+
+impl Session {
+    /// The queue depth this session's queries may assume.
+    pub fn depth(&self) -> u32 {
+        self.lease.as_ref().map_or(1, |l| l.depth)
+    }
+
+    /// Plan `SELECT MAX(C1) WHERE C2 BETWEEN low AND high` under this
+    /// session's queue-depth lease, without executing it.
+    pub fn explain_max_between(&self, db: &Db, low: u32, high: u32) -> (Plan, String) {
+        db.explain_capped(low, high, self.depth())
+    }
+
+    /// Plan *and execute* the query under this session's lease.
+    pub fn query_max_between(
+        &self,
+        db: &mut Db,
+        low: u32,
+        high: u32,
+    ) -> Result<QueryOutput, ExecError> {
+        db.query_capped(low, high, self.depth())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(lease) = self.lease.take() {
+            self.budget.borrow_mut().release(lease);
+        }
+    }
+}
+
 /// An embedded single-table database over simulated storage.
 pub struct Db {
     cfg: DbConfig,
@@ -82,12 +219,24 @@ pub struct Db {
     index: BTreeIndex,
     model: Option<Qdtt>,
     opt_cfg: OptimizerConfig,
+    budget: Option<Rc<RefCell<QdBudget>>>,
 }
 
 impl Db {
-    /// Create the database: generates the table and its `C2` index, lays
-    /// them out on a fresh device sized ~2× the data.
+    /// Start building a database. See [`DbBuilder`] for the defaults.
+    pub fn builder() -> DbBuilder {
+        DbBuilder {
+            cfg: DbConfig::default(),
+        }
+    }
+
+    /// Create the database from an explicit config struct.
+    #[deprecated(since = "0.6.0", note = "use `Db::builder()` instead")]
     pub fn create(cfg: DbConfig) -> Db {
+        Db::from_config(cfg)
+    }
+
+    fn from_config(cfg: DbConfig) -> Db {
         let spec = TableSpec::paper_table(cfg.rows_per_page, cfg.rows, cfg.seed);
         let est_index = cfg.rows.div_ceil(300) + 64;
         let capacity = (spec.n_pages() + est_index) * 2 + 4096;
@@ -113,6 +262,7 @@ impl Db {
             index,
             model: None,
             opt_cfg: OptimizerConfig::default(),
+            budget: None,
             cfg,
         }
     }
@@ -126,6 +276,9 @@ impl Db {
         ));
         let (qdtt, _) = cal.calibrate_qdtt(&mut *self.device);
         self.model = Some(qdtt);
+        // The queue-depth budget follows the model; sessions opened before
+        // recalibration keep (and correctly return) their old leases.
+        self.budget = None;
         self.model
             .as_ref()
             .expect("calibrated model was stored on the line above")
@@ -134,6 +287,7 @@ impl Db {
     /// Use an externally calibrated / persisted model instead.
     pub fn set_model(&mut self, model: Qdtt) {
         self.model = Some(model);
+        self.budget = None;
     }
 
     /// Tune the optimizer (degrees considered, sorted-IS, prefetch-aware
@@ -147,16 +301,48 @@ impl Db {
         TableStats::gather(&self.table, &self.index, &self.pool)
     }
 
+    /// Open a session: takes a queue-depth lease from the shared budget
+    /// (the calibrated device's beneficial depth split across open
+    /// sessions). Queries run through the session are planned under its
+    /// lease; dropping the session returns the lease.
+    pub fn session(&mut self) -> Session {
+        let budget = self.ensure_budget();
+        let lease = budget.borrow_mut().acquire();
+        Session {
+            budget,
+            lease: Some(lease),
+        }
+    }
+
+    fn ensure_budget(&mut self) -> Rc<RefCell<QdBudget>> {
+        if self.budget.is_none() {
+            let budget = match &self.model {
+                Some(m) => QdBudget::from_model(m),
+                None => QdBudget::new(self.opt_cfg.max_queue_depth),
+            };
+            self.budget = Some(Rc::new(RefCell::new(budget)));
+        }
+        self.budget
+            .clone()
+            .expect("budget was stored on the line above")
+    }
+
     /// Plan `SELECT MAX(C1) WHERE C2 BETWEEN low AND high` without
     /// executing it. Uses the QDTT model if calibrated, else a pessimistic
     /// DTT-at-depth-1 fallback.
     pub fn explain_max_between(&self, low: u32, high: u32) -> (Plan, String) {
+        self.explain_capped(low, high, self.opt_cfg.max_queue_depth)
+    }
+
+    fn explain_capped(&self, low: u32, high: u32, depth_cap: u32) -> (Plan, String) {
         let sel = selectivity_of_range(low, high, self.table.spec().c2_max);
         let stats = self.stats();
+        let mut cfg = self.opt_cfg.clone();
+        cfg.max_queue_depth = cfg.max_queue_depth.min(depth_cap.max(1));
         let plan = match &self.model {
             Some(m) => {
                 let model = QdttCost(m.clone());
-                Optimizer::new(&model, self.opt_cfg.clone()).choose(&stats, sel)
+                Optimizer::new(&model, cfg).choose(&stats, sel)
             }
             None => {
                 // Uncalibrated: a flat, queue-depth-blind guess.
@@ -164,65 +350,113 @@ impl Db {
                     (1, 100.0),
                     (self.device.capacity_pages(), 10_000.0),
                 ]));
-                Optimizer::new(&model, self.opt_cfg.clone()).choose(&stats, sel)
+                Optimizer::new(&model, cfg).choose(&stats, sel)
             }
         };
-        let name = plan_name(&plan);
+        let name = plan.label();
         (plan, name)
     }
 
     /// Plan *and execute* the query against the live device and pool
     /// (the pool stays warm across queries, like a real server).
     pub fn query_max_between(&mut self, low: u32, high: u32) -> Result<QueryOutput, ExecError> {
-        let (plan, plan_name) = self.explain_max_between(low, high);
-        let cpu = CpuConfig::paper_xeon();
-        let costs = CpuCosts::default();
-        let metrics = match plan.method {
-            AccessMethod::TableScan => run_fts(
-                &mut *self.device,
-                &mut self.pool,
-                cpu,
-                costs,
-                &self.table,
-                low,
-                high,
-                &FtsConfig {
-                    workers: plan.degree,
-                    ..FtsConfig::default()
-                },
-            )?,
-            AccessMethod::IndexScan => run_is(
-                &mut *self.device,
-                &mut self.pool,
-                cpu,
-                costs,
-                &self.table,
-                &self.index,
-                low,
-                high,
-                &IsConfig {
-                    workers: plan.degree,
-                    prefetch_depth: self.opt_cfg.is_prefetch_depth,
-                    ..IsConfig::default()
-                },
-            )?,
-            AccessMethod::SortedIndexScan => run_sorted_is(
-                &mut *self.device,
-                &mut self.pool,
-                cpu,
-                costs,
-                &self.table,
-                &self.index,
-                low,
-                high,
-                &SortedIsConfig::default(),
-            )?,
-        };
+        self.query_capped(low, high, self.opt_cfg.max_queue_depth)
+    }
+
+    fn query_capped(
+        &mut self,
+        low: u32,
+        high: u32,
+        depth_cap: u32,
+    ) -> Result<QueryOutput, ExecError> {
+        let (plan, plan_name) = self.explain_capped(low, high, depth_cap);
+        let mut cfg = self.opt_cfg.clone();
+        cfg.max_queue_depth = cfg.max_queue_depth.min(depth_cap.max(1));
+        let spec = plan_to_spec(&plan, &cfg);
+        let metrics = self.run_spec(&spec, low, high)?;
         Ok(QueryOutput {
             value: metrics.max_c1,
             plan,
             plan_name,
             metrics,
+        })
+    }
+
+    /// Execute an explicit [`PlanSpec`] against the live device and pool,
+    /// bypassing the optimizer (for experiments and plan forcing).
+    pub fn run_spec(
+        &mut self,
+        spec: &PlanSpec,
+        low: u32,
+        high: u32,
+    ) -> Result<ScanMetrics, ExecError> {
+        let mut ctx = SimContext::new(
+            &mut *self.device,
+            &mut self.pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let inputs = ScanInputs {
+            table: &self.table,
+            index: Some(&self.index),
+            low,
+            high,
+        };
+        execute(&mut ctx, spec, &inputs)
+    }
+
+    /// Run a concurrent closed-loop workload on the shared event loop: N
+    /// sessions of range-MAX queries with think times, each query admitted
+    /// through QDTT-aware admission control (a queue-depth lease from the
+    /// device's beneficial depth, plan re-costed under the lease).
+    ///
+    /// Auto-calibrates first if no model is set. The buffer pool stays
+    /// warm across the workload and into subsequent queries.
+    pub fn run_workload(&mut self, spec: WorkloadSpec) -> Result<WorkloadOutput, ExecError> {
+        self.run_workload_inner(spec, None)
+    }
+
+    /// [`Db::run_workload`] with sim-time tracing: each session gets its
+    /// own track in the exported trace, plus the engine's `io`/`pool`
+    /// tracks.
+    pub fn run_workload_traced(
+        &mut self,
+        spec: WorkloadSpec,
+        sink: &mut dyn TraceSink,
+    ) -> Result<WorkloadOutput, ExecError> {
+        self.run_workload_inner(spec, Some(sink))
+    }
+
+    fn run_workload_inner(
+        &mut self,
+        spec: WorkloadSpec,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<WorkloadOutput, ExecError> {
+        if self.model.is_none() {
+            self.calibrate();
+        }
+        let model = self.model.clone().expect("calibrated on the lines above");
+        let mut planner = QdttAdmission::new(&self.table, &self.index, model, self.opt_cfg.clone());
+        let inputs = ScanInputs {
+            table: &self.table,
+            index: Some(&self.index),
+            low: 0,
+            high: 0,
+        };
+        let mut ctx = SimContext::new(
+            &mut *self.device,
+            &mut self.pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        if let Some(sink) = sink {
+            ctx.set_trace_sink(sink);
+        }
+        let report = MultiEngine::new(spec, inputs, &mut planner).run(&mut ctx)?;
+        drop(ctx);
+        Ok(WorkloadOutput {
+            report,
+            admissions: planner.into_decisions(),
         })
     }
 
@@ -252,29 +486,22 @@ impl Db {
     }
 }
 
-fn plan_name(plan: &Plan) -> String {
-    match (plan.method, plan.degree) {
-        (AccessMethod::TableScan, 1) => "FTS".into(),
-        (AccessMethod::TableScan, d) => format!("PFTS{d}"),
-        (AccessMethod::IndexScan, 1) => "IS".into(),
-        (AccessMethod::IndexScan, d) => format!("PIS{d}"),
-        (AccessMethod::SortedIndexScan, _) => "SortedIS".into(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pioqo_exec::ThinkTime;
+    use pioqo_optimizer::AccessMethod;
+    use pioqo_simkit::SimDuration;
     use pioqo_storage::range_for_selectivity;
 
     fn small_db(storage: StorageKind) -> Db {
-        Db::create(DbConfig {
-            storage,
-            buffer_mb: 8,
-            rows: 30_000,
-            rows_per_page: 33,
-            seed: 77,
-        })
+        Db::builder()
+            .storage(storage)
+            .buffer_mb(8)
+            .rows(30_000)
+            .rows_per_page(33)
+            .seed(77)
+            .build()
     }
 
     #[test]
@@ -293,13 +520,12 @@ mod tests {
 
     #[test]
     fn calibrated_ssd_db_parallelizes_large_low_selectivity_scans() {
-        let mut db = Db::create(DbConfig {
-            storage: StorageKind::Ssd,
-            buffer_mb: 8,
-            rows: 400_000,
-            rows_per_page: 33,
-            seed: 3,
-        });
+        let mut db = Db::builder()
+            .storage(StorageKind::Ssd)
+            .buffer_mb(8)
+            .rows(400_000)
+            .seed(3)
+            .build();
         db.calibrate();
         let (lo, hi) = range_for_selectivity(0.002, u32::MAX - 1);
         let (plan, name) = db.explain_max_between(lo, hi);
@@ -309,13 +535,12 @@ mod tests {
 
     #[test]
     fn hdd_db_stays_serial() {
-        let mut db = Db::create(DbConfig {
-            storage: StorageKind::Hdd,
-            buffer_mb: 8,
-            rows: 400_000,
-            rows_per_page: 33,
-            seed: 3,
-        });
+        let mut db = Db::builder()
+            .storage(StorageKind::Hdd)
+            .buffer_mb(8)
+            .rows(400_000)
+            .seed(3)
+            .build();
         db.calibrate();
         let (lo, hi) = range_for_selectivity(0.002, u32::MAX - 1);
         let (plan, _) = db.explain_max_between(lo, hi);
@@ -354,5 +579,75 @@ mod tests {
         let out = db.query_max_between(10, 9).expect("runs");
         assert_eq!(out.value, None);
         assert_eq!(out.metrics.rows_matched, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_create_still_builds_the_same_db() {
+        let mut a = Db::create(DbConfig {
+            storage: StorageKind::Ssd,
+            buffer_mb: 8,
+            rows: 30_000,
+            rows_per_page: 33,
+            seed: 77,
+        });
+        let mut b = small_db(StorageKind::Ssd);
+        let (lo, hi) = range_for_selectivity(0.05, u32::MAX - 1);
+        let oa = a.query_max_between(lo, hi).expect("runs");
+        let ob = b.query_max_between(lo, hi).expect("runs");
+        assert_eq!(oa.value, ob.value);
+        assert_eq!(oa.metrics.runtime, ob.metrics.runtime);
+    }
+
+    #[test]
+    fn sessions_split_the_queue_depth_budget() {
+        let mut db = small_db(StorageKind::Ssd);
+        db.calibrate();
+        db.set_optimizer_config(OptimizerConfig::fine_grained());
+        let s1 = db.session();
+        let d1 = s1.depth();
+        assert!(d1 >= 1);
+        let s2 = db.session();
+        assert!(
+            s2.depth() <= d1.div_ceil(2).max(1),
+            "second open session must get at most half the budget: {} vs {}",
+            s2.depth(),
+            d1
+        );
+        // Both sessions still answer correctly under their leases.
+        let (lo, hi) = range_for_selectivity(0.01, u32::MAX - 1);
+        let out = s2.query_max_between(&mut db, lo, hi).expect("runs");
+        assert_eq!(out.value, db.oracle_max_between(lo, hi));
+        assert!(out.plan.queue_depth <= s2.depth().max(1));
+        // Dropping both returns the full budget to the next session.
+        drop(s1);
+        drop(s2);
+        let s3 = db.session();
+        assert_eq!(s3.depth(), d1);
+    }
+
+    #[test]
+    fn workload_runs_and_journals_admissions() {
+        let mut db = small_db(StorageKind::Ssd);
+        db.set_optimizer_config(OptimizerConfig::fine_grained());
+        let spec = WorkloadSpec {
+            sessions: 3,
+            queries_per_session: 2,
+            think: ThinkTime::Fixed(SimDuration::from_micros(500)),
+            ..WorkloadSpec::default()
+        };
+        let out = db.run_workload(spec).expect("workload runs");
+        assert_eq!(out.report.total_completed(), 6);
+        assert_eq!(out.admissions.len(), 6);
+        assert!(db.model().is_some(), "run_workload auto-calibrates");
+        // Every journaled plan label matches a record's.
+        for adm in &out.admissions {
+            assert!(
+                out.report.records.iter().any(|r| r.plan == adm.plan
+                    && r.session == adm.session
+                    && r.query_index == adm.query_index),
+                "admission {adm:?} has no matching record"
+            );
+        }
     }
 }

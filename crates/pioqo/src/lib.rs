@@ -48,18 +48,21 @@ pub use pioqo_workload as workload;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
+    pub use crate::db::{Db, DbBuilder, StorageKind};
     pub use pioqo_bufpool::BufferPool;
     pub use pioqo_core::{CalibrationConfig, Calibrator, Dtt, Method, Qdtt};
     pub use pioqo_device::{
         presets, DeviceModel, FaultPlan, Faulty, Hdd, IoRequest, IoStatus, Raid, Ssd, Traced,
     };
     pub use pioqo_exec::{
-        run_fts, run_is, run_sorted_is, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
-        ResilienceStats, RetryPolicy, ScanMetrics, SortedIsConfig,
+        execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, MultiEngine, PlanSpec,
+        ResilienceStats, RetryPolicy, ScanInputs, ScanMetrics, SimContext, SortedIsConfig,
+        ThinkTime, WorkloadReport, WorkloadSpec,
     };
     pub use pioqo_obs::{HistSet, Histogram, NullSink, RingSink, TraceSink};
     pub use pioqo_optimizer::{
-        AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget, QdttCost, TableStats,
+        plan_to_spec, AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget,
+        QdttAdmission, QdttCost, TableStats,
     };
     pub use pioqo_simkit::{SimDuration, SimRng, SimTime};
     pub use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N]
-//!       [--trace DIR] [--trace-seed N] <target>...
+//!       [--trace DIR] [--trace-seed N]
+//!       [--concurrency] [--session-export DIR] [--conc-seed N] <target>...
 //!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 all
 //! ```
@@ -17,9 +18,16 @@
 //! Chrome trace), `hists.csv` and `summary.json` into DIR —
 //! `--trace-seed N` varies its dataset/device seed. With `--trace`,
 //! targets are optional.
+//! `--concurrency` runs the multi-session grid (sessions ∈ {1,2,4,8,16}
+//! per device) under QDTT-aware admission control and writes
+//! `concurrency_grid*.csv`; `--session-export DIR` writes the canonical
+//! 8-session report/trace/admission-journal JSON bundle into DIR;
+//! `--conc-seed N` varies the seed of both. With either flag, targets
+//! are optional.
 //! Output: aligned text tables on stdout plus CSVs under `results/`
 //! (override with `PIOQO_RESULTS`).
 
+mod conc;
 mod devmeasure;
 mod figs;
 mod grids;
@@ -32,6 +40,9 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut trace_dir: Option<String> = None;
     let mut trace_seed: u64 = 0;
+    let mut run_concurrency = false;
+    let mut session_dir: Option<String> = None;
+    let mut conc_seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -52,11 +63,20 @@ fn main() {
                 Some(n) => trace_seed = n,
                 None => usage("--trace-seed needs an integer"),
             },
+            "--concurrency" => run_concurrency = true,
+            "--session-export" => match args.next() {
+                Some(dir) => session_dir = Some(dir),
+                None => usage("--session-export needs an output directory"),
+            },
+            "--conc-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => conc_seed = n,
+                None => usage("--conc-seed needs an integer"),
+            },
             "--help" | "-h" => usage(""),
             t => targets.push(t.to_string()),
         }
     }
-    if targets.is_empty() && trace_dir.is_none() {
+    if targets.is_empty() && trace_dir.is_none() && !run_concurrency && session_dir.is_none() {
         usage("no target given");
     }
 
@@ -66,6 +86,12 @@ fn main() {
     }
     if let Some(dir) = trace_dir {
         run_trace(opts, &dir, trace_seed);
+    }
+    if run_concurrency {
+        conc::concurrency(opts, conc_seed);
+    }
+    if let Some(dir) = session_dir {
+        conc::export_sessions(&dir, opts, conc_seed);
     }
     eprintln!("[done] {:.1}s wall", started.elapsed().as_secs_f64());
 }
@@ -170,7 +196,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
-         [--trace DIR] [--trace-seed N] <target>...\n\
+         [--trace DIR] [--trace-seed N] [--concurrency] \
+         [--session-export DIR] [--conc-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"
     );

@@ -12,8 +12,8 @@ use pioqo_bufpool::BufferPool;
 use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200, raid_15k, PAGE_SIZE};
 use pioqo_device::DeviceModel;
 use pioqo_exec::{
-    run_fts_traced, run_is_traced, run_sorted_is_traced, CpuConfig, CpuCosts, ExecError, FtsConfig,
-    IsConfig, ScanMetrics, SortedIsConfig,
+    execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, PlanSpec, ScanInputs,
+    ScanMetrics, SimContext, SortedIsConfig,
 };
 use pioqo_obs::{NullSink, TraceSink};
 use pioqo_storage::range_for_selectivity;
@@ -119,6 +119,27 @@ pub enum MethodSpec {
     },
 }
 
+impl MethodSpec {
+    /// Lower to the executor's plan description.
+    pub fn to_plan_spec(self) -> PlanSpec {
+        match self {
+            MethodSpec::Fts { workers } => PlanSpec::Fts(FtsConfig {
+                workers,
+                ..FtsConfig::default()
+            }),
+            MethodSpec::Is { workers, prefetch } => PlanSpec::Is(IsConfig {
+                workers,
+                prefetch_depth: prefetch,
+                ..IsConfig::default()
+            }),
+            MethodSpec::SortedIs { prefetch } => PlanSpec::SortedIs(SortedIsConfig {
+                prefetch_depth: prefetch,
+                ..SortedIsConfig::default()
+            }),
+        }
+    }
+}
+
 impl std::fmt::Display for MethodSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -222,55 +243,15 @@ impl Experiment {
         trace: &mut dyn TraceSink,
     ) -> Result<ScanMetrics, ExecError> {
         let (low, high) = range_for_selectivity(selectivity, self.dataset.c2_max());
-        let cpu = CpuConfig::paper_xeon();
-        let costs = CpuCosts::default();
-        match method {
-            MethodSpec::Fts { workers } => run_fts_traced(
-                device,
-                pool,
-                cpu,
-                costs,
-                self.dataset.table(),
-                low,
-                high,
-                &FtsConfig {
-                    workers,
-                    ..FtsConfig::default()
-                },
-                trace,
-            ),
-            MethodSpec::Is { workers, prefetch } => run_is_traced(
-                device,
-                pool,
-                cpu,
-                costs,
-                self.dataset.table(),
-                self.dataset.index(),
-                low,
-                high,
-                &IsConfig {
-                    workers,
-                    prefetch_depth: prefetch,
-                    ..IsConfig::default()
-                },
-                trace,
-            ),
-            MethodSpec::SortedIs { prefetch } => run_sorted_is_traced(
-                device,
-                pool,
-                cpu,
-                costs,
-                self.dataset.table(),
-                self.dataset.index(),
-                low,
-                high,
-                &SortedIsConfig {
-                    prefetch_depth: prefetch,
-                    ..SortedIsConfig::default()
-                },
-                trace,
-            ),
-        }
+        let mut ctx = SimContext::new(device, pool, CpuConfig::paper_xeon(), CpuCosts::default());
+        ctx.set_trace_sink(trace);
+        let inputs = ScanInputs {
+            table: self.dataset.table(),
+            index: Some(self.dataset.index()),
+            low,
+            high,
+        };
+        execute(&mut ctx, &method.to_plan_spec(), &inputs)
     }
 }
 

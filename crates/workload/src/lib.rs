@@ -10,17 +10,24 @@
 //!   [`MethodSpec`] (FTS/PFTS/IS/PIS/sorted-IS);
 //! * [`sweep`] — runtime-vs-selectivity curves and break-even bisection
 //!   (Fig. 4, Table 2);
-//! * [`opteval`] — calibrate → optimize (DTT vs QDTT) → execute (Fig. 8).
+//! * [`opteval`] — calibrate → optimize (DTT vs QDTT) → execute (Fig. 8);
+//! * [`concurrent`] — the §4.3 concurrency grid: N closed-loop sessions
+//!   under QDTT-aware admission control, per device.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod dataset;
 pub mod experiments;
 pub mod opteval;
 pub mod sweep;
 pub mod trace;
 
+pub use concurrent::{
+    concurrency_grid, grid_csv, run_cell, run_cell_traced, session_export, ConcurrencyCell,
+    ConcurrencyConfig, SessionExport,
+};
 pub use dataset::Dataset;
 pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
 pub use opteval::{

@@ -19,18 +19,24 @@ fn scan(
 ) -> Result<ScanMetrics, ExecError> {
     let mut pool = BufferPool::new(2048);
     let (lo, hi) = range_for_selectivity(0.1, u32::MAX - 1);
-    run_fts(
+    let mut ctx = SimContext::new(
         device,
         &mut pool,
         CpuConfig::paper_xeon(),
         CpuCosts::default(),
-        table,
-        lo,
-        hi,
-        &FtsConfig {
+    );
+    execute(
+        &mut ctx,
+        &PlanSpec::Fts(FtsConfig {
             workers: 8,
             retry,
             ..FtsConfig::default()
+        }),
+        &ScanInputs {
+            table,
+            index: None,
+            low: lo,
+            high: hi,
         },
     )
 }

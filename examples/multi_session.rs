@@ -1,0 +1,77 @@
+//! Multi-session execution through the public `Db` API: interactive
+//! sessions splitting the queue-depth budget, then a full closed-loop
+//! workload under QDTT-aware admission control — watch the optimizer pick
+//! cheaper, narrower plans as concurrency rises.
+//!
+//! ```sh
+//! cargo run --release --example multi_session
+//! ```
+
+use pioqo::prelude::*;
+use pioqo::storage::range_for_selectivity;
+
+fn main() {
+    let mut db = Db::builder()
+        .storage(StorageKind::Ssd)
+        .rows(400_000)
+        .buffer_mb(8)
+        .build();
+    db.calibrate();
+
+    // Interactive sessions: each one holds a queue-depth lease, and the
+    // optimizer costs every query under it. Every additional session
+    // shrinks the leases, which can change the chosen plan.
+    let (lo, hi) = range_for_selectivity(0.002, u32::MAX - 1);
+    let s1 = db.session();
+    let (plan, label) = s1.explain_max_between(&db, lo, hi);
+    println!(
+        "1 session:  depth {:>2} -> {label} (est {:.0} us)",
+        s1.depth(),
+        plan.est_total_us
+    );
+    let others: Vec<_> = (0..7).map(|_| db.session()).collect();
+    let s8 = db.session();
+    let (plan, label) = s8.explain_max_between(&db, lo, hi);
+    println!(
+        "8 sessions: depth {:>2} -> {label} (est {:.0} us)",
+        s8.depth(),
+        plan.est_total_us
+    );
+    drop(s1);
+    drop(others);
+    drop(s8); // leases return to the budget on drop
+
+    // The closed-loop workload: 8 sessions of range-MAX queries with
+    // exponential think time, interleaved on one simulated SSD, every
+    // query re-optimized under its admission lease.
+    let out = db
+        .run_workload(WorkloadSpec {
+            sessions: 8,
+            queries_per_session: 4,
+            ..WorkloadSpec::default()
+        })
+        .expect("workload runs");
+    let report = &out.report;
+    println!(
+        "\n8-session workload: {} queries in {:.1} ms of virtual time (fairness {:.2})",
+        report.total_completed(),
+        report.makespan.as_micros_f64() / 1_000.0,
+        report.fairness_ratio()
+    );
+    println!("plan mix:");
+    for (label, n) in &report.plan_counts {
+        println!("  {label:<12} x{n}");
+    }
+    let mean_lease = out
+        .admissions
+        .iter()
+        .map(|a| a.lease_depth as f64)
+        .sum::<f64>()
+        / out.admissions.len().max(1) as f64;
+    let mean_active = out.admissions.iter().map(|a| a.active as f64).sum::<f64>()
+        / out.admissions.len().max(1) as f64;
+    println!(
+        "admission: mean {:.1} concurrent queries, mean lease depth {:.1}",
+        mean_active, mean_lease
+    );
+}

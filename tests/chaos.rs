@@ -60,53 +60,35 @@ fn run_op(
 ) -> Result<ScanMetrics, ExecError> {
     let mut pool = BufferPool::new(frames);
     let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
-    let cpu = CpuConfig::paper_xeon();
-    let costs = CpuCosts::default();
-    match op {
-        Op::Fts { workers } => run_fts(
-            device,
-            &mut pool,
-            cpu,
-            costs,
-            &fx.table,
-            lo,
-            hi,
-            &FtsConfig {
-                workers,
-                retry,
-                ..FtsConfig::default()
-            },
-        ),
-        Op::Is { workers } => run_is(
-            device,
-            &mut pool,
-            cpu,
-            costs,
-            &fx.table,
-            &fx.index,
-            lo,
-            hi,
-            &IsConfig {
-                workers,
-                prefetch_depth: 4,
-                retry,
-            },
-        ),
-        Op::SortedIs => run_sorted_is(
-            device,
-            &mut pool,
-            cpu,
-            costs,
-            &fx.table,
-            &fx.index,
-            lo,
-            hi,
-            &SortedIsConfig {
-                retry,
-                ..SortedIsConfig::default()
-            },
-        ),
-    }
+    let plan = match op {
+        Op::Fts { workers } => PlanSpec::Fts(FtsConfig {
+            workers,
+            retry,
+            ..FtsConfig::default()
+        }),
+        Op::Is { workers } => PlanSpec::Is(IsConfig {
+            workers,
+            prefetch_depth: 4,
+            retry,
+        }),
+        Op::SortedIs => PlanSpec::SortedIs(SortedIsConfig {
+            retry,
+            ..SortedIsConfig::default()
+        }),
+    };
+    let inputs = ScanInputs {
+        table: &fx.table,
+        index: Some(&fx.index),
+        low: lo,
+        high: hi,
+    };
+    let mut ctx = SimContext::new(
+        device,
+        &mut pool,
+        CpuConfig::paper_xeon(),
+        CpuCosts::default(),
+    );
+    execute(&mut ctx, &plan, &inputs)
 }
 
 fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
@@ -333,48 +315,30 @@ fn pinned_out_pool_surfaces_typed_error() {
             pool.admit(fx.capacity - 1 - i).expect("fresh pool admits");
         }
         let (lo, hi) = pioqo::storage::range_for_selectivity(0.1, u32::MAX - 1);
-        let cpu = CpuConfig::paper_xeon();
-        let costs = CpuCosts::default();
-        let r = match op {
-            Op::Fts { workers } => run_fts(
-                &mut dev,
-                &mut pool,
-                cpu,
-                costs,
-                &fx.table,
-                lo,
-                hi,
-                &FtsConfig {
-                    workers,
-                    ..FtsConfig::default()
-                },
-            ),
-            Op::Is { workers } => run_is(
-                &mut dev,
-                &mut pool,
-                cpu,
-                costs,
-                &fx.table,
-                &fx.index,
-                lo,
-                hi,
-                &IsConfig {
-                    workers,
-                    ..IsConfig::default()
-                },
-            ),
-            Op::SortedIs => run_sorted_is(
-                &mut dev,
-                &mut pool,
-                cpu,
-                costs,
-                &fx.table,
-                &fx.index,
-                lo,
-                hi,
-                &SortedIsConfig::default(),
-            ),
+        let plan = match op {
+            Op::Fts { workers } => PlanSpec::Fts(FtsConfig {
+                workers,
+                ..FtsConfig::default()
+            }),
+            Op::Is { workers } => PlanSpec::Is(IsConfig {
+                workers,
+                ..IsConfig::default()
+            }),
+            Op::SortedIs => PlanSpec::SortedIs(SortedIsConfig::default()),
         };
+        let inputs = ScanInputs {
+            table: &fx.table,
+            index: Some(&fx.index),
+            low: lo,
+            high: hi,
+        };
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let r = execute(&mut ctx, &plan, &inputs);
         assert!(
             matches!(r, Err(ExecError::PoolExhausted)),
             "{op:?}: expected PoolExhausted, got {r:?}"

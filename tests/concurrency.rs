@@ -1,0 +1,144 @@
+//! Concurrent-engine regression suite: the 8-session workload must be
+//! byte-identical across double runs and across harness thread counts,
+//! closed-loop sessions must share the device fairly, every answer must
+//! still match the oracle, and admission control must actually shrink
+//! queue-depth leases (and with them plan choice) as concurrency rises.
+
+use pioqo::prelude::*;
+use pioqo::storage::range_for_selectivity;
+use pioqo::workload::{
+    calibrate, concurrency_grid, grid_csv, run_cell, session_export, ConcurrencyConfig,
+};
+
+/// A grid config small enough for debug-build CI.
+fn tiny() -> ConcurrencyConfig {
+    ConcurrencyConfig {
+        rows: 8_000,
+        session_counts: vec![1, 8],
+        queries_per_session: 2,
+        selectivities: vec![0.01],
+        ..ConcurrencyConfig::default()
+    }
+}
+
+#[test]
+fn eight_session_export_is_byte_identical_across_double_runs() {
+    let a = session_export(42).expect("first export runs");
+    let b = session_export(42).expect("second export runs");
+    assert_eq!(
+        a.report_json, b.report_json,
+        "workload report must survive a double run"
+    );
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "per-session Chrome trace must survive a double run"
+    );
+    let aj = serde_json::to_string(&a.admissions).expect("admissions serialize");
+    let bj = serde_json::to_string(&b.admissions).expect("admissions serialize");
+    assert_eq!(aj, bj, "admission journal must survive a double run");
+}
+
+#[test]
+fn grid_with_eight_sessions_is_identical_across_thread_counts() {
+    // `threads` is the harness fan-out knob (the `--threads` flag / the
+    // PIOQO_THREADS variable): the engine itself is a serial event loop,
+    // so the grid — 8-session cell included — must not move at all.
+    let cfg = tiny();
+    let opt = OptimizerConfig::fine_grained();
+    let devices = [DeviceKind::Ssd];
+    let t1 = concurrency_grid(&devices, &cfg, &opt, 1).expect("threads=1");
+    let t4 = concurrency_grid(&devices, &cfg, &opt, 4).expect("threads=4");
+    let again = concurrency_grid(&devices, &cfg, &opt, 4).expect("rerun");
+    assert_eq!(
+        grid_csv(&t1),
+        grid_csv(&t4),
+        "grid must not depend on the harness thread count"
+    );
+    assert_eq!(grid_csv(&t4), grid_csv(&again), "grid must survive a rerun");
+}
+
+#[test]
+fn sessions_complete_fairly_under_a_truncating_horizon() {
+    // A horizon makes per-session completion counts diverge — that spread
+    // must stay bounded: the shared event loop and the admission budget
+    // may not starve any session.
+    let cfg = tiny();
+    let exp = Experiment::build(cfg.experiment(DeviceKind::Ssd));
+    let model = calibrate(&exp).qdtt;
+    let mut spec = cfg.workload(8);
+    spec.queries_per_session = 16;
+    spec.horizon = Some(SimDuration::from_micros(15_000));
+    let (report, _) =
+        run_cell(&exp, &model, &OptimizerConfig::fine_grained(), spec).expect("cell runs");
+    assert!(
+        report.total_completed() < 8 * 16,
+        "horizon must actually truncate the workload"
+    );
+    for s in &report.per_session {
+        assert!(
+            s.completed >= 1,
+            "session {} starved: every session's t=0 query must complete",
+            s.session
+        );
+    }
+    let fairness = report.fairness_ratio();
+    assert!(
+        fairness.is_finite() && (1.0..=16.0).contains(&fairness),
+        "unbounded completion spread across sessions: {fairness}"
+    );
+}
+
+#[test]
+fn every_concurrent_answer_matches_the_oracle() {
+    let cfg = tiny();
+    let exp = Experiment::build(cfg.experiment(DeviceKind::Ssd));
+    let model = calibrate(&exp).qdtt;
+    let (report, _) = run_cell(
+        &exp,
+        &model,
+        &OptimizerConfig::fine_grained(),
+        cfg.workload(8),
+    )
+    .expect("cell runs");
+    assert_eq!(report.total_completed(), 16);
+    for r in &report.records {
+        let (lo, hi) = range_for_selectivity(r.selectivity, exp.dataset.c2_max());
+        assert_eq!(
+            r.max_c1,
+            exp.dataset.table().data().naive_max_c1(lo, hi),
+            "session {} query {} returned a wrong MAX under concurrency",
+            r.session,
+            r.query_index
+        );
+    }
+}
+
+#[test]
+fn admission_leases_shrink_through_the_db_facade() {
+    // The same shift, exercised end to end through the public API: more
+    // sessions → smaller queue-depth leases at admission.
+    let mean_lease = |sessions: u32| {
+        let mut db = Db::builder().storage(StorageKind::Ssd).rows(8_000).build();
+        let out = db
+            .run_workload(WorkloadSpec {
+                sessions,
+                queries_per_session: 2,
+                selectivities: vec![0.01],
+                ..WorkloadSpec::default()
+            })
+            .expect("workload runs");
+        assert_eq!(out.report.total_completed(), sessions as u64 * 2);
+        let n = out.admissions.len().max(1) as f64;
+        out.admissions
+            .iter()
+            .map(|a| a.lease_depth as f64)
+            .sum::<f64>()
+            / n
+    };
+    let solo = mean_lease(1);
+    let crowded = mean_lease(8);
+    assert!(
+        crowded < solo,
+        "admission must shrink leases under concurrency: {solo} vs {crowded}"
+    );
+}

@@ -267,20 +267,30 @@ proptest! {
         let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
         let expected = table.data().naive_max_c1(lo, hi);
 
-        let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
-        let mut pool = BufferPool::new(512);
-        let fts = run_fts(
-            &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
-            &table, lo, hi, &FtsConfig { workers, ..FtsConfig::default() },
-        ).expect("fts runs");
-        prop_assert_eq!(fts.max_c1, expected);
+        let inputs = ScanInputs { table: &table, index: Some(&index), low: lo, high: hi };
 
         let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
         let mut pool = BufferPool::new(512);
-        let is = run_is(
+        let mut ctx = SimContext::new(
             &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
-            &table, &index, lo, hi,
-            &IsConfig { workers, prefetch_depth: workers % 3, ..IsConfig::default() },
+        );
+        let fts = execute(
+            &mut ctx,
+            &PlanSpec::Fts(FtsConfig { workers, ..FtsConfig::default() }),
+            &inputs,
+        ).expect("fts runs");
+        prop_assert_eq!(fts.max_c1, expected);
+        drop(ctx);
+
+        let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
+        let mut pool = BufferPool::new(512);
+        let mut ctx = SimContext::new(
+            &mut dev, &mut pool, CpuConfig::paper_xeon(), CpuCosts::default(),
+        );
+        let is = execute(
+            &mut ctx,
+            &PlanSpec::Is(IsConfig { workers, prefetch_depth: workers % 3, ..IsConfig::default() }),
+            &inputs,
         ).expect("is runs");
         prop_assert_eq!(is.max_c1, expected);
     }

@@ -43,54 +43,34 @@ fn randomized_scan_storm() {
         let costs = CpuCosts::default();
         let workers = [1u32, 2, 3, 8, 17, 32][rng.below(6) as usize];
 
-        let metrics = match rng.below(3) {
-            0 => run_fts(
-                &mut *device,
-                &mut pool,
-                cpu,
-                costs,
-                table,
-                lo,
-                hi,
-                &FtsConfig {
-                    workers,
-                    prefetch_blocks: rng.below(12) as u32,
-                    block_pages: 1 + rng.below(32) as u32,
-                    ..FtsConfig::default()
-                },
-            ),
-            1 => run_is(
-                &mut *device,
-                &mut pool,
-                cpu,
-                costs,
-                table,
-                index,
-                lo,
-                hi,
-                &IsConfig {
-                    workers,
-                    prefetch_depth: rng.below(16) as u32,
-                    ..IsConfig::default()
-                },
-            ),
-            _ => run_sorted_is(
-                &mut *device,
-                &mut pool,
-                cpu,
-                costs,
-                table,
-                index,
-                lo,
-                hi,
-                &SortedIsConfig {
-                    prefetch_depth: 1 + rng.below(48) as u32,
-                    leaf_prefetch: 1 + rng.below(16) as u32,
-                    ..SortedIsConfig::default()
-                },
-            ),
-        }
-        .unwrap_or_else(|e| panic!("round {round}: scan failed: {e}"));
+        let plan = match rng.below(3) {
+            0 => PlanSpec::Fts(FtsConfig {
+                workers,
+                prefetch_blocks: rng.below(12) as u32,
+                block_pages: 1 + rng.below(32) as u32,
+                ..FtsConfig::default()
+            }),
+            1 => PlanSpec::Is(IsConfig {
+                workers,
+                prefetch_depth: rng.below(16) as u32,
+                ..IsConfig::default()
+            }),
+            _ => PlanSpec::SortedIs(SortedIsConfig {
+                prefetch_depth: 1 + rng.below(48) as u32,
+                leaf_prefetch: 1 + rng.below(16) as u32,
+                ..SortedIsConfig::default()
+            }),
+        };
+        let inputs = ScanInputs {
+            table,
+            index: Some(index),
+            low: lo,
+            high: hi,
+        };
+        let mut ctx = SimContext::new(&mut *device, &mut pool, cpu, costs);
+        let metrics = execute(&mut ctx, &plan, &inputs)
+            .unwrap_or_else(|e| panic!("round {round}: scan failed: {e}"));
+        drop(ctx);
 
         assert_eq!(metrics.max_c1, expected, "round {round} wrong answer");
         assert!(
