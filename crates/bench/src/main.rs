@@ -5,7 +5,7 @@
 //! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace]
 //! ```
 //!
-//! Measures five things and emits a JSON report (default `BENCH_pr5.json`
+//! Measures five things and emits a JSON report (default `BENCH_pr6.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
@@ -39,7 +39,7 @@ use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr5.json");
+    let mut out_path = PathBuf::from("BENCH_pr6.json");
     let mut json = false;
     let mut trace_only = false;
     let mut args = std::env::args().skip(1);
@@ -135,28 +135,37 @@ fn bench_event_queue() -> EventQueueBench {
         q
     };
 
-    let mut rng = SimRng::seeded(42);
-    let mut q = fill(&mut rng);
-    let started = Instant::now();
+    // Best of three per drain style: a sub-50ms loop is at the mercy of
+    // one scheduler hiccup on a busy host, and the minimum is the honest
+    // estimate of what the code costs.
     let mut sink = 0u64;
-    while let Some((_, e)) = q.pop() {
-        sink = sink.wrapping_add(e);
+    let mut pop_s = f64::INFINITY;
+    for _ in 0..3 {
+        let mut rng = SimRng::seeded(42);
+        let mut q = fill(&mut rng);
+        let started = Instant::now();
+        while let Some((_, e)) = q.pop() {
+            sink = sink.wrapping_add(e);
+        }
+        pop_s = pop_s.min(started.elapsed().as_secs_f64());
     }
-    let pop_s = started.elapsed().as_secs_f64();
 
-    let mut rng = SimRng::seeded(42);
-    let mut q = fill(&mut rng);
-    let mut batch: Vec<u64> = Vec::with_capacity(PER_COHORT as usize);
-    let started = Instant::now();
-    while q.peek_time().is_some() {
-        batch.clear();
-        if q.pop_batch(&mut batch).is_some() {
-            for &e in &batch {
-                sink = sink.wrapping_add(e);
+    let mut pop_batch_s = f64::INFINITY;
+    for _ in 0..3 {
+        let mut rng = SimRng::seeded(42);
+        let mut q = fill(&mut rng);
+        let mut batch: Vec<u64> = Vec::with_capacity(PER_COHORT as usize);
+        let started = Instant::now();
+        while q.peek_time().is_some() {
+            batch.clear();
+            if q.pop_batch(&mut batch).is_some() {
+                for &e in &batch {
+                    sink = sink.wrapping_add(e);
+                }
             }
         }
+        pop_batch_s = pop_batch_s.min(started.elapsed().as_secs_f64());
     }
-    let pop_batch_s = started.elapsed().as_secs_f64();
     // Keep `sink` observable so the drains aren't optimized away.
     eprintln!("[bench] event queue: {EVENTS} events, checksum {sink:x}");
     eprintln!(
@@ -203,8 +212,14 @@ fn bench_bufpool() -> BufpoolBench {
         secs
     };
 
-    let dense_s = run(BufferPool::new(CAP));
-    let reference_s = run(BufferPool::new_reference(CAP));
+    // Best of five: the loop is short enough that a single scheduler
+    // hiccup on a busy host shows up as a 20-30% swing; the minimum is
+    // the honest estimate of what the code costs.
+    let best = |make: &dyn Fn() -> BufferPool| -> f64 {
+        (0..5).map(|_| run(make())).fold(f64::INFINITY, f64::min)
+    };
+    let dense_s = best(&|| BufferPool::new(CAP));
+    let reference_s = best(&|| BufferPool::new_reference(CAP));
     eprintln!(
         "[bench] bufpool: {OPS} accesses; dense {:.0}/s, reference {:.0}/s ({:.2}x)",
         OPS as f64 / dense_s,
@@ -252,30 +267,39 @@ fn bench_tracing() -> TracingBench {
         checksum ^= m.io.io_ops;
     }
 
-    let started = Instant::now();
-    for _ in 0..RUNS {
-        let mut dev = exp.make_device();
-        let mut pool = exp.make_pool();
-        let m = exp
-            .run_with(dev.as_mut(), &mut pool, method, 0.01)
-            .expect("clean device cannot fail");
-        checksum ^= m.io.io_ops;
+    // Best of five per configuration: each 24-scan block is a few tens
+    // of milliseconds, so a single scheduler hiccup otherwise dominates
+    // the overhead ratio; the minimum is the honest cost estimate.
+    let mut disabled_s = f64::INFINITY;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..RUNS {
+            let mut dev = exp.make_device();
+            let mut pool = exp.make_pool();
+            let m = exp
+                .run_with(dev.as_mut(), &mut pool, method, 0.01)
+                .expect("clean device cannot fail");
+            checksum ^= m.io.io_ops;
+        }
+        disabled_s = disabled_s.min(started.elapsed().as_secs_f64());
     }
-    let disabled_s = started.elapsed().as_secs_f64();
 
     let mut events_per_run = 0u64;
-    let started = Instant::now();
-    for _ in 0..RUNS {
-        let mut dev = exp.make_device();
-        let mut pool = exp.make_pool();
-        let mut sink = RingSink::with_capacity(1 << 16);
-        let m = exp
-            .run_with_traced(dev.as_mut(), &mut pool, method, 0.01, &mut sink)
-            .expect("clean device cannot fail");
-        checksum ^= m.io.io_ops;
-        events_per_run = sink.recorded();
+    let mut enabled_s = f64::INFINITY;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..RUNS {
+            let mut dev = exp.make_device();
+            let mut pool = exp.make_pool();
+            let mut sink = RingSink::with_capacity(1 << 16);
+            let m = exp
+                .run_with_traced(dev.as_mut(), &mut pool, method, 0.01, &mut sink)
+                .expect("clean device cannot fail");
+            checksum ^= m.io.io_ops;
+            events_per_run = sink.recorded();
+        }
+        enabled_s = enabled_s.min(started.elapsed().as_secs_f64());
     }
-    let enabled_s = started.elapsed().as_secs_f64();
 
     eprintln!(
         "[bench] tracing: {RUNS} PIS8 scans (checksum {checksum:x}); \
@@ -476,6 +500,6 @@ fn render_json(
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr5\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
+        "{{\n  \"bench\": \"pr6\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

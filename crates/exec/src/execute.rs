@@ -1,7 +1,7 @@
 //! The unified execution entry point: one function, any scan operator.
 //!
-//! [`execute`] replaces the six `run_fts`/`run_is`/`run_sorted_is` (+
-//! `_traced`) entry points: the caller builds a [`SimContext`] (installing
+//! [`execute`] replaced the six per-operator `run_*`/`run_*_traced` entry
+//! points (since deleted): the caller builds a [`SimContext`] (installing
 //! a trace sink and retry policy on it as needed), describes the chosen
 //! plan as a [`PlanSpec`] and the operands as [`ScanInputs`], and gets back
 //! the same [`ScanOutput`] the old entry points produced. Internally the

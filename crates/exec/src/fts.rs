@@ -12,14 +12,10 @@
 //! therefore run alone (via [`crate::execute`]) or interleaved with other
 //! queries on a shared context (via [`crate::MultiEngine`]).
 
-use crate::cpu::{CpuConfig, TaskId};
+use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
-use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
-use crate::execute::{execute, ScanInputs};
-use crate::metrics::ScanMetrics;
-use pioqo_bufpool::BufferPool;
-use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::TraceSink;
+use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
+use pioqo_device::IoStatus;
 use pioqo_storage::HeapTable;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -313,62 +309,6 @@ impl QueryDriver for FtsDriver<'_> {
     }
 }
 
-/// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
-/// (parallel) full table scan.
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::Fts`")]
-pub fn run_fts(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    low: u32,
-    high: u32,
-    cfg: &FtsConfig,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    execute(
-        &mut ctx,
-        &crate::execute::PlanSpec::Fts(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: None,
-            low,
-            high,
-        },
-    )
-}
-
-/// [`run_fts`] with a trace sink: when the sink is enabled the scan records
-/// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
-pub fn run_fts_traced(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    low: u32,
-    high: u32,
-    cfg: &FtsConfig,
-    trace: &mut dyn TraceSink,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_trace_sink(trace);
-    execute(
-        &mut ctx,
-        &crate::execute::PlanSpec::Fts(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: None,
-            low,
-            high,
-        },
-    )
-}
-
 fn page_work(ctx: &SimContext<'_>, table: &HeapTable, page: u64) -> f64 {
     let rows = table.spec().rows_in_page(page);
     ctx.costs().page_overhead_us + (rows.end - rows.start) as f64 * ctx.costs().row_scan_us
@@ -399,7 +339,11 @@ pub(crate) fn merge_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::execute::PlanSpec;
+    use crate::cpu::CpuConfig;
+    use crate::engine::CpuCosts;
+    use crate::execute::{execute, PlanSpec, ScanInputs};
+    use crate::metrics::ScanMetrics;
+    use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
 
@@ -576,29 +520,5 @@ mod tests {
         let m = scan(&table, 1.0, &FtsConfig::default(), true);
         assert_eq!(m.rows_examined, 5);
         assert_eq!(m.rows_matched, 5);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_execute() {
-        let table = make_table(6_000, 33);
-        let (low, high) = range_for_selectivity(0.3, u32::MAX - 1);
-        let mut dev = consumer_pcie_ssd(table.n_pages() + 200, 9);
-        let mut pool = BufferPool::new(1024);
-        let shim = run_fts(
-            &mut dev,
-            &mut pool,
-            CpuConfig::paper_xeon(),
-            CpuCosts::default(),
-            &table,
-            low,
-            high,
-            &FtsConfig::default(),
-        )
-        .expect("scan runs");
-        let new = scan(&table, 0.3, &FtsConfig::default(), true);
-        assert_eq!(shim.max_c1, new.max_c1);
-        assert_eq!(shim.rows_matched, new.rows_matched);
-        assert_eq!(shim.runtime, new.runtime, "shim is the same machine");
     }
 }

@@ -18,15 +18,12 @@
 //! traversal, formerly a blocking loop, is itself a small state machine so
 //! the whole operator can share a context with other queries.
 
-use crate::cpu::{CpuConfig, TaskId};
+use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
-use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
-use crate::execute::{execute, PlanSpec, ScanInputs};
+use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
 use crate::fts::merge_max;
-use crate::metrics::ScanMetrics;
-use pioqo_bufpool::{Access, BufferPool};
-use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::TraceSink;
+use pioqo_bufpool::Access;
+use pioqo_device::IoStatus;
 use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -490,67 +487,14 @@ impl QueryDriver for IsDriver<'_> {
     }
 }
 
-/// Execute `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND high` with a
-/// (parallel) index scan over the `C2` B+-tree.
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::Is`")]
-pub fn run_is(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    index: &BTreeIndex,
-    low: u32,
-    high: u32,
-    cfg: &IsConfig,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    execute(
-        &mut ctx,
-        &PlanSpec::Is(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: Some(index),
-            low,
-            high,
-        },
-    )
-}
-
-/// [`run_is`] with a trace sink: when the sink is enabled the scan records
-/// sim-time I/O, pool and phase-span events into it (and nothing otherwise).
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
-pub fn run_is_traced(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    index: &BTreeIndex,
-    low: u32,
-    high: u32,
-    cfg: &IsConfig,
-    trace: &mut dyn TraceSink,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_trace_sink(trace);
-    execute(
-        &mut ctx,
-        &PlanSpec::Is(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: Some(index),
-            low,
-            high,
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu::CpuConfig;
+    use crate::engine::CpuCosts;
+    use crate::execute::{execute, PlanSpec, ScanInputs};
+    use crate::metrics::ScanMetrics;
+    use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
 
@@ -799,48 +743,5 @@ mod tests {
             },
         );
         assert!(matches!(r, Err(ExecError::Io { operator: "is", .. })));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_execute() {
-        let fx = fixture(8_000, 33);
-        let (low, high) = range_for_selectivity(0.05, u32::MAX - 1);
-        let mut dev = consumer_pcie_ssd(fx.capacity, 13);
-        let mut pool = BufferPool::new(4096);
-        let shim = run_is(
-            &mut dev,
-            &mut pool,
-            CpuConfig::paper_xeon(),
-            CpuCosts::default(),
-            &fx.table,
-            &fx.index,
-            low,
-            high,
-            &IsConfig::default(),
-        )
-        .expect("scan runs");
-        let mut pool2 = BufferPool::new(4096);
-        let mut dev2 = consumer_pcie_ssd(fx.capacity, 13);
-        let mut ctx = SimContext::new(
-            &mut dev2,
-            &mut pool2,
-            CpuConfig::paper_xeon(),
-            CpuCosts::default(),
-        );
-        let new = execute(
-            &mut ctx,
-            &PlanSpec::Is(IsConfig::default()),
-            &ScanInputs {
-                table: &fx.table,
-                index: Some(&fx.index),
-                low,
-                high,
-            },
-        )
-        .expect("scan runs");
-        assert_eq!(shim.max_c1, new.max_c1);
-        assert_eq!(shim.rows_matched, new.rows_matched);
-        assert_eq!(shim.runtime, new.runtime, "shim is the same machine");
     }
 }

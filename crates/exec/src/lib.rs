@@ -43,10 +43,3 @@ pub use session::{
     ThinkTime, WorkloadReport, WorkloadSpec,
 };
 pub use sorted_is::SortedIsConfig;
-
-#[allow(deprecated)]
-pub use fts::{run_fts, run_fts_traced};
-#[allow(deprecated)]
-pub use is::{run_is, run_is_traced};
-#[allow(deprecated)]
-pub use sorted_is::{run_sorted_is, run_sorted_is_traced};

@@ -18,15 +18,12 @@
 //! blocking wait loops is now one resumable state machine (`pump`), so the
 //! operator can share its context with concurrent queries.
 
-use crate::cpu::{CpuConfig, TaskId};
+use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
-use crate::engine::{io_failure, CpuCosts, Event, ExecError, RetryPolicy, SimContext};
-use crate::execute::{execute, PlanSpec, ScanInputs};
+use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
 use crate::fts::merge_max;
-use crate::metrics::ScanMetrics;
-use pioqo_bufpool::{Access, BufferPool};
-use pioqo_device::{DeviceModel, IoStatus};
-use pioqo_obs::TraceSink;
+use pioqo_bufpool::Access;
+use pioqo_device::IoStatus;
 use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
@@ -480,68 +477,15 @@ impl QueryDriver for SortedIsDriver<'_> {
     }
 }
 
-/// Execute the query with a sorted index scan. See the module docs.
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext and call `execute` with `PlanSpec::SortedIs`")]
-pub fn run_sorted_is(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    index: &BTreeIndex,
-    low: u32,
-    high: u32,
-    cfg: &SortedIsConfig,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    execute(
-        &mut ctx,
-        &PlanSpec::SortedIs(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: Some(index),
-            low,
-            high,
-        },
-    )
-}
-
-/// [`run_sorted_is`] with a trace sink: when the sink is enabled the scan
-/// records sim-time I/O, pool and phase-span events into it (and nothing
-/// otherwise).
-#[allow(clippy::too_many_arguments)] // explicit operator inputs beat an opaque params bag
-#[deprecated(note = "build a SimContext, install the sink, and call `execute`")]
-pub fn run_sorted_is_traced(
-    device: &mut dyn DeviceModel,
-    pool: &mut BufferPool,
-    cpu: CpuConfig,
-    costs: CpuCosts,
-    table: &HeapTable,
-    index: &BTreeIndex,
-    low: u32,
-    high: u32,
-    cfg: &SortedIsConfig,
-    trace: &mut dyn TraceSink,
-) -> Result<ScanMetrics, ExecError> {
-    let mut ctx = SimContext::new(device, pool, cpu, costs);
-    ctx.set_trace_sink(trace);
-    execute(
-        &mut ctx,
-        &PlanSpec::SortedIs(cfg.clone()),
-        &ScanInputs {
-            table,
-            index: Some(index),
-            low,
-            high,
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu::CpuConfig;
+    use crate::engine::CpuCosts;
+    use crate::execute::{execute, PlanSpec, ScanInputs};
     use crate::is::IsConfig;
+    use crate::metrics::ScanMetrics;
+    use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::consumer_pcie_ssd;
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
 

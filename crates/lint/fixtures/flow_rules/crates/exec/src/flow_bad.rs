@@ -1,0 +1,86 @@
+//! Known-bad fixture: every flow-sensitive rule D8-D11 fires at least
+//! once below, each in the shape it was designed to catch. Never
+//! compiled; only scanned. Companion near-misses live in `flow_ok.rs`.
+
+use crate::model::{Budget, Device, ExecError, Queue, SimRng, Store};
+
+/// D8 (a): cloning an RNG stream replays the same draws twice.
+pub fn correlated_streams(rng: &SimRng) -> SimRng {
+    let twin = rng.clone();
+    twin
+}
+
+/// D8 (b): one stream both handed out `&mut` and forked in the same
+/// loop body — the fork salt depends on the callee's draw count.
+pub fn coupled_fork(rng: &mut SimRng, items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for item in items {
+        acc += jitter(&mut rng, *item);
+        let child = rng.fork(*item);
+        acc += child.peek();
+    }
+    acc
+}
+
+/// D8 (c): a session loop drawing from a stream declared outside it —
+/// session N's draws depend on how much randomness 0..N consumed.
+pub fn shared_session_stream(rng: &mut SimRng, sessions: &[u64]) -> u64 {
+    let mut acc = 0;
+    for session in sessions {
+        acc += rng.next_u64() ^ session;
+    }
+    acc
+}
+
+/// D9: the `?` on the device read exits the function with the lease
+/// still held — the release below is skipped on that path.
+pub fn leaky_lease(budget: &mut Budget, dev: &mut Device) -> Result<u64, ExecError> {
+    let lease = budget.acquire();
+    let pages = dev.read_page()?;
+    budget.release(lease);
+    Ok(pages)
+}
+
+/// D9 again: the early-return branch leaks the lease.
+pub fn branch_leak(budget: &mut Budget, dev: &Device) -> u64 {
+    let lease = budget.acquire();
+    if dev.is_idle() {
+        return 0;
+    }
+    budget.release(lease);
+    1
+}
+
+/// D10: scheduling at `now - grace` fires an event in the past.
+pub fn schedule_in_past(q: &mut Queue, grace: u64) {
+    q.schedule(q.now() - grace, 7);
+}
+
+/// D10 through a binding: the argument traces to `now - ...` via `let`.
+pub fn schedule_in_past_traced(q: &mut Queue, grace: u64) {
+    let rewound = q.now() - grace;
+    let armed = rewound;
+    q.complete_at(armed, 7);
+}
+
+/// D11 support: a deprecated free function and a deprecated method.
+#[deprecated(note = "use stripe")]
+pub fn legacy_stripe(pages: u64) -> u64 {
+    pages
+}
+
+/// Carrier type for the deprecated method case.
+pub struct Planner;
+
+impl Planner {
+    /// Deprecated associated fn; only `Planner::pick` calls may trip.
+    #[deprecated(note = "use choose")]
+    pub fn pick(pages: u64) -> u64 {
+        pages
+    }
+}
+
+/// D11: internal calls to both deprecated items above.
+pub fn still_calling_shims(pages: u64) -> u64 {
+    legacy_stripe(pages) + Planner::pick(pages)
+}

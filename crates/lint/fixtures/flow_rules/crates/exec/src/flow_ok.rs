@@ -1,0 +1,93 @@
+//! Near-miss fixture: every function below sits one step away from a
+//! D8-D11 violation and must stay silent. A false positive on any of
+//! these shapes would make the flow rules unusable on the real engine.
+//! Never compiled; only scanned.
+
+use crate::model::{Budget, Device, ExecError, Queue, ScanConfig, SimRng, Store};
+
+/// D8 (a) near-miss: cloning a non-RNG value is fine.
+pub fn clone_config(cfg: &ScanConfig) -> ScanConfig {
+    let spec = cfg.clone();
+    spec
+}
+
+/// D8 (b) near-miss: forking in a loop is the blessed pattern when the
+/// parent stream is not also handed out `&mut` in the same body.
+pub fn derive_children(rng: &mut SimRng, items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for item in items {
+        let child = rng.fork(*item);
+        acc += child.peek();
+    }
+    acc
+}
+
+/// D8 (c) near-miss: a session loop that derives a fresh per-session
+/// stream inside the body keeps sessions statistically independent.
+pub fn per_session_stream(seed: u64, sessions: &[u64]) -> u64 {
+    let mut acc = 0;
+    for session in sessions {
+        let mut rng = SimRng::derive(seed, *session);
+        acc += rng.next_u64();
+    }
+    acc
+}
+
+/// D9 near-miss: the lease is released before the fallible step, so the
+/// `?` exit path no longer holds it.
+pub fn release_before_try(budget: &mut Budget, dev: &mut Device) -> Result<u64, ExecError> {
+    let lease = budget.acquire();
+    let pages = dev.read_page();
+    budget.release(lease);
+    let pages = pages?;
+    Ok(pages)
+}
+
+/// D9 near-miss: every branch consumes the lease — one releases it, the
+/// other moves it into a store.
+pub fn branch_release(budget: &mut Budget, dev: &Device, store: &mut Store) -> u64 {
+    let lease = budget.acquire();
+    if dev.is_idle() {
+        budget.release(lease);
+        return 0;
+    }
+    store.keep(lease);
+    1
+}
+
+/// D10 near-miss: deadlines computed as `now + duration` are causal.
+pub fn schedule_ahead(q: &mut Queue, grace: u64) {
+    q.schedule(q.now() + grace, 7);
+}
+
+/// D10 near-miss: clamping a stored stamp with `.max(now)` is the
+/// blessed retrofit for possibly-stale timestamps.
+pub fn clamp_to_now(q: &mut Queue, stamp: u64) {
+    let armed = stamp.max(q.now());
+    q.complete_at(armed, 9);
+}
+
+/// D10 near-miss: `now - x` outside a scheduling argument is ordinary
+/// elapsed-time math, not a causality violation.
+pub fn elapsed_since(q: &Queue, start: u64) -> u64 {
+    let elapsed = q.now() - start;
+    elapsed
+}
+
+/// D11 near-miss: an unrelated receiver's `pick` method and a different
+/// type's associated `pick` share the deprecated method's name only.
+pub fn same_name_different_type(dev: &Device, pages: u64) -> u64 {
+    dev.pick(pages) + Store::pick(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    // D11 near-miss: tests may pin deprecated behavior until the shim is
+    // deleted; calls in the trailing test region are exempt.
+    use super::super::flow_bad::legacy_stripe;
+
+    #[test]
+    fn shim_still_answers() {
+        assert_eq!(legacy_stripe(4), 4);
+    }
+}

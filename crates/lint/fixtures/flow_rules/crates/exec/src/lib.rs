@@ -1,0 +1,15 @@
+//! Fixture crate root for the flow-sensitive rules D8-D11. The root is
+//! clean; the trip cases live in `flow_bad.rs` and the near-misses that
+//! must stay silent live in `flow_ok.rs`. Never compiled; only scanned
+//! by the lint integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_bad;
+pub mod flow_ok;
+
+/// A compliant helper so the root has real (clean) code to scan.
+pub fn stripe(pages: u64, channels: u64) -> u64 {
+    pages / channels.max(1)
+}

@@ -1,0 +1,608 @@
+//! Per-function control-flow graphs over the [`crate::syntax`] token view.
+//!
+//! Each function body becomes a graph of statement-level nodes with a
+//! synthetic entry and exit. Branches (`if`/`else`, `match` arms), loops
+//! (back edges plus a loop-exit edge), `return`, `break`, `continue`, and
+//! the `?` operator (an edge to exit from any statement containing one)
+//! are modelled; everything else is a straight-line statement node. The
+//! graph is deliberately conservative: when a construct cannot be shaped,
+//! it collapses into a plain node with fallthrough, which can only make
+//! the must-release analysis (D9) report a leak path that a human then
+//! inspects — never silently hide one... with one documented exception:
+//! resources created inside unparsed macro bodies are invisible.
+
+use crate::syntax::{Syntax, TokKind};
+
+/// One statement-level node: a token range `[start, end)` of the masked
+/// source. Entry and exit are synthetic (empty ranges).
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// First token of the statement.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+}
+
+/// Control-flow graph of one function body.
+pub struct Cfg {
+    /// All nodes; `entry` and `exit` are indices into this vector.
+    pub nodes: Vec<Node>,
+    /// Successor lists, parallel to `nodes`.
+    pub succs: Vec<Vec<usize>>,
+    /// Synthetic entry node.
+    pub entry: usize,
+    /// Synthetic exit node: every `return`, `?`, and fn-end fallthrough
+    /// leads here.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Build the CFG for the body block `body` (an index into
+    /// [`Syntax::blocks`]).
+    pub fn build(masked: &str, syn: &Syntax, body: usize) -> Cfg {
+        let blk = syn.blocks[body];
+        let mut b = Builder {
+            masked,
+            syn,
+            nodes: vec![
+                Node { start: 0, end: 0 }, // entry
+                Node { start: 0, end: 0 }, // exit
+            ],
+            succs: vec![Vec::new(), Vec::new()],
+            loop_stack: Vec::new(),
+        };
+        let (entry, opens) = b.parse_seq(blk.open + 1, blk.close);
+        if let Some(e) = entry {
+            b.succs[0].push(e);
+        } else {
+            b.succs[0].push(1);
+        }
+        for o in opens {
+            b.succs[o].push(1);
+        }
+        Cfg {
+            nodes: b.nodes,
+            succs: b.succs,
+            entry: 0,
+            exit: 1,
+        }
+    }
+
+    /// The node whose statement span contains token `tok`, if any
+    /// (innermost, i.e. the narrowest span).
+    pub fn node_containing(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.start <= tok && tok < n.end {
+                let better = match best {
+                    None => true,
+                    Some(p) => (n.end - n.start) < (self.nodes[p].end - self.nodes[p].start),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+}
+
+struct LoopCtx {
+    header: usize,
+    breaks: Vec<usize>,
+}
+
+struct Builder<'a> {
+    masked: &'a str,
+    syn: &'a Syntax,
+    nodes: Vec<Node>,
+    succs: Vec<Vec<usize>>,
+    loop_stack: Vec<LoopCtx>,
+}
+
+impl<'a> Builder<'a> {
+    fn word(&self, i: usize) -> &str {
+        self.syn.text(self.masked, i)
+    }
+
+    fn is_kw(&self, i: usize, kw: &str) -> bool {
+        matches!(self.syn.tokens[i].kind, TokKind::Ident) && self.word(i) == kw
+    }
+
+    fn punct(&self, i: usize) -> Option<u8> {
+        match self.syn.tokens[i].kind {
+            TokKind::Punct(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn new_node(&mut self, start: usize, end: usize) -> usize {
+        self.nodes.push(Node { start, end });
+        self.succs.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+        }
+    }
+
+    fn span_has_question(&self, start: usize, end: usize) -> bool {
+        (start..end).any(|i| self.punct(i) == Some(b'?'))
+    }
+
+    /// Token index of the matching `}` for the block opening at `open`.
+    fn block_close(&self, open: usize) -> Option<(usize, usize)> {
+        self.syn
+            .blocks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.open == open)
+            .map(|(idx, b)| (idx, b.close))
+    }
+
+    /// Next `{` at bracket depth 0 in `[from, end)`; `None` if `;` or `}`
+    /// comes first.
+    fn next_body_open(&self, from: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < end {
+            match self.punct(j) {
+                Some(b'(') | Some(b'[') => depth += 1,
+                Some(b')') | Some(b']') => depth -= 1,
+                Some(b'{') if depth == 0 => return Some(j),
+                Some(b';') | Some(b'}') if depth == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Parse the statements of `[start, end)` into a chained sub-graph.
+    /// Returns the first node and the set of open (fallthrough) ends.
+    fn parse_seq(&mut self, start: usize, end: usize) -> (Option<usize>, Vec<usize>) {
+        let mut entry: Option<usize> = None;
+        let mut opens: Vec<usize> = Vec::new();
+        let mut first_construct = true;
+        let mut i = start;
+        while i < end {
+            if self.punct(i) == Some(b';') {
+                i += 1;
+                continue;
+            }
+            // Statement attributes (`#[allow(...)] let x = ...`) are skipped.
+            if self.punct(i) == Some(b'#') {
+                let mut depth = 0i32;
+                i += 1;
+                while i < end {
+                    match self.punct(i) {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            // Nested items don't execute here; their bodies get their own
+            // CFG via the fns list.
+            if matches!(self.syn.tokens[i].kind, TokKind::Ident)
+                && matches!(
+                    self.word(i),
+                    "fn" | "impl" | "struct" | "enum" | "mod" | "trait" | "use"
+                )
+            {
+                if self.word(i) == "use" {
+                    while i < end && self.punct(i) != Some(b';') {
+                        i += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+                match self.next_body_open(i + 1, end) {
+                    Some(open) => {
+                        let close = self.block_close(open).map(|(_, c)| c).unwrap_or(end);
+                        i = close + 1;
+                        continue;
+                    }
+                    None => {
+                        while i < end && self.punct(i) != Some(b';') {
+                            i += 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            let (centry, copens, next) = if self.is_kw(i, "if") {
+                self.parse_if(i, end)
+            } else if (self.is_kw(i, "for") || self.is_kw(i, "while") || self.is_kw(i, "loop"))
+                && self.next_body_open(i + 1, end).is_some()
+            {
+                self.parse_loop(i, end)
+            } else if self.is_kw(i, "match") {
+                self.parse_match(i, end)
+            } else if self.punct(i) == Some(b'{')
+                || (self.is_kw(i, "unsafe") && i + 1 < end && self.punct(i + 1) == Some(b'{'))
+            {
+                let open = if self.punct(i) == Some(b'{') {
+                    i
+                } else {
+                    i + 1
+                };
+                match self.block_close(open) {
+                    Some((_, close)) => {
+                        let (e, o) = self.parse_seq(open + 1, close.min(end));
+                        (e, o, close + 1)
+                    }
+                    None => self.parse_plain(i, end),
+                }
+            } else {
+                self.parse_plain(i, end)
+            };
+            i = next.max(i + 1);
+            let Some(centry) = centry else { continue };
+            if first_construct {
+                entry = Some(centry);
+                first_construct = false;
+            } else {
+                for o in &opens {
+                    let o = *o;
+                    self.edge(o, centry);
+                }
+            }
+            opens = copens;
+        }
+        (entry, opens)
+    }
+
+    /// One plain statement: tokens up to the `;` at bracket depth 0.
+    fn parse_plain(&mut self, start: usize, end: usize) -> (Option<usize>, Vec<usize>, usize) {
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < end {
+            match self.punct(j) {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => depth -= 1,
+                Some(b';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let node = self.new_node(start, j.min(end));
+        let next = j + 1;
+        let mut opens = vec![node];
+        if self.is_kw(start, "return") {
+            self.edge(node, 1);
+            opens.clear();
+        } else if self.is_kw(start, "break") {
+            if let Some(ctx) = self.loop_stack.last_mut() {
+                ctx.breaks.push(node);
+            } else {
+                self.edge(node, 1);
+            }
+            opens.clear();
+        } else if self.is_kw(start, "continue") {
+            let header = self.loop_stack.last().map(|c| c.header);
+            if let Some(h) = header {
+                self.edge(node, h);
+            }
+            opens.clear();
+        }
+        if self.span_has_question(start, j.min(end)) {
+            self.edge(node, 1);
+        }
+        (Some(node), opens, next)
+    }
+
+    /// An `if`/`else if`/`else` chain. The condition is a node; each
+    /// branch contributes its open ends, and a missing `else` leaves the
+    /// condition itself open.
+    fn parse_if(&mut self, start: usize, end: usize) -> (Option<usize>, Vec<usize>, usize) {
+        let Some(open) = self.next_body_open(start + 1, end) else {
+            return self.parse_plain(start, end);
+        };
+        let Some((_, close)) = self.block_close(open) else {
+            return self.parse_plain(start, end);
+        };
+        let cond = self.new_node(start, open);
+        if self.span_has_question(start, open) {
+            self.edge(cond, 1);
+        }
+        let (tentry, topens) = self.parse_seq(open + 1, close.min(end));
+        let mut opens = match tentry {
+            Some(e) => {
+                self.edge(cond, e);
+                topens
+            }
+            None => vec![cond],
+        };
+        let mut next = close + 1;
+        if next < end && self.is_kw(next, "else") {
+            if next + 1 < end && self.is_kw(next + 1, "if") {
+                let (eentry, eopens, n2) = self.parse_if(next + 1, end);
+                if let Some(e) = eentry {
+                    self.edge(cond, e);
+                }
+                opens.extend(eopens);
+                next = n2;
+            } else if next + 1 < end && self.punct(next + 1) == Some(b'{') {
+                if let Some((_, eclose)) = self.block_close(next + 1) {
+                    let (eentry, eopens) = self.parse_seq(next + 2, eclose.min(end));
+                    match eentry {
+                        Some(e) => {
+                            self.edge(cond, e);
+                            opens.extend(eopens);
+                        }
+                        None => opens.push(cond),
+                    }
+                    next = eclose + 1;
+                }
+            }
+        } else {
+            opens.push(cond);
+        }
+        (Some(cond), opens, next)
+    }
+
+    /// A `for`/`while`/`loop`: header node, back edge from the body's open
+    /// ends, loop-exit from the header (except bare `loop`) and from any
+    /// `break`.
+    fn parse_loop(&mut self, start: usize, end: usize) -> (Option<usize>, Vec<usize>, usize) {
+        let Some(open) = self.next_body_open(start + 1, end) else {
+            return self.parse_plain(start, end);
+        };
+        let Some((_, close)) = self.block_close(open) else {
+            return self.parse_plain(start, end);
+        };
+        let header = self.new_node(start, open);
+        if self.span_has_question(start, open) {
+            self.edge(header, 1);
+        }
+        self.loop_stack.push(LoopCtx {
+            header,
+            breaks: Vec::new(),
+        });
+        let (bentry, bopens) = self.parse_seq(open + 1, close.min(end));
+        let ctx = self.loop_stack.pop().expect("loop context pushed above");
+        if let Some(e) = bentry {
+            self.edge(header, e);
+        }
+        for o in bopens {
+            self.edge(o, header);
+        }
+        let mut opens = ctx.breaks;
+        if !self.is_kw(start, "loop") {
+            opens.push(header);
+        }
+        (Some(header), opens, close + 1)
+    }
+
+    /// A `match`: scrutinee node fans out to every arm; arm open ends are
+    /// the construct's open ends.
+    fn parse_match(&mut self, start: usize, end: usize) -> (Option<usize>, Vec<usize>, usize) {
+        let Some(open) = self.next_body_open(start + 1, end) else {
+            return self.parse_plain(start, end);
+        };
+        let Some((_, close)) = self.block_close(open) else {
+            return self.parse_plain(start, end);
+        };
+        let scrut = self.new_node(start, open);
+        if self.span_has_question(start, open) {
+            self.edge(scrut, 1);
+        }
+        let mut opens: Vec<usize> = Vec::new();
+        let mut any_arm = false;
+        let mut j = open + 1;
+        while j < close {
+            // Skip the pattern: tokens up to `=>` at depth 0.
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut k = j;
+            while k + 1 < close {
+                match self.punct(k) {
+                    Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                    Some(b')') | Some(b']') | Some(b'}') => depth -= 1,
+                    Some(b'=') if depth == 0 && self.punct(k + 1) == Some(b'>') => {
+                        arrow = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let body_start = arrow + 2;
+            if body_start >= close {
+                break;
+            }
+            any_arm = true;
+            if self.punct(body_start) == Some(b'{') {
+                match self.block_close(body_start) {
+                    Some((_, bclose)) => {
+                        let (aentry, aopens) = self.parse_seq(body_start + 1, bclose.min(close));
+                        match aentry {
+                            Some(e) => {
+                                self.edge(scrut, e);
+                                opens.extend(aopens);
+                            }
+                            None => opens.push(scrut),
+                        }
+                        j = bclose + 1;
+                    }
+                    None => break,
+                }
+            } else {
+                // Expression arm: tokens up to the `,` at depth 0.
+                let mut depth = 0i32;
+                let mut e = body_start;
+                while e < close {
+                    match self.punct(e) {
+                        Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                        Some(b')') | Some(b']') | Some(b'}') => depth -= 1,
+                        Some(b',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let node = self.new_node(body_start, e);
+                self.edge(scrut, node);
+                if self.is_kw(body_start, "return") {
+                    self.edge(node, 1);
+                } else if self.is_kw(body_start, "break") {
+                    if let Some(ctx) = self.loop_stack.last_mut() {
+                        ctx.breaks.push(node);
+                    } else {
+                        self.edge(node, 1);
+                    }
+                } else if self.is_kw(body_start, "continue") {
+                    let header = self.loop_stack.last().map(|c| c.header);
+                    if let Some(h) = header {
+                        self.edge(node, h);
+                    }
+                } else {
+                    opens.push(node);
+                }
+                if self.span_has_question(body_start, e) {
+                    self.edge(node, 1);
+                }
+                j = e + 1;
+            }
+            // Skip a trailing comma after a block arm.
+            while j < close && self.punct(j) == Some(b',') {
+                j += 1;
+            }
+        }
+        if !any_arm {
+            opens.push(scrut);
+        }
+        (Some(scrut), opens, close + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(body_src: &str) -> (String, Syntax, Cfg) {
+        let src = format!("fn f() {{ {body_src} }}\n");
+        let masked = crate::lexer::mask_source(&src);
+        let syn = Syntax::parse(&masked);
+        let body = syn.fns[0].body;
+        let cfg = Cfg::build(&masked, &syn, body);
+        (masked, syn, cfg)
+    }
+
+    /// Does any path from `from` reach exit without touching a node whose
+    /// span contains the word `stop`?
+    fn reaches_exit_avoiding(
+        masked: &str,
+        syn: &Syntax,
+        cfg: &Cfg,
+        from: usize,
+        stop: &str,
+    ) -> bool {
+        let consumed = |n: usize| {
+            let node = cfg.nodes[n];
+            (node.start..node.end).any(|i| syn.is_word(masked, i, stop))
+        };
+        let mut seen = vec![false; cfg.nodes.len()];
+        let mut stack = cfg.succs[from].clone();
+        while let Some(n) = stack.pop() {
+            if n == cfg.exit {
+                return true;
+            }
+            if seen[n] || consumed(n) {
+                continue;
+            }
+            seen[n] = true;
+            stack.extend(cfg.succs[n].iter().copied());
+        }
+        false
+    }
+
+    fn node_with(masked: &str, syn: &Syntax, cfg: &Cfg, word: &str) -> usize {
+        (0..cfg.nodes.len())
+            .find(|&n| {
+                let node = cfg.nodes[n];
+                (node.start..node.end).any(|i| syn.is_word(masked, i, word))
+            })
+            .expect("word should appear in some node")
+    }
+
+    #[test]
+    fn straight_line_releases() {
+        let (m, s, c) = cfg_of("let x = acquire_it(); work(); release(x);");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(!reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn question_mark_escapes_before_release() {
+        let (m, s, c) = cfg_of("let x = acquire_it(); fallible()?; release(x);");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn early_return_escapes() {
+        let (m, s, c) = cfg_of("let x = acquire_it(); if bad { return Err(e); } release(x);");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn release_on_both_branches_is_clean() {
+        let (m, s, c) =
+            cfg_of("let x = acquire_it(); if bad { release(x); return; } work(); release(x);");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(!reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn loop_with_release_after_is_clean() {
+        let (m, s, c) = cfg_of("let x = acquire_it(); for i in 0..n { step(i); } release(x);");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(!reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn break_path_skipping_release_leaks() {
+        let (m, s, c) = cfg_of(
+            "let x = acquire_it(); loop { if done { break; } maybe { release(x); return; } }",
+        );
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn match_arm_return_without_release_leaks() {
+        let (m, s, c) =
+            cfg_of("let x = acquire_it(); match v { A => return, B => { release(x); } } finish();");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn match_all_arms_release_is_clean() {
+        let (m, s, c) =
+            cfg_of("let x = acquire_it(); match v { A => release(x), B => { release(x); } }");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(!reaches_exit_avoiding(&m, &s, &c, acq, "release"));
+    }
+
+    #[test]
+    fn trailing_expression_consumes() {
+        let (m, s, c) = cfg_of("let x = acquire_it(); wrap(x)");
+        let acq = node_with(&m, &s, &c, "acquire_it");
+        assert!(!reaches_exit_avoiding(&m, &s, &c, acq, "wrap"));
+    }
+}

@@ -51,7 +51,14 @@ impl std::error::Error for LintError {}
 impl LintConfig {
     /// True when `rule` is suppressed for the file at `rel_path`.
     pub fn is_allowed(&self, rule: &str, rel_path: &str) -> bool {
-        self.allow.iter().any(|e| {
+        self.matching_entry(rule, rel_path).is_some()
+    }
+
+    /// Index of the first entry suppressing `rule` at `rel_path`, if any.
+    /// The caller can use the index to track which entries ever matched —
+    /// an entry that suppresses nothing is stale and must be deleted.
+    pub fn matching_entry(&self, rule: &str, rel_path: &str) -> Option<usize> {
+        self.allow.iter().position(|e| {
             e.rule == rule
                 && (e.path == rel_path
                     || e.path
@@ -196,7 +203,7 @@ reason = "binary crate"
 
     #[test]
     fn rejects_unknown_rule() {
-        assert!(parse_config("[[allow]]\nrule = \"D9\"\npath = \"x\"\nreason = \"r\"\n").is_err());
+        assert!(parse_config("[[allow]]\nrule = \"D99\"\npath = \"x\"\nreason = \"r\"\n").is_err());
     }
 
     #[test]

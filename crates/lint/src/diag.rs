@@ -1,11 +1,11 @@
-//! Diagnostics and report rendering.
+//! Diagnostics, report rendering, and SARIF 2.1.0 export.
 
-use serde::Serialize;
+use serde::{Content, Serialize};
 
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, Serialize)]
 pub struct Diagnostic {
-    /// Rule identifier (`"D1"` .. `"D6"`).
+    /// Rule identifier (`"D1"` .. `"D11"`).
     pub rule: String,
     /// Workspace-relative path with `/` separators.
     pub path: String,
@@ -24,16 +24,20 @@ pub struct Report {
     pub files_checked: u64,
     /// All violations, ordered by path then line.
     pub diagnostics: Vec<Diagnostic>,
+    /// `lint.toml` entries (`"RULE path"`) that suppressed nothing — each
+    /// one documents an exception that no longer exists and must be
+    /// deleted, or it will silently swallow a future regression.
+    pub stale_allows: Vec<String>,
 }
 
 impl Report {
-    /// True when no rule fired.
+    /// True when no rule fired and no allowlist entry is stale.
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics.is_empty() && self.stale_allows.is_empty()
     }
 
     /// Render the human-readable table: one row per diagnostic with
-    /// aligned columns, followed by a summary line.
+    /// aligned columns, then stale-allowlist errors, then a summary line.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         if !self.diagnostics.is_empty() {
@@ -56,12 +60,156 @@ impl Report {
                 out.push_str(&format!("{:<4} {:<loc_width$}   | {}\n", "", "", d.snippet));
             }
         }
+        for stale in &self.stale_allows {
+            out.push_str(&format!(
+                "STALE ALLOW {stale}: this lint.toml entry suppresses nothing; delete it\n"
+            ));
+        }
         out.push_str(&format!(
-            "checked {} file(s): {} violation(s)\n",
+            "checked {} file(s): {} violation(s), {} stale allowlist entr{}\n",
             self.files_checked,
-            self.diagnostics.len()
+            self.diagnostics.len(),
+            self.stale_allows.len(),
+            if self.stale_allows.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
         ));
         out
+    }
+
+    /// Render the report as a SARIF 2.1.0 log (the static-analysis
+    /// interchange format CI systems ingest to annotate PRs inline).
+    /// One run, one driver (`pioqo-lint`), one rule entry per rule that
+    /// fired, one result per diagnostic. Stale allowlist entries become
+    /// tool-level `error` notifications so they fail CI visibly even
+    /// though they have no source location.
+    pub fn to_sarif(&self) -> String {
+        let mut rule_ids: Vec<&str> = self.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+        rule_ids.sort();
+        rule_ids.dedup();
+        let rules: Vec<Content> = rule_ids
+            .iter()
+            .map(|id| {
+                Content::Map(vec![
+                    ("id".to_string(), Content::Str(id.to_string())),
+                    (
+                        "shortDescription".to_string(),
+                        Content::Map(vec![(
+                            "text".to_string(),
+                            Content::Str(crate::explain::summary(id).to_string()),
+                        )]),
+                    ),
+                ])
+            })
+            .collect();
+        let results: Vec<Content> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Content::Map(vec![
+                    ("ruleId".to_string(), Content::Str(d.rule.clone())),
+                    ("level".to_string(), Content::Str("error".to_string())),
+                    (
+                        "message".to_string(),
+                        Content::Map(vec![("text".to_string(), Content::Str(d.message.clone()))]),
+                    ),
+                    (
+                        "locations".to_string(),
+                        Content::Seq(vec![Content::Map(vec![(
+                            "physicalLocation".to_string(),
+                            Content::Map(vec![
+                                (
+                                    "artifactLocation".to_string(),
+                                    Content::Map(vec![(
+                                        "uri".to_string(),
+                                        Content::Str(d.path.clone()),
+                                    )]),
+                                ),
+                                (
+                                    "region".to_string(),
+                                    Content::Map(vec![
+                                        ("startLine".to_string(), Content::U64(d.line)),
+                                        (
+                                            "snippet".to_string(),
+                                            Content::Map(vec![(
+                                                "text".to_string(),
+                                                Content::Str(d.snippet.clone()),
+                                            )]),
+                                        ),
+                                    ]),
+                                ),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect();
+        let notifications: Vec<Content> = self
+            .stale_allows
+            .iter()
+            .map(|s| {
+                Content::Map(vec![
+                    ("level".to_string(), Content::Str("error".to_string())),
+                    (
+                        "message".to_string(),
+                        Content::Map(vec![(
+                            "text".to_string(),
+                            Content::Str(format!(
+                                "stale lint.toml allowlist entry `{s}`: suppresses nothing; delete it"
+                            )),
+                        )]),
+                    ),
+                ])
+            })
+            .collect();
+        let mut invocation = vec![(
+            "executionSuccessful".to_string(),
+            Content::Bool(self.is_clean()),
+        )];
+        if !notifications.is_empty() {
+            invocation.push((
+                "toolConfigurationNotifications".to_string(),
+                Content::Seq(notifications),
+            ));
+        }
+        let log = Content::Map(vec![
+            (
+                "$schema".to_string(),
+                Content::Str("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+            ),
+            ("version".to_string(), Content::Str("2.1.0".to_string())),
+            (
+                "runs".to_string(),
+                Content::Seq(vec![Content::Map(vec![
+                    (
+                        "tool".to_string(),
+                        Content::Map(vec![(
+                            "driver".to_string(),
+                            Content::Map(vec![
+                                ("name".to_string(), Content::Str("pioqo-lint".to_string())),
+                                (
+                                    "informationUri".to_string(),
+                                    Content::Str(
+                                        "https://example.invalid/pioqo/DESIGN.md".to_string(),
+                                    ),
+                                ),
+                                ("rules".to_string(), Content::Seq(rules)),
+                            ]),
+                        )]),
+                    ),
+                    (
+                        "invocations".to_string(),
+                        Content::Seq(vec![Content::Map(invocation)]),
+                    ),
+                    ("results".to_string(), Content::Seq(results)),
+                ])]),
+            ),
+        ]);
+        // The vendored serializer is infallible on a hand-built Content
+        // tree; the empty-string fallback can never be observed.
+        serde_json::to_string_pretty(&log).unwrap_or_default()
     }
 }
 
@@ -89,6 +237,7 @@ mod tests {
                 message: "wall-clock type Instant in simulation code".to_string(),
                 snippet: "let t = Instant::now();".to_string(),
             }],
+            stale_allows: vec![],
         }
     }
 
@@ -106,6 +255,7 @@ mod tests {
         assert!(j.contains("\"rule\""));
         assert!(j.contains("\"files_checked\""));
         assert!(j.contains("\"line\":12"));
+        assert!(j.contains("\"stale_allows\""));
     }
 
     #[test]
@@ -113,8 +263,49 @@ mod tests {
         let r = Report {
             files_checked: 5,
             diagnostics: vec![],
+            stale_allows: vec![],
         };
         assert!(r.is_clean());
-        assert_eq!(r.render_table(), "checked 5 file(s): 0 violation(s)\n");
+        assert_eq!(
+            r.render_table(),
+            "checked 5 file(s): 0 violation(s), 0 stale allowlist entries\n"
+        );
+    }
+
+    #[test]
+    fn stale_allow_entries_make_report_dirty() {
+        let r = Report {
+            files_checked: 5,
+            diagnostics: vec![],
+            stale_allows: vec!["D4 crates/exec/src/engine.rs".to_string()],
+        };
+        assert!(!r.is_clean());
+        let t = r.render_table();
+        assert!(t.contains("STALE ALLOW D4 crates/exec/src/engine.rs"));
+        assert!(t.contains("1 stale allowlist entry\n"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_result_locations() {
+        let s = sample().to_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"name\": \"pioqo-lint\""));
+        assert!(s.contains("\"ruleId\": \"D1\""));
+        assert!(s.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(s.contains("\"startLine\": 12"));
+        // The fired rule is described in the driver's rule table.
+        assert!(s.contains("\"id\": \"D1\""));
+    }
+
+    #[test]
+    fn sarif_reports_stale_allows_as_notifications() {
+        let mut r = sample();
+        r.stale_allows
+            .push("D4 crates/exec/src/engine.rs".to_string());
+        let s = r.to_sarif();
+        assert!(s.contains("toolConfigurationNotifications"));
+        assert!(s.contains("stale lint.toml allowlist entry"));
+        assert!(s.contains("\"executionSuccessful\": false"));
     }
 }

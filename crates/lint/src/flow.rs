@@ -1,0 +1,211 @@
+//! Dataflow helpers shared by the flow-sensitive rules (D8-D11).
+//!
+//! Two queries live here: must-release reachability over a [`Cfg`] (can a
+//! resource acquired at one node reach the function exit without passing a
+//! consuming node?), and textual origin tracing for sim-time expressions
+//! (does this argument, directly or through `let` bindings, contain
+//! `now - x`?).
+
+use crate::cfg::Cfg;
+use crate::syntax::{Syntax, TokKind};
+
+/// True when some path from `from` reaches the exit node without first
+/// passing through a node for which `consumed` holds. `from` itself is
+/// not tested against `consumed` (it is the acquisition statement), but
+/// its own early-exit edges (`?` in the same statement) do count as
+/// escapes.
+pub fn reaches_exit_unconsumed<F>(cfg: &Cfg, from: usize, consumed: F) -> bool
+where
+    F: Fn(usize) -> bool,
+{
+    let mut seen = vec![false; cfg.nodes.len()];
+    let mut stack: Vec<usize> = cfg.succs[from].clone();
+    while let Some(n) = stack.pop() {
+        if n == cfg.exit {
+            return true;
+        }
+        if seen[n] {
+            continue;
+        }
+        seen[n] = true;
+        if consumed(n) {
+            continue;
+        }
+        stack.extend(cfg.succs[n].iter().copied());
+    }
+    false
+}
+
+/// True when token `i` in `[0, len)` is a *bare* (consuming) use of
+/// `name`: the identifier itself, not a field access on something else
+/// (`x.name`), not a borrow (`&name`, `&mut name`), and not a method/field
+/// base (`name.foo`). Passing by value, returning, and `drop(name)` all
+/// qualify.
+pub fn is_consuming_use(syn: &Syntax, masked: &str, i: usize, name: &str) -> bool {
+    if !syn.is_word(masked, i, name) {
+        return false;
+    }
+    // `recv.name` — a field named like ours on another value.
+    if i > 0 && matches!(syn.tokens[i - 1].kind, TokKind::Punct(b'.')) {
+        return false;
+    }
+    // `&name` / `&mut name` — borrowed, not moved.
+    if i > 0 && matches!(syn.tokens[i - 1].kind, TokKind::Punct(b'&')) {
+        return false;
+    }
+    if i > 1
+        && syn.is_word(masked, i - 1, "mut")
+        && matches!(syn.tokens[i - 2].kind, TokKind::Punct(b'&'))
+    {
+        return false;
+    }
+    // `name.method(...)` / `name.field` — used in place, not moved out.
+    if i + 1 < syn.tokens.len() && matches!(syn.tokens[i + 1].kind, TokKind::Punct(b'.')) {
+        return false;
+    }
+    // `let name = ...` rebinding or `name = ...` assignment target.
+    if i > 0 && (syn.is_word(masked, i - 1, "let") || syn.is_word(masked, i - 1, "mut")) {
+        return false;
+    }
+    if i + 1 < syn.tokens.len() {
+        if let TokKind::Punct(b'=') = syn.tokens[i + 1].kind {
+            // `name = ...` assigns; `name ==` compares (not a move either).
+            return false;
+        }
+    }
+    true
+}
+
+/// True when the token range `[start, end)` contains a subtraction with
+/// `now` (or `.now()`) on the left-hand side — the canonical shape of a
+/// non-causal "schedule into the past" expression.
+pub fn span_has_now_minus(syn: &Syntax, masked: &str, start: usize, end: usize) -> bool {
+    let mut i = start;
+    while i < end {
+        if syn.is_word(masked, i, "now") {
+            let mut j = i + 1;
+            // Skip the call parens of `ctx.now()`.
+            if j + 1 < end
+                && matches!(syn.tokens[j].kind, TokKind::Punct(b'('))
+                && matches!(syn.tokens[j + 1].kind, TokKind::Punct(b')'))
+            {
+                j += 2;
+            }
+            if j < end && matches!(syn.tokens[j].kind, TokKind::Punct(b'-')) {
+                // Exclude `->` (fn signatures) and `-=` (compound assign).
+                let next_is = |b: u8| {
+                    j + 1 < syn.tokens.len()
+                        && matches!(syn.tokens[j + 1].kind, TokKind::Punct(p) if p == b)
+                };
+                if !next_is(b'>') && !next_is(b'=') {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// True when the token range `[start, end)` contains `now - x` directly,
+/// or mentions a local binding whose initializer does (followed
+/// transitively through `let` bindings up to `depth` hops).
+pub fn traces_to_now_minus(
+    syn: &Syntax,
+    masked: &str,
+    start: usize,
+    end: usize,
+    depth: u32,
+) -> bool {
+    if span_has_now_minus(syn, masked, start, end) {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    for i in start..end {
+        if !matches!(syn.tokens[i].kind, TokKind::Ident) {
+            continue;
+        }
+        // Field accesses (`x.due`) don't resolve to local `let` bindings.
+        if i > 0 && matches!(syn.tokens[i - 1].kind, TokKind::Punct(b'.')) {
+            continue;
+        }
+        let name = syn.text(masked, i);
+        for lb in &syn.lets {
+            if lb.name == name
+                && !(start <= lb.name_tok && lb.name_tok < end)
+                && traces_to_now_minus(syn, masked, lb.rhs_start, lb.rhs_end, depth - 1)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn_of(src: &str) -> (String, Syntax) {
+        let masked = crate::lexer::mask_source(src);
+        let syn = Syntax::parse(&masked);
+        (masked, syn)
+    }
+
+    #[test]
+    fn now_minus_detected_plain_and_method() {
+        let (m, s) = syn_of("fn f() { let a = now - lag; let b = ctx.now() - lag; }\n");
+        assert!(span_has_now_minus(&s, &m, 0, s.tokens.len()));
+    }
+
+    #[test]
+    fn arrow_and_addition_are_not_now_minus() {
+        let (m, s) = syn_of("fn now() -> SimTime { t }\nfn g() { let a = now + lag; }\n");
+        assert!(!span_has_now_minus(&s, &m, 0, s.tokens.len()));
+    }
+
+    #[test]
+    fn tracing_follows_let_bindings() {
+        let (m, s) = syn_of("fn f() { let due = now - lag; q.schedule(due, ev); }\n");
+        // The argument span is just the identifier `due`.
+        let due_use = s
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| &m[t.start..t.end] == "due")
+            .map(|(i, _)| i)
+            .next_back()
+            .expect("due appears twice");
+        assert!(traces_to_now_minus(&s, &m, due_use, due_use + 1, 3));
+    }
+
+    #[test]
+    fn tracing_is_bounded_and_clean_bindings_pass() {
+        let (m, s) = syn_of("fn f() { let due = now + lag; q.schedule(due, ev); }\n");
+        let due_use = s
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| &m[t.start..t.end] == "due")
+            .map(|(i, _)| i)
+            .next_back()
+            .expect("due appears twice");
+        assert!(!traces_to_now_minus(&s, &m, due_use, due_use + 1, 3));
+    }
+
+    #[test]
+    fn consuming_use_distinguishes_borrows_and_fields() {
+        let (m, s) = syn_of("fn f() { take(x); bor(&x); borm(&mut x); y.x; x.go(); }\n");
+        let uses: Vec<(usize, bool)> = s
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| &m[t.start..t.end] == "x")
+            .map(|(i, _)| (i, is_consuming_use(&s, &m, i, "x")))
+            .collect();
+        let flags: Vec<bool> = uses.iter().map(|(_, c)| *c).collect();
+        assert_eq!(flags, vec![true, false, false, false, false]);
+    }
+}

@@ -1,15 +1,17 @@
 //! Command-line entry point for the workspace linter.
 //!
 //! ```text
-//! pioqo-lint check [--root DIR] [--config FILE] [--json]
+//! pioqo-lint check [--root DIR] [--config FILE] [--json] [--sarif FILE]
+//! pioqo-lint explain RULE
 //! pioqo-lint trace-check <file>...
 //! ```
 //!
-//! `check` runs the D1-D7 determinism scan; `trace-check` validates
-//! exported Chrome trace JSON files against the exporter's schema.
+//! `check` runs the D1-D11 determinism scan; `explain` prints one rule's
+//! rationale; `trace-check` validates exported Chrome trace JSON files
+//! against the exporter's schema.
 //!
-//! Exit status: 0 when clean, 1 when any rule fired or a trace file is
-//! malformed, 2 on usage or I/O errors.
+//! Exit status: 0 when clean, 1 when any rule fired, an allowlist entry
+//! is stale, or a trace file is malformed, 2 on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,18 +20,24 @@ use pioqo_lint::{check_workspace, load_config, LintError};
 use std::io::Write;
 use std::path::PathBuf;
 
-const USAGE: &str = "usage: pioqo-lint check [--root DIR] [--config FILE] [--json]
+const USAGE: &str = "usage: pioqo-lint check [--root DIR] [--config FILE] [--json] [--sarif FILE]
+       pioqo-lint explain RULE
        pioqo-lint trace-check <file>...
 
-`check` enforces the workspace determinism invariants D1-D7 over every
+`check` enforces the workspace determinism invariants D1-D11 over every
 .rs file under <root>/crates/. The allowlist is read from --config
-(default: <root>/lint.toml). Prints a human-readable table, or a JSON
-report with --json.
+(default: <root>/lint.toml); entries that suppress nothing are errors.
+Prints a human-readable table, or a JSON report with --json; --sarif
+additionally writes a SARIF 2.1.0 log for CI annotation.
+
+`explain RULE` prints the invariant a rule guards and why it matters
+(e.g. `pioqo-lint explain D9`).
 
 `trace-check` validates exported Chrome trace JSON (from `repro --trace`)
 against the exporter's event schema.
 
-Exits 0 when clean, 1 on violations/malformed traces, 2 on errors.";
+Exits 0 when clean, 1 on violations/stale allows/malformed traces, 2 on
+errors.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,15 +64,19 @@ fn run(args: &[String]) -> Result<i32, LintError> {
     if command == "trace-check" {
         return run_trace_check(rest);
     }
+    if command == "explain" {
+        return run_explain(rest);
+    }
     if command != "check" {
         return Err(LintError(format!(
-            "unknown command {command:?}; only `check` and `trace-check` are supported"
+            "unknown command {command:?}; only `check`, `explain`, and `trace-check` are supported"
         )));
     }
 
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut json = false;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -81,6 +93,12 @@ fn run(args: &[String]) -> Result<i32, LintError> {
                     })?));
             }
             "--json" => json = true,
+            "--sarif" => {
+                sarif_path =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LintError("--sarif needs a file path".to_string())
+                    })?));
+            }
             other => return Err(LintError(format!("unknown flag {other:?}"))),
         }
     }
@@ -89,6 +107,10 @@ fn run(args: &[String]) -> Result<i32, LintError> {
     let config = load_config(&config_path)?;
     let report = check_workspace(&root, &config)?;
 
+    if let Some(path) = sarif_path {
+        std::fs::write(&path, report.to_sarif())
+            .map_err(|e| LintError(format!("cannot write {}: {e}", path.display())))?;
+    }
     if json {
         let rendered = serde_json::to_string_pretty(&report)
             .map_err(|e| LintError(format!("cannot serialize report: {e}")))?;
@@ -98,6 +120,26 @@ fn run(args: &[String]) -> Result<i32, LintError> {
         print_out(table.trim_end_matches('\n'));
     }
     Ok(if report.is_clean() { 0 } else { 1 })
+}
+
+/// Print the rationale for one rule identifier.
+fn run_explain(args: &[String]) -> Result<i32, LintError> {
+    let [rule] = args else {
+        return Err(LintError(
+            "explain takes exactly one rule identifier (e.g. `pioqo-lint explain D9`)".to_string(),
+        ));
+    };
+    let id = rule.to_ascii_uppercase();
+    match pioqo_lint::explain::rationale(&id) {
+        Some(text) => {
+            print_out(text);
+            Ok(0)
+        }
+        None => Err(LintError(format!(
+            "unknown rule {rule:?}; known rules: {}",
+            pioqo_lint::rules::RULE_IDS.join(", ")
+        ))),
+    }
 }
 
 /// Validate each named Chrome trace JSON file against the exporter's

@@ -1,0 +1,751 @@
+//! A lightweight Rust syntax layer over the masked token stream.
+//!
+//! The flow-sensitive rules (D8-D11) need more than token hits: they ask
+//! *which function* a call sits in, *which loop body* an identifier is
+//! used in, *what type* a field was declared with, and *which items* carry
+//! a `#[deprecated]` attribute. This module parses exactly that much
+//! structure out of the masked source (see [`crate::lexer`]) — no rustc,
+//! no `syn`, no allocation beyond the token vector — and nothing more.
+//! It is a best-effort structural view: the workspace's own style (rustfmt,
+//! no macros defining items, test modules last) is assumed, and anything
+//! the parser cannot shape is simply invisible to the flow rules rather
+//! than an error.
+//!
+//! The pipeline is `lexer::mask_source` → [`tokenize`] → [`Syntax::parse`]
+//! → [`crate::cfg`] (per-function control-flow graphs) → the rules.
+
+use crate::lexer::is_ident_char;
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `issue_time`, `SimRng`).
+    Ident,
+    /// Numeric literal (`42`, `0xC1`, `1u64`).
+    Number,
+    /// Any single punctuation byte (`{`, `?`, `+`, ...).
+    Punct(u8),
+}
+
+/// One token of the masked source, with its byte span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Split masked source into identifier / number / punctuation tokens.
+///
+/// Comments and literals were already blanked by the lexer, so whitespace
+/// is the only other content and is skipped.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_char(c) {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let kind = if c.is_ascii_digit() {
+                TokKind::Number
+            } else {
+                TokKind::Ident
+            };
+            out.push(Token {
+                kind,
+                start,
+                end: i,
+            });
+        } else {
+            out.push(Token {
+                kind: TokKind::Punct(c),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A `{ ... }` region, by token index.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// Token index of the opening `{`.
+    pub open: usize,
+    /// Token index of the closing `}` (or one past the last token when
+    /// the source is truncated/unbalanced).
+    pub close: usize,
+    /// Enclosing block, if any.
+    pub parent: Option<usize>,
+}
+
+/// A `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_tok: usize,
+    /// Index into [`Syntax::blocks`] of the body block.
+    pub body: usize,
+    /// Name of the `impl` target type when the fn sits directly in an
+    /// `impl` block (`Db` for `impl Db { fn create ... }`).
+    pub impl_type: Option<String>,
+}
+
+/// A `for` / `while` / `loop` construct.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopItem {
+    /// Token index of the loop keyword.
+    pub kw: usize,
+    /// Header token range `(kw, body-open)` — loop variable and iterator
+    /// for `for`, condition for `while`, empty for `loop`.
+    pub header_start: usize,
+    /// One past the last header token.
+    pub header_end: usize,
+    /// Index into [`Syntax::blocks`] of the body block.
+    pub body: usize,
+}
+
+/// A `let NAME = rhs;` binding of a plain identifier (pattern bindings
+/// such as `let Some(x) = ...` are not recorded).
+#[derive(Debug, Clone)]
+pub struct LetBind {
+    /// The bound name.
+    pub name: String,
+    /// Token index of the bound name.
+    pub name_tok: usize,
+    /// First token of the initializer expression.
+    pub rhs_start: usize,
+    /// One past the last initializer token.
+    pub rhs_end: usize,
+}
+
+/// An item declared `#[deprecated]`.
+#[derive(Debug, Clone)]
+pub struct DeprecatedItem {
+    /// The item's name.
+    pub name: String,
+    /// `impl` target type when declared inside an `impl` block.
+    pub impl_type: Option<String>,
+}
+
+/// The parsed structural view of one file.
+pub struct Syntax {
+    /// All tokens of the masked source.
+    pub tokens: Vec<Token>,
+    /// All brace blocks, in opening order.
+    pub blocks: Vec<Block>,
+    /// All `fn` items with bodies.
+    pub fns: Vec<FnItem>,
+    /// All loop constructs.
+    pub loops: Vec<LoopItem>,
+    /// All plain `let NAME = ...;` bindings.
+    pub lets: Vec<LetBind>,
+    /// Identifiers declared with a `SimTime` / `SimDuration` type
+    /// annotation anywhere in the file (struct fields, `let` annotations,
+    /// fn parameters).
+    pub time_typed: std::collections::BTreeSet<String>,
+    /// Items carrying `#[deprecated]`.
+    pub deprecated: Vec<DeprecatedItem>,
+}
+
+impl Syntax {
+    /// Parse the masked source of one file.
+    pub fn parse(masked: &str) -> Syntax {
+        let tokens = tokenize(masked);
+        let blocks = find_blocks(&tokens);
+        let fns = find_fns(masked, &tokens, &blocks);
+        let loops = find_loops(masked, &tokens, &blocks);
+        let lets = find_lets(masked, &tokens);
+        let time_typed = find_time_typed(masked, &tokens);
+        let deprecated = find_deprecated(masked, &tokens, &blocks, &fns);
+        Syntax {
+            tokens,
+            blocks,
+            fns,
+            loops,
+            lets,
+            time_typed,
+            deprecated,
+        }
+    }
+
+    /// The source text of token `i`.
+    pub fn text<'a>(&self, masked: &'a str, i: usize) -> &'a str {
+        let t = self.tokens[i];
+        &masked[t.start..t.end]
+    }
+
+    /// True when token `i` is the identifier `word`.
+    pub fn is_word(&self, masked: &str, i: usize, word: &str) -> bool {
+        matches!(self.tokens[i].kind, TokKind::Ident) && self.text(masked, i) == word
+    }
+
+    /// Innermost block whose span contains token `i`, if any.
+    pub fn enclosing_block(&self, i: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (b, blk) in self.blocks.iter().enumerate() {
+            if blk.open < i && i < blk.close {
+                let better = match best {
+                    None => true,
+                    Some(prev) => self.blocks[prev].open < blk.open,
+                };
+                if better {
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+
+    /// True when token `i` lies inside block `b` (exclusive of the braces).
+    pub fn block_contains(&self, b: usize, i: usize) -> bool {
+        let blk = self.blocks[b];
+        blk.open < i && i < blk.close
+    }
+
+    /// The function whose body contains token `i`, if any (innermost).
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        let mut best: Option<&FnItem> = None;
+        for f in &self.fns {
+            if self.block_contains(f.body, i) {
+                let better = match best {
+                    None => true,
+                    Some(prev) => self.blocks[prev.body].open < self.blocks[f.body].open,
+                };
+                if better {
+                    best = Some(f);
+                }
+            }
+        }
+        best
+    }
+
+    /// Loops whose body contains token `i`, innermost last.
+    pub fn enclosing_loops(&self, i: usize) -> Vec<&LoopItem> {
+        let mut hits: Vec<&LoopItem> = self
+            .loops
+            .iter()
+            .filter(|l| self.block_contains(l.body, i))
+            .collect();
+        hits.sort_by_key(|l| self.blocks[l.body].open);
+        hits
+    }
+}
+
+/// Match `{` / `}` pairs into a block tree.
+fn find_blocks(tokens: &[Token]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                let parent = stack.last().copied();
+                stack.push(blocks.len());
+                blocks.push(Block {
+                    open: i,
+                    close: tokens.len(),
+                    parent,
+                });
+            }
+            TokKind::Punct(b'}') => {
+                if let Some(b) = stack.pop() {
+                    blocks[b].close = i;
+                }
+            }
+            _ => {}
+        }
+    }
+    blocks
+}
+
+/// The `impl` target type of the block opening at token `open`, when the
+/// tokens introducing that block form an `impl` header.
+fn impl_type_of(masked: &str, tokens: &[Token], open: usize) -> Option<String> {
+    // Walk back to the start of the item header: the previous `;`, `{`,
+    // or `}` at the same level ends the preceding item.
+    let mut start = open;
+    while start > 0 {
+        match tokens[start - 1].kind {
+            TokKind::Punct(b';')
+            | TokKind::Punct(b'{')
+            | TokKind::Punct(b'}')
+            | TokKind::Punct(b']') => break,
+            _ => start -= 1,
+        }
+    }
+    let header = &tokens[start..open];
+    let word = |t: &Token| &masked[t.start..t.end];
+    let impl_pos = header
+        .iter()
+        .position(|t| matches!(t.kind, TokKind::Ident) && word(t) == "impl")?;
+    // `impl Type {` names the type directly; `impl Trait for Type {` names
+    // it after `for`. Generics (`impl<'a> ...`) are skipped by taking the
+    // *last* plain identifier before `{` that is not inside `<...>`.
+    let mut angle = 0i32;
+    let mut after_for = None;
+    let mut last_ident = None;
+    for t in header.iter().skip(impl_pos + 1) {
+        match t.kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') => angle -= 1,
+            TokKind::Ident if angle == 0 => {
+                let w = word(t);
+                if w == "for" {
+                    after_for = Some(());
+                    last_ident = None;
+                } else if w != "where" && last_ident.is_none() {
+                    last_ident = Some(w.to_string());
+                }
+            }
+            _ => {}
+        }
+        if after_for.is_some() && last_ident.is_some() {
+            break;
+        }
+    }
+    last_ident
+}
+
+/// Find every `fn` item that has a body block.
+fn find_fns(masked: &str, tokens: &[Token], blocks: &[Block]) -> Vec<FnItem> {
+    let word = |i: usize| &masked[tokens[i].start..tokens[i].end];
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if matches!(tokens[i].kind, TokKind::Ident)
+            && word(i) == "fn"
+            && matches!(tokens[i + 1].kind, TokKind::Ident)
+        {
+            let name_tok = i + 1;
+            // The body is the next `{` at bracket depth 0; a `;` first
+            // means a bodyless declaration (trait method, extern).
+            let mut depth = 0i32;
+            let mut j = name_tok + 1;
+            let mut body = None;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                    TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                    TokKind::Punct(b'{') if depth == 0 => {
+                        body = blocks.iter().position(|b| b.open == j);
+                        break;
+                    }
+                    TokKind::Punct(b';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                let impl_type = blocks[body]
+                    .parent
+                    .and_then(|p| impl_type_of(masked, tokens, blocks[p].open));
+                fns.push(FnItem {
+                    name: word(name_tok).to_string(),
+                    name_tok,
+                    body,
+                    impl_type,
+                });
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Find `for` / `while` / `loop` constructs with their header spans.
+fn find_loops(masked: &str, tokens: &[Token], blocks: &[Block]) -> Vec<LoopItem> {
+    let word = |i: usize| &masked[tokens[i].start..tokens[i].end];
+    let mut loops = Vec::new();
+    for i in 0..tokens.len() {
+        if !matches!(tokens[i].kind, TokKind::Ident) {
+            continue;
+        }
+        let kw = word(i);
+        if kw != "for" && kw != "while" && kw != "loop" {
+            continue;
+        }
+        // `impl Trait for Type` and `for<'a>` bounds reuse the keyword: a
+        // genuine loop never follows an identifier or a closing `>`.
+        if i > 0 {
+            match tokens[i - 1].kind {
+                TokKind::Ident | TokKind::Punct(b'>') => continue,
+                _ => {}
+            }
+        }
+        // The body is the next `{` at depth 0; hitting `;` or `}` first
+        // means this was not a loop after all (e.g. an HRTB bound).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut body = None;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                TokKind::Punct(b'{') if depth == 0 => {
+                    body = blocks.iter().position(|b| b.open == j);
+                    break;
+                }
+                TokKind::Punct(b';') | TokKind::Punct(b'}') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            loops.push(LoopItem {
+                kw: i,
+                header_start: i + 1,
+                header_end: blocks[body].open,
+                body,
+            });
+        }
+    }
+    loops
+}
+
+/// Record every `let NAME = rhs;` binding of a plain identifier.
+fn find_lets(masked: &str, tokens: &[Token]) -> Vec<LetBind> {
+    let word = |i: usize| &masked[tokens[i].start..tokens[i].end];
+    let mut lets = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(matches!(tokens[i].kind, TokKind::Ident) && word(i) == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < tokens.len() && matches!(tokens[j].kind, TokKind::Ident) && word(j) == "mut" {
+            j += 1;
+        }
+        if j >= tokens.len() || !matches!(tokens[j].kind, TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name_tok = j;
+        // A plain binding is `let [mut] NAME [: Type] = ...;` — a `(`,
+        // `::` or `{` right after the name means a pattern, not a binding.
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        let mut eq = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'{') if eq.is_none() => break,
+                TokKind::Punct(b':')
+                    if eq.is_none()
+                        && k + 1 < tokens.len()
+                        && matches!(tokens[k + 1].kind, TokKind::Punct(b':')) =>
+                {
+                    break; // `let Enum::Variant(..)` path pattern
+                }
+                TokKind::Punct(b'<') => depth += 1,
+                TokKind::Punct(b'>') => depth -= 1,
+                TokKind::Punct(b'=')
+                    if depth == 0
+                        && eq.is_none()
+                        && tokens
+                            .get(k + 1)
+                            .is_none_or(|t| !matches!(t.kind, TokKind::Punct(b'='))) =>
+                {
+                    eq = Some(k);
+                    break;
+                }
+                TokKind::Punct(b';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            i = j;
+            continue;
+        };
+        // The initializer runs to the `;` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut end = eq + 1;
+        while end < tokens.len() {
+            match tokens[end].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => depth -= 1,
+                TokKind::Punct(b';') if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        lets.push(LetBind {
+            name: word(name_tok).to_string(),
+            name_tok,
+            rhs_start: eq + 1,
+            rhs_end: end,
+        });
+        i = eq + 1;
+    }
+    lets
+}
+
+/// Identifiers annotated `: SimTime` or `: SimDuration` anywhere in the
+/// file: struct fields, fn parameters, and `let` type ascriptions.
+fn find_time_typed(masked: &str, tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let word = |i: usize| &masked[tokens[i].start..tokens[i].end];
+    let mut typed = std::collections::BTreeSet::new();
+    for i in 1..tokens.len().saturating_sub(1) {
+        if !matches!(tokens[i].kind, TokKind::Punct(b':')) {
+            continue;
+        }
+        // Skip `::` path separators on either side.
+        if matches!(tokens[i - 1].kind, TokKind::Punct(b':'))
+            || matches!(tokens[i + 1].kind, TokKind::Punct(b':'))
+        {
+            continue;
+        }
+        if !matches!(tokens[i - 1].kind, TokKind::Ident) {
+            continue;
+        }
+        // Scan the type expression (until a `,`/`;`/`=`/`)`/`{`/`>` at
+        // depth 0) for the wrapper names.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut is_time = false;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct(b'<') | TokKind::Punct(b'(') => depth += 1,
+                TokKind::Punct(b')') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(b'>') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(b',')
+                | TokKind::Punct(b';')
+                | TokKind::Punct(b'=')
+                | TokKind::Punct(b'{')
+                | TokKind::Punct(b'}')
+                    if depth == 0 =>
+                {
+                    break
+                }
+                TokKind::Ident => {
+                    let w = word(j);
+                    if w == "SimTime" || w == "SimDuration" {
+                        is_time = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if is_time {
+            typed.insert(word(i - 1).to_string());
+        }
+    }
+    typed
+}
+
+/// Find every `fn` declared under a `#[deprecated]` attribute.
+fn find_deprecated(
+    masked: &str,
+    tokens: &[Token],
+    _blocks: &[Block],
+    fns: &[FnItem],
+) -> Vec<DeprecatedItem> {
+    let word = |i: usize| &masked[tokens[i].start..tokens[i].end];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        let is_attr_open = matches!(tokens[i].kind, TokKind::Punct(b'#'))
+            && matches!(tokens[i + 1].kind, TokKind::Punct(b'['))
+            && matches!(tokens[i + 2].kind, TokKind::Ident)
+            && word(i + 2) == "deprecated";
+        if !is_attr_open {
+            i += 1;
+            continue;
+        }
+        // Close the attribute, then skip further attributes and modifiers
+        // until the `fn` keyword (or give up at the next item boundary).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j += 1;
+        let mut fn_name_tok = None;
+        while j + 1 < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct(b'#') => {
+                    // Skip the chained attribute.
+                    let mut d = 0i32;
+                    j += 1;
+                    while j < tokens.len() {
+                        match tokens[j].kind {
+                            TokKind::Punct(b'[') => d += 1,
+                            TokKind::Punct(b']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                TokKind::Ident if word(j) == "fn" => {
+                    if matches!(tokens[j + 1].kind, TokKind::Ident) {
+                        fn_name_tok = Some(j + 1);
+                    }
+                    break;
+                }
+                TokKind::Ident => j += 1, // pub, const, async, ...
+                TokKind::Punct(b'(') | TokKind::Punct(b')') => j += 1, // pub(crate)
+                _ => break,
+            }
+        }
+        if let Some(name_tok) = fn_name_tok {
+            let impl_type = fns
+                .iter()
+                .find(|f| f.name_tok == name_tok)
+                .and_then(|f| f.impl_type.clone());
+            out.push(DeprecatedItem {
+                name: word(name_tok).to_string(),
+                impl_type,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> (String, Syntax) {
+        let masked = crate::lexer::mask_source(src);
+        let syn = Syntax::parse(&masked);
+        (masked, syn)
+    }
+
+    #[test]
+    fn tokenizes_idents_numbers_punct() {
+        let toks = tokenize("let x_ns = 0xFF + f(2);");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds[0], TokKind::Ident); // let
+        assert_eq!(kinds[1], TokKind::Ident); // x_ns
+        assert_eq!(kinds[3], TokKind::Number); // 0xFF
+        assert_eq!(kinds[4], TokKind::Punct(b'+'));
+    }
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let (_, syn) = parse("fn a() { 1 }\nimpl Db { pub fn create(x: u32) -> Db { x } }\n");
+        let names: Vec<_> = syn.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "create"]);
+        assert_eq!(syn.fns[1].impl_type.as_deref(), Some("Db"));
+    }
+
+    #[test]
+    fn impl_for_names_the_target_type() {
+        let (_, syn) = parse("impl<'a> Planner for Qdtt<'a> { fn admit(&self) { } }\n");
+        assert_eq!(syn.fns[0].impl_type.as_deref(), Some("Qdtt"));
+    }
+
+    #[test]
+    fn finds_loops_not_impl_for() {
+        let (m, syn) =
+            parse("impl Show for X { fn go(&self) { for s in 0..self.n { work(s); } } }\n");
+        assert_eq!(syn.loops.len(), 1);
+        let l = &syn.loops[0];
+        let header: Vec<_> = (l.header_start..l.header_end)
+            .map(|i| syn.text(&m, i).to_string())
+            .collect();
+        assert!(header.contains(&"s".to_string()));
+    }
+
+    #[test]
+    fn finds_let_bindings_with_rhs() {
+        let (m, syn) = parse("fn f() { let due = now - lag; use_it(due); }\n");
+        assert_eq!(syn.lets.len(), 1);
+        let b = &syn.lets[0];
+        assert_eq!(b.name, "due");
+        let rhs: Vec<_> = (b.rhs_start..b.rhs_end)
+            .map(|i| syn.text(&m, i).to_string())
+            .collect();
+        assert_eq!(rhs, vec!["now", "-", "lag"]);
+    }
+
+    #[test]
+    fn pattern_lets_are_skipped() {
+        let (_, syn) = parse("fn f() { let Some(x) = opt else { return; }; }\n");
+        assert!(syn.lets.is_empty());
+    }
+
+    #[test]
+    fn time_typed_collects_fields_params_and_ascriptions() {
+        let (_, syn) = parse(
+            "struct S { issue_time: SimTime, grace: Option<SimDuration>, n: u64 }\n\
+             fn f(deadline: SimTime) { let t: SimDuration = d; }\n",
+        );
+        assert!(syn.time_typed.contains("issue_time"));
+        assert!(syn.time_typed.contains("grace"));
+        assert!(syn.time_typed.contains("deadline"));
+        assert!(syn.time_typed.contains("t"));
+        assert!(!syn.time_typed.contains("n"));
+    }
+
+    #[test]
+    fn deprecated_items_record_impl_type() {
+        let (_, syn) = parse(
+            "#[deprecated(note = \"x\")]\npub fn run_fts() { }\n\
+             impl Db { #[deprecated]\n#[allow(dead_code)]\npub fn create() { } }\n",
+        );
+        let got: Vec<_> = syn
+            .deprecated
+            .iter()
+            .map(|d| (d.impl_type.as_deref(), d.name.as_str()))
+            .collect();
+        assert_eq!(got, vec![(None, "run_fts"), (Some("Db"), "create")]);
+    }
+
+    #[test]
+    fn enclosing_fn_and_loop_nesting() {
+        let (m, syn) = parse("fn outer() { loop { inner_call(); } }\n");
+        let call_tok = syn
+            .tokens
+            .iter()
+            .position(|t| &m[t.start..t.end] == "inner_call")
+            .expect("call token present in source");
+        assert_eq!(
+            syn.enclosing_fn(call_tok).map(|f| f.name.as_str()),
+            Some("outer")
+        );
+        assert_eq!(syn.enclosing_loops(call_tok).len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares the freshly generated benchmark report (``BENCH_pr6.json`` by
+default) against the latest *previously committed* ``BENCH_*.json`` and
+fails when any shared throughput-style metric regressed by more than the
+allowed fraction (default 10%).
+
+Rules:
+
+- Only metrics present in BOTH reports are compared (sections and scalar
+  keys may come and go across PRs); every skipped metric is printed so a
+  shrinking comparison surface is visible in the CI log.
+- "Bigger is better" metrics (``*_per_sec``, ``queries_per_wall_s``)
+  fail when ``new < old * (1 - tolerance)``.
+- "Smaller is better" metrics (``*_wall_s``, ``wall_s_per_run``,
+  ``overhead_ratio``) fail when ``new > old * (1 + tolerance)``.
+- Counters (``events``, ``accesses``, ``runs``, ...) are informational
+  only: a changed workload size is a bench change, not a regression.
+- ``speedup`` leaves are informational too: each one is a ratio of two
+  metrics that are gated individually, and gating the ratio would fail
+  a report where the *denominator* improved (e.g. the reference
+  backend getting faster) with no regression anywhere.
+- Hard invariant, checked regardless of the baseline: the event queue's
+  batch drain must not be slower than repeated single pops
+  (``event_queue.pop_batch_events_per_sec >= event_queue.pop_events_per_sec``).
+
+Usage: scripts/bench_gate.py [NEW_REPORT] [--tolerance 0.10]
+Exit status: 0 pass, 1 regression, 2 usage/missing-file errors.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.10
+
+HIGHER_IS_BETTER = re.compile(r"(_per_sec|_per_wall_s)$")
+LOWER_IS_BETTER = re.compile(r"(_wall_s|wall_s_per_run|overhead_ratio)$")
+
+
+def flatten(report, prefix=""):
+    """Yield (dotted_path, value) for every scalar leaf."""
+    for key, value in report.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from flatten(value, f"{path}.")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield path, float(value)
+
+
+def latest_baseline(repo_root, new_path):
+    """The highest-numbered committed BENCH_pr<N>.json other than the new one."""
+    candidates = []
+    for p in repo_root.glob("BENCH_pr*.json"):
+        if p.resolve() == new_path.resolve():
+            continue
+        m = re.match(r"BENCH_pr(\d+)\.json$", p.name)
+        if m:
+            candidates.append((int(m.group(1)), p))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def main(argv):
+    tolerance = TOLERANCE
+    args = []
+    it = iter(argv)
+    for a in it:
+        if a == "--tolerance":
+            tolerance = float(next(it, "nan"))
+        else:
+            args.append(a)
+    if tolerance != tolerance:  # NaN: --tolerance without a value
+        print("bench_gate: --tolerance needs a value", file=sys.stderr)
+        return 2
+
+    repo_root = Path(__file__).resolve().parent.parent
+    new_path = Path(args[0]) if args else repo_root / "BENCH_pr6.json"
+    if not new_path.is_file():
+        print(f"bench_gate: new report {new_path} not found", file=sys.stderr)
+        return 2
+    new = json.loads(new_path.read_text())
+
+    failures = []
+
+    # Hard invariant: the batched drain exists to be faster than pop().
+    eq = new.get("event_queue", {})
+    pop = eq.get("pop_events_per_sec")
+    pop_batch = eq.get("pop_batch_events_per_sec")
+    if pop is None or pop_batch is None:
+        failures.append("event_queue pop/pop_batch throughput missing from new report")
+    elif pop_batch < pop:
+        failures.append(
+            f"pop_batch ({pop_batch:.0f} ev/s) slower than pop ({pop:.0f} ev/s): "
+            "batch drain must not lose to repeated single pops"
+        )
+    else:
+        print(f"ok   event_queue: pop_batch {pop_batch:.0f} >= pop {pop:.0f} ev/s")
+
+    baseline_path = latest_baseline(repo_root, new_path)
+    if baseline_path is None:
+        print("bench_gate: no committed baseline BENCH_pr*.json; invariants only")
+    else:
+        print(f"baseline: {baseline_path.name}  new: {new_path.name}  tolerance: {tolerance:.0%}")
+        old_metrics = dict(flatten(json.loads(baseline_path.read_text())))
+        new_metrics = dict(flatten(new))
+        shared = sorted(set(old_metrics) & set(new_metrics))
+        for path in sorted(set(old_metrics) ^ set(new_metrics)):
+            side = "baseline" if path in old_metrics else "new"
+            print(f"skip {path}: only in {side} report")
+        for path in shared:
+            old_v, new_v = old_metrics[path], new_metrics[path]
+            leaf = path.rsplit(".", 1)[-1]
+            if HIGHER_IS_BETTER.search(leaf):
+                bad = old_v > 0 and new_v < old_v * (1.0 - tolerance)
+                direction = ">="
+            elif LOWER_IS_BETTER.search(leaf):
+                bad = old_v > 0 and new_v > old_v * (1.0 + tolerance)
+                direction = "<="
+            elif leaf == "speedup":
+                print(f"info {path}: {old_v:g} -> {new_v:g} (derived ratio, not gated)")
+                continue
+            else:
+                print(f"info {path}: {old_v:g} -> {new_v:g} (counter, not gated)")
+                continue
+            delta = (new_v - old_v) / old_v * 100.0 if old_v else 0.0
+            line = f"{path}: {old_v:g} -> {new_v:g} ({delta:+.1f}%, want {direction} baseline)"
+            if bad:
+                failures.append(line)
+            else:
+                print(f"ok   {line}")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
