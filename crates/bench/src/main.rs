@@ -5,7 +5,7 @@
 //! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace]
 //! ```
 //!
-//! Measures five things and emits a JSON report (default `BENCH_pr6.json`
+//! Measures six things and emits a JSON report (default `BENCH_pr7.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
@@ -19,10 +19,15 @@
 //!    workload under QDTT-aware admission control (calibration + engine
 //!    run + exports), with the engine's simulated makespan alongside so
 //!    sim-time-per-wall-second is legible.
-//! 5. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//! 5. **Write path** — commits/sec through the crash-consistent write
+//!    workload (WAL group commit + background flusher), and the wall cost
+//!    of one crash + replay-from-origin recovery cycle.
+//! 6. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
 //!    harness threads (the repro binary is built on demand), plus the
 //!    host's logical CPU count so single-core machines are legible in the
-//!    artifact.
+//!    artifact. The 1-vs-4 ratio is recorded as the named leaf
+//!    `threads_1v4_speedup`, which `scripts/bench_gate.py` warns on
+//!    (non-fatally) when it drops below 1.0.
 //!
 //! `--trace` runs only the tracing comparison (quick check of the
 //! overhead ratio; the report's other sections are null).
@@ -31,15 +36,20 @@
 //! look at the real clock; see `lint.toml`).
 
 use pioqo_bufpool::{Access, BufferPool};
+use pioqo_device::{presets, CrashPlan, Crashable, MediaStore};
+use pioqo_exec::{
+    drive_writes, recover, CpuConfig, CpuCosts, ExecError, SimContext, WriteConfig, WriteSystem,
+};
 use pioqo_obs::RingSink;
-use pioqo_simkit::{EventQueue, SimRng, SimTime};
+use pioqo_simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use pioqo_storage::{HeapTable, TableSpec, Tablespace};
 use pioqo_workload::{session_export, Experiment, ExperimentConfig, MethodSpec};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr6.json");
+    let mut out_path = PathBuf::from("BENCH_pr7.json");
     let mut json = false;
     let mut trace_only = false;
     let mut args = std::env::args().skip(1);
@@ -69,26 +79,19 @@ fn main() {
     eprintln!("[bench] host logical CPUs: {cpus}");
 
     let tr = bench_tracing();
-    let (eq, bp, conc, e2e) = if trace_only {
-        (None, None, None, None)
+    let sections = if trace_only {
+        Sections::default()
     } else {
-        (
-            Some(bench_event_queue()),
-            Some(bench_bufpool()),
-            Some(bench_concurrency()),
-            Some(bench_end_to_end(scale)),
-        )
+        Sections {
+            eq: Some(bench_event_queue()),
+            bp: Some(bench_bufpool()),
+            conc: Some(bench_concurrency()),
+            wp: Some(bench_write_path()),
+            e2e: Some(bench_end_to_end(scale)),
+        }
     };
 
-    let report = render_json(
-        cpus,
-        scale,
-        eq.as_ref(),
-        bp.as_ref(),
-        &tr,
-        conc.as_ref(),
-        e2e.as_ref(),
-    );
+    let report = render_json(cpus, scale, &tr, &sections);
     if json {
         println!("{report}");
     }
@@ -359,6 +362,117 @@ fn bench_concurrency() -> ConcurrencyBench {
     }
 }
 
+/// Commit throughput of the crash-consistent write workload and the wall
+/// cost of a crash + replay-from-origin recovery cycle.
+struct WritePathBench {
+    commits: u64,
+    wal_records: u64,
+    commits_per_sec: f64,
+    recover_wall_s: f64,
+    pages_verified: u64,
+}
+
+/// Drive the WAL-backed write workload (group commit + background
+/// flusher) to completion on a simulated SSD and time it wall-clock, then
+/// crash the identical workload halfway through, corrupt-and-replay, and
+/// time `recover` alone. Best-of-three per side, same rationale as the
+/// other short loops.
+fn bench_write_path() -> WritePathBench {
+    let seed = 7u64;
+    let spec = TableSpec::paper_table(33, 20_000, seed);
+    let mut ts = Tablespace::new(spec.n_pages() + 4_200);
+    let table = HeapTable::create(spec, &mut ts).expect("bench table fits");
+    let wal_extent = ts.alloc("wal", 4_096).expect("bench WAL fits");
+    let capacity = ts.capacity();
+    let cfg = WriteConfig {
+        writers: 8,
+        commits_per_writer: 64,
+        think: SimDuration::from_micros_f64(300.0),
+        group_commit: SimDuration::from_micros_f64(150.0),
+        flush_interval: SimDuration::from_micros_f64(500.0),
+        flush_batch: 8,
+        seed,
+        ..WriteConfig::default()
+    };
+    let base_media = || {
+        let mut m = MediaStore::new(table.spec().page_size);
+        for local in 0..table.n_pages() {
+            m.write(table.device_page(local), &table.page_image(local));
+        }
+        m
+    };
+
+    // Crash-free side: commits acked per wall second.
+    let mut commits = 0u64;
+    let mut wal_records = 0u64;
+    let mut end = SimDuration::ZERO;
+    let mut clean_s = f64::INFINITY;
+    for _ in 0..3 {
+        let mut dev = presets::consumer_pcie_ssd(capacity, seed ^ 0xD);
+        let mut pool = BufferPool::new(1024);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let mut ws = WriteSystem::new(cfg.clone(), &table, wal_extent, base_media());
+        let started = Instant::now();
+        drive_writes(&mut ctx, &mut ws).expect("clean device cannot fail");
+        clean_s = clean_s.min(started.elapsed().as_secs_f64());
+        let stats = ws.stats();
+        commits = stats.commits_acked;
+        wal_records = stats.wal_records;
+        end = ctx.now().since(SimTime::ZERO);
+    }
+
+    // Crash side: same workload torn mid-flight, then recovery alone.
+    let mut recover_wall_s = f64::INFINITY;
+    let mut pages_verified = 0u64;
+    for _ in 0..3 {
+        let at = SimTime::ZERO + end * 0.5;
+        let inner = presets::consumer_pcie_ssd(capacity, seed ^ 0xD);
+        let mut dev = Crashable::new(inner, CrashPlan::at(at, seed ^ 0xC1));
+        let mut pool = BufferPool::new(1024);
+        let mut ws = {
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            let mut ws = WriteSystem::new(cfg.clone(), &table, wal_extent, base_media());
+            let r = drive_writes(&mut ctx, &mut ws);
+            assert!(
+                matches!(r, Err(ExecError::Crashed)),
+                "mid-workload crash must surface as Crashed, got {r:?}"
+            );
+            ws
+        };
+        let report = dev.crash_report().expect("crashed device has a report");
+        ws.apply_crash(report, seed ^ 0xC1);
+        let mut media = ws.into_media();
+        let started = Instant::now();
+        let rec = recover(&mut media, wal_extent, table.spec(), table.extent());
+        recover_wall_s = recover_wall_s.min(started.elapsed().as_secs_f64());
+        assert!(rec.fully_recovered(), "bench crash must recover: {rec:?}");
+        pages_verified = rec.pages_verified;
+    }
+
+    eprintln!(
+        "[bench] write path: {commits} commits / {wal_records} WAL records, \
+         {:.0} commits/s; recovery {recover_wall_s:.4}s ({pages_verified} pages verified)",
+        commits as f64 / clean_s
+    );
+    WritePathBench {
+        commits,
+        wal_records,
+        commits_per_sec: commits as f64 / clean_s,
+        recover_wall_s,
+        pages_verified,
+    }
+}
+
 /// Wall seconds of `repro all --scale N` at the given thread count, or
 /// `None` when the run failed.
 struct EndToEndBench {
@@ -434,15 +548,24 @@ fn json_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), json_num)
 }
 
-fn render_json(
-    cpus: usize,
-    scale: u64,
-    eq: Option<&EventQueueBench>,
-    bp: Option<&BufpoolBench>,
-    tr: &TracingBench,
-    conc: Option<&ConcurrencyBench>,
-    e2e: Option<&EndToEndBench>,
-) -> String {
+/// The measurement sections skipped under `--trace`.
+#[derive(Default)]
+struct Sections {
+    eq: Option<EventQueueBench>,
+    bp: Option<BufpoolBench>,
+    conc: Option<ConcurrencyBench>,
+    wp: Option<WritePathBench>,
+    e2e: Option<EndToEndBench>,
+}
+
+fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) -> String {
+    let Sections {
+        eq,
+        bp,
+        conc,
+        wp,
+        e2e,
+    } = sections;
     let eq_json = match eq {
         Some(eq) => format!(
             "{{\n    \"events\": {},\n    \"pop_events_per_sec\": {},\n    \"pop_batch_events_per_sec\": {},\n    \"speedup\": {}\n  }}",
@@ -484,6 +607,17 @@ fn render_json(
         ),
         None => "null".to_string(),
     };
+    let wp_json = match wp {
+        Some(w) => format!(
+            "{{\n    \"commits\": {},\n    \"wal_records\": {},\n    \"commits_per_sec\": {},\n    \"recover_wall_s\": {},\n    \"pages_verified\": {}\n  }}",
+            w.commits,
+            w.wal_records,
+            json_num(w.commits_per_sec),
+            json_num(w.recover_wall_s),
+            w.pages_verified,
+        ),
+        None => "null".to_string(),
+    };
     let e2e_json = match e2e {
         Some(e2e) => {
             let speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
@@ -491,7 +625,7 @@ fn render_json(
                 _ => "null".to_string(),
             };
             format!(
-                "{{\n    \"target\": \"all\",\n    \"scale\": {scale},\n    \"threads_1_wall_s\": {},\n    \"threads_4_wall_s\": {},\n    \"speedup\": {}\n  }}",
+                "{{\n    \"target\": \"all\",\n    \"scale\": {scale},\n    \"threads_1_wall_s\": {},\n    \"threads_4_wall_s\": {},\n    \"threads_1v4_speedup\": {}\n  }}",
                 json_opt(e2e.threads_1_s),
                 json_opt(e2e.threads_4_s),
                 speedup,
@@ -500,6 +634,6 @@ fn render_json(
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr6\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
+        "{{\n  \"bench\": \"pr7\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"write_path\": {wp_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

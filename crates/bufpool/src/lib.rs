@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod wal;
+
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -34,17 +36,22 @@ pub enum Access {
 /// Errors from pool operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
-    /// Every frame is pinned; nothing can be evicted.
+    /// Every frame is pinned or dirty; nothing can be evicted.
     AllPinned,
     /// `unpin` on a page that is not resident or not pinned.
     NotPinned(u64),
+    /// A dirty-bit operation on a page that is not resident.
+    NotResident(u64),
 }
 
 impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PoolError::AllPinned => write!(f, "buffer pool exhausted: all frames pinned"),
+            PoolError::AllPinned => {
+                write!(f, "buffer pool exhausted: all frames pinned or dirty")
+            }
             PoolError::NotPinned(p) => write!(f, "page {p} is not pinned"),
+            PoolError::NotResident(p) => write!(f, "page {p} is not resident"),
         }
     }
 }
@@ -67,6 +74,11 @@ pub struct PoolStats {
     pub prefetch_admissions: u64,
     /// Demand requests that hit a page a prefetch admitted.
     pub prefetch_hits: u64,
+    /// Clean→dirty transitions ([`BufferPool::mark_dirty`]).
+    pub pages_dirtied: u64,
+    /// Dirty→clean transitions after a durable writeback
+    /// ([`BufferPool::mark_clean`]).
+    pub pages_flushed: u64,
 }
 
 impl PoolStats {
@@ -79,6 +91,8 @@ impl PoolStats {
         self.refetches += other.refetches;
         self.prefetch_admissions += other.prefetch_admissions;
         self.prefetch_hits += other.prefetch_hits;
+        self.pages_dirtied += other.pages_dirtied;
+        self.pages_flushed += other.pages_flushed;
     }
 
     /// Counters accumulated since the `before` snapshot (`self - before`).
@@ -91,6 +105,8 @@ impl PoolStats {
             refetches: self.refetches - before.refetches,
             prefetch_admissions: self.prefetch_admissions - before.prefetch_admissions,
             prefetch_hits: self.prefetch_hits - before.prefetch_hits,
+            pages_dirtied: self.pages_dirtied - before.pages_dirtied,
+            pages_flushed: self.pages_flushed - before.pages_flushed,
         }
     }
 }
@@ -111,6 +127,10 @@ pub enum PoolEvent {
     Refetch(u64),
     /// Page evicted to make room.
     Evict(u64),
+    /// Resident page transitioned clean→dirty.
+    Dirty(u64),
+    /// Dirty page transitioned dirty→clean after a durable writeback.
+    Flush(u64),
 }
 
 const NIL: u32 = u32::MAX;
@@ -120,6 +140,9 @@ struct Frame {
     page: u64,
     pins: u32,
     prefetched: bool,
+    /// Page modified in memory but not yet durably written back. Dirty
+    /// frames are never evicted (eviction would silently drop the update).
+    dirty: bool,
     prev: u32,
     next: u32,
 }
@@ -475,6 +498,7 @@ impl BufferPool {
                 page: 0,
                 pins: 0,
                 prefetched: false,
+                dirty: false,
                 prev: NIL,
                 next: NIL,
             });
@@ -486,6 +510,7 @@ impl BufferPool {
             page,
             pins: u32::from(pin),
             prefetched,
+            dirty: false,
             prev: NIL,
             next: NIL,
         };
@@ -494,11 +519,14 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Evict the least-recently-used unpinned frame; returns its index.
+    /// Evict the least-recently-used unpinned *clean* frame; returns its
+    /// index. Dirty frames are skipped like pinned ones: dropping a dirty
+    /// frame would lose an update that may not be WAL-durable yet, so the
+    /// flusher — not the eviction path — is the only way out of dirty.
     fn evict_lru(&mut self) -> Result<u32, PoolError> {
         let mut cur = self.head;
         while cur != NIL {
-            if self.frames[cur as usize].pins == 0 {
+            if self.frames[cur as usize].pins == 0 && !self.frames[cur as usize].dirty {
                 let page = self.frames[cur as usize].page;
                 self.detach(cur);
                 self.table.remove(page);
@@ -509,6 +537,69 @@ impl BufferPool {
             cur = self.frames[cur as usize].next;
         }
         Err(PoolError::AllPinned)
+    }
+
+    /// Mark a resident page dirty (modified in memory, not yet written
+    /// back). Idempotent: re-dirtying a dirty page counts nothing. The
+    /// page need not be pinned — the write path typically dirties while
+    /// pinned, but the bit itself is what protects the frame from
+    /// eviction.
+    pub fn mark_dirty(&mut self, page: u64) -> Result<(), PoolError> {
+        let idx = self.table.get(page).ok_or(PoolError::NotResident(page))?;
+        let f = &mut self.frames[idx as usize];
+        if !f.dirty {
+            f.dirty = true;
+            self.stats.pages_dirtied += 1;
+            self.log(PoolEvent::Dirty(page));
+        }
+        Ok(())
+    }
+
+    /// Mark a resident page clean after its image became durable on media.
+    /// Idempotent on already-clean pages.
+    pub fn mark_clean(&mut self, page: u64) -> Result<(), PoolError> {
+        let idx = self.table.get(page).ok_or(PoolError::NotResident(page))?;
+        let f = &mut self.frames[idx as usize];
+        if f.dirty {
+            f.dirty = false;
+            self.stats.pages_flushed += 1;
+            self.log(PoolEvent::Flush(page));
+        }
+        Ok(())
+    }
+
+    /// True if `page` is resident and dirty.
+    pub fn is_dirty(&self, page: u64) -> bool {
+        self.table
+            .get(page)
+            .is_some_and(|idx| self.frames[idx as usize].dirty)
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            let f = &self.frames[cur as usize];
+            if f.dirty {
+                n += 1;
+            }
+            cur = f.next;
+        }
+        n
+    }
+
+    /// Append every dirty page to `out` in LRU order (coldest first), the
+    /// order a background flusher wants to write them back in.
+    pub fn dirty_pages(&self, out: &mut Vec<u64>) {
+        let mut cur = self.head;
+        while cur != NIL {
+            let f = &self.frames[cur as usize];
+            if f.dirty {
+                out.push(f.page);
+            }
+            cur = f.next;
+        }
     }
 
     /// Release one pin on `page`.
@@ -525,11 +616,33 @@ impl BufferPool {
     /// Drop every resident page and forget refetch history — the paper
     /// flushes the buffer pool at the start of each experiment (§3.2).
     /// Counters survive so callers may snapshot them first.
+    ///
+    /// # Panics
+    /// Panics when any frame is still pinned **or dirty**: dropping a
+    /// dirty frame would discard an update that may not be WAL-durable.
+    /// Write back (and [`mark_clean`](Self::mark_clean)) first, or model a
+    /// crash explicitly with [`discard_all`](Self::discard_all).
     pub fn flush_all(&mut self) {
         assert!(
             self.frames.iter().all(|f| f.pins == 0 || f.page == 0),
             "flush with pinned pages"
         );
+        assert!(
+            self.frames.iter().all(|f| !f.dirty),
+            "flush with dirty pages: un-flushed updates would be dropped"
+        );
+        self.table.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Drop everything *unconditionally*, pinned and dirty frames
+    /// included — the in-memory state simply ceases to exist, as it does
+    /// at a crash. Only crash-modeling callers should use this; normal
+    /// teardown goes through [`flush_all`](Self::flush_all).
+    pub fn discard_all(&mut self) {
         self.table.clear();
         self.frames.clear();
         self.free.clear();
@@ -703,6 +816,8 @@ mod tests {
             refetches: 1,
             prefetch_admissions: 3,
             prefetch_hits: 2,
+            pages_dirtied: 6,
+            pages_flushed: 4,
         };
         let b = PoolStats {
             hits: 5,
@@ -711,11 +826,15 @@ mod tests {
             refetches: 0,
             prefetch_admissions: 7,
             prefetch_hits: 1,
+            pages_dirtied: 2,
+            pages_flushed: 2,
         };
         let mut sum = a.clone();
         sum.merge(&b);
         assert_eq!(sum.hits, 15);
         assert_eq!(sum.prefetch_admissions, 10);
+        assert_eq!(sum.pages_dirtied, 8);
+        assert_eq!(sum.pages_flushed, 6);
         let back = sum.diff(&b);
         assert_eq!(back.hits, a.hits);
         assert_eq!(back.misses, a.misses);
@@ -723,6 +842,102 @@ mod tests {
         assert_eq!(back.refetches, a.refetches);
         assert_eq!(back.prefetch_admissions, a.prefetch_admissions);
         assert_eq!(back.prefetch_hits, a.prefetch_hits);
+        assert_eq!(back.pages_dirtied, a.pages_dirtied);
+        assert_eq!(back.pages_flushed, a.pages_flushed);
+    }
+
+    #[test]
+    fn dirty_pages_resist_eviction_and_flush_cleans() {
+        let mut p = BufferPool::new(2);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("resident page can be dirtied");
+        p.unpin(1).expect("unpin");
+        p.request(2);
+        p.admit(2).expect("admit");
+        p.unpin(2).expect("unpin");
+        // Page 1 is LRU but dirty; eviction must take clean page 2.
+        p.request(3);
+        p.admit(3).expect("admit evicts the clean frame");
+        p.unpin(3).expect("unpin");
+        assert!(p.contains(1), "dirty page must survive eviction pressure");
+        assert!(!p.contains(2));
+        assert!(p.is_dirty(1));
+        assert_eq!(p.dirty_count(), 1);
+        let mut dirty = Vec::new();
+        p.dirty_pages(&mut dirty);
+        assert_eq!(dirty, vec![1]);
+        p.mark_clean(1).expect("clean after durable writeback");
+        assert!(!p.is_dirty(1));
+        assert_eq!(p.stats().pages_dirtied, 1);
+        assert_eq!(p.stats().pages_flushed, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn mark_dirty_is_idempotent_and_requires_residency() {
+        let mut p = BufferPool::new(2);
+        assert_eq!(p.mark_dirty(9), Err(PoolError::NotResident(9)));
+        assert_eq!(p.mark_clean(9), Err(PoolError::NotResident(9)));
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("dirty");
+        p.mark_dirty(1).expect("re-dirty is a no-op");
+        assert_eq!(p.stats().pages_dirtied, 1);
+        p.mark_clean(1).expect("clean");
+        p.mark_clean(1).expect("re-clean is a no-op");
+        assert_eq!(p.stats().pages_flushed, 1);
+        p.unpin(1).expect("unpin");
+    }
+
+    #[test]
+    fn all_dirty_pool_is_exhausted() {
+        let mut p = BufferPool::new(1);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("dirty");
+        p.unpin(1).expect("unpin");
+        assert_eq!(p.admit(2), Err(PoolError::AllPinned));
+    }
+
+    #[test]
+    #[should_panic(expected = "flush with dirty pages")]
+    fn flush_all_refuses_dirty_pages() {
+        let mut p = BufferPool::new(2);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("dirty");
+        p.unpin(1).expect("unpin");
+        p.flush_all();
+    }
+
+    #[test]
+    fn discard_all_drops_dirty_state_like_a_crash() {
+        let mut p = BufferPool::new(2);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("dirty");
+        p.discard_all();
+        assert!(p.is_empty());
+        assert_eq!(p.dirty_count(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn dirty_events_are_journaled() {
+        let mut p = BufferPool::new(2);
+        p.set_event_log(true);
+        p.request(1);
+        p.admit(1).expect("admit");
+        p.mark_dirty(1).expect("dirty");
+        p.mark_clean(1).expect("clean");
+        p.unpin(1).expect("unpin");
+        let mut evs = Vec::new();
+        p.take_events(&mut evs);
+        assert_eq!(
+            evs,
+            vec![PoolEvent::Miss(1), PoolEvent::Dirty(1), PoolEvent::Flush(1)]
+        );
     }
 
     #[test]

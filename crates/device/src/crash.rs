@@ -1,0 +1,332 @@
+//! Crash injection: halt a device at a chosen virtual time.
+//!
+//! [`Crashable`] wraps a [`DeviceModel`] and executes a [`CrashPlan`]: at
+//! sim-time `at` the device halts. Completions that finished strictly
+//! before the crash instant are delivered (they are durable); everything
+//! still in flight is discarded and classified:
+//!
+//! * in-flight **writes** are either *torn* (the media holds a damaged
+//!   partial image, detected later by per-page checksums) or *lost* (the
+//!   media is unchanged), chosen by a stateless seeded per-offset hash so
+//!   the outcome is byte-deterministic and independent of arrival order;
+//! * in-flight **reads** are merely *aborted* — reads have no durability.
+//!
+//! The wrapper reports the crash instant as a device event
+//! ([`next_event`](DeviceModel::next_event) returns `min(inner, at)`), so a
+//! discrete-event loop naturally steps onto the crash. After the crash the
+//! device accepts no work, reports zero outstanding I/Os, and
+//! [`crashed`](DeviceModel::crashed) returns `true`; engines surface this
+//! as a typed error instead of spinning. The post-crash damage itself is
+//! applied by the recovery harness using [`CrashReport`] against a
+//! [`MediaStore`](crate::MediaStore) — device models move time, not bytes.
+
+use crate::io::{DeviceModel, IoCompletion, IoKind, IoRequest};
+use pioqo_simkit::{SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// When and how a [`Crashable`] device halts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Virtual time at which the device halts. Completions with
+    /// `completed < at` are durable; in-flight work is torn/lost/aborted.
+    pub at: SimTime,
+    /// Probability that an in-flight write is *torn* (damaged partial
+    /// image on media) rather than *lost* (media unchanged). Drawn from a
+    /// stateless per-offset hash of `seed`.
+    pub torn_fraction: f64,
+    /// Seed of the torn/lost classification hash.
+    pub seed: u64,
+}
+
+impl CrashPlan {
+    /// Crash at `at` with every in-flight write torn (the adversarial
+    /// default for recovery testing).
+    pub fn at(at: SimTime, seed: u64) -> Self {
+        CrashPlan {
+            at,
+            torn_fraction: 1.0,
+            seed,
+        }
+    }
+}
+
+/// What was in flight when the device halted.
+#[derive(Debug, Clone, Default)]
+pub struct CrashReport {
+    /// Writes classified as torn: the media holds a damaged partial image.
+    pub torn_writes: Vec<IoRequest>,
+    /// Writes classified as lost: the media is unchanged.
+    pub lost_writes: Vec<IoRequest>,
+    /// Reads in flight at the crash (no durability implications).
+    pub aborted_reads: Vec<IoRequest>,
+}
+
+impl CrashReport {
+    /// Total in-flight requests discarded by the crash.
+    pub fn discarded(&self) -> usize {
+        self.torn_writes.len() + self.lost_writes.len() + self.aborted_reads.len()
+    }
+}
+
+/// A [`DeviceModel`] decorator that halts the device per a [`CrashPlan`].
+pub struct Crashable<D> {
+    inner: D,
+    plan: CrashPlan,
+    /// Requests submitted but not yet completed, by request id.
+    inflight: BTreeMap<u64, IoRequest>,
+    crashed: bool,
+    report: CrashReport,
+    scratch: Vec<IoCompletion>,
+}
+
+impl<D: DeviceModel> Crashable<D> {
+    /// Wrap a device with a crash plan.
+    pub fn new(inner: D, plan: CrashPlan) -> Self {
+        Crashable {
+            inner,
+            plan,
+            inflight: BTreeMap::new(),
+            crashed: false,
+            report: CrashReport::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The plan this wrapper executes.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The crash inventory, available once the device has crashed.
+    pub fn crash_report(&self) -> Option<&CrashReport> {
+        self.crashed.then_some(&self.report)
+    }
+
+    /// True when the seeded per-offset hash marks an in-flight write at
+    /// `offset` as torn (vs lost). Stateless, so the classification is
+    /// independent of submit/completion order.
+    fn torn_hit(&self, offset: u64) -> bool {
+        SimRng::seeded(self.plan.seed ^ offset.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unit()
+            < self.plan.torn_fraction
+    }
+
+    /// Discard all in-flight work and halt. `inflight` drains in request-id
+    /// order (BTreeMap), so the report vectors are deterministic.
+    fn crash_now(&mut self) {
+        let inflight = std::mem::take(&mut self.inflight);
+        for (_, req) in inflight {
+            match req.kind {
+                IoKind::Write => {
+                    if self.torn_hit(req.offset) {
+                        self.report.torn_writes.push(req);
+                    } else {
+                        self.report.lost_writes.push(req);
+                    }
+                }
+                IoKind::Read => self.report.aborted_reads.push(req),
+            }
+        }
+        self.crashed = true;
+    }
+}
+
+impl<D: DeviceModel> DeviceModel for Crashable<D> {
+    fn page_size(&self) -> u32 {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn submit(&mut self, now: SimTime, req: IoRequest) {
+        if self.crashed || now >= self.plan.at {
+            // Work handed to a dead device: never reached the queue, so a
+            // write is lost (not torn) and a read is aborted.
+            if !self.crashed {
+                // The engine raced past the crash instant without an
+                // advance; halt before classifying.
+                self.crash_now();
+            }
+            match req.kind {
+                IoKind::Write => self.report.lost_writes.push(req),
+                IoKind::Read => self.report.aborted_reads.push(req),
+            }
+            return;
+        }
+        self.inflight.insert(req.id, req);
+        self.inner.submit(now, req);
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        if self.crashed {
+            return None;
+        }
+        // The crash instant is itself an event, so event loops step onto
+        // it even when the inner device would sleep past it.
+        Some(match self.inner.next_event() {
+            Some(t) => t.min(self.plan.at),
+            None => self.plan.at,
+        })
+    }
+
+    fn advance(&mut self, now: SimTime, out: &mut Vec<IoCompletion>) {
+        if self.crashed {
+            return;
+        }
+        self.scratch.clear();
+        self.inner.advance(now, &mut self.scratch);
+        let mut completions = std::mem::take(&mut self.scratch);
+        for c in completions.drain(..) {
+            // Strictly-before the crash instant: durable, delivered. At or
+            // after: the crash preempts the completion.
+            if c.completed < self.plan.at {
+                self.inflight.remove(&c.req.id);
+                out.push(c);
+            }
+        }
+        self.scratch = completions;
+        if now >= self.plan.at {
+            self.crash_now();
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        if self.crashed {
+            0
+        } else {
+            self.inner.outstanding()
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn reset_state(&mut self) {
+        assert!(
+            !self.crashed && self.inflight.is_empty(),
+            "reset_state on a crashed or busy Crashable device"
+        );
+        self.inner.reset_state();
+    }
+
+    fn crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{drain_all, IoStatus};
+    use crate::presets::consumer_pcie_ssd;
+
+    fn crashable(at_us: u64, seed: u64) -> Crashable<crate::Ssd> {
+        Crashable::new(
+            consumer_pcie_ssd(1 << 16, 1),
+            CrashPlan {
+                at: SimTime::from_micros(at_us),
+                torn_fraction: 0.5,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn no_crash_before_the_instant() {
+        let mut d = crashable(1_000_000, 7);
+        for i in 0..8u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        // drain_all walks next_event, which eventually reports the crash
+        // instant; all 8 reads complete long before 1s.
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|c| c.status == IoStatus::Ok));
+    }
+
+    #[test]
+    fn crash_discards_inflight_and_halts() {
+        let mut d = crashable(5, 7);
+        for i in 0..16u64 {
+            d.submit(SimTime::ZERO, IoRequest::write_page(i, i * 3));
+        }
+        let mut out = Vec::new();
+        d.advance(SimTime::from_micros(5), &mut out);
+        assert!(d.crashed());
+        assert_eq!(d.outstanding(), 0);
+        assert_eq!(d.next_event(), None);
+        let report = d
+            .crash_report()
+            .expect("crashed device has a report")
+            .clone();
+        assert_eq!(out.len() + report.discarded(), 16);
+        assert!(
+            !report.torn_writes.is_empty() && !report.lost_writes.is_empty(),
+            "torn_fraction=0.5 over many writes should produce both kinds"
+        );
+        // Dead device swallows further work into the report.
+        d.submit(SimTime::from_micros(9), IoRequest::write_page(99, 0));
+        assert_eq!(
+            d.crash_report().expect("still crashed").lost_writes.len(),
+            report.lost_writes.len() + 1
+        );
+    }
+
+    #[test]
+    fn reads_are_aborted_not_torn() {
+        let mut d = crashable(5, 7);
+        for i in 0..4u64 {
+            d.submit(SimTime::ZERO, IoRequest::page(i, i));
+        }
+        d.advance(SimTime::from_micros(5), &mut Vec::new());
+        let report = d.crash_report().expect("crashed");
+        assert!(report.torn_writes.is_empty() && report.lost_writes.is_empty());
+        assert!(!report.aborted_reads.is_empty());
+        assert_eq!(d.outstanding(), 0);
+    }
+
+    #[test]
+    fn crash_classification_is_deterministic() {
+        let run = |order_rev: bool| {
+            let mut d = crashable(5, 21);
+            let ids: Vec<u64> = if order_rev {
+                (0..32).rev().collect()
+            } else {
+                (0..32).collect()
+            };
+            for i in ids {
+                d.submit(SimTime::ZERO, IoRequest::write_page(i, i * 5));
+            }
+            d.advance(SimTime::from_micros(5), &mut Vec::new());
+            let r = d.crash_report().expect("crashed").clone();
+            let mut torn: Vec<u64> = r.torn_writes.iter().map(|w| w.offset).collect();
+            torn.sort_unstable();
+            torn
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "torn/lost classification must depend on offset+seed only"
+        );
+    }
+
+    #[test]
+    fn drain_all_terminates_through_a_crash() {
+        let mut d = crashable(3, 1);
+        for i in 0..64u64 {
+            d.submit(SimTime::ZERO, IoRequest::write_page(i, i));
+        }
+        let mut out = Vec::new();
+        drain_all(&mut d, SimTime::ZERO, &mut out);
+        assert!(d.crashed());
+        assert!(out.iter().all(|c| c.completed < SimTime::from_micros(3)));
+    }
+}

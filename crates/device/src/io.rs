@@ -3,31 +3,84 @@
 use pioqo_simkit::SimTime;
 use serde::{Deserialize, Serialize};
 
-/// A read request addressed in whole pages.
+/// Direction of an I/O request.
+///
+/// Reads and writes travel through the same queueing/band machinery; the
+/// distinction matters to callers (physical accounting, crash semantics:
+/// in-flight writes at a crash may be torn, in-flight reads are merely
+/// aborted) rather than to the service-time models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Transfer pages from media to the host.
+    Read,
+    /// Transfer pages from the host to media.
+    Write,
+}
+
+/// An I/O request addressed in whole pages.
 ///
 /// `offset` and `len` are in *pages* (the device's page size is fixed per
-/// device). All the paper's workloads are read-only; writes are outside the
-/// reproduced experiments and deliberately unsupported.
+/// device). The paper's workloads are read-only; the write path exists for
+/// the crash-consistency extension (WAL + dirty-page writeback) and shares
+/// the read path's queueing and service-time model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoRequest {
     /// Caller-assigned identifier, echoed in the completion.
     pub id: u64,
-    /// First page of the read.
+    /// First page of the transfer.
     pub offset: u64,
-    /// Number of consecutive pages to read (>= 1).
+    /// Number of consecutive pages to transfer (>= 1).
     pub len: u32,
+    /// Read or write.
+    pub kind: IoKind,
 }
 
 impl IoRequest {
     /// A single-page read.
     pub fn page(id: u64, offset: u64) -> Self {
-        IoRequest { id, offset, len: 1 }
+        IoRequest {
+            id,
+            offset,
+            len: 1,
+            kind: IoKind::Read,
+        }
     }
 
     /// A multi-page (block) read.
     pub fn block(id: u64, offset: u64, len: u32) -> Self {
         debug_assert!(len >= 1);
-        IoRequest { id, offset, len }
+        IoRequest {
+            id,
+            offset,
+            len,
+            kind: IoKind::Read,
+        }
+    }
+
+    /// A single-page write.
+    pub fn write_page(id: u64, offset: u64) -> Self {
+        IoRequest {
+            id,
+            offset,
+            len: 1,
+            kind: IoKind::Write,
+        }
+    }
+
+    /// A multi-page (block) write.
+    pub fn write_block(id: u64, offset: u64, len: u32) -> Self {
+        debug_assert!(len >= 1);
+        IoRequest {
+            id,
+            offset,
+            len,
+            kind: IoKind::Write,
+        }
+    }
+
+    /// True for write requests.
+    pub fn is_write(&self) -> bool {
+        self.kind == IoKind::Write
     }
 
     /// One past the last page touched.
@@ -124,6 +177,14 @@ pub trait DeviceModel {
     /// calibrator calls this between calibration points so points don't
     /// leak locality into each other.
     fn reset_state(&mut self);
+
+    /// True once the device has halted after an injected crash (see the
+    /// `Crashable` wrapper). Base models never crash; after a crash the
+    /// device accepts no further work and reports zero outstanding I/Os so
+    /// event loops can detect the halt instead of spinning forever.
+    fn crashed(&self) -> bool {
+        false
+    }
 }
 
 /// A boxed device is itself a device — lets generic drivers (e.g. the
@@ -161,6 +222,10 @@ impl DeviceModel for Box<dyn DeviceModel> {
     fn reset_state(&mut self) {
         (**self).reset_state()
     }
+
+    fn crashed(&self) -> bool {
+        (**self).crashed()
+    }
 }
 
 /// Convenience: drain *all* remaining completions from a device by
@@ -184,8 +249,20 @@ mod tests {
         let p = IoRequest::page(1, 10);
         assert_eq!(p.len, 1);
         assert_eq!(p.end(), 11);
+        assert!(!p.is_write());
         let b = IoRequest::block(2, 10, 16);
         assert_eq!(b.end(), 26);
+        assert_eq!(b.kind, IoKind::Read);
+    }
+
+    #[test]
+    fn write_constructors() {
+        let w = IoRequest::write_page(3, 7);
+        assert!(w.is_write());
+        assert_eq!(w.len, 1);
+        let wb = IoRequest::write_block(4, 7, 8);
+        assert!(wb.is_write());
+        assert_eq!(wb.end(), 15);
     }
 
     #[test]

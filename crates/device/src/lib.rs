@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 
 pub mod background;
+pub mod crash;
 pub mod fault;
 pub mod hdd;
 pub mod io;
+pub mod media;
 pub mod presets;
 pub mod raid;
 pub mod real;
@@ -30,9 +32,11 @@ pub mod ssd;
 pub mod trace;
 
 pub use background::WithBackgroundLoad;
+pub use crash::{CrashPlan, CrashReport, Crashable};
 pub use fault::{FaultPlan, Faulty};
 pub use hdd::{Hdd, HddConfig};
-pub use io::{drain_all, DeviceModel, IoCompletion, IoRequest, IoStatus};
+pub use io::{drain_all, DeviceModel, IoCompletion, IoKind, IoRequest, IoStatus};
+pub use media::MediaStore;
 pub use raid::{Raid, RaidConfig};
 pub use ssd::{Ssd, SsdConfig};
 pub use trace::Traced;

@@ -1,0 +1,264 @@
+//! Durable page images for crash/recovery testing.
+//!
+//! The device models move *time*, not bytes — payloads never travel through
+//! [`DeviceModel`](crate::DeviceModel). [`MediaStore`] is the byte side of
+//! the same story: a deterministic map from page number to page image that
+//! a write path updates when (and only when) a write *completion* is
+//! durable, and that recovery later reads back. Keeping bytes beside the
+//! timing model rather than inside it preserves the existing read-only
+//! machinery untouched while making "what exactly is on disk after a
+//! crash" a first-class, byte-comparable object.
+//!
+//! Redundancy: [`MediaStore::with_redundancy`] keeps a shadow copy of
+//! every durable write (modeling a RAID mirror/parity rebuild source).
+//! [`reconstruct`](MediaStore::reconstruct) recovers a damaged primary
+//! page from the shadow unless the array is
+//! [`degraded`](MediaStore::set_degraded) — matching the fault layer's
+//! degraded-read story. Damage ([`tear`](MediaStore::tear) /
+//! [`corrupt`](MediaStore::corrupt)) only ever touches the primary, and is
+//! seeded per-page so a given (seed, page) damages identical bytes on
+//! every run.
+
+use pioqo_simkit::SimRng;
+use std::collections::BTreeMap;
+
+/// Header bytes at the front of every encoded page (the storage page
+/// codec's magic + fields). Injected damage always lands at or past this
+/// offset so it hits checksummed payload bytes and is guaranteed to be
+/// detected by `decode` — damage confined to the header could otherwise
+/// alias to a different-but-valid header.
+const HEADER_BYTES: u64 = 32;
+
+/// Deterministic page-image storage with optional redundancy.
+#[derive(Debug, Clone)]
+pub struct MediaStore {
+    page_size: u32,
+    primary: BTreeMap<u64, Vec<u8>>,
+    /// Shadow images (redundancy); `None` for a non-redundant device.
+    shadow: Option<BTreeMap<u64, Vec<u8>>>,
+    degraded: bool,
+    writes: u64,
+    damaged: u64,
+}
+
+impl MediaStore {
+    /// An empty store for a device with `page_size`-byte pages.
+    pub fn new(page_size: u32) -> Self {
+        assert!(
+            page_size as u64 > HEADER_BYTES,
+            "page too small to damage safely"
+        );
+        MediaStore {
+            page_size,
+            primary: BTreeMap::new(),
+            shadow: None,
+            degraded: false,
+            writes: 0,
+            damaged: 0,
+        }
+    }
+
+    /// Enable redundancy: every subsequent durable write is mirrored to a
+    /// shadow copy that [`reconstruct`](Self::reconstruct) can read back.
+    pub fn with_redundancy(mut self) -> Self {
+        self.shadow = Some(BTreeMap::new());
+        self
+    }
+
+    /// Mark the redundancy degraded (rebuild source unavailable) or
+    /// healthy again. No-op for non-redundant stores.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// True when redundancy exists and is currently usable.
+    pub fn redundancy_available(&self) -> bool {
+        self.shadow.is_some() && !self.degraded
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Number of pages with an image.
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True when no page has been written.
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// Durable full-page write: replaces the primary (and shadow) image.
+    ///
+    /// # Panics
+    /// Panics when `image` is not exactly one page.
+    pub fn write(&mut self, page: u64, image: &[u8]) {
+        assert_eq!(
+            image.len(),
+            self.page_size as usize,
+            "media write must be exactly one page"
+        );
+        self.primary.insert(page, image.to_vec());
+        if let Some(shadow) = &mut self.shadow {
+            shadow.insert(page, image.to_vec());
+        }
+        self.writes += 1;
+    }
+
+    /// The current primary image of `page`, if any.
+    pub fn read(&self, page: u64) -> Option<&[u8]> {
+        self.primary.get(&page).map(Vec::as_slice)
+    }
+
+    /// True when `page` has a primary image.
+    pub fn contains(&self, page: u64) -> bool {
+        self.primary.contains_key(&page)
+    }
+
+    /// Iterate `(page, image)` in page order.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.primary.iter().map(|(p, v)| (*p, v.as_slice()))
+    }
+
+    /// Recover `page` from the shadow copy, if redundancy is available and
+    /// holds the page. The caller decides whether the result is sane (e.g.
+    /// by decoding it) before writing it back.
+    pub fn reconstruct(&self, page: u64) -> Option<Vec<u8>> {
+        if self.degraded {
+            return None;
+        }
+        self.shadow.as_ref()?.get(&page).cloned()
+    }
+
+    /// Count of durable writes applied.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Count of pages damaged by [`tear`](Self::tear)/[`corrupt`](Self::corrupt).
+    pub fn damaged(&self) -> u64 {
+        self.damaged
+    }
+
+    /// Model a torn write: the primary image of `page` is damaged in a
+    /// seeded, byte-deterministic way (the shadow is untouched — tearing
+    /// happens on the write path to one copy). A page with no image gets a
+    /// seeded garbage image (a partial write onto an unwritten sector).
+    pub fn tear(&mut self, page: u64, seed: u64) {
+        self.damage(page, seed ^ 0x5445_4152);
+    }
+
+    /// Model silent at-rest corruption of `page`'s primary image. Same
+    /// damage mechanics as [`tear`](Self::tear) under a different salt so
+    /// the two fault kinds perturb different bytes for the same seed.
+    pub fn corrupt(&mut self, page: u64, seed: u64) {
+        self.damage(page, seed ^ 0x4252_4F54);
+    }
+
+    fn damage(&mut self, page: u64, seed: u64) {
+        let page_size = self.page_size as usize;
+        let image = self
+            .primary
+            .entry(page)
+            .or_insert_with(|| vec![0; page_size]);
+        let mut rng = SimRng::seeded(seed ^ page.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // XOR a nonzero byte into 16 seeded payload positions: at least one
+        // checksummed byte is guaranteed to differ from any valid encoding.
+        for _ in 0..16 {
+            let pos = HEADER_BYTES + rng.below(self.page_size as u64 - HEADER_BYTES);
+            let flip = (rng.next_u64() as u8) | 1;
+            image[pos as usize] ^= flip;
+        }
+        self.damaged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(page_size: u32, fill: u8) -> Vec<u8> {
+        vec![fill; page_size as usize]
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MediaStore::new(4096);
+        assert!(m.is_empty());
+        m.write(7, &img(4096, 0xAB));
+        assert_eq!(m.read(7).expect("written page present")[0], 0xAB);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(7) && !m.contains(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one page")]
+    fn partial_write_panics() {
+        MediaStore::new(4096).write(0, &[0u8; 100]);
+    }
+
+    #[test]
+    fn tear_is_seed_deterministic_and_detectable() {
+        let run = |seed| {
+            let mut m = MediaStore::new(4096);
+            m.write(3, &img(4096, 0x11));
+            m.tear(3, seed);
+            m.read(3).expect("torn page still has bytes").to_vec()
+        };
+        assert_eq!(run(5), run(5), "same seed damages identical bytes");
+        assert_ne!(run(5), run(6), "different seeds damage differently");
+        assert_ne!(run(5), img(4096, 0x11), "tear must change the image");
+        // Damage never lands in the header region.
+        let torn = run(5);
+        assert_eq!(&torn[..32], &img(4096, 0x11)[..32]);
+    }
+
+    #[test]
+    fn corrupt_differs_from_tear() {
+        let mut a = MediaStore::new(4096);
+        a.write(0, &img(4096, 0));
+        a.tear(0, 9);
+        let mut b = MediaStore::new(4096);
+        b.write(0, &img(4096, 0));
+        b.corrupt(0, 9);
+        assert_ne!(a.read(0), b.read(0));
+        assert_eq!(a.damaged(), 1);
+    }
+
+    #[test]
+    fn reconstruct_uses_shadow_unless_degraded() {
+        let mut m = MediaStore::new(4096).with_redundancy();
+        m.write(2, &img(4096, 0x77));
+        m.tear(2, 1);
+        assert_ne!(m.read(2).expect("primary"), &img(4096, 0x77)[..]);
+        assert_eq!(
+            m.reconstruct(2).expect("shadow survives the tear"),
+            img(4096, 0x77)
+        );
+        m.set_degraded(true);
+        assert!(!m.redundancy_available());
+        assert!(m.reconstruct(2).is_none(), "degraded array cannot rebuild");
+        m.set_degraded(false);
+        assert!(m.reconstruct(2).is_some());
+    }
+
+    #[test]
+    fn no_redundancy_never_reconstructs() {
+        let mut m = MediaStore::new(4096);
+        m.write(1, &img(4096, 4));
+        assert!(m.reconstruct(1).is_none());
+        assert!(!m.redundancy_available());
+    }
+
+    #[test]
+    fn tear_on_unwritten_page_creates_garbage() {
+        let mut m = MediaStore::new(4096);
+        m.tear(9, 3);
+        let bytes = m.read(9).expect("partial write onto empty sector");
+        assert_eq!(bytes.len(), 4096);
+        assert!(bytes.iter().any(|&b| b != 0), "damage must be visible");
+    }
+}

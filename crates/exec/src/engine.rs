@@ -132,6 +132,9 @@ pub enum ExecError {
     },
     /// The buffer pool could not make room (all frames pinned).
     PoolExhausted,
+    /// The device halted on an injected crash; in-flight work is gone and
+    /// the run must go through recovery, not completion.
+    Crashed,
     /// An executor state-machine invariant was violated (a bug in the
     /// engine, not in the caller's configuration).
     Internal {
@@ -172,6 +175,7 @@ impl std::fmt::Display for ExecError {
                 "I/O error at device page {device_page} after {attempts} attempts"
             ),
             ExecError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            ExecError::Crashed => write!(f, "device crashed mid-run; recovery required"),
             ExecError::Internal { detail } => {
                 write!(f, "executor invariant violated: {detail}")
             }
@@ -194,6 +198,9 @@ enum IoMeta {
     Page { device_page: u64 },
     /// Multi-page sequential block read (table-scan prefetch).
     Block { start: u64, len: u32 },
+    /// Page-aligned write (data-page flush or WAL segment). Never
+    /// deduplicated: each write carries its own payload on the byte side.
+    Write { start: u64, len: u32 },
 }
 
 /// A logical read: one handle handed to the operator, backed by one or more
@@ -240,6 +247,20 @@ pub enum Event {
         /// Physical attempts the read took (1 = no retries).
         attempts: u32,
     },
+    /// A write finished.
+    IoWrite {
+        /// The I/O handle returned by [`SimContext::write_page`] /
+        /// [`SimContext::write_block`].
+        io: u64,
+        /// First device page of the write.
+        start: u64,
+        /// Write length in pages.
+        len: u32,
+        /// Outcome. `Error` means the retry policy is exhausted.
+        status: IoStatus,
+        /// Physical attempts the write took (1 = no retries).
+        attempts: u32,
+    },
     /// A compute task finished.
     Cpu(TaskId),
     /// A virtual-time timer armed with [`SimContext::schedule_timer`]
@@ -253,10 +274,14 @@ pub enum Event {
 /// Aggregate I/O statistics observed by a context over its lifetime.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct IoProfile {
-    /// Pages transferred.
+    /// Pages transferred by reads.
     pub pages_read: u64,
-    /// I/O operations completed.
+    /// I/O operations completed (reads and writes).
     pub io_ops: u64,
+    /// Pages transferred by writes (WAL segments + data-page flushes).
+    pub pages_written: u64,
+    /// Write operations completed.
+    pub write_ops: u64,
     /// Time-weighted mean device queue depth while the scan ran.
     pub mean_queue_depth: f64,
     /// Peak device queue depth.
@@ -295,6 +320,8 @@ pub struct SimContext<'a> {
     latency_sum_us: f64,
     pages_read: u64,
     io_ops: u64,
+    pages_written: u64,
+    write_ops: u64,
     first_submit: Option<SimTime>,
     last_complete: SimTime,
     hists: HistSet,
@@ -338,6 +365,8 @@ impl<'a> SimContext<'a> {
             latency_sum_us: 0.0,
             pages_read: 0,
             io_ops: 0,
+            pages_written: 0,
+            write_ops: 0,
             first_submit: None,
             last_complete: SimTime::ZERO,
             hists: HistSet::new(),
@@ -423,7 +452,7 @@ impl<'a> SimContext<'a> {
     }
 
     #[inline]
-    fn emit(&mut self, kind: EventKind, track: u32, span: u64, a: u64, b: u64) {
+    pub(crate) fn emit(&mut self, kind: EventKind, track: u32, span: u64, a: u64, b: u64) {
         if let Some(sink) = &mut self.trace {
             sink.record(TraceEvent {
                 t: self.now,
@@ -453,6 +482,8 @@ impl<'a> SimContext<'a> {
                 PoolEvent::Miss(p) => (EventKind::PoolMiss, p),
                 PoolEvent::Refetch(p) => (EventKind::PoolRefetch, p),
                 PoolEvent::Evict(p) => (EventKind::PoolEvict, p),
+                PoolEvent::Dirty(p) => (EventKind::PoolDirty, p),
+                PoolEvent::Flush(p) => (EventKind::PoolFlush, p),
             };
             sink.record(TraceEvent {
                 t: self.now,
@@ -489,6 +520,36 @@ impl<'a> SimContext<'a> {
         io
     }
 
+    /// Write one device page. Writes share the reads' queue, band and
+    /// retry machinery but are never deduplicated — two writes to the same
+    /// page carry different payloads on the byte side.
+    pub fn write_page(&mut self, device_page: u64) -> u64 {
+        self.write_block(device_page, 1)
+    }
+
+    /// Write a block of consecutive device pages (a WAL segment or a
+    /// multi-page flush).
+    pub fn write_block(&mut self, start: u64, len: u32) -> u64 {
+        let io = self.next_io;
+        self.next_io += 1;
+        self.start_logical(io, IoMeta::Write { start, len });
+        io
+    }
+
+    /// True once the underlying device halted on an injected crash. Event
+    /// loops check this when a step stalls (or each iteration) and surface
+    /// [`ExecError::Crashed`] instead of spinning on timers forever.
+    pub fn device_crashed(&self) -> bool {
+        self.device.crashed()
+    }
+
+    /// Record one group-commit acknowledgement latency sample (µs) into
+    /// the context's histogram bundle. Called by the write system when a
+    /// WAL flush completion releases waiting commits.
+    pub fn record_commit_ack(&mut self, us: u64) {
+        self.hists.commit_ack_us.record(us);
+    }
+
     fn start_logical(&mut self, io: u64, meta: IoMeta) {
         self.ios.insert(
             io,
@@ -518,6 +579,7 @@ impl<'a> SimContext<'a> {
         let req = match st.meta {
             IoMeta::Page { device_page } => IoRequest::page(rid, device_page),
             IoMeta::Block { start, len } => IoRequest::block(rid, start, len),
+            IoMeta::Write { start, len } => IoRequest::write_block(rid, start, len),
         };
         let (first_page, len) = (req.offset, req.len as u64);
         self.req_owner.insert(rid, io);
@@ -683,7 +745,12 @@ impl<'a> SimContext<'a> {
         self.hists
             .io_latency_us
             .record(c.latency().as_nanos() / 1000);
-        self.pages_read += c.req.len as u64;
+        if c.req.is_write() {
+            self.pages_written += c.req.len as u64;
+            self.write_ops += 1;
+        } else {
+            self.pages_read += c.req.len as u64;
+        }
         self.io_ops += 1;
         self.last_complete = self.last_complete.max(c.completed);
         if c.degraded {
@@ -765,6 +832,13 @@ impl<'a> SimContext<'a> {
                 status,
                 attempts: st.attempts,
             }),
+            IoMeta::Write { start, len } => events.push(Event::IoWrite {
+                io,
+                start,
+                len,
+                status,
+                attempts: st.attempts,
+            }),
         }
     }
 
@@ -815,6 +889,8 @@ impl<'a> SimContext<'a> {
         IoProfile {
             pages_read: self.pages_read,
             io_ops: self.io_ops,
+            pages_written: self.pages_written,
+            write_ops: self.write_ops,
             mean_queue_depth: match self.first_submit {
                 Some(_) => self.depth.mean(self.last_complete.max(self.now)),
                 None => 0.0,

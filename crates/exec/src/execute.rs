@@ -133,8 +133,14 @@ pub fn execute(
     driver.start(ctx)?;
     let mut events: Vec<Event> = Vec::new();
     while !driver.done() {
+        if ctx.device_crashed() {
+            return Err(ExecError::Crashed);
+        }
         events.clear();
         let progressed = ctx.step(&mut events);
+        if !progressed && ctx.device_crashed() {
+            return Err(ExecError::Crashed);
+        }
         assert!(progressed, "scan deadlocked with work pending");
         for e in &events {
             driver.on_event(ctx, e)?;

@@ -290,7 +290,9 @@ impl QueryDriver for FtsDriver<'_> {
                     }
                 }
             }
-            Event::Timer { .. } => {}
+            // Writes belong to the WAL / flusher machinery, timers to the
+            // session layer — never a scan's.
+            Event::IoWrite { .. } | Event::Timer { .. } => {}
         }
         self.maybe_finish(ctx);
         Ok(())

@@ -466,8 +466,9 @@ impl QueryDriver for IsDriver<'_> {
                     self.on_scan_cpu(ctx, w)?;
                 }
                 // Block reads are never ours (the index scan issues only
-                // page reads); timers belong to the session layer.
-                Event::IoBlock { .. } | Event::Timer { .. } => {}
+                // page reads); writes belong to the WAL / flusher machinery;
+                // timers belong to the session layer.
+                Event::IoBlock { .. } | Event::IoWrite { .. } | Event::Timer { .. } => {}
             },
         }
         self.maybe_finish(ctx);

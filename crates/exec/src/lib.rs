@@ -28,8 +28,10 @@ pub mod execute;
 pub mod fts;
 pub mod is;
 pub mod metrics;
+pub mod recovery;
 pub mod session;
 pub mod sorted_is;
+pub mod write;
 
 pub use cpu::{CpuConfig, CpuScheduler, TaskId};
 pub use driver::{QueryAnswer, QueryDriver};
@@ -38,8 +40,10 @@ pub use execute::{execute, make_driver, PlanSpec, ScanInputs, ScanOutput};
 pub use fts::FtsConfig;
 pub use is::IsConfig;
 pub use metrics::ScanMetrics;
+pub use recovery::{recover, RecoveryStats};
 pub use session::{
     AdmissionPlanner, FixedPlanner, MultiEngine, QueryAdmission, QueryRecord, SessionSummary,
     ThinkTime, WorkloadReport, WorkloadSpec,
 };
 pub use sorted_is::SortedIsConfig;
+pub use write::{drive_writes, WriteConfig, WriteStats, WriteSystem};

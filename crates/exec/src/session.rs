@@ -26,6 +26,7 @@
 use crate::driver::QueryDriver;
 use crate::engine::{Event, ExecError, IoProfile, ResilienceStats, SimContext};
 use crate::execute::{make_driver, PlanSpec, ScanInputs};
+use crate::write::{WriteConfig, WriteStats, WriteSystem};
 use pioqo_bufpool::{BufferPool, PoolStats};
 use pioqo_device::IoStatus;
 use pioqo_obs::{HistSet, Histogram};
@@ -81,6 +82,9 @@ pub struct WorkloadSpec {
     /// query count. A horizon makes per-session completion counts diverge,
     /// which is what the fairness metrics are for.
     pub horizon: Option<SimDuration>,
+    /// The write workload running beside the scans, if any (populated by
+    /// [`MultiEngine::run_with_writes`] so reports stay self-describing).
+    pub writes: Option<WriteConfig>,
 }
 
 impl Default for WorkloadSpec {
@@ -94,6 +98,7 @@ impl Default for WorkloadSpec {
             selectivities: vec![0.001, 0.01, 0.05],
             seed: 42,
             horizon: None,
+            writes: None,
         }
     }
 }
@@ -132,6 +137,16 @@ pub trait AdmissionPlanner {
     fn complete(&mut self, session: u32) {
         let _ = session;
     }
+
+    /// Background writeback (checkpoint flushing) became active: planners
+    /// managing a device budget should carve out a share for it, so
+    /// concurrent scans are admitted with less queue depth while the
+    /// flusher's writes contend for the device. The default ignores it.
+    fn background_acquire(&mut self) {}
+
+    /// Background writeback went idle again; the paired release of
+    /// [`background_acquire`](Self::background_acquire).
+    fn background_release(&mut self) {}
 }
 
 /// The null admission policy: every query runs the same plan.
@@ -156,6 +171,14 @@ impl<P: AdmissionPlanner + ?Sized> AdmissionPlanner for &mut P {
 
     fn complete(&mut self, session: u32) {
         (**self).complete(session);
+    }
+
+    fn background_acquire(&mut self) {
+        (**self).background_acquire();
+    }
+
+    fn background_release(&mut self) {
+        (**self).background_release();
     }
 }
 
@@ -220,6 +243,8 @@ pub struct WorkloadReport {
     pub resilience: ResilienceStats,
     /// Machine-level histograms (I/O latency, queue depth, page waits).
     pub hists: HistSet,
+    /// Write-path counters, when a write workload ran beside the scans.
+    pub writes: Option<WriteStats>,
 }
 
 impl WorkloadReport {
@@ -336,7 +361,34 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
     /// Returns `ExecError::Internal` if the event loop stalls with sessions
     /// outstanding (an engine bug, not a caller error), or the underlying
     /// error if any query's own I/O fails.
-    pub fn run(mut self, ctx: &mut SimContext<'_>) -> Result<WorkloadReport, ExecError> {
+    pub fn run(self, ctx: &mut SimContext<'_>) -> Result<WorkloadReport, ExecError> {
+        self.run_inner(ctx, None)
+    }
+
+    /// Run the workload with a [`WriteSystem`] sharing the machine: its
+    /// group-commit and writeback I/O goes through the same device queue
+    /// the scans use, so checkpoints visibly perturb scan latency — and
+    /// the planner's [`AdmissionPlanner::background_acquire`] hook fires
+    /// while writeback is in flight, shifting admission decisions.
+    ///
+    /// Returns [`ExecError::Crashed`] as soon as the device halts (a
+    /// [`pioqo_device::Crashable`] plan firing); the write system then
+    /// holds the exact pre-crash WAL/media state for
+    /// [`crate::recovery::recover`].
+    pub fn run_with_writes(
+        mut self,
+        ctx: &mut SimContext<'_>,
+        ws: &mut WriteSystem,
+    ) -> Result<WorkloadReport, ExecError> {
+        self.spec.writes = Some(ws.config().clone());
+        self.run_inner(ctx, Some(ws))
+    }
+
+    fn run_inner(
+        mut self,
+        ctx: &mut SimContext<'_>,
+        mut ws: Option<&mut WriteSystem>,
+    ) -> Result<WorkloadReport, ExecError> {
         let start = ctx.now();
         let pool_before = ctx.pool.stats().clone();
         let mut timer_owner: BTreeMap<u64, usize> = BTreeMap::new();
@@ -359,23 +411,53 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             });
         }
 
+        if let Some(w) = ws.as_deref_mut() {
+            w.start(ctx);
+        }
+
         let mut records: Vec<QueryRecord> = Vec::new();
         let mut plan_counts: BTreeMap<String, u64> = BTreeMap::new();
         let mut query_latency = Histogram::new();
         let mut last_complete = start;
         let mut events: Vec<Event> = Vec::new();
+        let mut background_active = false;
 
         while sessions
             .iter()
             .any(|s| !matches!(s.state, SessState::Finished))
+            || ws.as_deref().is_some_and(|w| !w.finished())
         {
+            if ctx.device_crashed() {
+                return Err(ExecError::Crashed);
+            }
             events.clear();
             if !ctx.step(&mut events) {
+                if ctx.device_crashed() {
+                    return Err(ExecError::Crashed);
+                }
                 return Err(ExecError::Internal {
                     detail: "multi-query engine stalled with sessions outstanding",
                 });
             }
             for &ev in &events {
+                // The write system sees every event first; a `true` return
+                // means the event was one of its own timers, which sessions
+                // must never interpret as theirs.
+                if let Some(w) = ws.as_deref_mut() {
+                    let consumed = w.on_event(ctx, &ev)?;
+                    let active = w.checkpoint_active();
+                    if active != background_active {
+                        background_active = active;
+                        if active {
+                            self.planner.background_acquire();
+                        } else {
+                            self.planner.background_release();
+                        }
+                    }
+                    if consumed {
+                        continue;
+                    }
+                }
                 // Land every successful read in the pool up front. Drivers
                 // admit their own pages anyway (admission is idempotent);
                 // this covers completions whose owning query already
@@ -441,6 +523,7 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             }
         }
 
+        let write_stats = ws.as_deref().map(|w| w.stats());
         let io = ctx.io_profile();
         let resilience = ctx.resilience();
         ctx.quiesce();
@@ -471,6 +554,7 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             pool,
             resilience,
             hists,
+            writes: write_stats,
         })
     }
 
@@ -701,6 +785,90 @@ mod tests {
             report.records.iter().any(|r| r.active_at_admit > 0),
             "8 closed-loop sessions with short think time must overlap"
         );
+    }
+
+    #[test]
+    fn scans_and_writes_share_the_machine() {
+        use crate::write::{WriteConfig, WriteSystem};
+        use pioqo_device::MediaStore;
+        use pioqo_storage::decode_heap_page;
+
+        let spec = TableSpec::paper_table(33, 20_000, 31);
+        let mut ts = Tablespace::new(4 * spec.n_pages() + 1000);
+        let table = HeapTable::create(spec, &mut ts).expect("fits");
+        let index = BTreeIndex::build(
+            "c2_idx",
+            table.data().c2_entries(),
+            table.spec().page_size,
+            &mut ts,
+        )
+        .expect("fits");
+        let wspec = TableSpec {
+            name: "W33".into(),
+            ..TableSpec::paper_table(33, 3_000, 77)
+        };
+        let wtable = HeapTable::create(wspec, &mut ts).expect("fits");
+        let wal = ts.alloc("wal", 512).expect("fits");
+
+        let run = || {
+            let mut dev = consumer_pcie_ssd(ts.capacity(), 13);
+            let mut pool = BufferPool::new(4096);
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            let mut ws = WriteSystem::new(
+                WriteConfig::default(),
+                &wtable,
+                wal,
+                MediaStore::new(wtable.spec().page_size),
+            );
+            let engine = MultiEngine::new(
+                WorkloadSpec {
+                    sessions: 2,
+                    queries_per_session: 2,
+                    ..WorkloadSpec::default()
+                },
+                ScanInputs {
+                    table: &table,
+                    index: Some(&index),
+                    low: 0,
+                    high: 0,
+                },
+                FixedPlanner {
+                    plan: PlanSpec::Is(IsConfig::default()),
+                },
+            );
+            let report = engine.run_with_writes(&mut ctx, &mut ws).expect("runs");
+            (report, ws)
+        };
+        let (report, ws) = run();
+        // Scans still answer the oracle while writers churn.
+        assert_eq!(report.total_completed(), 4);
+        for r in &report.records {
+            let (low, high) = range_for_selectivity(r.selectivity, table.spec().c2_max);
+            assert_eq!(r.max_c1, table.data().naive_max_c1(low, high));
+        }
+        // The report is self-describing and carries the write counters.
+        let stats = report.writes.as_ref().expect("write stats present");
+        assert!(report.spec.writes.is_some());
+        let cfg = WriteConfig::default();
+        assert_eq!(
+            stats.commits_acked,
+            (cfg.writers * cfg.commits_per_writer) as u64
+        );
+        // The write path quiesced cleanly and its media decodes.
+        assert!(ws.finished());
+        for dp in ws.touched_pages() {
+            let image = ws.media().read(dp).expect("flushed");
+            let page = decode_heap_page(ws.table_spec(), image).expect("decodes");
+            assert_eq!(page.rows, ws.current_rows(dp));
+        }
+        // Byte-determinism holds with writers in the mix.
+        let (report2, _) = run();
+        assert_eq!(report.to_json(), report2.to_json());
     }
 
     #[test]

@@ -459,7 +459,7 @@ impl QueryDriver for SortedIsDriver<'_> {
                     self.pump(ctx);
                 }
             }
-            Event::IoBlock { .. } | Event::Timer { .. } => {}
+            Event::IoBlock { .. } | Event::IoWrite { .. } | Event::Timer { .. } => {}
         }
         Ok(())
     }

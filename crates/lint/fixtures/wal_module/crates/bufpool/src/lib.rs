@@ -1,0 +1,13 @@
+//! Fixture crate root: a clean `bufpool` lib so the only findings in this
+//! tree come from the WAL module next door. Never compiled; only scanned
+//! by the lint integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wal;
+
+/// A compliant helper so the root has real (clean) code to scan.
+pub fn frames_for(pages: u64, frame_pages: u64) -> u64 {
+    pages.div_ceil(frame_pages.max(1))
+}

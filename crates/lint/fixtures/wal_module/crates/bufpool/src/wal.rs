@@ -1,0 +1,25 @@
+//! Known-bad fixture: a write-ahead log that stamps its commit records
+//! with the host's wall clock. Replaying such a log can never reproduce
+//! the original run — group-commit boundaries land wherever the OS
+//! scheduler happened to put them — so D1 must fire in `bufpool/src/wal.rs`
+//! exactly as it would in the crate root. Never compiled; only scanned.
+
+use std::time::SystemTime;
+
+/// One logged record with its (wall-clock!) commit stamp.
+pub struct StampedRecord {
+    /// Log sequence number.
+    pub lsn: u64,
+    /// Seconds since the UNIX epoch at append time — the determinism bug.
+    pub stamp_secs: u64,
+}
+
+/// D1: a WAL append that reads `SystemTime::now()` for its commit stamp.
+/// Durability decisions keyed off this value differ run to run.
+pub fn append_with_wall_stamp(lsn: u64) -> StampedRecord {
+    let stamp_secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    StampedRecord { lsn, stamp_secs }
+}

@@ -120,6 +120,35 @@ fn session_module_is_in_the_sim_crate_determinism_set() {
     }
 }
 
+/// The write path lives in `bufpool/src/wal.rs` and `exec/src/write.rs`;
+/// both crates are in the sim-crate determinism set, so a WAL module that
+/// stamps commits with the host's wall clock must trip D1 exactly as the
+/// crate root would. The fixture plants `SystemTime::now()` in a WAL
+/// append and expects D1 there — and nothing from the clean crate root.
+#[test]
+fn wal_module_is_in_the_sim_crate_determinism_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("wal_module");
+    let report = pioqo_lint::check_workspace(&root, &pioqo_lint::LintConfig::default())
+        .expect("wal fixture scan succeeds");
+
+    for d in &report.diagnostics {
+        assert_eq!(
+            d.path, "crates/bufpool/src/wal.rs",
+            "the clean crate root must stay silent: {d:?}"
+        );
+    }
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "D1" && d.snippet.contains("SystemTime")),
+        "D1 must fire on the wall-clock WAL stamp:\n{}",
+        report.render_table()
+    );
+}
+
 /// The flow-sensitive rules get their own fixture tree: every planted
 /// shape in `flow_bad.rs` must fire (three D8 shapes, two D9 leaks, two
 /// D10 causality breaks, two D11 shim calls), and the near-miss file

@@ -89,8 +89,31 @@ pub fn chrome_trace_json<'a>(
             | EventKind::PoolMiss
             | EventKind::PoolEvict
             | EventKind::PoolRefetch
-            | EventKind::PoolPrefetchHit => {
+            | EventKind::PoolPrefetchHit
+            | EventKind::PoolDirty
+            | EventKind::PoolFlush
+            | EventKind::PageFlush => {
                 let _ = write!(out, ",\"args\":{{\"page\":{}}}", ev.a);
+            }
+            EventKind::WalFlush => {
+                let _ = write!(out, ",\"args\":{{\"page\":{},\"len\":{}}}", ev.a, ev.b);
+            }
+            EventKind::WalDurable => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"page\":{},\"durable_lsn\":{}}}",
+                    ev.a, ev.b
+                );
+            }
+            EventKind::Checkpoint => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"lsn\":{},\"flushed_through\":{}}}",
+                    ev.a, ev.b
+                );
+            }
+            EventKind::CrashHalt => {
+                let _ = write!(out, ",\"args\":{{\"discarded\":{}}}", ev.a);
             }
             EventKind::Retry | EventKind::TimeoutHedge => {
                 let _ = write!(out, ",\"args\":{{\"io\":{},\"attempts\":{}}}", ev.a, ev.b);

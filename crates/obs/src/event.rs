@@ -44,6 +44,25 @@ pub enum EventKind {
     Probe,
     /// Device queue-depth counter sample (`a` = outstanding requests).
     QueueDepth,
+    /// A resident page transitioned clean→dirty (`a` = page).
+    PoolDirty,
+    /// A dirty page transitioned dirty→clean after durable writeback
+    /// (`a` = page).
+    PoolFlush,
+    /// A WAL segment write was submitted by group commit (`a` = first WAL
+    /// page, `b` = pages in the segment).
+    WalFlush,
+    /// A WAL segment became durable (`a` = first WAL page, `b` = the
+    /// WAL's durable LSN after the contiguity rule).
+    WalDurable,
+    /// The background flusher submitted a data-page writeback (`a` = page).
+    PageFlush,
+    /// A checkpoint record was logged (`a` = its LSN, `b` = flushed-through
+    /// LSN it certifies).
+    Checkpoint,
+    /// The device halted on an injected crash (`a` = requests discarded
+    /// in flight).
+    CrashHalt,
 }
 
 impl EventKind {
@@ -62,6 +81,13 @@ impl EventKind {
             EventKind::Backoff => "backoff",
             EventKind::Probe => "probe",
             EventKind::QueueDepth => "queue_depth",
+            EventKind::PoolDirty => "pool_dirty",
+            EventKind::PoolFlush => "pool_flush",
+            EventKind::WalFlush => "wal_flush",
+            EventKind::WalDurable => "wal_durable",
+            EventKind::PageFlush => "page_flush",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::CrashHalt => "crash",
         }
     }
 }

@@ -186,6 +186,9 @@ pub struct HistSet {
     pub page_wait_us: Histogram,
     /// Retries per settled logical read (0 for clean reads).
     pub retries: Histogram,
+    /// Group-commit acknowledgement latency, µs: from a commit's last WAL
+    /// append to the contiguous-durable ack that releases the writer.
+    pub commit_ack_us: Histogram,
 }
 
 impl HistSet {
@@ -200,6 +203,7 @@ impl HistSet {
             && self.queue_depth.is_empty()
             && self.page_wait_us.is_empty()
             && self.retries.is_empty()
+            && self.commit_ack_us.is_empty()
     }
 
     /// Fold another set into this one (par_map reduction / trace summary).
@@ -208,6 +212,7 @@ impl HistSet {
         self.queue_depth.merge(&other.queue_depth);
         self.page_wait_us.merge(&other.page_wait_us);
         self.retries.merge(&other.retries);
+        self.commit_ack_us.merge(&other.commit_ack_us);
     }
 
     /// Render every occupied bucket as CSV with a `hist,bucket_lo,
@@ -218,6 +223,7 @@ impl HistSet {
         self.queue_depth.csv_rows("queue_depth", &mut out);
         self.page_wait_us.csv_rows("page_wait_us", &mut out);
         self.retries.csv_rows("retries", &mut out);
+        self.commit_ack_us.csv_rows("commit_ack_us", &mut out);
         out
     }
 }

@@ -97,6 +97,10 @@ pub struct QdttAdmission<'a> {
     cfg: OptimizerConfig,
     budget: QdBudget,
     leases: BTreeMap<u32, QdLease>,
+    /// The lease held on behalf of background writeback (checkpoint
+    /// flushing), while it is active. It contends exactly like a query:
+    /// holding it shrinks every concurrent scan's share.
+    background: Option<QdLease>,
     decisions: Vec<AdmissionDecision>,
 }
 
@@ -120,8 +124,14 @@ impl<'a> QdttAdmission<'a> {
             cfg,
             budget,
             leases: BTreeMap::new(),
+            background: None,
             decisions: Vec::new(),
         }
+    }
+
+    /// True while the planner holds a lease for background writeback.
+    pub fn background_lease_held(&self) -> bool {
+        self.background.is_some()
     }
 
     /// The shared queue-depth budget (for reporting).
@@ -170,6 +180,21 @@ impl AdmissionPlanner for QdttAdmission<'_> {
 
     fn complete(&mut self, session: u32) {
         if let Some(lease) = self.leases.remove(&session) {
+            self.budget.release(lease);
+        }
+    }
+
+    fn background_acquire(&mut self) {
+        // Writeback became active: take one lease so subsequent query
+        // admissions see a smaller share. Idempotent — repeated activity
+        // transitions while a lease is held keep the same lease.
+        if self.background.is_none() {
+            self.background = Some(self.budget.acquire());
+        }
+    }
+
+    fn background_release(&mut self) {
+        if let Some(lease) = self.background.take() {
             self.budget.release(lease);
         }
     }
@@ -280,6 +305,35 @@ mod tests {
         let mut adm =
             QdttAdmission::new(&table, &index, ssd_model(), OptimizerConfig::fine_grained());
         adm.complete(7); // engine never admitted session 7: nothing to release
+        assert_eq!(adm.budget().active(), 0);
+    }
+
+    #[test]
+    fn background_lease_contends_like_a_query() {
+        let (table, index) = fixture();
+        let pool = BufferPool::new(4096);
+        let mut adm =
+            QdttAdmission::new(&table, &index, ssd_model(), OptimizerConfig::fine_grained());
+        adm.admit(&admission(0, 0, 0.01), &pool);
+        let solo = adm.decisions()[0].lease_depth;
+        adm.complete(0);
+        adm.background_acquire();
+        assert!(adm.background_lease_held());
+        assert_eq!(adm.budget().active(), 1);
+        adm.background_acquire(); // idempotent while active
+        assert_eq!(adm.budget().active(), 1);
+        adm.admit(&admission(1, 0, 0.01), &pool);
+        assert!(
+            adm.decisions()[1].lease_depth < solo,
+            "writeback must shrink concurrent admissions: {} vs {}",
+            solo,
+            adm.decisions()[1].lease_depth
+        );
+        adm.complete(1);
+        adm.background_release();
+        assert!(!adm.background_lease_held());
+        assert_eq!(adm.budget().active(), 0);
+        adm.background_release(); // releasing while idle is a no-op
         assert_eq!(adm.budget().active(), 0);
     }
 

@@ -49,15 +49,18 @@ pub use pioqo_workload as workload;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use crate::db::{Db, DbBuilder, StorageKind};
+    pub use pioqo_bufpool::wal::{Wal, WalOp, WalRecord, WalScan};
     pub use pioqo_bufpool::BufferPool;
     pub use pioqo_core::{CalibrationConfig, Calibrator, Dtt, Method, Qdtt};
     pub use pioqo_device::{
-        presets, DeviceModel, FaultPlan, Faulty, Hdd, IoRequest, IoStatus, Raid, Ssd, Traced,
+        presets, CrashPlan, CrashReport, Crashable, DeviceModel, FaultPlan, Faulty, Hdd, IoKind,
+        IoRequest, IoStatus, MediaStore, Raid, Ssd, Traced,
     };
     pub use pioqo_exec::{
-        execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, MultiEngine, PlanSpec,
-        ResilienceStats, RetryPolicy, ScanInputs, ScanMetrics, SimContext, SortedIsConfig,
-        ThinkTime, WorkloadReport, WorkloadSpec,
+        drive_writes, execute, recover, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
+        MultiEngine, PlanSpec, RecoveryStats, ResilienceStats, RetryPolicy, ScanInputs,
+        ScanMetrics, SimContext, SortedIsConfig, ThinkTime, WorkloadReport, WorkloadSpec,
+        WriteConfig, WriteStats, WriteSystem,
     };
     pub use pioqo_obs::{HistSet, Histogram, NullSink, RingSink, TraceSink};
     pub use pioqo_optimizer::{

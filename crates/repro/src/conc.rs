@@ -1,10 +1,17 @@
-//! `repro --concurrency` and `repro --session-export`: the multi-session
-//! concurrency grid and the canonical 8-session observability bundle.
+//! `repro --concurrency`, `repro --session-export` and
+//! `repro --interference`: the multi-session concurrency grid, the
+//! canonical 8-session observability bundle, and the scan-vs-checkpoint
+//! interference sweep.
 
 use crate::figs::Opts;
 use crate::report::{f2, results_dir, TextTable};
+use pioqo_exec::WriteConfig;
 use pioqo_optimizer::OptimizerConfig;
-use pioqo_workload::{concurrency_grid, grid_csv, session_export, ConcurrencyConfig, DeviceKind};
+use pioqo_simkit::SimDuration;
+use pioqo_workload::{
+    concurrency_grid, grid_csv, interference_csv, interference_sweep, session_export,
+    ConcurrencyConfig, DeviceKind,
+};
 
 fn grid_config(opts: Opts, seed: u64) -> ConcurrencyConfig {
     let mut cfg = ConcurrencyConfig {
@@ -72,6 +79,82 @@ pub fn concurrency(opts: Opts, seed: u64) {
     }
     let path = dir.join(format!("concurrency_grid{}.csv", opts.suffix()));
     match std::fs::write(&path, grid_csv(&cells)) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run the scan-vs-checkpoint interference sweep: sessions ∈ {1, 4, 16}
+/// on the SSD fixture, each twice — flusher off, then the full write
+/// path (WAL group commit + background writeback) sharing the device.
+/// Prints a digest and writes `interference*.csv`.
+pub fn interference(opts: Opts, seed: u64) {
+    let mut cfg = ConcurrencyConfig {
+        seed,
+        session_counts: vec![1, 4, 16],
+        ..ConcurrencyConfig::default()
+    };
+    if opts.scale > 1 {
+        cfg.rows = (cfg.rows / opts.scale).max(1_000);
+    }
+    // Busy enough that checkpoint writes overlap the scan window.
+    let writes = WriteConfig {
+        writers: 4,
+        commits_per_writer: 48,
+        think: SimDuration::from_micros_f64(300.0),
+        group_commit: SimDuration::from_micros_f64(150.0),
+        flush_interval: SimDuration::from_micros_f64(500.0),
+        flush_batch: 8,
+        seed,
+        ..WriteConfig::default()
+    };
+    eprintln!(
+        "[interference] {} rows, sessions {:?}, flusher off/on ...",
+        cfg.rows, cfg.session_counts
+    );
+    let cells = match interference_sweep(&cfg, &writes, 4_000, &OptimizerConfig::fine_grained()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: interference sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = TextTable::new(
+        "Extension — scan p99 with the background flusher off vs on",
+        &[
+            "sessions",
+            "flusher",
+            "completed",
+            "makespan (ms)",
+            "mean lat (us)",
+            "p99 lat (us)",
+            "commits",
+            "page flushes",
+        ],
+    );
+    for c in &cells {
+        t.row(vec![
+            c.sessions.to_string(),
+            if c.flusher { "on" } else { "off" }.to_string(),
+            c.completed.to_string(),
+            f2(c.makespan_ms),
+            f2(c.mean_latency_us),
+            c.p99_latency_us.to_string(),
+            c.commits_acked.to_string(),
+            c.data_page_flushes.to_string(),
+        ]);
+    }
+    t.print();
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("interference{}.csv", opts.suffix()));
+    match std::fs::write(&path, interference_csv(&cells)) {
         Ok(()) => println!("[csv] {}", path.display()),
         Err(e) => {
             eprintln!("error: cannot write {}: {e}", path.display());

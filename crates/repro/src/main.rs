@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N]
 //!       [--trace DIR] [--trace-seed N]
-//!       [--concurrency] [--session-export DIR] [--conc-seed N] <target>...
+//!       [--concurrency] [--interference] [--session-export DIR]
+//!       [--conc-seed N] <target>...
 //!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 all
 //! ```
@@ -20,10 +21,12 @@
 //! targets are optional.
 //! `--concurrency` runs the multi-session grid (sessions ∈ {1,2,4,8,16}
 //! per device) under QDTT-aware admission control and writes
-//! `concurrency_grid*.csv`; `--session-export DIR` writes the canonical
-//! 8-session report/trace/admission-journal JSON bundle into DIR;
-//! `--conc-seed N` varies the seed of both. With either flag, targets
-//! are optional.
+//! `concurrency_grid*.csv`; `--interference` runs the scan-vs-checkpoint
+//! interference sweep (scan p99 with the background flusher off vs on at
+//! 1/4/16 sessions) and writes `interference*.csv`; `--session-export
+//! DIR` writes the canonical 8-session report/trace/admission-journal
+//! JSON bundle into DIR; `--conc-seed N` varies the seed of all three.
+//! With any of these flags, targets are optional.
 //! Output: aligned text tables on stdout plus CSVs under `results/`
 //! (override with `PIOQO_RESULTS`).
 
@@ -41,6 +44,7 @@ fn main() {
     let mut trace_dir: Option<String> = None;
     let mut trace_seed: u64 = 0;
     let mut run_concurrency = false;
+    let mut run_interference = false;
     let mut session_dir: Option<String> = None;
     let mut conc_seed: u64 = 42;
     let mut args = std::env::args().skip(1);
@@ -64,6 +68,7 @@ fn main() {
                 None => usage("--trace-seed needs an integer"),
             },
             "--concurrency" => run_concurrency = true,
+            "--interference" => run_interference = true,
             "--session-export" => match args.next() {
                 Some(dir) => session_dir = Some(dir),
                 None => usage("--session-export needs an output directory"),
@@ -76,7 +81,12 @@ fn main() {
             t => targets.push(t.to_string()),
         }
     }
-    if targets.is_empty() && trace_dir.is_none() && !run_concurrency && session_dir.is_none() {
+    if targets.is_empty()
+        && trace_dir.is_none()
+        && !run_concurrency
+        && !run_interference
+        && session_dir.is_none()
+    {
         usage("no target given");
     }
 
@@ -89,6 +99,9 @@ fn main() {
     }
     if run_concurrency {
         conc::concurrency(opts, conc_seed);
+    }
+    if run_interference {
+        conc::interference(opts, conc_seed);
     }
     if let Some(dir) = session_dir {
         conc::export_sessions(&dir, opts, conc_seed);
@@ -196,7 +209,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
-         [--trace DIR] [--trace-seed N] [--concurrency] \
+         [--trace DIR] [--trace-seed N] [--concurrency] [--interference] \
          [--session-export DIR] [--conc-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"

@@ -90,6 +90,7 @@ impl ConcurrencyConfig {
             selectivities: self.selectivities.clone(),
             seed: self.seed,
             horizon: None,
+            writes: None,
         }
     }
 }

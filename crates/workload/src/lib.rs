@@ -12,7 +12,10 @@
 //!   (Fig. 4, Table 2);
 //! * [`opteval`] — calibrate → optimize (DTT vs QDTT) → execute (Fig. 8);
 //! * [`concurrent`] — the §4.3 concurrency grid: N closed-loop sessions
-//!   under QDTT-aware admission control, per device.
+//!   under QDTT-aware admission control, per device;
+//! * [`interference`] — scan-vs-checkpoint interference: the same scan
+//!   sessions with the crash-consistent write path (WAL + background
+//!   flusher) on and off, isolating what writeback does to scan p99.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,6 +23,7 @@
 pub mod concurrent;
 pub mod dataset;
 pub mod experiments;
+pub mod interference;
 pub mod opteval;
 pub mod sweep;
 pub mod trace;
@@ -30,6 +34,7 @@ pub use concurrent::{
 };
 pub use dataset::Dataset;
 pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
+pub use interference::{interference_csv, interference_sweep, InterferenceCell};
 pub use opteval::{
     calibrate, cold_stats, evaluate, plan_to_method, CalibratedModels, OptEvalPoint,
 };

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Compares the freshly generated benchmark report (``BENCH_pr6.json`` by
+Compares the freshly generated benchmark report (``BENCH_pr7.json`` by
 default) against the latest *previously committed* ``BENCH_*.json`` and
 fails when any shared throughput-style metric regressed by more than the
 allowed fraction (default 10%).
@@ -21,6 +21,10 @@ Rules:
   metrics that are gated individually, and gating the ratio would fail
   a report where the *denominator* improved (e.g. the reference
   backend getting faster) with no regression anywhere.
+- ``threads_1v4_speedup`` leaves (the end-to-end 1-thread vs 4-thread
+  wall ratio) get a **non-fatal WARN** when they drop below 1.0: the
+  parallel harness losing to the serial one is worth a look in the CI
+  log, but on small runners it is noise, not a gate failure.
 - Hard invariant, checked regardless of the baseline: the event queue's
   batch drain must not be slower than repeated single pops
   (``event_queue.pop_batch_events_per_sec >= event_queue.pop_events_per_sec``).
@@ -78,7 +82,7 @@ def main(argv):
         return 2
 
     repo_root = Path(__file__).resolve().parent.parent
-    new_path = Path(args[0]) if args else repo_root / "BENCH_pr6.json"
+    new_path = Path(args[0]) if args else repo_root / "BENCH_pr7.json"
     if not new_path.is_file():
         print(f"bench_gate: new report {new_path} not found", file=sys.stderr)
         return 2
@@ -100,6 +104,16 @@ def main(argv):
     else:
         print(f"ok   event_queue: pop_batch {pop_batch:.0f} >= pop {pop:.0f} ev/s")
 
+    # Non-fatal: a 1-vs-4-thread end-to-end speedup below 1.0 means the
+    # parallel harness lost to the serial one on this host. Surface it in
+    # the log without failing the gate (small CI runners make this noisy).
+    for path, value in flatten(new):
+        if path.rsplit(".", 1)[-1] == "threads_1v4_speedup":
+            if value < 1.0:
+                print(f"WARN {path}: {value:g} < 1.0 (4 threads slower than 1)")
+            else:
+                print(f"ok   {path}: {value:g} >= 1.0")
+
     baseline_path = latest_baseline(repo_root, new_path)
     if baseline_path is None:
         print("bench_gate: no committed baseline BENCH_pr*.json; invariants only")
@@ -120,7 +134,7 @@ def main(argv):
             elif LOWER_IS_BETTER.search(leaf):
                 bad = old_v > 0 and new_v > old_v * (1.0 + tolerance)
                 direction = "<="
-            elif leaf == "speedup":
+            elif leaf in ("speedup", "threads_1v4_speedup"):
                 print(f"info {path}: {old_v:g} -> {new_v:g} (derived ratio, not gated)")
                 continue
             else:

@@ -345,3 +345,310 @@ fn pinned_out_pool_surfaces_typed_error() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crash / recovery properties: the crash-consistent write path.
+// ---------------------------------------------------------------------------
+
+use pioqo::storage::{decode_heap_page, Extent};
+use std::collections::BTreeMap;
+
+struct WriteFixture {
+    table: HeapTable,
+    wal: Extent,
+    capacity: u64,
+}
+
+fn write_fixture() -> WriteFixture {
+    let spec = TableSpec::paper_table(33, 3_000, 77);
+    let mut ts = Tablespace::new(spec.n_pages() + 600);
+    let table = HeapTable::create(spec, &mut ts).expect("fits");
+    let wal = ts.alloc("wal", 512).expect("fits");
+    let capacity = ts.capacity();
+    WriteFixture {
+        table,
+        wal,
+        capacity,
+    }
+}
+
+/// Media pre-populated with the full table (the database files exist before
+/// the workload), optionally with a RAID-style shadow mirror.
+fn base_media(fx: &WriteFixture, redundant: bool) -> MediaStore {
+    let mut m = MediaStore::new(fx.table.spec().page_size);
+    if redundant {
+        m = m.with_redundancy();
+    }
+    for local in 0..fx.table.n_pages() {
+        m.write(fx.table.device_page(local), &fx.table.page_image(local));
+    }
+    m
+}
+
+fn write_cfg(seed: u64) -> WriteConfig {
+    // Busier than the defaults so crash instants routinely land on
+    // in-flight WAL and data-page writes.
+    WriteConfig {
+        writers: 4,
+        commits_per_writer: 10,
+        think: SimDuration::from_micros_f64(300.0),
+        group_commit: SimDuration::from_micros_f64(150.0),
+        flush_interval: SimDuration::from_micros_f64(500.0),
+        flush_batch: 8,
+        seed,
+        ..WriteConfig::default()
+    }
+}
+
+/// Crash-free run: returns the finished write system and the virtual end
+/// time (the sweep places its crash points strictly inside this window).
+fn crash_free_run(fx: &WriteFixture, seed: u64, redundant: bool) -> (WriteSystem, SimDuration) {
+    let mut dev = presets::consumer_pcie_ssd(fx.capacity, seed ^ 0xD);
+    let mut pool = pioqo::bufpool::BufferPool::new(256);
+    let mut ctx = SimContext::new(
+        &mut dev,
+        &mut pool,
+        CpuConfig::paper_xeon(),
+        CpuCosts::default(),
+    );
+    let mut ws = WriteSystem::new(
+        write_cfg(seed),
+        &fx.table,
+        fx.wal,
+        base_media(fx, redundant),
+    );
+    drive_writes(&mut ctx, &mut ws).expect("crash-free run completes");
+    let end = ctx.now().since(SimTime::ZERO);
+    (ws, end)
+}
+
+/// Run the identical workload on the identical device, crashing at `at`.
+/// Returns the write system holding the post-crash media.
+fn crashed_run(fx: &WriteFixture, seed: u64, redundant: bool, at: SimTime) -> WriteSystem {
+    let inner = presets::consumer_pcie_ssd(fx.capacity, seed ^ 0xD);
+    let mut dev = Crashable::new(inner, CrashPlan::at(at, seed ^ 0xC1));
+    let mut pool = pioqo::bufpool::BufferPool::new(256);
+    let mut ws = {
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let mut ws = WriteSystem::new(
+            write_cfg(seed),
+            &fx.table,
+            fx.wal,
+            base_media(fx, redundant),
+        );
+        let r = drive_writes(&mut ctx, &mut ws);
+        assert!(
+            matches!(r, Err(ExecError::Crashed)),
+            "crash inside the workload window must surface as Crashed, got {r:?}"
+        );
+        ws
+    };
+    let report = dev.crash_report().expect("crashed device has a report");
+    ws.apply_crash(report, seed ^ 0xC1);
+    ws
+}
+
+/// The independent oracle: apply the durable WAL prefix with a fresh
+/// interpreter (no shared code with `recover`'s replay loop beyond the
+/// codec). Pages it never mentions keep the generated table data.
+fn oracle_rows(fx: &WriteFixture, scan: &WalScan) -> BTreeMap<u64, Vec<(u32, u32)>> {
+    let spec = fx.table.spec();
+    let mut rows: BTreeMap<u64, Vec<(u32, u32)>> = BTreeMap::new();
+    for rec in &scan.records {
+        match &rec.op {
+            WalOp::PageImage { page, image } => {
+                let p = decode_heap_page(spec, image).expect("logged image decodes");
+                rows.insert(*page, p.rows);
+            }
+            WalOp::Update { page, slot, value } => {
+                rows.get_mut(page).expect("first touch logs a full image")[*slot as usize].0 =
+                    *value;
+            }
+            WalOp::Checkpoint { .. } => {}
+        }
+    }
+    rows
+}
+
+fn scan_wal(fx: &WriteFixture, media: &MediaStore) -> WalScan {
+    Wal::scan(fx.wal.base, fx.wal.pages, fx.table.spec().page_size, |p| {
+        media.read(p).map(<[u8]>::to_vec)
+    })
+}
+
+/// One crash point, end to end. Returns a deterministic summary line, the
+/// recovery stats, and the count of media pages the crash damaged (torn
+/// WAL segments included — those only truncate the durable prefix and so
+/// never show up in `torn_pages_detected`).
+fn crash_point_case(
+    fx: &WriteFixture,
+    seed: u64,
+    redundant: bool,
+    at: SimTime,
+) -> (String, RecoveryStats, u64) {
+    let ws = crashed_run(fx, seed, redundant, at);
+    let acked = ws.acked_lsns().to_vec();
+    let mut media = ws.into_media();
+    let damaged = media.damaged();
+
+    let pre = scan_wal(fx, &media);
+    let oracle = oracle_rows(fx, &pre);
+    // Durability: every acknowledged commit lies inside the durable prefix.
+    for lsn in &acked {
+        assert!(
+            *lsn <= pre.durable_lsn,
+            "acked lsn {lsn} past durable horizon {} (crash at {at})",
+            pre.durable_lsn
+        );
+    }
+
+    let stats = recover(&mut media, fx.wal, fx.table.spec(), fx.table.extent());
+    assert!(
+        stats.fully_recovered(),
+        "crash-torn pages are always WAL-covered; nothing may be unrecoverable: {stats:?}"
+    );
+    assert_eq!(stats.durable_lsn, pre.durable_lsn);
+
+    // Byte identity against the oracle: every updated page equals the
+    // oracle's replayed image, every untouched page equals the generated
+    // table image. No silent corruption, anywhere.
+    let spec = fx.table.spec();
+    for local in 0..fx.table.n_pages() {
+        let dp = fx.table.device_page(local);
+        let got = media
+            .read(dp)
+            .unwrap_or_else(|| panic!("table page {dp} missing after recovery"));
+        match oracle.get(&dp) {
+            Some(rows) => {
+                let want = pioqo::storage::encode_heap_page(spec, local, rows);
+                assert_eq!(
+                    got,
+                    &want[..],
+                    "page {dp} diverges from the durable-prefix oracle (crash at {at})"
+                );
+            }
+            None => {
+                assert_eq!(
+                    got,
+                    &fx.table.page_image(local)[..],
+                    "untouched page {dp} changed across crash+recovery (crash at {at})"
+                );
+            }
+        }
+    }
+    let line = format!(
+        "seed={seed} redundant={redundant} at={at} durable={} records={} replayed={} torn={} damaged={damaged} acked={}",
+        stats.durable_lsn,
+        stats.wal_records,
+        stats.pages_replayed,
+        stats.torn_pages_detected,
+        acked.len(),
+    );
+    (line, stats, damaged)
+}
+
+/// The tentpole property: at every injected crash point, every seed, both
+/// media variants, the recovered database is byte-identical to the
+/// durable-prefix oracle — and acked commits are always durable.
+#[test]
+fn crash_sweep_recovers_to_oracle_at_every_point() {
+    const CRASH_POINTS: u64 = 4;
+    let fx = write_fixture();
+    let sweep = || {
+        let mut lines = Vec::new();
+        let mut damage_total = 0u64;
+        for seed in [chaos_seed(), chaos_seed() ^ 0xBEEF] {
+            for redundant in [false, true] {
+                let (_, end) = crash_free_run(&fx, seed, redundant);
+                for i in 1..=CRASH_POINTS {
+                    let at = SimTime::ZERO + end * (i as f64 / (CRASH_POINTS + 1) as f64);
+                    let (line, _, damaged) = crash_point_case(&fx, seed, redundant, at);
+                    damage_total += damaged;
+                    lines.push(line);
+                }
+            }
+        }
+        (lines.join("\n"), damage_total)
+    };
+    let (a, damage) = sweep();
+    assert!(
+        damage > 0,
+        "the sweep must damage at least one in-flight write (torn WAL segment or data page)"
+    );
+    // The whole sweep — crash classification, damage bytes, recovery — is
+    // byte-deterministic.
+    let (b, _) = sweep();
+    assert_eq!(a, b, "crash sweep must be byte-identical across runs");
+}
+
+/// Regression: a torn write is always caught by the page checksum — the
+/// damaged image never decodes, for any seed.
+#[test]
+fn torn_write_is_detected_by_checksum() {
+    let fx = write_fixture();
+    let spec = fx.table.spec();
+    for seed in 0..32u64 {
+        let mut media = base_media(&fx, false);
+        let dp = fx.table.device_page(1);
+        assert!(decode_heap_page(spec, media.read(dp).expect("present")).is_ok());
+        media.tear(dp, seed);
+        assert!(
+            decode_heap_page(spec, media.read(dp).expect("present")).is_err(),
+            "torn page must fail its checksum (seed {seed})"
+        );
+    }
+}
+
+/// At-rest corruption of a page the WAL never covered: plain SSD reports a
+/// typed unrecoverable loss; a healthy mirror reconstructs it; a degraded
+/// mirror reports the loss again. Never silently-wrong bytes.
+#[test]
+fn at_rest_corruption_after_crash_follows_redundancy() {
+    let fx = write_fixture();
+    let seed = chaos_seed();
+    let (_, end) = crash_free_run(&fx, seed, false);
+    let at = SimTime::ZERO + end * 0.5;
+
+    let run = |redundant: bool, degrade: bool| {
+        let ws = crashed_run(&fx, seed, redundant, at);
+        let mut media = ws.into_media();
+        let scan = scan_wal(&fx, &media);
+        let oracle = oracle_rows(&fx, &scan);
+        // Corrupt a page the log never touched, so replay cannot repair it.
+        let victim = (0..fx.table.n_pages())
+            .map(|l| fx.table.device_page(l))
+            .find(|dp| !oracle.contains_key(dp))
+            .expect("small workload leaves untouched pages");
+        media.corrupt(victim, seed ^ 0xA7);
+        if degrade {
+            media.set_degraded(true);
+        }
+        let stats = recover(&mut media, fx.wal, fx.table.spec(), fx.table.extent());
+        (victim, stats)
+    };
+
+    let (victim, ssd) = run(false, false);
+    assert_eq!(
+        ssd.unrecoverable_pages,
+        vec![victim],
+        "no redundancy: the corrupt page is a typed loss"
+    );
+
+    let (victim, healthy) = run(true, false);
+    assert!(
+        healthy.fully_recovered() && healthy.reconstructed_pages == 1,
+        "healthy mirror must reconstruct page {victim}: {healthy:?}"
+    );
+
+    let (victim, degraded) = run(true, true);
+    assert_eq!(
+        degraded.unrecoverable_pages,
+        vec![victim],
+        "degraded mirror cannot reconstruct"
+    );
+}
