@@ -6,7 +6,7 @@ use crate::cpu::{CpuConfig, CpuScheduler, TaskId};
 use pioqo_bufpool::{BufferPool, PoolEvent};
 use pioqo_device::{DeviceModel, IoCompletion, IoRequest, IoStatus};
 use pioqo_obs::{EventKind, HistSet, TraceEvent, TraceSink};
-use pioqo_simkit::{SimDuration, SimTime, TimeWeighted};
+use pioqo_simkit::{EventQueue, SimDuration, SimTime, TimeWeighted};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -263,11 +263,16 @@ pub enum Event {
     },
     /// A compute task finished.
     Cpu(TaskId),
-    /// A virtual-time timer armed with [`SimContext::schedule_timer`]
-    /// expired (session think time, periodic samplers).
+    /// A virtual-time timer armed with [`SimContext::schedule_timer`] or
+    /// [`SimContext::schedule_timer_tagged`] expired (session think time,
+    /// periodic samplers).
     Timer {
         /// The handle returned by [`SimContext::schedule_timer`].
         id: u64,
+        /// Caller-chosen routing tag (`0` for untagged timers). Lets a
+        /// dispatcher route the wakeup to its owner in O(1) instead of
+        /// keeping an id-to-owner side table.
+        tag: u64,
     },
 }
 
@@ -312,7 +317,7 @@ pub struct SimContext<'a> {
     req_owner: BTreeMap<u64, u64>, // physical request id -> io id
     retry_queue: BTreeMap<SimTime, Vec<u64>>,
     deadline_queue: BTreeMap<SimTime, Vec<u64>>,
-    timer_queue: BTreeMap<SimTime, Vec<u64>>,
+    timer_queue: EventQueue<(u64, u64)>, // (timer id, routing tag)
     next_timer: u64,
     io_buf: Vec<IoCompletion>,
     cpu_buf: Vec<TaskId>,
@@ -357,7 +362,7 @@ impl<'a> SimContext<'a> {
             req_owner: BTreeMap::new(),
             retry_queue: BTreeMap::new(),
             deadline_queue: BTreeMap::new(),
-            timer_queue: BTreeMap::new(),
+            timer_queue: EventQueue::new(),
             next_timer: 0,
             io_buf: Vec::new(),
             cpu_buf: Vec::new(),
@@ -610,12 +615,19 @@ impl<'a> SimContext<'a> {
     /// workload is in think time), and consume neither device nor CPU
     /// capacity. Timers armed for the same instant fire in arming order.
     pub fn schedule_timer(&mut self, after: SimDuration) -> u64 {
+        self.schedule_timer_tagged(after, 0)
+    }
+
+    /// [`SimContext::schedule_timer`] with a caller-chosen routing `tag`
+    /// carried back on the [`Event::Timer`]. Tag `0` is the untagged
+    /// default; a multi-owner dispatcher (e.g. the session engine) uses
+    /// nonzero tags to route each wakeup to its owner without a per-timer
+    /// side table. Timers live on a calendar [`EventQueue`], so arming and
+    /// expiry are O(1) amortized regardless of how many are outstanding.
+    pub fn schedule_timer_tagged(&mut self, after: SimDuration, tag: u64) -> u64 {
         let id = self.next_timer;
         self.next_timer += 1;
-        self.timer_queue
-            .entry(self.now + after)
-            .or_default()
-            .push(id);
+        self.timer_queue.schedule(self.now + after, (id, tag));
         id
     }
 
@@ -646,7 +658,7 @@ impl<'a> SimContext<'a> {
             self.cpu.next_event(),
             self.retry_queue.keys().next().copied(),
             self.deadline_queue.keys().next().copied(),
-            self.timer_queue.keys().next().copied(),
+            self.timer_queue.peek_time(),
         ] {
             t = match (t, cand) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -713,15 +725,13 @@ impl<'a> SimContext<'a> {
             }
         }
 
-        // Expired timers, in arming order within each instant.
-        while let Some((&due, _)) = self.timer_queue.iter().next() {
-            if due > t {
+        // Expired timers, in arming order within each instant (the
+        // calendar queue pops FIFO within a timestamp).
+        while self.timer_queue.peek_time().is_some_and(|due| due <= t) {
+            let Some((_, (id, tag))) = self.timer_queue.pop() else {
                 break;
-            }
-            let ids = self.timer_queue.remove(&due).expect("key just observed");
-            for id in ids {
-                events.push(Event::Timer { id });
-            }
+            };
+            events.push(Event::Timer { id, tag });
         }
 
         self.cpu_buf.clear();

@@ -36,13 +36,28 @@ pub enum PlanSpec {
 impl PlanSpec {
     /// Short human-readable plan label ("FTS", "PIS8+pf4", "SortedIS").
     pub fn label(&self) -> String {
+        let mut s = String::new();
+        self.label_into(&mut s);
+        s
+    }
+
+    /// Append the plan label to `buf` without allocating (hot admission
+    /// paths reuse one scratch `String` across queries).
+    pub fn label_into(&self, buf: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            PlanSpec::Fts(c) if c.workers == 1 => "FTS".to_string(),
-            PlanSpec::Fts(c) => format!("PFTS{}", c.workers),
-            PlanSpec::Is(c) if c.workers == 1 && c.prefetch_depth == 0 => "IS".to_string(),
-            PlanSpec::Is(c) if c.prefetch_depth == 0 => format!("PIS{}", c.workers),
-            PlanSpec::Is(c) => format!("PIS{}+pf{}", c.workers, c.prefetch_depth),
-            PlanSpec::SortedIs(_) => "SortedIS".to_string(),
+            PlanSpec::Fts(c) if c.workers == 1 => buf.push_str("FTS"),
+            PlanSpec::Fts(c) => {
+                let _ = write!(buf, "PFTS{}", c.workers);
+            }
+            PlanSpec::Is(c) if c.workers == 1 && c.prefetch_depth == 0 => buf.push_str("IS"),
+            PlanSpec::Is(c) if c.prefetch_depth == 0 => {
+                let _ = write!(buf, "PIS{}", c.workers);
+            }
+            PlanSpec::Is(c) => {
+                let _ = write!(buf, "PIS{}+pf{}", c.workers, c.prefetch_depth);
+            }
+            PlanSpec::SortedIs(_) => buf.push_str("SortedIS"),
         }
     }
 

@@ -316,7 +316,12 @@ fn page_work(ctx: &SimContext<'_>, table: &HeapTable, page: u64) -> f64 {
     ctx.costs().page_overhead_us + (rows.end - rows.start) as f64 * ctx.costs().row_scan_us
 }
 
-fn evaluate_page(table: &HeapTable, page: u64, low: u32, high: u32) -> (Option<u32>, u64, u64) {
+pub(crate) fn evaluate_page(
+    table: &HeapTable,
+    page: u64,
+    low: u32,
+    high: u32,
+) -> (Option<u32>, u64, u64) {
     let mut best: Option<u32> = None;
     let mut matched = 0u64;
     let range = table.spec().rows_in_page(page);

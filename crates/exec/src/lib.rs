@@ -30,6 +30,7 @@ pub mod is;
 pub mod metrics;
 pub mod recovery;
 pub mod session;
+pub mod shared;
 pub mod sorted_is;
 pub mod write;
 
@@ -43,7 +44,8 @@ pub use metrics::ScanMetrics;
 pub use recovery::{recover, RecoveryStats};
 pub use session::{
     AdmissionPlanner, FixedPlanner, MultiEngine, QueryAdmission, QueryRecord, SessionSummary,
-    ThinkTime, WorkloadReport, WorkloadSpec,
+    SharedChoice, ThinkTime, WorkloadReport, WorkloadSpec,
 };
+pub use shared::{Detached, ScanHub, SharedScanStats};
 pub use sorted_is::SortedIsConfig;
 pub use write::{drive_writes, WriteConfig, WriteStats, WriteSystem};

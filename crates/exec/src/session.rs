@@ -4,28 +4,41 @@
 //! The paper's experiments run one query at a time; real servers admit many.
 //! [`MultiEngine`] interleaves N *sessions* — each a closed loop of
 //! range-MAX queries separated by seeded think time — on **one**
-//! [`SimContext`]: one device, one buffer pool, one CPU scheduler. Every
-//! event the context produces is broadcast to every active query driver in
-//! session order; drivers own their I/O handles and compute tasks and
-//! ignore the rest (see [`crate::driver`]), so the interleaving is exact
-//! and byte-deterministic for a given [`WorkloadSpec`] seed.
+//! [`SimContext`]: one device, one buffer pool, one CPU scheduler.
+//!
+//! The scheduler is O(1) per event: sessions live in a dense slab keyed by
+//! their index, think-time wakeups ride tagged virtual timers through the
+//! context's calendar queue (`tag = 1 + session`, so a wakeup routes to
+//! its owner without a side table or a scan), and machine events are
+//! delivered only to the dense list of queries actually running solo.
+//! Queries attached to the shared-scan hub ([`crate::shared::ScanHub`],
+//! enabled by [`WorkloadSpec::shared_scans`]) never appear on that list at
+//! all: one circular cursor serves every attached consumer, so a
+//! 100K-session workload costs one stream of device events rather than
+//! 100K per-session broadcasts. Drivers own their I/O handles and compute
+//! tasks and ignore the rest (see [`crate::driver`]), so the interleaving
+//! is exact and byte-deterministic for a given [`WorkloadSpec`] seed.
 //!
 //! Plan choice is delegated to an [`AdmissionPlanner`]: the engine tells it
 //! how many queries are already running when a new one arrives, and the
-//! planner answers with the [`PlanSpec`] to execute. The trivial
-//! [`FixedPlanner`] always picks the same plan; the QDTT-aware planner in
-//! the optimizer crate hands out queue-depth leases from the device budget
-//! and re-costs every candidate under its lease, which is how plan choice
-//! shifts as concurrency rises (§4.3's "under concurrency pass a lower
-//! queue depth", made operational).
+//! planner answers with the [`PlanSpec`] to execute — or, under shared
+//! scans, with [`SharedChoice::Attach`] to ride the hub's cursor at
+//! marginal cost. The trivial [`FixedPlanner`] always picks the same plan;
+//! the QDTT-aware planner in the optimizer crate hands out queue-depth
+//! leases from the device budget and re-costs every candidate under its
+//! lease, charging the shared cursor's lease **once** no matter how many
+//! consumers attach.
 //!
 //! Determinism invariants: per-session randomness comes from
 //! `SimRng::derive(spec.seed, session)`, think time advances on virtual
-//! [`Event::Timer`]s, and all engine state lives in ordered collections.
+//! [`Event::Timer`]s, and all engine state lives in ordered or dense
+//! collections.
 
-use crate::driver::QueryDriver;
+use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{Event, ExecError, IoProfile, ResilienceStats, SimContext};
 use crate::execute::{make_driver, PlanSpec, ScanInputs};
+use crate::fts::FtsConfig;
+use crate::shared::{ScanHub, SharedScanStats};
 use crate::write::{WriteConfig, WriteStats, WriteSystem};
 use pioqo_bufpool::{BufferPool, PoolStats};
 use pioqo_device::IoStatus;
@@ -34,6 +47,9 @@ use pioqo_simkit::{SimDuration, SimRng, SimTime};
 use pioqo_storage::range_for_selectivity;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Plan label recorded for queries served by the shared-scan hub.
+const SHARED_LABEL: &str = "FTS+shared";
 
 /// Distribution of the pause between a session's consecutive queries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,6 +101,17 @@ pub struct WorkloadSpec {
     /// The write workload running beside the scans, if any (populated by
     /// [`MultiEngine::run_with_writes`] so reports stay self-describing).
     pub writes: Option<WriteConfig>,
+    /// Route table-scan queries through the cooperative shared-scan hub:
+    /// overlapping consumers ride one circular cursor instead of each
+    /// issuing their own device stream. Answers are identical either way;
+    /// only the simulated machine usage (and the wall-clock cost of the
+    /// simulation itself) changes.
+    pub shared_scans: bool,
+    /// Keep at most this many per-query [`QueryRecord`]s in the report
+    /// (`None` = keep all). At 100K sessions the full record vector is the
+    /// dominant memory cost; aggregates and histograms always cover every
+    /// query regardless of the cap.
+    pub record_limit: Option<u64>,
 }
 
 impl Default for WorkloadSpec {
@@ -99,6 +126,8 @@ impl Default for WorkloadSpec {
             seed: 42,
             horizon: None,
             writes: None,
+            shared_scans: false,
+            record_limit: None,
         }
     }
 }
@@ -121,6 +150,16 @@ pub struct QueryAdmission {
     pub high: u32,
 }
 
+/// The planner's answer under shared scans: run a plan of your own, or
+/// attach to the shared circular cursor at marginal cost.
+#[derive(Debug, Clone)]
+pub enum SharedChoice {
+    /// Execute a dedicated plan (the classic path).
+    Solo(PlanSpec),
+    /// Attach to the shared-scan hub's cursor (starting it if idle).
+    Attach,
+}
+
 /// Chooses the physical plan for each admitted query.
 ///
 /// Implementations see the live concurrency level and buffer pool, so they
@@ -132,6 +171,31 @@ pub struct QueryAdmission {
 pub trait AdmissionPlanner {
     /// Choose the plan for `q`. Called once per query, at admission.
     fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec;
+
+    /// Choose between a dedicated plan and attaching to the shared scan
+    /// cursor (`cursor_active` says whether one is already streaming).
+    /// Only called when the workload enables shared scans. The default
+    /// never attaches.
+    fn admit_shared(
+        &mut self,
+        q: &QueryAdmission,
+        pool: &BufferPool,
+        cursor_active: bool,
+    ) -> SharedChoice {
+        let _ = cursor_active;
+        SharedChoice::Solo(self.admit(q, pool))
+    }
+
+    /// The shared cursor is starting: lease it a queue depth (in block
+    /// submissions). Charged once per cursor start, not per consumer.
+    fn cursor_start(&mut self, pool: &BufferPool) -> u32 {
+        let _ = pool;
+        8
+    }
+
+    /// The shared cursor went idle; the paired release of
+    /// [`cursor_start`](Self::cursor_start).
+    fn cursor_stop(&mut self) {}
 
     /// The query admitted for `session` finished (successfully or not).
     fn complete(&mut self, session: u32) {
@@ -149,7 +213,8 @@ pub trait AdmissionPlanner {
     fn background_release(&mut self) {}
 }
 
-/// The null admission policy: every query runs the same plan.
+/// The null admission policy: every query runs the same plan. Under
+/// shared scans, full-table-scan plans attach to the shared cursor.
 #[derive(Debug, Clone)]
 pub struct FixedPlanner {
     /// The plan to run.
@@ -160,6 +225,18 @@ impl AdmissionPlanner for FixedPlanner {
     fn admit(&mut self, _q: &QueryAdmission, _pool: &BufferPool) -> PlanSpec {
         self.plan.clone()
     }
+
+    fn admit_shared(
+        &mut self,
+        q: &QueryAdmission,
+        pool: &BufferPool,
+        _cursor_active: bool,
+    ) -> SharedChoice {
+        match self.plan {
+            PlanSpec::Fts(_) => SharedChoice::Attach,
+            _ => SharedChoice::Solo(self.admit(q, pool)),
+        }
+    }
 }
 
 /// Passing `&mut planner` lets the caller keep the planner (and whatever
@@ -167,6 +244,23 @@ impl AdmissionPlanner for FixedPlanner {
 impl<P: AdmissionPlanner + ?Sized> AdmissionPlanner for &mut P {
     fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec {
         (**self).admit(q, pool)
+    }
+
+    fn admit_shared(
+        &mut self,
+        q: &QueryAdmission,
+        pool: &BufferPool,
+        cursor_active: bool,
+    ) -> SharedChoice {
+        (**self).admit_shared(q, pool, cursor_active)
+    }
+
+    fn cursor_start(&mut self, pool: &BufferPool) -> u32 {
+        (**self).cursor_start(pool)
+    }
+
+    fn cursor_stop(&mut self) {
+        (**self).cursor_stop();
     }
 
     fn complete(&mut self, session: u32) {
@@ -191,7 +285,8 @@ pub struct QueryRecord {
     pub query_index: u32,
     /// The predicate selectivity the query ran with.
     pub selectivity: f64,
-    /// Label of the plan the planner chose ("FTS", "PIS8+pf4", ...).
+    /// Label of the plan the planner chose ("FTS", "PIS8+pf4",
+    /// "FTS+shared", ...).
     pub plan: String,
     /// The plan's parallel degree.
     pub degree: u32,
@@ -216,8 +311,6 @@ pub struct SessionSummary {
     pub completed: u32,
     /// Mean query latency, µs.
     pub mean_latency_us: f64,
-    /// Query latency histogram, µs.
-    pub latency_us: Histogram,
 }
 
 /// Everything a [`MultiEngine`] run reports.
@@ -225,7 +318,8 @@ pub struct SessionSummary {
 pub struct WorkloadReport {
     /// The spec that produced this report (self-describing exports).
     pub spec: WorkloadSpec,
-    /// Every completed query, in completion order.
+    /// Completed queries in completion order (capped by
+    /// [`WorkloadSpec::record_limit`]).
     pub records: Vec<QueryRecord>,
     /// Per-session accounting.
     pub per_session: Vec<SessionSummary>,
@@ -233,6 +327,10 @@ pub struct WorkloadReport {
     pub plan_counts: BTreeMap<String, u64>,
     /// Query latencies across all sessions, µs.
     pub query_latency_us: Histogram,
+    /// 95th-percentile query latency across all sessions, µs.
+    pub p95_latency_us: u64,
+    /// 99th-percentile query latency across all sessions, µs.
+    pub p99_latency_us: u64,
     /// First admission to last completion, virtual time.
     pub makespan: SimDuration,
     /// Device-level I/O profile over the whole workload.
@@ -243,6 +341,8 @@ pub struct WorkloadReport {
     pub resilience: ResilienceStats,
     /// Machine-level histograms (I/O latency, queue depth, page waits).
     pub hists: HistSet,
+    /// Shared-scan hub counters (all zero when sharing is off).
+    pub shared: SharedScanStats,
     /// Write-path counters, when a write workload ran beside the scans.
     pub writes: Option<WriteStats>,
 }
@@ -251,6 +351,16 @@ impl WorkloadReport {
     /// Total queries completed across all sessions.
     pub fn total_completed(&self) -> u64 {
         self.per_session.iter().map(|s| s.completed as u64).sum()
+    }
+
+    /// Fraction of completed queries served by the shared-scan hub.
+    pub fn shared_attach_rate(&self) -> f64 {
+        let total = self.total_completed();
+        if total == 0 {
+            0.0
+        } else {
+            self.shared.attaches as f64 / total as f64
+        }
     }
 
     /// Max/min completed-query ratio across sessions: 1.0 is perfectly
@@ -274,21 +384,34 @@ impl WorkloadReport {
     }
 }
 
-/// A query in flight on one session.
+/// A query running solo (its own driver) on one session.
 struct ActiveQuery<'q> {
     driver: Box<dyn QueryDriver + 'q>,
     submitted: SimTime,
     query_index: u32,
     selectivity: f64,
+    /// Empty when the record cap was already reached at admission (the
+    /// label would never be recorded, so it is never materialized).
     plan_label: String,
     degree: u32,
     active_at_admit: u32,
 }
 
+/// A query riding the shared-scan hub on one session.
+struct AttachedQuery {
+    submitted: SimTime,
+    query_index: u32,
+    selectivity: f64,
+    active_at_admit: u32,
+}
+
 enum SessState<'q> {
-    /// Waiting on a think timer (the engine's timer map holds the id).
+    /// Waiting on a tagged think timer.
     Thinking,
+    /// Running a dedicated driver (on the dense broadcast list).
     Running(ActiveQuery<'q>),
+    /// Attached to the shared-scan hub (off the broadcast list).
+    Attached(AttachedQuery),
     Finished,
 }
 
@@ -297,9 +420,46 @@ struct Sess<'q> {
     track: u32,
     issued: u32,
     completed: u32,
-    latency: Histogram,
     latency_sum_us: f64,
+    /// Index into the dense running-solo list while `Running`, else
+    /// `u32::MAX`.
+    run_idx: u32,
     state: SessState<'q>,
+}
+
+/// Metadata shared by both completion paths.
+struct FinishedMeta {
+    submitted: SimTime,
+    query_index: u32,
+    selectivity: f64,
+    /// `None` means the shared-scan label.
+    plan: Option<String>,
+    degree: u32,
+    active_at_admit: u32,
+}
+
+/// The mutable run-loop state outside the session slab.
+struct RunState {
+    records: Vec<QueryRecord>,
+    plan_counts: BTreeMap<String, u64>,
+    query_latency: Histogram,
+    last_complete: SimTime,
+    /// Dense list of sessions whose query is running solo: the only
+    /// sessions machine events are broadcast to.
+    running_solo: Vec<u32>,
+    /// Hub consumer slot -> owning session.
+    attached_owner: Vec<u32>,
+    /// Sessions not yet `Finished` (the loop condition, maintained
+    /// incrementally instead of scanning the slab).
+    unfinished: u32,
+    /// Queries currently in flight (solo + attached).
+    active_queries: u32,
+    /// Whether the engine believes the shared cursor holds a lease.
+    cursor_active: bool,
+    /// Reusable plan-label scratch (no per-query allocation).
+    label_buf: String,
+    /// Reusable shared-completion drain buffer.
+    completions_buf: Vec<(u32, QueryAnswer)>,
 }
 
 /// The concurrent multi-query engine. See the module docs.
@@ -391,42 +551,55 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
     ) -> Result<WorkloadReport, ExecError> {
         let start = ctx.now();
         let pool_before = ctx.pool.stats().clone();
-        let mut timer_owner: BTreeMap<u64, usize> = BTreeMap::new();
+        let tracing = ctx.trace_enabled();
         let mut sessions: Vec<Sess<'q>> = Vec::with_capacity(self.spec.sessions as usize);
         for s in 0..self.spec.sessions {
-            let track = ctx.trace_track(&format!("session{s}"));
+            let track = if tracing {
+                ctx.trace_track(&format!("session{s}"))
+            } else {
+                0
+            };
             let mut rng = SimRng::derive(self.spec.seed, s as u64);
-            // Initial stagger: sessions do not all arrive at t=0.
+            // Initial stagger: sessions do not all arrive at t=0. The tag
+            // routes the wakeup straight back to this session.
             let delay = self.spec.think.sample(&mut rng);
-            let timer = ctx.schedule_timer(delay);
-            timer_owner.insert(timer, s as usize);
+            ctx.schedule_timer_tagged(delay, 1 + s as u64);
             sessions.push(Sess {
                 rng,
                 track,
                 issued: 0,
                 completed: 0,
-                latency: Histogram::new(),
                 latency_sum_us: 0.0,
+                run_idx: u32::MAX,
                 state: SessState::Thinking,
             });
         }
+        let mut hub: Option<ScanHub<'q>> = self
+            .spec
+            .shared_scans
+            .then(|| ScanHub::new(self.inputs.table, FtsConfig::default().block_pages));
 
         if let Some(w) = ws.as_deref_mut() {
             w.start(ctx);
         }
 
-        let mut records: Vec<QueryRecord> = Vec::new();
-        let mut plan_counts: BTreeMap<String, u64> = BTreeMap::new();
-        let mut query_latency = Histogram::new();
-        let mut last_complete = start;
+        let mut st = RunState {
+            records: Vec::new(),
+            plan_counts: BTreeMap::new(),
+            query_latency: Histogram::new(),
+            last_complete: start,
+            running_solo: Vec::new(),
+            attached_owner: Vec::new(),
+            unfinished: self.spec.sessions,
+            active_queries: 0,
+            cursor_active: false,
+            label_buf: String::new(),
+            completions_buf: Vec::new(),
+        };
         let mut events: Vec<Event> = Vec::new();
         let mut background_active = false;
 
-        while sessions
-            .iter()
-            .any(|s| !matches!(s.state, SessState::Finished))
-            || ws.as_deref().is_some_and(|w| !w.finished())
-        {
+        while st.unfinished > 0 || ws.as_deref().is_some_and(|w| !w.finished()) {
             if ctx.device_crashed() {
                 return Err(ExecError::Crashed);
             }
@@ -461,8 +634,9 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
                 // Land every successful read in the pool up front. Drivers
                 // admit their own pages anyway (admission is idempotent);
                 // this covers completions whose owning query already
-                // finished, so a stray prefetch still warms the pool exact
-                // as `SimContext::quiesce` would have in single-query mode.
+                // finished — and the shared cursor's block reads — so a
+                // stray prefetch still warms the pool exactly as
+                // `SimContext::quiesce` would have in single-query mode.
                 match ev {
                     Event::IoPage {
                         device_page,
@@ -483,41 +657,59 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
                     }
                     _ => {}
                 }
-                if let Event::Timer { id } = ev {
-                    if let Some(s) = timer_owner.remove(&id) {
-                        self.start_query(ctx, &mut sessions, &mut plan_counts, s)?;
-                        if self.query_done(&sessions, s) {
+                if let Event::Timer { tag, .. } = ev {
+                    // Tag 0 timers belong to the write system (handled
+                    // above); tags >= 1 route to session `tag - 1`.
+                    if tag >= 1 {
+                        let s = (tag - 1) as usize;
+                        self.start_query(ctx, &mut sessions, hub.as_mut(), &mut st, s)?;
+                        if matches!(&sessions[s].state, SessState::Running(q) if q.driver.done()) {
                             // Degenerate (empty-range) query: finished at
                             // admission time.
-                            self.complete_query(
-                                ctx,
-                                &mut sessions,
-                                &mut timer_owner,
-                                &mut records,
-                                &mut query_latency,
-                                &mut last_complete,
-                                s,
-                            );
+                            let i = sessions[s].run_idx as usize;
+                            self.complete_solo(ctx, &mut sessions, &mut st, i);
                         }
                     }
                     continue;
                 }
-                // Broadcast to every active driver in session order; only
-                // owners react (shared reads can have several owners).
-                for s in 0..sessions.len() {
-                    if let SessState::Running(q) = &mut sessions[s].state {
-                        q.driver.on_event(ctx, &ev)?;
-                        if q.driver.done() {
-                            self.complete_query(
-                                ctx,
-                                &mut sessions,
-                                &mut timer_owner,
-                                &mut records,
-                                &mut query_latency,
-                                &mut last_complete,
-                                s,
-                            );
+                // The shared cursor's own I/O and evaluation completions
+                // never reach the broadcast list.
+                if let Some(h) = hub.as_mut() {
+                    if h.on_event(ctx, &ev)? {
+                        let mut comps = std::mem::take(&mut st.completions_buf);
+                        comps.clear();
+                        h.take_completions(&mut comps);
+                        for &(slot, answer) in &comps {
+                            self.complete_attached(ctx, &mut sessions, &mut st, slot, answer);
                         }
+                        st.completions_buf = comps;
+                        if st.cursor_active && !h.is_active() {
+                            self.planner.cursor_stop();
+                            st.cursor_active = false;
+                        }
+                        continue;
+                    }
+                }
+                // Broadcast to the dense running-solo list; only owners
+                // react (shared reads can have several owners). When entry
+                // `i` completes it is swap-removed and the element swapped
+                // in from the end still needs this event, so `i` does not
+                // advance on completion.
+                let mut i = 0;
+                while i < st.running_solo.len() {
+                    let s = st.running_solo[i] as usize;
+                    let done = {
+                        let SessState::Running(q) = &mut sessions[s].state else {
+                            i += 1;
+                            continue;
+                        };
+                        q.driver.on_event(ctx, &ev)?;
+                        q.driver.done()
+                    };
+                    if done {
+                        self.complete_solo(ctx, &mut sessions, &mut st, i);
+                    } else {
+                        i += 1;
                     }
                 }
             }
@@ -540,26 +732,25 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
                 } else {
                     sess.latency_sum_us / sess.completed as f64
                 },
-                latency_us: sess.latency.clone(),
             })
             .collect();
+        let shared = hub.map(|h| h.stats().clone()).unwrap_or_default();
         Ok(WorkloadReport {
             spec: self.spec,
-            records,
+            records: st.records,
             per_session,
-            plan_counts,
-            query_latency_us: query_latency,
-            makespan: last_complete.since(start),
+            plan_counts: st.plan_counts,
+            p95_latency_us: st.query_latency.quantile_lo(95, 100),
+            p99_latency_us: st.query_latency.quantile_lo(99, 100),
+            query_latency_us: st.query_latency,
+            makespan: st.last_complete.since(start),
             io,
             pool,
             resilience,
             hists,
+            shared,
             writes: write_stats,
         })
-    }
-
-    fn query_done(&self, sessions: &[Sess<'q>], s: usize) -> bool {
-        matches!(&sessions[s].state, SessState::Running(q) if q.driver.done())
     }
 
     /// A session's think timer fired: admit its next query, or retire the
@@ -568,7 +759,8 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
         &mut self,
         ctx: &mut SimContext<'_>,
         sessions: &mut [Sess<'q>],
-        plan_counts: &mut BTreeMap<String, u64>,
+        hub: Option<&mut ScanHub<'q>>,
+        st: &mut RunState,
         s: usize,
     ) -> Result<(), ExecError> {
         let now = ctx.now();
@@ -578,12 +770,10 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             .is_some_and(|h| now.since(SimTime::ZERO) >= h);
         if sessions[s].issued >= self.spec.queries_per_session || horizon_passed {
             sessions[s].state = SessState::Finished;
+            st.unfinished -= 1;
             return Ok(());
         }
-        let active = sessions
-            .iter()
-            .filter(|x| matches!(x.state, SessState::Running(_)))
-            .count() as u32;
+        let active = st.active_queries;
         let query_index = sessions[s].issued;
         sessions[s].issued += 1;
         let selectivity =
@@ -597,8 +787,57 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             low,
             high,
         };
-        let plan = self.planner.admit(&admission, ctx.pool);
-        *plan_counts.entry(plan.label()).or_insert(0) += 1;
+        let choice = match hub {
+            Some(_) if self.spec.shared_scans => {
+                let cursor_active = st.cursor_active;
+                self.planner
+                    .admit_shared(&admission, ctx.pool, cursor_active)
+            }
+            _ => SharedChoice::Solo(self.planner.admit(&admission, ctx.pool)),
+        };
+        let cap = self.spec.record_limit.unwrap_or(u64::MAX);
+        let plan = match (choice, hub) {
+            (SharedChoice::Attach, Some(h)) => {
+                if !h.is_active() {
+                    let depth = self.planner.cursor_start(ctx.pool);
+                    h.set_window(depth);
+                    st.cursor_active = true;
+                }
+                let slot = h.attach(ctx, low, high);
+                if st.attached_owner.len() <= slot as usize {
+                    st.attached_owner.resize(slot as usize + 1, 0);
+                }
+                st.attached_owner[slot as usize] = s as u32;
+                match st.plan_counts.get_mut(SHARED_LABEL) {
+                    Some(n) => *n += 1,
+                    None => {
+                        st.plan_counts.insert(SHARED_LABEL.to_string(), 1);
+                    }
+                }
+                ctx.trace_span_begin(sessions[s].track, "query");
+                sessions[s].state = SessState::Attached(AttachedQuery {
+                    submitted: now,
+                    query_index,
+                    selectivity,
+                    active_at_admit: active,
+                });
+                st.active_queries += 1;
+                return Ok(());
+            }
+            (SharedChoice::Solo(plan), _) => plan,
+            // An Attach verdict with no hub (a planner ignoring its
+            // `cursor_active` argument on an unshared workload) must not
+            // strand the query: fall back to the solo admission path.
+            (SharedChoice::Attach, None) => self.planner.admit(&admission, ctx.pool),
+        };
+        st.label_buf.clear();
+        plan.label_into(&mut st.label_buf);
+        match st.plan_counts.get_mut(st.label_buf.as_str()) {
+            Some(n) => *n += 1,
+            None => {
+                st.plan_counts.insert(st.label_buf.clone(), 1);
+            }
+        }
         ctx.set_retry_policy(plan.retry().clone());
         let inputs = ScanInputs {
             low,
@@ -608,70 +847,153 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
         let mut driver = make_driver(&plan, &inputs)?;
         ctx.trace_span_begin(sessions[s].track, "query");
         driver.start(ctx)?;
+        let plan_label = if (st.records.len() as u64) < cap {
+            st.label_buf.clone()
+        } else {
+            String::new()
+        };
+        sessions[s].run_idx = st.running_solo.len() as u32;
+        st.running_solo.push(s as u32);
+        st.active_queries += 1;
         sessions[s].state = SessState::Running(ActiveQuery {
             driver,
             submitted: now,
             query_index,
             selectivity,
-            plan_label: plan.label(),
+            plan_label,
             degree: plan.degree(),
             active_at_admit: active,
         });
         Ok(())
     }
 
-    /// A running query produced its answer: record it, return the lease,
-    /// start the next think pause (or retire the session).
-    #[allow(clippy::too_many_arguments)] // internal plumbing over `run`'s locals
-    fn complete_query(
+    /// The solo query at dense index `i` produced its answer.
+    fn complete_solo(
         &mut self,
         ctx: &mut SimContext<'_>,
         sessions: &mut [Sess<'q>],
-        timer_owner: &mut BTreeMap<u64, usize>,
-        records: &mut Vec<QueryRecord>,
-        query_latency: &mut Histogram,
-        last_complete: &mut SimTime,
-        s: usize,
+        st: &mut RunState,
+        i: usize,
     ) {
-        let sess = &mut sessions[s];
-        let q = match std::mem::replace(&mut sess.state, SessState::Thinking) {
+        let Some(&s32) = st.running_solo.get(i) else {
+            return;
+        };
+        let s = s32 as usize;
+        let q = match std::mem::replace(&mut sessions[s].state, SessState::Thinking) {
             SessState::Running(q) => q,
             other => {
-                // A completion for a session that isn't running would be
-                // an event-loop bug; library code may not panic, so put
-                // the state back and drop the spurious event.
-                sess.state = other;
+                // A completion for a session that isn't running solo would
+                // be an event-loop bug; library code may not panic, so put
+                // the state back and drop the spurious completion.
+                sessions[s].state = other;
                 return;
             }
         };
+        st.running_solo.swap_remove(i);
+        sessions[s].run_idx = u32::MAX;
+        if let Some(&moved) = st.running_solo.get(i) {
+            sessions[moved as usize].run_idx = i as u32;
+        }
+        st.active_queries -= 1;
         let answer = q.driver.answer();
-        let latency = ctx.now().since(q.submitted);
+        self.finish_query(
+            ctx,
+            sessions,
+            st,
+            s,
+            FinishedMeta {
+                submitted: q.submitted,
+                query_index: q.query_index,
+                selectivity: q.selectivity,
+                plan: Some(q.plan_label),
+                degree: q.degree,
+                active_at_admit: q.active_at_admit,
+            },
+            answer,
+        );
+    }
+
+    /// The hub delivered the answer for attached consumer `slot`.
+    fn complete_attached(
+        &mut self,
+        ctx: &mut SimContext<'_>,
+        sessions: &mut [Sess<'q>],
+        st: &mut RunState,
+        slot: u32,
+        answer: QueryAnswer,
+    ) {
+        let Some(&s32) = st.attached_owner.get(slot as usize) else {
+            return;
+        };
+        let s = s32 as usize;
+        let q = match std::mem::replace(&mut sessions[s].state, SessState::Thinking) {
+            SessState::Attached(q) => q,
+            other => {
+                sessions[s].state = other;
+                return;
+            }
+        };
+        st.active_queries -= 1;
+        self.finish_query(
+            ctx,
+            sessions,
+            st,
+            s,
+            FinishedMeta {
+                submitted: q.submitted,
+                query_index: q.query_index,
+                selectivity: q.selectivity,
+                plan: None,
+                degree: 1,
+                active_at_admit: q.active_at_admit,
+            },
+            answer,
+        );
+    }
+
+    /// Shared completion tail: record, return the lease, arm the next
+    /// think pause (or retire the session).
+    fn finish_query(
+        &mut self,
+        ctx: &mut SimContext<'_>,
+        sessions: &mut [Sess<'q>],
+        st: &mut RunState,
+        s: usize,
+        meta: FinishedMeta,
+        answer: QueryAnswer,
+    ) {
+        let sess = &mut sessions[s];
+        let latency = ctx.now().since(meta.submitted);
         ctx.trace_span_end(sess.track, "query");
         let latency_us = latency.as_nanos() / 1000;
-        sess.latency.record(latency_us);
-        query_latency.record(latency_us);
+        st.query_latency.record(latency_us);
         sess.latency_sum_us += latency.as_micros_f64();
         sess.completed += 1;
-        *last_complete = (*last_complete).max(ctx.now());
-        records.push(QueryRecord {
-            session: s as u32,
-            query_index: q.query_index,
-            selectivity: q.selectivity,
-            plan: q.plan_label,
-            degree: q.degree,
-            active_at_admit: q.active_at_admit,
-            submitted: q.submitted,
-            latency,
-            max_c1: answer.max_c1,
-            rows_matched: answer.rows_matched,
-        });
+        st.last_complete = st.last_complete.max(ctx.now());
+        let cap = self.spec.record_limit.unwrap_or(u64::MAX);
+        if (st.records.len() as u64) < cap {
+            st.records.push(QueryRecord {
+                session: s as u32,
+                query_index: meta.query_index,
+                selectivity: meta.selectivity,
+                plan: meta.plan.unwrap_or_else(|| SHARED_LABEL.to_string()),
+                degree: meta.degree,
+                active_at_admit: meta.active_at_admit,
+                submitted: meta.submitted,
+                latency,
+                max_c1: answer.max_c1,
+                rows_matched: answer.rows_matched,
+            });
+        }
         self.planner.complete(s as u32);
+        let sess = &mut sessions[s];
         if sess.issued >= self.spec.queries_per_session {
             sess.state = SessState::Finished;
+            st.unfinished -= 1;
         } else {
             let delay = self.spec.think.sample(&mut sess.rng);
-            let timer = ctx.schedule_timer(delay);
-            timer_owner.insert(timer, s);
+            ctx.schedule_timer_tagged(delay, 1 + s as u64);
+            sess.state = SessState::Thinking;
         }
     }
 }
@@ -785,6 +1107,65 @@ mod tests {
             report.records.iter().any(|r| r.active_at_admit > 0),
             "8 closed-loop sessions with short think time must overlap"
         );
+    }
+
+    #[test]
+    fn shared_scans_answer_the_oracle_and_charge_one_cursor() {
+        let fx = fixture(9_900, 33);
+        let spec = WorkloadSpec {
+            sessions: 8,
+            queries_per_session: 2,
+            selectivities: vec![0.4],
+            shared_scans: true,
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&fx, spec.clone(), PlanSpec::Fts(FtsConfig::default()));
+        assert_eq!(report.total_completed(), 16);
+        for r in &report.records {
+            let (low, high) = range_for_selectivity(r.selectivity, fx.0.spec().c2_max);
+            assert_eq!(r.max_c1, fx.0.data().naive_max_c1(low, high));
+            assert_eq!(r.plan, "FTS+shared");
+        }
+        assert_eq!(report.shared.attaches, 16);
+        assert!(
+            report.shared.cursor_starts >= 1,
+            "at least one cursor must have streamed"
+        );
+        assert!(
+            report.shared.cursor_starts < 16,
+            "overlapping consumers must share cursors, got {} starts",
+            report.shared.cursor_starts
+        );
+        // Answers are identical with sharing off.
+        let solo = run_workload(
+            &fx,
+            WorkloadSpec {
+                shared_scans: false,
+                ..spec
+            },
+            PlanSpec::Fts(FtsConfig::default()),
+        );
+        let key = |r: &QueryRecord| (r.session, r.query_index, r.max_c1, r.rows_matched);
+        let mut a: Vec<_> = report.records.iter().map(key).collect();
+        let mut b: Vec<_> = solo.records.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "sharing must not change any answer");
+    }
+
+    #[test]
+    fn record_limit_caps_memory_not_aggregates() {
+        let fx = fixture(20_000, 33);
+        let spec = WorkloadSpec {
+            sessions: 4,
+            queries_per_session: 4,
+            record_limit: Some(3),
+            ..WorkloadSpec::default()
+        };
+        let report = run_workload(&fx, spec, PlanSpec::Is(IsConfig::default()));
+        assert_eq!(report.records.len(), 3, "records are capped");
+        assert_eq!(report.total_completed(), 16, "aggregates are not");
+        assert_eq!(report.query_latency_us.count, 16);
     }
 
     #[test]

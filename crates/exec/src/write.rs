@@ -320,7 +320,7 @@ impl WriteSystem {
     /// are shared and the caller keeps broadcasting them.
     pub fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<bool, ExecError> {
         match *ev {
-            Event::Timer { id } => {
+            Event::Timer { id, .. } => {
                 let Some(kind) = self.timers.remove(&id) else {
                     return Ok(false);
                 };

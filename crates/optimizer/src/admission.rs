@@ -25,7 +25,9 @@ use crate::optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};
 use crate::stats::TableStats;
 use pioqo_bufpool::BufferPool;
 use pioqo_core::Qdtt;
-use pioqo_exec::{AdmissionPlanner, FtsConfig, IsConfig, PlanSpec, QueryAdmission, SortedIsConfig};
+use pioqo_exec::{
+    AdmissionPlanner, FtsConfig, IsConfig, PlanSpec, QueryAdmission, SharedChoice, SortedIsConfig,
+};
 use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -87,6 +89,10 @@ pub struct AdmissionDecision {
     pub queue_depth: u32,
     /// Executable plan label ("PIS8+pf4", ...).
     pub plan: String,
+    /// The query attached to the shared-scan cursor instead of taking a
+    /// lease of its own (`lease_depth`/`queue_depth` are 0 in that case:
+    /// the cursor's lease, taken once at cursor start, covers it).
+    pub attached: bool,
 }
 
 /// The QDTT-aware admission planner. See the module docs.
@@ -95,8 +101,20 @@ pub struct QdttAdmission<'a> {
     index: &'a BTreeIndex,
     model: QdttCost,
     cfg: OptimizerConfig,
+    /// Per-admission working copy of `cfg` with `max_queue_depth` capped at
+    /// the live lease — cloned once at construction, mutated in place on
+    /// every admission instead of cloning the degree list per query.
+    run_cfg: OptimizerConfig,
+    /// Reused candidate buffer for `Optimizer::choose_into`.
+    plan_scratch: Vec<Plan>,
     budget: QdBudget,
     leases: BTreeMap<u32, QdLease>,
+    /// The lease held on behalf of the shared-scan cursor, while one is
+    /// streaming. Charged once no matter how many consumers attach.
+    cursor: Option<QdLease>,
+    /// Journal of cursor-lease depths, one entry per cursor start — the
+    /// artifact the tests use to assert sharing takes exactly one lease.
+    cursor_leases: Vec<u32>,
     /// The lease held on behalf of background writeback (checkpoint
     /// flushing), while it is active. It contends exactly like a query:
     /// holding it shrinks every concurrent scan's share.
@@ -117,13 +135,18 @@ impl<'a> QdttAdmission<'a> {
         cfg: OptimizerConfig,
     ) -> QdttAdmission<'a> {
         let budget = QdBudget::from_model(&model);
+        let run_cfg = cfg.clone();
         QdttAdmission {
             table,
             index,
             model: QdttCost(model),
             cfg,
+            run_cfg,
+            plan_scratch: Vec::new(),
             budget,
             leases: BTreeMap::new(),
+            cursor: None,
+            cursor_leases: Vec::new(),
             background: None,
             decisions: Vec::new(),
         }
@@ -144,6 +167,14 @@ impl<'a> QdttAdmission<'a> {
         &self.decisions
     }
 
+    /// Queue-depth lease granted at each shared-cursor start, in order.
+    /// Its length equals the number of cursor starts: the whole point of
+    /// the shared scan is that this list stays short while the number of
+    /// attached consumers grows without bound.
+    pub fn cursor_leases(&self) -> &[u32] {
+        &self.cursor_leases
+    }
+
     /// Consume the planner, keeping its journal.
     pub fn into_decisions(self) -> Vec<AdmissionDecision> {
         self.decisions
@@ -154,10 +185,15 @@ impl AdmissionPlanner for QdttAdmission<'_> {
     fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec {
         let lease = self.budget.acquire();
         let stats = TableStats::gather(self.table, self.index, pool);
-        let mut cfg = self.cfg.clone();
-        cfg.max_queue_depth = cfg.max_queue_depth.min(lease.depth);
-        let plan = Optimizer::new(&self.model, cfg.clone()).choose(&stats, q.selectivity);
-        let spec = plan_to_spec(&plan, &cfg);
+        self.run_cfg.max_queue_depth = self.cfg.max_queue_depth.min(lease.depth);
+        let mut scratch = std::mem::take(&mut self.plan_scratch);
+        let plan = Optimizer::with_cfg(&self.model, &self.run_cfg).choose_into(
+            &stats,
+            q.selectivity,
+            &mut scratch,
+        );
+        self.plan_scratch = scratch;
+        let spec = plan_to_spec(&plan, &self.run_cfg);
         self.decisions.push(AdmissionDecision {
             session: q.session,
             query_index: q.query_index,
@@ -168,6 +204,7 @@ impl AdmissionPlanner for QdttAdmission<'_> {
             degree: plan.degree,
             queue_depth: plan.queue_depth,
             plan: spec.label(),
+            attached: false,
         });
         // The engine pairs every admit with one complete, so a session can
         // never hold two leases; release defensively if it somehow does.
@@ -176,6 +213,75 @@ impl AdmissionPlanner for QdttAdmission<'_> {
             self.budget.release(stale);
         }
         spec
+    }
+
+    fn admit_shared(
+        &mut self,
+        q: &QueryAdmission,
+        pool: &BufferPool,
+        cursor_active: bool,
+    ) -> SharedChoice {
+        let stats = TableStats::gather(self.table, self.index, pool);
+        // Marginal cost of riding the shared cursor: pure CPU (one pass
+        // over every page and row). Its device stream is already paid for
+        // by the cursor's own lease, so no I/O term and no new lease.
+        let attached_cpu = stats.pages as f64 * self.cfg.est.page_us
+            + stats.rows as f64 * self.cfg.est.row_scan_us;
+        // Cost the best solo plan under the lease this query WOULD get if
+        // it were admitted on its own (hypothetical: no lease is taken).
+        let depth = self.budget.share_at(self.budget.active() as u32 + 1);
+        self.run_cfg.max_queue_depth = self.cfg.max_queue_depth.min(depth);
+        let mut scratch = std::mem::take(&mut self.plan_scratch);
+        let solo = Optimizer::with_cfg(&self.model, &self.run_cfg).choose_into(
+            &stats,
+            q.selectivity,
+            &mut scratch,
+        );
+        self.plan_scratch = scratch;
+        // With a cursor already streaming, attach whenever riding it is
+        // cheaper than the best dedicated plan. With no cursor, attach
+        // exactly when a table scan would win anyway — the first consumer
+        // starts the cursor and pays its lease.
+        let attach = if cursor_active {
+            attached_cpu < solo.est_total_us
+        } else {
+            solo.method == AccessMethod::TableScan
+        };
+        if attach {
+            self.decisions.push(AdmissionDecision {
+                session: q.session,
+                query_index: q.query_index,
+                active: q.active,
+                lease_depth: 0,
+                selectivity: q.selectivity,
+                method: AccessMethod::TableScan,
+                degree: 1,
+                queue_depth: 0,
+                plan: "FTS+shared".to_string(),
+                attached: true,
+            });
+            SharedChoice::Attach
+        } else {
+            SharedChoice::Solo(self.admit(q, pool))
+        }
+    }
+
+    fn cursor_start(&mut self, pool: &BufferPool) -> u32 {
+        let _ = pool;
+        let lease = self.budget.acquire();
+        let depth = lease.depth;
+        self.cursor_leases.push(depth);
+        if let Some(stale) = self.cursor.replace(lease) {
+            debug_assert!(false, "shared cursor started twice");
+            self.budget.release(stale);
+        }
+        depth
+    }
+
+    fn cursor_stop(&mut self) {
+        if let Some(lease) = self.cursor.take() {
+            self.budget.release(lease);
+        }
     }
 
     fn complete(&mut self, session: u32) {

@@ -130,14 +130,28 @@ impl OptimizerConfig {
 /// and the new one with [`QdttCost`](crate::cost::QdttCost).
 pub struct Optimizer<'m> {
     model: &'m dyn IoCostModel,
-    cfg: OptimizerConfig,
+    cfg: std::borrow::Cow<'m, OptimizerConfig>,
 }
 
 impl<'m> Optimizer<'m> {
-    /// Build an optimizer over `model`.
+    /// Build an optimizer over `model`, taking ownership of `cfg`.
     pub fn new(model: &'m dyn IoCostModel, cfg: OptimizerConfig) -> Optimizer<'m> {
         assert!(cfg.degrees.contains(&1), "serial plans must be considered");
-        Optimizer { model, cfg }
+        Optimizer {
+            model,
+            cfg: std::borrow::Cow::Owned(cfg),
+        }
+    }
+
+    /// Build an optimizer over `model` borrowing `cfg` — the per-admission
+    /// hot path re-costs under a shrunken queue-depth cap without cloning
+    /// the configuration (and its degree list) every time.
+    pub fn with_cfg(model: &'m dyn IoCostModel, cfg: &'m OptimizerConfig) -> Optimizer<'m> {
+        assert!(cfg.degrees.contains(&1), "serial plans must be considered");
+        Optimizer {
+            model,
+            cfg: std::borrow::Cow::Borrowed(cfg),
+        }
     }
 
     /// The configuration.
@@ -168,14 +182,31 @@ impl<'m> Optimizer<'m> {
     /// Pick the cheapest plan (ties break toward lower degree, which the
     /// enumeration order guarantees).
     pub fn choose(&self, stats: &TableStats, sel: f64) -> Plan {
-        self.enumerate(stats, sel)
-            .into_iter()
+        let mut scratch = Vec::new();
+        self.choose_into(stats, sel, &mut scratch)
+    }
+
+    /// [`choose`](Self::choose) writing candidates into a caller-owned
+    /// scratch vector, so repeated admissions reuse one allocation.
+    pub fn choose_into(&self, stats: &TableStats, sel: f64, scratch: &mut Vec<Plan>) -> Plan {
+        let sel = sel.clamp(0.0, 1.0);
+        scratch.clear();
+        for &d in &self.cfg.degrees {
+            scratch.push(self.cost_fts(stats, d));
+            scratch.push(self.cost_is(stats, sel, d));
+        }
+        if self.cfg.consider_sorted_is {
+            scratch.push(self.cost_sorted_is(stats, sel));
+        }
+        scratch
+            .iter()
             .min_by(|a, b| {
                 a.est_total_us
                     .partial_cmp(&b.est_total_us)
                     .expect("finite costs")
             })
             .expect("at least one plan")
+            .clone()
     }
 
     /// Cost one specific `(method, degree)` candidate — used by the

@@ -167,6 +167,10 @@ pub struct WorkloadOutput {
     pub report: WorkloadReport,
     /// The QDTT admission journal, in admission order.
     pub admissions: Vec<AdmissionDecision>,
+    /// Queue-depth lease granted at each shared-scan cursor start (empty
+    /// when the spec did not enable shared scans). One entry per cursor,
+    /// no matter how many consumers attached to it.
+    pub cursor_leases: Vec<u32>,
 }
 
 /// An open session: holds a queue-depth lease from the database's shared
@@ -454,9 +458,11 @@ impl Db {
         }
         let report = MultiEngine::new(spec, inputs, &mut planner).run(&mut ctx)?;
         drop(ctx);
+        let cursor_leases = planner.cursor_leases().to_vec();
         Ok(WorkloadOutput {
             report,
             admissions: planner.into_decisions(),
+            cursor_leases,
         })
     }
 

@@ -10,7 +10,7 @@ use pioqo_optimizer::OptimizerConfig;
 use pioqo_simkit::SimDuration;
 use pioqo_workload::{
     concurrency_grid, grid_csv, interference_csv, interference_sweep, session_export,
-    ConcurrencyConfig, DeviceKind,
+    session_scale_csv, session_scale_sweep, ConcurrencyConfig, DeviceKind, SessionScaleConfig,
 };
 
 fn grid_config(opts: Opts, seed: u64) -> ConcurrencyConfig {
@@ -155,6 +155,77 @@ pub fn interference(opts: Opts, seed: u64) {
     }
     let path = dir.join(format!("interference{}.csv", opts.suffix()));
     match std::fs::write(&path, interference_csv(&cells)) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run the session-scale sweep: sessions ∈ {1K, 10K} on the SSD fixture,
+/// each twice — every query on its own cursor, then all scans riding the
+/// cooperative shared-scan hub. Prints a digest and writes
+/// `session_scale*.csv`.
+pub fn session_scale(opts: Opts, seed: u64) {
+    let mut cfg = SessionScaleConfig {
+        seed,
+        ..SessionScaleConfig::default()
+    };
+    if opts.scale > 1 {
+        cfg.session_counts = cfg
+            .session_counts
+            .iter()
+            .map(|&s| (s / opts.scale as u32).max(64))
+            .collect();
+    }
+    eprintln!(
+        "[session-scale] {} rows, sessions {:?}, shared off/on ...",
+        cfg.rows, cfg.session_counts
+    );
+    let threads = pioqo_simkit::par::thread_count();
+    let cells = match session_scale_sweep(&cfg, threads) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: session-scale sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = TextTable::new(
+        "Extension — overlapping scans at session scale: shared cursor off vs on",
+        &[
+            "sessions",
+            "shared",
+            "completed",
+            "makespan (ms)",
+            "p99 lat (us)",
+            "fairness",
+            "attach rate",
+            "cursor starts",
+            "q/sim-s",
+        ],
+    );
+    for c in &cells {
+        t.row(vec![
+            c.sessions.to_string(),
+            if c.shared { "on" } else { "off" }.to_string(),
+            c.completed.to_string(),
+            f2(c.makespan_ms),
+            c.p99_latency_us.to_string(),
+            f2(c.fairness),
+            f2(c.attach_rate),
+            c.cursor_starts.to_string(),
+            f2(c.queries_per_sim_s),
+        ]);
+    }
+    t.print();
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("session_scale{}.csv", opts.suffix()));
+    match std::fs::write(&path, session_scale_csv(&cells)) {
         Ok(()) => println!("[csv] {}", path.display()),
         Err(e) => {
             eprintln!("error: cannot write {}: {e}", path.display());

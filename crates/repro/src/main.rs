@@ -3,8 +3,8 @@
 //! ```text
 //! repro [--scale N] [--reps N] [--buffer-mb N] [--threads N]
 //!       [--trace DIR] [--trace-seed N]
-//!       [--concurrency] [--interference] [--session-export DIR]
-//!       [--conc-seed N] <target>...
+//!       [--concurrency] [--interference] [--session-scale]
+//!       [--session-export DIR] [--conc-seed N] <target>...
 //!   targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8
 //!            fig9 fig10 fig11 fig12 all
 //! ```
@@ -23,9 +23,12 @@
 //! per device) under QDTT-aware admission control and writes
 //! `concurrency_grid*.csv`; `--interference` runs the scan-vs-checkpoint
 //! interference sweep (scan p99 with the background flusher off vs on at
-//! 1/4/16 sessions) and writes `interference*.csv`; `--session-export
-//! DIR` writes the canonical 8-session report/trace/admission-journal
-//! JSON bundle into DIR; `--conc-seed N` varies the seed of all three.
+//! 1/4/16 sessions) and writes `interference*.csv`; `--session-scale`
+//! runs the 1K/10K-session overlapping-scan sweep with the cooperative
+//! shared-scan cursor off vs on and writes `session_scale*.csv`;
+//! `--session-export DIR` writes the canonical 8-session
+//! report/trace/admission-journal JSON bundle into DIR; `--conc-seed N`
+//! varies the seed of all four.
 //! With any of these flags, targets are optional.
 //! Output: aligned text tables on stdout plus CSVs under `results/`
 //! (override with `PIOQO_RESULTS`).
@@ -45,6 +48,7 @@ fn main() {
     let mut trace_seed: u64 = 0;
     let mut run_concurrency = false;
     let mut run_interference = false;
+    let mut run_session_scale = false;
     let mut session_dir: Option<String> = None;
     let mut conc_seed: u64 = 42;
     let mut args = std::env::args().skip(1);
@@ -69,6 +73,7 @@ fn main() {
             },
             "--concurrency" => run_concurrency = true,
             "--interference" => run_interference = true,
+            "--session-scale" => run_session_scale = true,
             "--session-export" => match args.next() {
                 Some(dir) => session_dir = Some(dir),
                 None => usage("--session-export needs an output directory"),
@@ -85,6 +90,7 @@ fn main() {
         && trace_dir.is_none()
         && !run_concurrency
         && !run_interference
+        && !run_session_scale
         && session_dir.is_none()
     {
         usage("no target given");
@@ -102,6 +108,9 @@ fn main() {
     }
     if run_interference {
         conc::interference(opts, conc_seed);
+    }
+    if run_session_scale {
+        conc::session_scale(opts, conc_seed);
     }
     if let Some(dir) = session_dir {
         conc::export_sessions(&dir, opts, conc_seed);
@@ -210,7 +219,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
          [--trace DIR] [--trace-seed N] [--concurrency] [--interference] \
-         [--session-export DIR] [--conc-seed N] <target>...\n\
+         [--session-scale] [--session-export DIR] [--conc-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"
     );

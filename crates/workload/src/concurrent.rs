@@ -91,6 +91,8 @@ impl ConcurrencyConfig {
             seed: self.seed,
             horizon: None,
             writes: None,
+            shared_scans: false,
+            record_limit: None,
         }
     }
 }
@@ -157,6 +159,8 @@ pub struct ConcurrencyCell {
     pub mean_latency_us: f64,
     /// 95th-percentile query latency bucket, µs.
     pub p95_latency_us: u64,
+    /// 99th-percentile query latency bucket, µs.
+    pub p99_latency_us: u64,
     /// Max/min completed-query ratio across sessions.
     pub fairness: f64,
     /// Mean queue-depth lease granted at admission.
@@ -184,8 +188,8 @@ impl ConcurrencyCell {
     /// CSV header matching [`ConcurrencyCell::csv_row`].
     pub fn csv_header() -> &'static str {
         "device,sessions,completed,makespan_ms,mean_latency_us,p95_latency_us,\
-         fairness,mean_lease_depth,min_lease_depth,mean_degree,max_degree,\
-         dominant_plan,plans"
+         p99_latency_us,fairness,mean_lease_depth,min_lease_depth,mean_degree,\
+         max_degree,dominant_plan,plans"
     }
 
     /// One CSV row (plan counts rendered `label:count|label:count`).
@@ -197,13 +201,14 @@ impl ConcurrencyCell {
             .collect::<Vec<_>>()
             .join("|");
         format!(
-            "{},{},{},{:.3},{:.1},{},{:.3},{:.2},{},{:.2},{},{},{}",
+            "{},{},{},{:.3},{:.1},{},{},{:.3},{:.2},{},{:.2},{},{},{}",
             self.device,
             self.sessions,
             self.completed,
             self.makespan_ms,
             self.mean_latency_us,
             self.p95_latency_us,
+            self.p99_latency_us,
             self.fairness,
             self.mean_lease_depth,
             self.min_lease_depth,
@@ -227,7 +232,8 @@ impl ConcurrencyCell {
             completed: report.total_completed(),
             makespan_ms: report.makespan.as_micros_f64() / 1_000.0,
             mean_latency_us: report.query_latency_us.mean(),
-            p95_latency_us: report.query_latency_us.quantile_lo(95, 100),
+            p95_latency_us: report.p95_latency_us,
+            p99_latency_us: report.p99_latency_us,
             fairness: report.fairness_ratio(),
             mean_lease_depth: admissions.iter().map(|a| a.lease_depth as f64).sum::<f64>() / n,
             min_lease_depth: admissions.iter().map(|a| a.lease_depth).min().unwrap_or(0),

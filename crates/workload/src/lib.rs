@@ -15,7 +15,10 @@
 //!   under QDTT-aware admission control, per device;
 //! * [`interference`] — scan-vs-checkpoint interference: the same scan
 //!   sessions with the crash-consistent write path (WAL + background
-//!   flusher) on and off, isolating what writeback does to scan p99.
+//!   flusher) on and off, isolating what writeback does to scan p99;
+//! * [`sessions`] — the session-scale study: 1K/10K/100K closed-loop
+//!   sessions on overlapping scans, cooperative shared-scan cursor vs
+//!   one cursor per query.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +28,7 @@ pub mod dataset;
 pub mod experiments;
 pub mod interference;
 pub mod opteval;
+pub mod sessions;
 pub mod sweep;
 pub mod trace;
 
@@ -37,6 +41,10 @@ pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
 pub use interference::{interference_csv, interference_sweep, InterferenceCell};
 pub use opteval::{
     calibrate, cold_stats, evaluate, plan_to_method, CalibratedModels, OptEvalPoint,
+};
+pub use sessions::{
+    session_scale_cell, session_scale_csv, session_scale_fixture, session_scale_sweep,
+    SessionScaleCell, SessionScaleConfig,
 };
 pub use sweep::{break_even, runtime_curve, SweepPoint};
 pub use trace::{capture_trace, default_trace_cells, TraceBundle, TraceCell, TraceError};

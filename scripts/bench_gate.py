@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Compares the freshly generated benchmark report (``BENCH_pr7.json`` by
+Compares the freshly generated benchmark report (``BENCH_pr8.json`` by
 default) against the latest *previously committed* ``BENCH_*.json`` and
 fails when any shared throughput-style metric regressed by more than the
 allowed fraction (default 10%).
@@ -22,12 +22,19 @@ Rules:
   a report where the *denominator* improved (e.g. the reference
   backend getting faster) with no regression anywhere.
 - ``threads_1v4_speedup`` leaves (the end-to-end 1-thread vs 4-thread
-  wall ratio) get a **non-fatal WARN** when they drop below 1.0: the
-  parallel harness losing to the serial one is worth a look in the CI
-  log, but on small runners it is noise, not a gate failure.
+  wall ratio) are **fatal** below 1.0 when the recording host had at
+  least 4 logical CPUs (``host_logical_cpus``, read from the leaf's own
+  section first, then the report top level): on a real 4-way host the
+  parallel harness losing to the serial one is a scheduling regression.
+  On smaller runners (or when the CPU count is missing) the same drop is
+  a **non-fatal WARN** — there it is noise, not a gate failure.
 - Hard invariant, checked regardless of the baseline: the event queue's
   batch drain must not be slower than repeated single pops
   (``event_queue.pop_batch_events_per_sec >= event_queue.pop_events_per_sec``).
+- Hard invariant on the ``sessions`` section (when present): the
+  cooperative shared-scan cursor must beat per-query cursors at 1K
+  sessions — ``sessions.shared_speedup_1k`` below 1.0 is fatal, and
+  below 10.0 (the PR's target) is a WARN.
 
 Usage: scripts/bench_gate.py [NEW_REPORT] [--tolerance 0.10]
 Exit status: 0 pass, 1 regression, 2 usage/missing-file errors.
@@ -82,7 +89,7 @@ def main(argv):
         return 2
 
     repo_root = Path(__file__).resolve().parent.parent
-    new_path = Path(args[0]) if args else repo_root / "BENCH_pr7.json"
+    new_path = Path(args[0]) if args else repo_root / "BENCH_pr8.json"
     if not new_path.is_file():
         print(f"bench_gate: new report {new_path} not found", file=sys.stderr)
         return 2
@@ -104,15 +111,39 @@ def main(argv):
     else:
         print(f"ok   event_queue: pop_batch {pop_batch:.0f} >= pop {pop:.0f} ev/s")
 
-    # Non-fatal: a 1-vs-4-thread end-to-end speedup below 1.0 means the
-    # parallel harness lost to the serial one on this host. Surface it in
-    # the log without failing the gate (small CI runners make this noisy).
+    # A 1-vs-4-thread end-to-end speedup below 1.0 means the parallel
+    # harness lost to the serial one. Fatal when the recording host
+    # actually had >= 4 logical CPUs; a WARN on smaller runners, where
+    # the measurement is noise by construction.
+    top_cpus = new.get("host_logical_cpus")
     for path, value in flatten(new):
         if path.rsplit(".", 1)[-1] == "threads_1v4_speedup":
-            if value < 1.0:
-                print(f"WARN {path}: {value:g} < 1.0 (4 threads slower than 1)")
+            section = new.get(path.split(".", 1)[0], {}) if "." in path else {}
+            cpus = section.get("host_logical_cpus", top_cpus) or 0
+            if value < 1.0 and cpus >= 4:
+                failures.append(
+                    f"{path}: {value:g} < 1.0 with {cpus} logical CPUs "
+                    "(4 threads slower than 1 on a >=4-way host)"
+                )
+            elif value < 1.0:
+                print(f"WARN {path}: {value:g} < 1.0 (host has {cpus} CPUs; not gated)")
             else:
                 print(f"ok   {path}: {value:g} >= 1.0")
+
+    # Shared scans must earn their keep: one circular cursor feeding all
+    # 1K sessions has to beat 1K independent cursors on wall-clock.
+    sessions = new.get("sessions") or {}
+    speedup_1k = sessions.get("shared_speedup_1k")
+    if speedup_1k is not None:
+        if speedup_1k < 1.0:
+            failures.append(
+                f"sessions.shared_speedup_1k: {speedup_1k:g} < 1.0 "
+                "(shared cursor slower than per-query cursors)"
+            )
+        elif speedup_1k < 10.0:
+            print(f"WARN sessions.shared_speedup_1k: {speedup_1k:g} < 10.0 target")
+        else:
+            print(f"ok   sessions.shared_speedup_1k: {speedup_1k:g} >= 10.0")
 
     baseline_path = latest_baseline(repo_root, new_path)
     if baseline_path is None:
