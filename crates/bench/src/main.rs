@@ -2,10 +2,10 @@
 //! paths and the observability layer.
 //!
 //! ```text
-//! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace]
+//! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace] [--metrics]
 //! ```
 //!
-//! Measures seven things and emits a JSON report (default `BENCH_pr8.json`
+//! Measures eight things and emits a JSON report (default `BENCH_pr9.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
@@ -27,7 +27,15 @@
 //! 6. **Write path** — commits/sec through the crash-consistent write
 //!    workload (WAL group commit + background flusher), and the wall cost
 //!    of one crash + replay-from-origin recovery cycle.
-//! 7. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//! 7. **Metrics** — the same PIS8 scan three ways: no registry installed
+//!    (baseline), a *disabled* registry riding the context (the always-on
+//!    configuration every run pays; `disabled_overhead_ratio` must stay
+//!    ~1.0x and is gated by `scripts/bench_gate.py` at 1.02x), and an
+//!    enabled registry sampling on the default cadence
+//!    (`enabled_overhead_ratio`, same 1.02x gate). One full
+//!    `capture_metrics` pass follows so the report carries the SLO
+//!    verdict (`slo_pass`, also gated).
+//! 8. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
 //!    harness threads (the repro binary is built on demand). The 1-vs-4
 //!    ratio is recorded as the named leaf `threads_1v4_speedup`, which
 //!    `scripts/bench_gate.py` fails on (below 1.0) only when the
@@ -36,7 +44,9 @@
 //!    `host_logical_cpus` so the artifact stays legible on its own.
 //!
 //! `--trace` runs only the tracing comparison (quick check of the
-//! overhead ratio; the report's other sections are null).
+//! overhead ratio; the report's other sections are null). `--metrics`
+//! runs only the tracing and metrics comparisons. `--profile` turns on
+//! the harness self-profiler and prints its phase table on exit.
 //!
 //! All numbers are wall-clock (this is the one harness crate allowed to
 //! look at the real clock; see `lint.toml`).
@@ -47,27 +57,32 @@ use pioqo_exec::{
     drive_writes, recover, AdmissionPlanner, CpuConfig, CpuCosts, ExecError, QueryAdmission,
     SimContext, WriteConfig, WriteSystem,
 };
-use pioqo_obs::RingSink;
+use pioqo_obs::{MetricsRegistry, RingSink};
 use pioqo_optimizer::{OptimizerConfig, QdttAdmission};
 use pioqo_simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use pioqo_storage::{HeapTable, TableSpec, Tablespace};
 use pioqo_workload::{
-    calibrate, session_export, session_scale_cell, session_scale_fixture, Experiment,
-    ExperimentConfig, MethodSpec, SessionScaleConfig,
+    calibrate, capture_metrics, default_slos, session_export, session_scale_cell,
+    session_scale_fixture, small_metrics_cells, Experiment, ExperimentConfig, MethodSpec,
+    SessionScaleConfig,
 };
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr8.json");
+    let mut out_path = PathBuf::from("BENCH_pr9.json");
     let mut json = false;
     let mut trace_only = false;
+    let mut metrics_only = false;
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
             "--trace" => trace_only = true,
+            "--metrics" => metrics_only = true,
+            "--profile" => profile = true,
             "--scale" => {
                 scale = args
                     .next()
@@ -88,18 +103,51 @@ fn main() {
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("[bench] host logical CPUs: {cpus}");
+    if profile {
+        pioqo_profiler::enable();
+    }
 
-    let tr = bench_tracing();
+    let tr = {
+        let _span = pioqo_profiler::scope("tracing");
+        bench_tracing()
+    };
     let sections = if trace_only {
         Sections::default()
+    } else if metrics_only {
+        Sections {
+            metrics: Some(bench_metrics()),
+            ..Sections::default()
+        }
     } else {
         Sections {
-            eq: Some(bench_event_queue()),
-            bp: Some(bench_bufpool()),
-            conc: Some(bench_concurrency()),
-            sessions: Some(bench_sessions()),
-            wp: Some(bench_write_path()),
-            e2e: Some(bench_end_to_end(scale)),
+            eq: Some({
+                let _span = pioqo_profiler::scope("event_queue");
+                bench_event_queue()
+            }),
+            bp: Some({
+                let _span = pioqo_profiler::scope("bufpool");
+                bench_bufpool()
+            }),
+            conc: Some({
+                let _span = pioqo_profiler::scope("concurrency");
+                bench_concurrency()
+            }),
+            sessions: Some({
+                let _span = pioqo_profiler::scope("sessions");
+                bench_sessions()
+            }),
+            wp: Some({
+                let _span = pioqo_profiler::scope("write_path");
+                bench_write_path()
+            }),
+            metrics: Some({
+                let _span = pioqo_profiler::scope("metrics");
+                bench_metrics()
+            }),
+            e2e: Some({
+                let _span = pioqo_profiler::scope("end_to_end");
+                bench_end_to_end(scale)
+            }),
         }
     };
 
@@ -114,13 +162,19 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if profile {
+        pioqo_profiler::flush_thread();
+        eprintln!("{}", pioqo_profiler::report().phase_table());
+    }
 }
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: pioqo-bench [--json] [--scale N] [--out PATH] [--trace]");
+    eprintln!(
+        "usage: pioqo-bench [--json] [--scale N] [--out PATH] [--trace] [--metrics] [--profile]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -150,36 +204,40 @@ fn bench_event_queue() -> EventQueueBench {
         q
     };
 
-    // Best of three per drain style: a sub-50ms loop is at the mercy of
-    // one scheduler hiccup on a busy host, and the minimum is the honest
-    // estimate of what the code costs.
+    // Best of seven per drain style, the two styles interleaved: a
+    // sub-50ms loop is at the mercy of one scheduler hiccup on a busy
+    // host, and the minimum is the honest estimate of what the code
+    // costs. Interleaving spreads the repetitions across ~0.5s of wall
+    // time so a single disturbance burst can't blanket one style's
+    // every repetition while missing the other's.
     let mut sink = 0u64;
     let mut pop_s = f64::INFINITY;
-    for _ in 0..3 {
-        let mut rng = SimRng::seeded(42);
-        let mut q = fill(&mut rng);
-        let started = Instant::now();
-        while let Some((_, e)) = q.pop() {
-            sink = sink.wrapping_add(e);
-        }
-        pop_s = pop_s.min(started.elapsed().as_secs_f64());
-    }
-
     let mut pop_batch_s = f64::INFINITY;
-    for _ in 0..3 {
-        let mut rng = SimRng::seeded(42);
-        let mut q = fill(&mut rng);
-        let mut batch: Vec<u64> = Vec::with_capacity(PER_COHORT as usize);
-        let started = Instant::now();
-        while q.peek_time().is_some() {
-            batch.clear();
-            if q.pop_batch(&mut batch).is_some() {
-                for &e in &batch {
-                    sink = sink.wrapping_add(e);
+    let mut batch: Vec<u64> = Vec::with_capacity(PER_COHORT as usize);
+    for _ in 0..7 {
+        {
+            let mut rng = SimRng::seeded(42);
+            let mut q = fill(&mut rng);
+            let started = Instant::now();
+            while let Some((_, e)) = q.pop() {
+                sink = sink.wrapping_add(e);
+            }
+            pop_s = pop_s.min(started.elapsed().as_secs_f64());
+        }
+        {
+            let mut rng = SimRng::seeded(42);
+            let mut q = fill(&mut rng);
+            let started = Instant::now();
+            while q.peek_time().is_some() {
+                batch.clear();
+                if q.pop_batch(&mut batch).is_some() {
+                    for &e in &batch {
+                        sink = sink.wrapping_add(e);
+                    }
                 }
             }
+            pop_batch_s = pop_batch_s.min(started.elapsed().as_secs_f64());
         }
-        pop_batch_s = pop_batch_s.min(started.elapsed().as_secs_f64());
     }
     // Keep `sink` observable so the drains aren't optimized away.
     eprintln!("[bench] event queue: {EVENTS} events, checksum {sink:x}");
@@ -253,6 +311,7 @@ struct TracingBench {
     runs: u64,
     disabled_s: f64,
     enabled_s: f64,
+    overhead_ratio: f64,
     events_per_run: u64,
 }
 
@@ -282,50 +341,62 @@ fn bench_tracing() -> TracingBench {
         checksum ^= m.io.io_ops;
     }
 
-    // Best of five per configuration: each 24-scan block is a few tens
-    // of milliseconds, so a single scheduler hiccup otherwise dominates
-    // the overhead ratio; the minimum is the honest cost estimate.
-    let mut disabled_s = f64::INFINITY;
-    for _ in 0..5 {
-        let started = Instant::now();
-        for _ in 0..RUNS {
-            let mut dev = exp.make_device();
-            let mut pool = exp.make_pool();
-            let m = exp
-                .run_with(dev.as_mut(), &mut pool, method, 0.01)
-                .expect("clean device cannot fail");
-            checksum ^= m.io.io_ops;
-        }
-        disabled_s = disabled_s.min(started.elapsed().as_secs_f64());
-    }
-
+    // The two configurations interleave at single-run granularity with
+    // the starting mode alternated per cycle, and the reported seconds
+    // are per-mode medians scaled to the block size — the same estimator
+    // the metrics section uses (and for the same reason: block-at-a-time
+    // best-of timing flakes the gate whenever one mode's blocks alias
+    // against periodic host activity).
     let mut events_per_run = 0u64;
-    let mut enabled_s = f64::INFINITY;
-    for _ in 0..5 {
-        let started = Instant::now();
-        for _ in 0..RUNS {
+    let mut times: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    {
+        let mut time_run = |traced: bool| -> f64 {
             let mut dev = exp.make_device();
             let mut pool = exp.make_pool();
             let mut sink = RingSink::with_capacity(1 << 16);
-            let m = exp
-                .run_with_traced(dev.as_mut(), &mut pool, method, 0.01, &mut sink)
-                .expect("clean device cannot fail");
+            let started = Instant::now();
+            let m = if traced {
+                exp.run_with_traced(dev.as_mut(), &mut pool, method, 0.01, &mut sink)
+            } else {
+                exp.run_with(dev.as_mut(), &mut pool, method, 0.01)
+            }
+            .expect("clean device cannot fail");
+            let t = started.elapsed().as_secs_f64();
             checksum ^= m.io.io_ops;
-            events_per_run = sink.recorded();
+            if traced {
+                events_per_run = sink.recorded();
+            }
+            t
+        };
+        for cycle in 0..(5 * RUNS) {
+            for slot in 0..2u64 {
+                let traced = (cycle + slot) % 2 == 1;
+                times[traced as usize].push(time_run(traced));
+            }
         }
-        enabled_s = enabled_s.min(started.elapsed().as_secs_f64());
     }
+    let median = |v: &[f64]| -> f64 {
+        let mut v = v.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
+    // Absolute seconds stay best-of (comparable across reports); the
+    // gated overhead ratio comes from the medians.
+    let disabled_s = best(&times[0]) * RUNS as f64;
+    let enabled_s = best(&times[1]) * RUNS as f64;
+    let overhead_ratio = median(&times[1]) / median(&times[0]);
 
     eprintln!(
         "[bench] tracing: {RUNS} PIS8 scans (checksum {checksum:x}); \
-         disabled {disabled_s:.3}s, enabled {enabled_s:.3}s ({:.2}x), \
-         {events_per_run} events/run",
-        enabled_s / disabled_s
+         disabled {disabled_s:.3}s, enabled {enabled_s:.3}s ({overhead_ratio:.2}x), \
+         {events_per_run} events/run"
     );
     TracingBench {
         runs: RUNS,
         disabled_s,
         enabled_s,
+        overhead_ratio,
         events_per_run,
     }
 }
@@ -347,20 +418,25 @@ struct ConcurrencyBench {
 /// tracks, render the JSON exports) end to end and time it. One untimed
 /// warm-up run absorbs first-touch costs, same as the tracing bench.
 fn bench_concurrency() -> ConcurrencyBench {
-    const RUNS: u64 = 3;
+    const RUNS: u64 = 9;
     let warm = session_export(42).expect("canonical session export cannot fail");
     let sessions = warm.report.spec.sessions;
     let queries = warm.report.total_completed() as u64;
     let sim_makespan_ms = warm.report.makespan.as_micros_f64() / 1_000.0;
     let admissions = warm.admissions.len() as u64;
 
-    let started = Instant::now();
+    // Median of nine ~60ms runs: a mean of three flaked the bench gate
+    // whenever one run caught a scheduler hiccup on a busy host.
     let mut checksum = 0usize;
+    let mut times = Vec::with_capacity(RUNS as usize);
     for _ in 0..RUNS {
+        let started = Instant::now();
         let export = session_export(42).expect("canonical session export cannot fail");
+        times.push(started.elapsed().as_secs_f64());
         checksum ^= export.chrome_json.len();
     }
-    let wall_s_per_run = started.elapsed().as_secs_f64() / RUNS as f64;
+    times.sort_by(|a, b| a.total_cmp(b));
+    let wall_s_per_run = times[times.len() / 2];
     let admissions_per_sec = bench_admission_rate();
     eprintln!(
         "[bench] concurrency: {RUNS} runs of {sessions} sessions / {queries} queries \
@@ -593,6 +669,123 @@ fn bench_write_path() -> WritePathBench {
     }
 }
 
+/// Baseline / disabled-registry / enabled-registry timings for the same
+/// scan, plus the SLO verdict of a full capture.
+struct MetricsBench {
+    runs: u64,
+    baseline_s: f64,
+    disabled_s: f64,
+    enabled_s: f64,
+    disabled_ratio: f64,
+    enabled_ratio: f64,
+    slo_checks: u64,
+    slo_pass: bool,
+}
+
+/// Time the default-scenario PIS8 scan three ways: `run_with` (no
+/// registry anywhere near the context — the pre-metrics baseline),
+/// `run_with_metrics` over a **disabled** registry (what every ordinary
+/// run now pays for the always-on plumbing; the 1.02x gate lives on this
+/// ratio), and over an **enabled** registry sampling at the default 1ms
+/// sim cadence. Then run one full `capture_metrics` pass over the small
+/// cells so the committed report records whether the SLO roster holds.
+fn bench_metrics() -> MetricsBench {
+    // 8x the tracing bench's dataset (one scan ~5ms), 360 timed scans per
+    // mode: the gated ratios live at 1.02x, so the estimator has to beat
+    // scheduler noise on a busy 1-CPU host by an order of magnitude.
+    const RUNS: u64 = 360;
+    let cfg = ExperimentConfig::by_name("E33-SSD")
+        .expect("E33-SSD is a Table 1 row")
+        .scaled_down(8);
+    let exp = Experiment::build(cfg);
+    let method = MethodSpec::Is {
+        workers: 8,
+        prefetch: 0,
+    };
+
+    // Untimed warm-up, same rationale as the tracing bench.
+    let mut checksum = 0u64;
+    {
+        let mut dev = exp.make_device();
+        let mut pool = exp.make_pool();
+        let m = exp
+            .run_with(dev.as_mut(), &mut pool, method, 0.01)
+            .expect("clean device cannot fail");
+        checksum ^= m.io.io_ops;
+    }
+
+    let mut time_run = |mode: u8| -> f64 {
+        let mut dev = exp.make_device();
+        let mut pool = exp.make_pool();
+        let started = Instant::now();
+        let m = match mode {
+            0 => exp.run_with(dev.as_mut(), &mut pool, method, 0.01),
+            1 => {
+                let mut reg = MetricsRegistry::disabled();
+                exp.run_with_metrics(dev.as_mut(), &mut pool, method, 0.01, &mut reg)
+            }
+            _ => {
+                let mut reg = MetricsRegistry::enabled(SimDuration::from_millis(1));
+                exp.run_with_metrics(dev.as_mut(), &mut pool, method, 0.01, &mut reg)
+            }
+        }
+        .expect("clean device cannot fail");
+        let t = started.elapsed().as_secs_f64();
+        checksum ^= m.io.io_ops;
+        t
+    };
+    // The three modes interleave at single-run (~5ms) granularity with the
+    // starting mode rotated every cycle. Coarser block-at-a-time timing
+    // kept flaking the 1.02x gate two different ways: a fixed 0,1,2 block
+    // order hands mode 0 the coolest slot every time (a systematic ~2%
+    // phantom "overhead" on the later modes, though the disabled path is
+    // instruction-identical to the baseline), and even rotated blocks can
+    // alias against periodic host activity so one mode soaks a
+    // disturbance the others miss. At per-run granularity anything longer
+    // than a few milliseconds lands on all three modes evenly, and the
+    // per-mode *median* of 360 runs estimates the typical cost with the
+    // outliers discarded symmetrically. Absolute seconds are still
+    // best-of (the cleanest run each mode achieved).
+    let mut runs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for cycle in 0..RUNS {
+        for slot in 0..3u64 {
+            let mode = ((cycle + slot) % 3) as u8;
+            runs[mode as usize].push(time_run(mode));
+        }
+    }
+    let median = |v: &[f64]| -> f64 {
+        let mut v = v.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
+    let [baseline_s, disabled_s, enabled_s] = [best(&runs[0]), best(&runs[1]), best(&runs[2])];
+    let disabled_ratio = median(&runs[1]) / median(&runs[0]);
+    let enabled_ratio = median(&runs[2]) / median(&runs[1]);
+
+    let cells = small_metrics_cells(7);
+    let slos = default_slos();
+    let bundle = capture_metrics(&cells, SimDuration::from_millis(1), &slos, 2)
+        .expect("metrics capture over Table 1 rows cannot fail");
+    eprintln!(
+        "[bench] metrics: {RUNS} PIS8 scans (checksum {checksum:x}); \
+         baseline {baseline_s:.3}s, disabled {disabled_s:.3}s ({disabled_ratio:.3}x), \
+         enabled {enabled_s:.3}s ({enabled_ratio:.3}x); {} SLOs, pass={}",
+        bundle.verdicts.len(),
+        bundle.slo_pass(),
+    );
+    MetricsBench {
+        runs: RUNS,
+        baseline_s,
+        disabled_s,
+        enabled_s,
+        disabled_ratio,
+        enabled_ratio,
+        slo_checks: bundle.verdicts.len() as u64,
+        slo_pass: bundle.slo_pass(),
+    }
+}
+
 /// Wall seconds of `repro all --scale N` at the given thread count, or
 /// `None` when the run failed.
 struct EndToEndBench {
@@ -676,6 +869,7 @@ struct Sections {
     conc: Option<ConcurrencyBench>,
     sessions: Option<SessionsBench>,
     wp: Option<WritePathBench>,
+    metrics: Option<MetricsBench>,
     e2e: Option<EndToEndBench>,
 }
 
@@ -686,6 +880,7 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         conc,
         sessions,
         wp,
+        metrics,
         e2e,
     } = sections;
     let eq_json = match eq {
@@ -713,7 +908,7 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         tr.runs,
         json_num(tr.disabled_s),
         json_num(tr.enabled_s),
-        json_num(tr.enabled_s / tr.disabled_s),
+        json_num(tr.overhead_ratio),
         tr.events_per_run,
     );
     let conc_json = match conc {
@@ -757,6 +952,20 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         ),
         None => "null".to_string(),
     };
+    let metrics_json = match metrics {
+        Some(m) => format!(
+            "{{\n    \"host_logical_cpus\": {cpus},\n    \"runs\": {},\n    \"baseline_wall_s\": {},\n    \"disabled_wall_s\": {},\n    \"enabled_wall_s\": {},\n    \"disabled_overhead_ratio\": {},\n    \"enabled_overhead_ratio\": {},\n    \"slo_checks\": {},\n    \"slo_pass\": {}\n  }}",
+            m.runs,
+            json_num(m.baseline_s),
+            json_num(m.disabled_s),
+            json_num(m.enabled_s),
+            json_num(m.disabled_ratio),
+            json_num(m.enabled_ratio),
+            m.slo_checks,
+            m.slo_pass,
+        ),
+        None => "null".to_string(),
+    };
     let e2e_json = match e2e {
         Some(e2e) => {
             let speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
@@ -773,6 +982,6 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr8\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"sessions\": {sessions_json},\n  \"write_path\": {wp_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
+        "{{\n  \"bench\": \"pr9\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"sessions\": {sessions_json},\n  \"write_path\": {wp_json},\n  \"metrics\": {metrics_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

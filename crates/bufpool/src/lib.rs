@@ -293,6 +293,10 @@ pub struct BufferPool {
     head: u32,
     tail: u32,
     stats: PoolStats,
+    /// Dirty resident frames right now, maintained on every clean<->dirty
+    /// transition so [`BufferPool::dirty_count`] is O(1) — the metrics
+    /// sampler reads it on every cadence boundary.
+    dirty_now: usize,
     /// Event journal, disabled (and costless beyond one branch) by default.
     journal: Option<Vec<PoolEvent>>,
 }
@@ -338,6 +342,7 @@ impl BufferPool {
             head: NIL,
             tail: NIL,
             stats: PoolStats::default(),
+            dirty_now: 0,
             journal: None,
         }
     }
@@ -549,6 +554,7 @@ impl BufferPool {
         let f = &mut self.frames[idx as usize];
         if !f.dirty {
             f.dirty = true;
+            self.dirty_now += 1;
             self.stats.pages_dirtied += 1;
             self.log(PoolEvent::Dirty(page));
         }
@@ -562,6 +568,7 @@ impl BufferPool {
         let f = &mut self.frames[idx as usize];
         if f.dirty {
             f.dirty = false;
+            self.dirty_now -= 1;
             self.stats.pages_flushed += 1;
             self.log(PoolEvent::Flush(page));
         }
@@ -575,18 +582,9 @@ impl BufferPool {
             .is_some_and(|idx| self.frames[idx as usize].dirty)
     }
 
-    /// Number of dirty resident pages.
+    /// Number of dirty resident pages (O(1), maintained on transitions).
     pub fn dirty_count(&self) -> usize {
-        let mut n = 0;
-        let mut cur = self.head;
-        while cur != NIL {
-            let f = &self.frames[cur as usize];
-            if f.dirty {
-                n += 1;
-            }
-            cur = f.next;
-        }
-        n
+        self.dirty_now
     }
 
     /// Append every dirty page to `out` in LRU order (coldest first), the
@@ -648,6 +646,7 @@ impl BufferPool {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.dirty_now = 0;
     }
 
     /// Reset counters to zero.
@@ -661,6 +660,7 @@ impl BufferPool {
     pub fn check_invariants(&self) {
         assert!(self.table.resident() <= self.cap);
         let mut seen = 0usize;
+        let mut dirty = 0usize;
         let mut cur = self.head;
         let mut prev = NIL;
         while cur != NIL {
@@ -668,11 +668,13 @@ impl BufferPool {
             assert_eq!(f.prev, prev, "broken prev link");
             assert_eq!(self.table.get(f.page), Some(cur), "table/list mismatch");
             seen += 1;
+            dirty += usize::from(f.dirty);
             prev = cur;
             cur = f.next;
         }
         assert_eq!(seen, self.table.resident(), "list length != resident count");
         assert_eq!(self.tail, prev, "tail mismatch");
+        assert_eq!(dirty, self.dirty_now, "stale dirty_now counter");
     }
 }
 

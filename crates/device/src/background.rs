@@ -120,6 +120,14 @@ impl<D: DeviceModel> DeviceModel for WithBackgroundLoad<D> {
         self.inner.outstanding() - self.bg_outstanding
     }
 
+    fn channels(&self) -> u32 {
+        self.inner.channels()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        self.inner.channels_busy(now)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

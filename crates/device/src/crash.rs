@@ -219,6 +219,18 @@ impl<D: DeviceModel> DeviceModel for Crashable<D> {
     fn crashed(&self) -> bool {
         self.crashed
     }
+
+    fn channels(&self) -> u32 {
+        self.inner.channels()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        if self.crashed {
+            0
+        } else {
+            self.inner.channels_busy(now)
+        }
+    }
 }
 
 #[cfg(test)]

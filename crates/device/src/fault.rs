@@ -231,6 +231,14 @@ impl<D: DeviceModel> DeviceModel for Faulty<D> {
         self.inner.outstanding() + self.held.values().map(Vec::len).sum::<usize>()
     }
 
+    fn channels(&self) -> u32 {
+        self.inner.channels()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        self.inner.channels_busy(now)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

@@ -185,6 +185,23 @@ pub trait DeviceModel {
     fn crashed(&self) -> bool {
         false
     }
+
+    /// Number of independent service channels the device exposes.
+    /// Single-actuator models report 1; an SSD reports its internal
+    /// channel count, a RAID array the sum over its spindles. Used by the
+    /// metrics layer to express utilization as busy/total.
+    fn channels(&self) -> u32 {
+        1
+    }
+
+    /// Channels still serving work at virtual time `now` — the
+    /// instantaneous parallel-I/O depth the metrics layer samples into the
+    /// per-device utilization series. The default collapses to "anything
+    /// outstanding?", which is exact for single-channel models.
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        let _ = now;
+        u32::from(self.outstanding() > 0)
+    }
 }
 
 /// A boxed device is itself a device — lets generic drivers (e.g. the
@@ -225,6 +242,14 @@ impl DeviceModel for Box<dyn DeviceModel> {
 
     fn crashed(&self) -> bool {
         (**self).crashed()
+    }
+
+    fn channels(&self) -> u32 {
+        (**self).channels()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        (**self).channels_busy(now)
     }
 }
 

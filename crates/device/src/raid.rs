@@ -269,6 +269,15 @@ impl DeviceModel for Raid {
         }
     }
 
+    fn channels(&self) -> u32 {
+        // Each spindle is an independent actuator.
+        self.spindles.iter().map(|s| s.channels()).sum()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        self.spindles.iter().map(|s| s.channels_busy(now)).sum()
+    }
+
     fn outstanding(&self) -> usize {
         self.parents.len()
     }

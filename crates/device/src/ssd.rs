@@ -219,6 +219,17 @@ impl DeviceModel for Ssd {
         // Let the pipeline clocks stay where they are: they are in the past
         // relative to any future submission, so they no longer constrain.
     }
+
+    fn channels(&self) -> u32 {
+        self.cfg.n_channels
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        // A channel is busy while its flash pipeline reaches past `now`;
+        // channel_free clocks only move forward, so this is an exact
+        // instantaneous in-flight depth across the internal channels.
+        self.channel_free.iter().filter(|&&free| free > now).count() as u32
+    }
 }
 
 #[cfg(test)]

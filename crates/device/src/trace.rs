@@ -190,6 +190,14 @@ impl<D: DeviceModel> DeviceModel for Traced<D> {
     fn reset_state(&mut self) {
         self.inner.reset_state();
     }
+
+    fn channels(&self) -> u32 {
+        self.inner.channels()
+    }
+
+    fn channels_busy(&self, now: SimTime) -> u32 {
+        self.inner.channels_busy(now)
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use crate::cpu::{CpuConfig, CpuScheduler, TaskId};
 use pioqo_bufpool::{BufferPool, PoolEvent};
 use pioqo_device::{DeviceModel, IoCompletion, IoRequest, IoStatus};
-use pioqo_obs::{EventKind, HistSet, TraceEvent, TraceSink};
+use pioqo_obs::{EventKind, HistSet, MetricsRegistry, SeriesHandle, TraceEvent, TraceSink};
 use pioqo_simkit::{EventQueue, SimDuration, SimTime, TimeWeighted};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -337,6 +337,13 @@ pub struct SimContext<'a> {
     io_track: u32,
     pool_track: u32,
     pool_evbuf: Vec<PoolEvent>,
+    metrics: Option<&'a mut MetricsRegistry>,
+    /// Next sim-time cadence boundary at which `step` samples the engine
+    /// series (queue depth, pool hit rate, device channel occupancy).
+    next_metric_sample: SimTime,
+    /// Slots for the five engine series, resolved once in `set_metrics`
+    /// so the per-boundary sampler never walks the name index.
+    series_handles: [SeriesHandle; 5],
 }
 
 impl<'a> SimContext<'a> {
@@ -380,6 +387,9 @@ impl<'a> SimContext<'a> {
             io_track: 0,
             pool_track: 0,
             pool_evbuf: Vec::new(),
+            metrics: None,
+            next_metric_sample: SimTime::ZERO,
+            series_handles: [SeriesHandle::INERT; 5],
         }
     }
 
@@ -424,6 +434,148 @@ impl<'a> SimContext<'a> {
         self.trace.is_some()
     }
 
+    /// Install a metrics registry. Disabled registries are never installed
+    /// (same contract as [`SimContext::set_trace_sink`]): the unmetered hot
+    /// path stays a single `None` branch and the registry allocates
+    /// nothing. An installed registry makes `step` sample the engine
+    /// series — queue depth, pool hit rate, dirty backlog, device channel
+    /// occupancy — on the registry's sim-time cadence.
+    pub fn set_metrics(&mut self, metrics: &'a mut MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        self.next_metric_sample = self.now;
+        self.series_handles = [
+            metrics.series_handle("engine_queue_depth"),
+            metrics.series_handle("pool_hit_rate_permille"),
+            metrics.series_handle("pool_dirty_pages"),
+            metrics.series_handle("device_busy_channels"),
+            metrics.series_handle("device_util_permille"),
+        ];
+        self.metrics = Some(metrics);
+    }
+
+    /// Whether an enabled metrics registry is installed.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Add to a named counter on the installed registry (no-op unmetered).
+    #[inline]
+    pub fn metric_counter(&mut self, name: &'static str, delta: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.counter_add(name, delta);
+        }
+    }
+
+    /// Set a named gauge on the installed registry (no-op unmetered).
+    #[inline]
+    pub fn metric_gauge(&mut self, name: &'static str, value: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.gauge_set(name, value);
+        }
+    }
+
+    /// Record into a named histogram on the installed registry (no-op
+    /// unmetered).
+    #[inline]
+    pub fn metric_hist(&mut self, name: &'static str, value: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.hist_record(name, value);
+        }
+    }
+
+    /// Sample a named sim-time series at the current virtual time (no-op
+    /// unmetered). Subsystems with event-driven signals (WAL flush lag,
+    /// admission lease occupancy) call this from their handlers; the
+    /// cadence reservoir bounds the stored points.
+    #[inline]
+    pub fn metric_sample(&mut self, name: &'static str, value: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.series_sample(name, self.now, value);
+        }
+    }
+
+    /// Sample the engine series when the clock advancing to `t` crosses a
+    /// cadence boundary. Values are the state as of the *previous* events
+    /// — exactly what a sampler waking at the boundary would observe. A
+    /// jump across many boundaries (an idle gap) emits one point at the
+    /// *last* boundary crossed: no events fired inside the gap, so the
+    /// skipped boundaries would all have recorded the same values, and
+    /// series consumers forward-fill between points.
+    fn sample_metric_series(&mut self, t: SimTime) {
+        let Some(m) = &mut self.metrics else {
+            return;
+        };
+        if t < self.next_metric_sample {
+            return;
+        }
+        let cadence = m.cadence();
+        let skipped = t.since(self.next_metric_sample).as_nanos() / cadence.as_nanos().max(1);
+        let at = self.next_metric_sample + cadence * skipped;
+        let depth = self.depth_now as u64;
+        let pstats = self.pool.stats();
+        let lookups = pstats.hits + pstats.misses;
+        let hit_permille = (pstats.hits * 1000).checked_div(lookups).unwrap_or(0);
+        let dirty = self.pool.dirty_count() as u64;
+        let busy = self.device.channels_busy(at) as u64;
+        let total = self.device.channels().max(1) as u64;
+        let [h_depth, h_hit, h_dirty, h_busy, h_util] = self.series_handles;
+        m.series_sample_at(h_depth, at, depth);
+        m.series_sample_at(h_hit, at, hit_permille);
+        m.series_sample_at(h_dirty, at, dirty);
+        m.series_sample_at(h_busy, at, busy);
+        m.series_sample_at(h_util, at, busy * 1000 / total);
+        self.next_metric_sample = at + cadence;
+    }
+
+    /// Fold the end-of-run subsystem counters into the installed registry:
+    /// the timer calendar's occupancy/churn stats, the pool counters, the
+    /// physical I/O profile and the engine histogram bundle. Harnesses
+    /// call this once, after the event loop quiesces and before
+    /// snapshotting the registry.
+    pub fn fold_metrics(&mut self) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let q = self.timer_queue.stats();
+        let pstats = self.pool.stats();
+        let io = self.io_profile();
+        let res = self.res;
+        // Histograms fold in `take_histograms` (the run paths all drain
+        // them there); a leftover non-empty set still folds here.
+        let hists = self.hists.clone();
+        let m = self
+            .metrics
+            .as_mut()
+            .expect("metrics presence checked above");
+        m.counter_add("timer_events_scheduled_total", q.scheduled);
+        m.counter_add("timer_events_popped_total", q.popped);
+        m.counter_add("timer_batch_pops_total", q.batch_pops);
+        m.gauge_set("timer_max_cohort", q.max_cohort);
+        m.gauge_set("timer_peak_buckets", q.peak_buckets);
+        m.gauge_set("timer_peak_len", q.peak_len);
+        m.counter_add("timer_bucket_allocs_total", q.bucket_allocs);
+        m.counter_add("pool_hits_total", pstats.hits);
+        m.counter_add("pool_misses_total", pstats.misses);
+        m.counter_add("pool_evictions_total", pstats.evictions);
+        m.counter_add("pool_refetches_total", pstats.refetches);
+        m.counter_add("pool_pages_dirtied_total", pstats.pages_dirtied);
+        m.counter_add("pool_pages_flushed_total", pstats.pages_flushed);
+        m.counter_add("io_pages_read_total", io.pages_read);
+        m.counter_add("io_pages_written_total", io.pages_written);
+        m.counter_add("io_ops_total", io.io_ops);
+        m.counter_add("io_write_ops_total", io.write_ops);
+        m.counter_add("io_retries_total", res.retries);
+        m.counter_add("io_timeout_hedges_total", res.timeouts);
+        m.counter_add("io_degraded_reads_total", res.degraded_reads);
+        m.hist_merge("io_latency_us", &hists.io_latency_us);
+        m.hist_merge("queue_depth", &hists.queue_depth);
+        m.hist_merge("page_wait_us", &hists.page_wait_us);
+        m.hist_merge("io_retries_per_read", &hists.retries);
+        m.hist_merge("commit_ack_us", &hists.commit_ack_us);
+    }
+
     /// Intern a track name on the installed sink (0 when untraced).
     pub fn trace_track(&mut self, name: &str) -> u32 {
         match &mut self.trace {
@@ -450,10 +602,20 @@ impl<'a> SimContext<'a> {
 
     /// Take the histogram bundle for attachment to a
     /// [`crate::ScanMetrics`], flushing any journaled pool events to the
-    /// trace sink first.
+    /// trace sink first. This is the moment the histograms leave the
+    /// context, so an installed metrics registry folds them here (the
+    /// empty-histogram guard in `hist_merge` makes a second take a no-op).
     pub fn take_histograms(&mut self) -> HistSet {
         self.pump_pool_events();
-        std::mem::take(&mut self.hists)
+        let hists = std::mem::take(&mut self.hists);
+        if let Some(m) = self.metrics.as_mut() {
+            m.hist_merge("io_latency_us", &hists.io_latency_us);
+            m.hist_merge("queue_depth", &hists.queue_depth);
+            m.hist_merge("page_wait_us", &hists.page_wait_us);
+            m.hist_merge("io_retries_per_read", &hists.retries);
+            m.hist_merge("commit_ack_us", &hists.commit_ack_us);
+        }
+        hists
     }
 
     #[inline]
@@ -668,6 +830,11 @@ impl<'a> SimContext<'a> {
         let Some(t) = t else { return false };
         debug_assert!(t >= self.now);
         self.now = t;
+        if self.metrics.is_some() {
+            // Sample series at every cadence boundary the clock just
+            // crossed, before this instant's events are processed.
+            self.sample_metric_series(t);
+        }
 
         let mut io_buf = std::mem::take(&mut self.io_buf);
         io_buf.clear();

@@ -211,6 +211,13 @@ pub trait AdmissionPlanner {
     /// Background writeback went idle again; the paired release of
     /// [`background_acquire`](Self::background_acquire).
     fn background_release(&mut self) {}
+
+    /// Instantaneous lease accounting for metrics: `(active_leases,
+    /// depth_limit)`. Planners that manage no queue-depth budget report
+    /// `(0, 0)` and the engine's admission gauges stay flat at zero.
+    fn depth_gauges(&self) -> (u32, u32) {
+        (0, 0)
+    }
 }
 
 /// The null admission policy: every query runs the same plan. Under
@@ -273,6 +280,10 @@ impl<P: AdmissionPlanner + ?Sized> AdmissionPlanner for &mut P {
 
     fn background_release(&mut self) {
         (**self).background_release();
+    }
+
+    fn depth_gauges(&self) -> (u32, u32) {
+        (**self).depth_gauges()
     }
 }
 
@@ -795,6 +806,15 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             }
             _ => SharedChoice::Solo(self.planner.admit(&admission, ctx.pool)),
         };
+        ctx.metric_counter("admission_total", 1);
+        // Admission is synchronous today: a query never queues for a lease,
+        // it is granted a (possibly clipped) depth immediately. The wait
+        // histogram exists so the contract is visible the day batched
+        // admission introduces a real queue.
+        ctx.metric_hist("admission_lease_wait_us", 0);
+        let (leased, limit) = self.planner.depth_gauges();
+        ctx.metric_sample("admission_active_leases", u64::from(leased));
+        ctx.metric_sample("admission_depth_limit", u64::from(limit));
         let cap = self.spec.record_limit.unwrap_or(u64::MAX);
         let plan = match (choice, hub) {
             (SharedChoice::Attach, Some(h)) => {

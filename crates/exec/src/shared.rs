@@ -48,6 +48,10 @@ pub struct SharedScanStats {
     pub blocks_fetched: u64,
     /// Pages satisfied from the buffer pool without a device read.
     pub resident_pages: u64,
+    /// Device page reads avoided by the shared stream: each delivered page
+    /// would have cost one read per live rider running solo, but the
+    /// cursor fetched it once — `(riders - 1)` saved per delivered page.
+    pub pages_saved: u64,
 }
 
 /// A consumer's state carried across [`ScanHub::detach`] /
@@ -249,6 +253,8 @@ impl<'q> ScanHub<'q> {
         });
         self.need = self.need.max(finish);
         self.finish_at.entry(finish).or_default().push(slot);
+        ctx.metric_counter("shared_attach_total", 1);
+        ctx.metric_sample("shared_live_consumers", u64::from(self.live));
         self.pump(ctx);
         slot
     }
@@ -257,11 +263,13 @@ impl<'q> ScanHub<'q> {
     /// partial aggregate over the pages the consumer saw, or `None` when
     /// the slot already completed. Detaching does not rewind the stream:
     /// other consumers keep riding it.
-    pub fn detach(&mut self, _ctx: &mut SimContext<'_>, slot: u32) -> Option<Detached> {
+    pub fn detach(&mut self, ctx: &mut SimContext<'_>, slot: u32) -> Option<Detached> {
         let c = self.slots.get_mut(slot as usize)?.take()?;
         self.free.push(slot);
         self.live -= 1;
         self.stats.detaches += 1;
+        ctx.metric_counter("shared_detach_total", 1);
+        ctx.metric_sample("shared_live_consumers", u64::from(self.live));
         if let Some(v) = self.finish_at.get_mut(&c.finish) {
             v.retain(|&s| s != slot);
             if v.is_empty() {
@@ -333,6 +341,8 @@ impl<'q> ScanHub<'q> {
         });
         self.need = self.need.max(finish);
         self.finish_at.entry(finish).or_default().push(slot);
+        ctx.metric_counter("shared_attach_total", 1);
+        ctx.metric_sample("shared_live_consumers", u64::from(self.live));
         self.pump(ctx);
         Ok(slot)
     }
@@ -391,6 +401,7 @@ impl<'q> ScanHub<'q> {
     /// advance the frontier and pop consumers whose lap is complete.
     fn finish_run(&mut self, run_start: u64, run_len: u64) {
         self.stats.pages_delivered += run_len;
+        self.stats.pages_saved += run_len * u64::from(self.live).saturating_sub(1);
         for p in &mut self.preds {
             for t in run_start..run_start + run_len {
                 if t >= p.start_tick && p.pages_done < self.n_pages {

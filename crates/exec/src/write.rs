@@ -158,6 +158,9 @@ pub struct WriteSystem {
     timers: BTreeMap<u64, TimerKind>,
     writers: Vec<Writer>,
     acked: Vec<Lsn>,
+    /// Last LSN covered by a sealed segment; the delta to the next seal is
+    /// the group-commit cohort size.
+    last_sealed_lsn: Lsn,
     stats: WriteStats,
     final_checkpoint: bool,
     started: bool,
@@ -208,6 +211,7 @@ impl WriteSystem {
             timers: BTreeMap::new(),
             writers,
             acked: Vec::new(),
+            last_sealed_lsn: 0,
             stats: WriteStats::default(),
             final_checkpoint: false,
             started: false,
@@ -528,6 +532,11 @@ impl WriteSystem {
             seg.pages as u64,
         );
         ctx.write_block(seg.start_page, seg.pages);
+        ctx.metric_hist(
+            "wal_group_commit_records",
+            seg.last_lsn.saturating_sub(self.last_sealed_lsn),
+        );
+        self.last_sealed_lsn = seg.last_lsn;
         self.pending_wal.insert(seg.start_page, seg);
         self.stats.wal_flushes += 1;
         Ok(())
@@ -538,6 +547,10 @@ impl WriteSystem {
     /// writers are done and everything is clean.
     fn flush_tick(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
         self.stats.flush_ticks += 1;
+        ctx.metric_sample(
+            "wal_flush_lag_lsn",
+            self.wal.last_lsn().saturating_sub(self.wal.durable_lsn()),
+        );
         let mut dirty = Vec::new();
         ctx.pool.dirty_pages(&mut dirty);
         let durable = self.wal.durable_lsn();

@@ -1,0 +1,17 @@
+//! Fixture crate root: a clean `obs` lib so the only findings in this
+//! tree come from the metrics sink module next door. Never compiled;
+//! only scanned by the lint integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics_sink;
+
+/// A compliant helper so the root has real (clean) code to scan.
+pub fn permille(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        0
+    } else {
+        num * 1000 / den
+    }
+}

@@ -1,0 +1,39 @@
+//! Known-bad fixture: a metrics sink inside a sim crate that samples the
+//! host's wall clock. A registry fed wall-clock timestamps renders
+//! different exports on every run and on every thread count — exactly the
+//! byte-determinism break the metrics layer exists to rule out — so D1
+//! must fire in `obs/src/metrics_sink.rs` just as it would in the crate
+//! root. Never compiled; only scanned.
+
+use std::time::Instant;
+
+/// A time-series point stamped with host time — the determinism bug.
+pub struct WallPoint {
+    /// Nanoseconds since sink construction, from the host clock.
+    pub wall_ns: u64,
+    /// The sampled value.
+    pub value: u64,
+}
+
+/// D1: a metrics sink that stamps samples with `Instant::now()`. The
+/// series this produces can never merge byte-identically across runs.
+pub struct WallClockSink {
+    epoch: Instant,
+    points: Vec<WallPoint>,
+}
+
+impl WallClockSink {
+    /// Open a sink whose epoch is the host clock at construction.
+    pub fn new() -> Self {
+        WallClockSink {
+            epoch: Instant::now(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Record `value` at the *wall-clock* offset since the epoch.
+    pub fn sample(&mut self, value: u64) {
+        let wall_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.points.push(WallPoint { wall_ns, value });
+    }
+}

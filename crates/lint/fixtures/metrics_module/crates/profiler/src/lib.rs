@@ -1,0 +1,34 @@
+//! Near-miss fixture: the harness-side self-profiler. It reads the host
+//! clock by design — that is its entire job — but it lives in a
+//! harness-only crate that nothing deterministic reads, so the workspace
+//! carries a D1 allowlist entry for it. The integration test scans this
+//! tree twice: without the entry D1 must fire here, and with the entry
+//! the finding is suppressed *and the entry counts as used* (not stale).
+//! Never compiled; only scanned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// A scoped wall-clock phase timer, as the real `pioqo-profiler` has.
+pub struct PhaseTimer {
+    started: Instant,
+    /// Accumulated phase time in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl PhaseTimer {
+    /// Start timing a phase on the host clock.
+    pub fn start() -> Self {
+        PhaseTimer {
+            started: Instant::now(),
+            total_ns: 0,
+        }
+    }
+
+    /// Close the phase and accumulate its wall time.
+    pub fn stop(&mut self) {
+        self.total_ns += self.started.elapsed().as_nanos() as u64;
+    }
+}

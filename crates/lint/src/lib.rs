@@ -35,12 +35,14 @@ pub mod diag;
 pub mod explain;
 pub mod flow;
 pub mod lexer;
+pub mod metrics_check;
 pub mod rules;
 pub mod syntax;
 pub mod trace_check;
 
 pub use config::{load_config, LintConfig, LintError};
 pub use diag::{Diagnostic, Report};
+pub use metrics_check::validate_prometheus;
 pub use trace_check::validate_chrome_trace;
 
 use std::path::{Path, PathBuf};

@@ -4,14 +4,17 @@
 //! pioqo-lint check [--root DIR] [--config FILE] [--json] [--sarif FILE]
 //! pioqo-lint explain RULE
 //! pioqo-lint trace-check <file>...
+//! pioqo-lint metrics-check <file>...
 //! ```
 //!
 //! `check` runs the D1-D11 determinism scan; `explain` prints one rule's
 //! rationale; `trace-check` validates exported Chrome trace JSON files
-//! against the exporter's schema.
+//! against the exporter's schema; `metrics-check` validates exported
+//! Prometheus text expositions (from `repro --metrics`).
 //!
 //! Exit status: 0 when clean, 1 when any rule fired, an allowlist entry
-//! is stale, or a trace file is malformed, 2 on usage or I/O errors.
+//! is stale, or an exported artifact is malformed, 2 on usage or I/O
+//! errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ use std::path::PathBuf;
 const USAGE: &str = "usage: pioqo-lint check [--root DIR] [--config FILE] [--json] [--sarif FILE]
        pioqo-lint explain RULE
        pioqo-lint trace-check <file>...
+       pioqo-lint metrics-check <file>...
 
 `check` enforces the workspace determinism invariants D1-D11 over every
 .rs file under <root>/crates/. The allowlist is read from --config
@@ -36,8 +40,12 @@ additionally writes a SARIF 2.1.0 log for CI annotation.
 `trace-check` validates exported Chrome trace JSON (from `repro --trace`)
 against the exporter's event schema.
 
-Exits 0 when clean, 1 on violations/stale allows/malformed traces, 2 on
-errors.";
+`metrics-check` validates exported Prometheus text expositions (from
+`repro --metrics`): TYPE-declared snake_case pioqo_* names, unique,
+integer-valued samples only.
+
+Exits 0 when clean, 1 on violations/stale allows/malformed artifacts, 2
+on errors.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,12 +72,16 @@ fn run(args: &[String]) -> Result<i32, LintError> {
     if command == "trace-check" {
         return run_trace_check(rest);
     }
+    if command == "metrics-check" {
+        return run_metrics_check(rest);
+    }
     if command == "explain" {
         return run_explain(rest);
     }
     if command != "check" {
         return Err(LintError(format!(
-            "unknown command {command:?}; only `check`, `explain`, and `trace-check` are supported"
+            "unknown command {command:?}; only `check`, `explain`, `trace-check`, and \
+             `metrics-check` are supported"
         )));
     }
 
@@ -156,6 +168,29 @@ fn run_trace_check(files: &[String]) -> Result<i32, LintError> {
             .map_err(|e| LintError(format!("cannot read {file}: {e}")))?;
         match pioqo_lint::validate_chrome_trace(&text) {
             Ok(events) => print_out(&format!("{file}: ok ({events} events)")),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                code = 1;
+            }
+        }
+    }
+    Ok(code)
+}
+
+/// Validate each named Prometheus exposition file against the metrics
+/// exporter's schema; exit 1 when any document is malformed.
+fn run_metrics_check(files: &[String]) -> Result<i32, LintError> {
+    if files.is_empty() {
+        return Err(LintError(
+            "metrics-check needs at least one Prometheus exposition file".to_string(),
+        ));
+    }
+    let mut code = 0;
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| LintError(format!("cannot read {file}: {e}")))?;
+        match pioqo_lint::validate_prometheus(&text) {
+            Ok(samples) => print_out(&format!("{file}: ok ({samples} samples)")),
             Err(e) => {
                 eprintln!("{file}: INVALID: {e}");
                 code = 1;

@@ -149,6 +149,76 @@ fn wal_module_is_in_the_sim_crate_determinism_set() {
     );
 }
 
+/// A metrics sink that stamps samples with the host clock breaks the
+/// byte-determinism contract of the metrics layer; `obs` is a sim crate,
+/// so D1 must fire on it. The same tree carries the harness-profiler
+/// near-miss: a `profiler` crate reading `Instant` by design, which D1
+/// also flags under the default config — and which the workspace-style
+/// allowlist entry must suppress *as a used (non-stale) entry* while
+/// leaving the sim-crate finding alone.
+#[test]
+fn wall_clock_metrics_sink_trips_d1_and_profiler_allow_is_a_near_miss() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("metrics_module");
+
+    // Default config: both the sim-crate sink and the harness profiler
+    // read the wall clock, so D1 fires in both files.
+    let report = pioqo_lint::check_workspace(&root, &pioqo_lint::LintConfig::default())
+        .expect("metrics fixture scan succeeds");
+    let d1_paths: BTreeSet<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "D1")
+        .map(|d| d.path.as_str())
+        .collect();
+    assert!(
+        d1_paths.contains("crates/obs/src/metrics_sink.rs"),
+        "D1 must fire on the wall-clock metrics sink:\n{}",
+        report.render_table()
+    );
+    assert!(
+        d1_paths.contains("crates/profiler/src/lib.rs"),
+        "D1 must fire on the unallowlisted profiler:\n{}",
+        report.render_table()
+    );
+
+    // With the workspace-style allow entry, the profiler goes quiet (and
+    // the entry counts as used), while the sim-crate sink still fails.
+    let config = pioqo_lint::config::parse_config(
+        r#"
+[[allow]]
+rule = "D1"
+path = "crates/profiler/src/lib.rs"
+reason = "harness-only self-profiler; wall clock is its job"
+"#,
+    )
+    .expect("inline config parses");
+    let report =
+        pioqo_lint::check_workspace(&root, &config).expect("metrics fixture scan succeeds");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/profiler/src/lib.rs"),
+        "the allowlisted profiler must stay silent:\n{}",
+        report.render_table()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "D1" && d.path == "crates/obs/src/metrics_sink.rs"),
+        "the sim-crate sink must keep failing:\n{}",
+        report.render_table()
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "the profiler allow entry suppressed a real finding and must not be stale: {:?}",
+        report.stale_allows
+    );
+}
+
 /// The flow-sensitive rules get their own fixture tree: every planted
 /// shape in `flow_bad.rs` must fire (three D8 shapes, two D9 leaks, two
 /// D10 causality breaks, two D11 shim calls), and the near-miss file

@@ -161,6 +161,16 @@ impl Histogram {
         }
     }
 
+    /// Iterate occupied buckets as `(lo, hi, count)` in ascending value
+    /// order. `hi` is inclusive; the top bucket's `hi` is `u64::MAX`.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+    }
+
     /// Append `name,bucket_lo,bucket_hi,count` CSV rows for every occupied
     /// bucket.
     pub fn csv_rows(&self, name: &str, out: &mut String) {
@@ -251,6 +261,95 @@ mod tests {
             assert!(i >= prev_idx, "bucket index must be monotone at v={v}");
             assert!(i < NUM_BUCKETS);
             prev_idx = i;
+        }
+    }
+
+    #[test]
+    fn every_bucket_is_exactly_covered() {
+        // Exhaustive audit over all 496 buckets: each bucket's own lo and
+        // hi must index back to it, ranges must tile the u64 domain with no
+        // gap or overlap, and the top bucket must absorb u64::MAX. This
+        // pins the two seams where an off-by-one could hide: the
+        // linear-to-octave boundary at 16 and each octave's sub-bucket
+        // rollover.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(lo <= hi, "bucket {i} inverted: [{lo}, {hi}]");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i} maps elsewhere");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i} maps elsewhere");
+            if i + 1 < NUM_BUCKETS {
+                assert_eq!(
+                    bucket_lo(i + 1),
+                    hi + 1,
+                    "gap or overlap between buckets {i} and {}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_max_edge_cases() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!((h.min, h.max, h.sum, h.count), (0, 0, 0, 1));
+        assert_eq!(h.quantile_lo(99, 100), 0);
+        assert_eq!(h.mode_lo(), 0);
+
+        // u64::MAX lands in the final bucket and the sum saturates instead
+        // of wrapping.
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.sum, u64::MAX, "sum must saturate at u64::MAX");
+        assert_eq!(h.buckets.len(), NUM_BUCKETS);
+        assert_eq!(h.buckets[NUM_BUCKETS - 1], 2);
+        // The p99 of {0, MAX, MAX} sits in the top bucket; its reported
+        // lower bound is that bucket's lo, and the bucket contains MAX.
+        let p99 = h.quantile_lo(99, 100);
+        assert_eq!(p99, bucket_lo(NUM_BUCKETS - 1));
+        assert!(bucket_hi(bucket_index(p99)) == u64::MAX);
+
+        // Merging a MAX-heavy histogram also saturates rather than wraps.
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.buckets[NUM_BUCKETS - 1], 3);
+    }
+
+    #[test]
+    fn linear_to_octave_seam_is_tight() {
+        // 15 is the last exact linear bucket, 16 opens the first octave.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!((bucket_lo(15), bucket_hi(15)), (15, 15));
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_lo(16), 16);
+        assert!(bucket_hi(16) >= 16);
+        // First octave has width-2 buckets: 30 and 31 share one.
+        assert_eq!(bucket_index(30), bucket_index(31));
+        assert_ne!(bucket_index(29), bucket_index(30));
+    }
+
+    #[test]
+    fn occupied_buckets_iterator_matches_csv() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 100, u64::MAX] {
+            h.record(v);
+        }
+        let rows: Vec<(u64, u64, u64)> = h.occupied_buckets().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (3, 3, 2));
+        assert_eq!(rows[2].1, u64::MAX);
+        let mut csv = String::new();
+        h.csv_rows("x", &mut csv);
+        assert_eq!(csv.lines().count(), rows.len());
+        for (lo, hi, c) in rows {
+            assert!(csv.contains(&format!("x,{lo},{hi},{c}")));
         }
     }
 

@@ -20,6 +20,12 @@
 //!   octave/sub-bucket indexing with *no floating point in bucket
 //!   selection*; [`HistSet`] groups the four per-scan distributions
 //!   (I/O latency, queue depth, page-wait, retries).
+//! * **Metrics registry** — [`MetricsRegistry`] holds integer counters,
+//!   gauges, histograms and sim-time [`Series`] reservoirs registered by
+//!   static `snake_case` name; [`MetricsSnapshot`] is the mergeable form
+//!   rendered by the Prometheus / CSV / JSON exporters, and
+//!   [`SloSpec`]/[`evaluate_slos`] turn a snapshot into a machine-readable
+//!   pass/fail verdict.
 //! * **Exporters** — [`chrome_trace_json`] renders events as Chrome
 //!   trace-event JSON (loadable in Perfetto / `chrome://tracing`, one track
 //!   per device channel / worker / operator), and [`HistSet::to_csv`]
@@ -31,9 +37,14 @@
 mod chrome;
 mod event;
 mod hist;
+pub mod metrics;
 mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::{EventKind, TraceEvent};
 pub use hist::{HistSet, Histogram};
+pub use metrics::{
+    evaluate_slos, slo_report_json, MetricsRegistry, MetricsSnapshot, Series, SeriesHandle,
+    SloCheck, SloSpec, SloVerdict,
+};
 pub use sink::{NullSink, RingSink, TraceSink};

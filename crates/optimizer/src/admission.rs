@@ -304,6 +304,10 @@ impl AdmissionPlanner for QdttAdmission<'_> {
             self.budget.release(lease);
         }
     }
+
+    fn depth_gauges(&self) -> (u32, u32) {
+        (self.budget.active() as u32, self.budget.total())
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,11 @@ impl QdBudget {
         QdBudget::new(model.beneficial_queue_depth(widest, 0.05))
     }
 
+    /// The device's total queue-depth budget (the beneficial maximum).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
     /// Number of queries currently holding a lease.
     pub fn active(&self) -> usize {
         self.leases.len()

@@ -19,6 +19,17 @@
 //! Chrome trace), `hists.csv` and `summary.json` into DIR —
 //! `--trace-seed N` varies its dataset/device seed. With `--trace`,
 //! targets are optional.
+//! `--metrics DIR` captures the default metrics scenario (see
+//! `pioqo_workload::metrics`) with the integer metrics registry enabled
+//! and writes `metrics.prom` (Prometheus text exposition), `series.csv`
+//! (sim-time series), `metrics.json` (summary), `slo.json` (SLO
+//! verdicts) and `counters.json` (Perfetto counter tracks) into DIR —
+//! `--metrics-seed N` varies its seed. All five files are byte-identical
+//! at any thread count. With `--metrics`, targets are optional.
+//! `--profile DIR` turns on the wall-clock self-profiler for the whole
+//! run and writes `profile.folded` (collapsed stacks, inferno /
+//! speedscope-loadable) and `profile.txt` (per-thread phase table) into
+//! DIR. Profile output is wall-clock and therefore NOT deterministic.
 //! `--concurrency` runs the multi-session grid (sessions ∈ {1,2,4,8,16}
 //! per device) under QDTT-aware admission control and writes
 //! `concurrency_grid*.csv`; `--interference` runs the scan-vs-checkpoint
@@ -46,6 +57,9 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut trace_dir: Option<String> = None;
     let mut trace_seed: u64 = 0;
+    let mut metrics_dir: Option<String> = None;
+    let mut metrics_seed: u64 = 0;
+    let mut profile_dir: Option<String> = None;
     let mut run_concurrency = false;
     let mut run_interference = false;
     let mut run_session_scale = false;
@@ -71,6 +85,18 @@ fn main() {
                 Some(n) => trace_seed = n,
                 None => usage("--trace-seed needs an integer"),
             },
+            "--metrics" => match args.next() {
+                Some(dir) => metrics_dir = Some(dir),
+                None => usage("--metrics needs an output directory"),
+            },
+            "--metrics-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => metrics_seed = n,
+                None => usage("--metrics-seed needs an integer"),
+            },
+            "--profile" => match args.next() {
+                Some(dir) => profile_dir = Some(dir),
+                None => usage("--profile needs an output directory"),
+            },
             "--concurrency" => run_concurrency = true,
             "--interference" => run_interference = true,
             "--session-scale" => run_session_scale = true,
@@ -88,6 +114,7 @@ fn main() {
     }
     if targets.is_empty()
         && trace_dir.is_none()
+        && metrics_dir.is_none()
         && !run_concurrency
         && !run_interference
         && !run_session_scale
@@ -96,12 +123,24 @@ fn main() {
         usage("no target given");
     }
 
-    let started = std::time::Instant::now();
-    for t in &targets {
-        run_target(t, opts);
+    if profile_dir.is_some() {
+        pioqo_profiler::enable();
     }
-    if let Some(dir) = trace_dir {
-        run_trace(opts, &dir, trace_seed);
+    let started = std::time::Instant::now();
+    {
+        let _run = pioqo_profiler::scope("run");
+        for t in &targets {
+            let _t = pioqo_profiler::scope("targets");
+            run_target(t, opts);
+        }
+        if let Some(dir) = trace_dir {
+            let _t = pioqo_profiler::scope("trace_capture");
+            run_trace(opts, &dir, trace_seed);
+        }
+        if let Some(dir) = &metrics_dir {
+            let _t = pioqo_profiler::scope("metrics_capture");
+            run_metrics(opts, dir, metrics_seed);
+        }
     }
     if run_concurrency {
         conc::concurrency(opts, conc_seed);
@@ -115,7 +154,84 @@ fn main() {
     if let Some(dir) = session_dir {
         conc::export_sessions(&dir, opts, conc_seed);
     }
+    if let Some(dir) = profile_dir {
+        write_profile(&dir);
+    }
     eprintln!("[done] {:.1}s wall", started.elapsed().as_secs_f64());
+}
+
+/// Capture the default metrics scenario and write the five exports into
+/// `dir`. Deterministic in (`--scale`, `--metrics-seed`), independent of
+/// the thread count.
+fn run_metrics(opts: Opts, dir: &str, seed: u64) {
+    let mut cells = pioqo_workload::default_metrics_cells(seed);
+    for c in &mut cells {
+        c.scale_down = c.scale_down.saturating_mul(opts.scale);
+    }
+    let threads = pioqo_simkit::par::thread_count();
+    let cadence = pioqo_simkit::SimDuration::from_millis(1);
+    let slos = pioqo_workload::default_slos();
+    let bundle = match pioqo_workload::capture_metrics(&cells, cadence, &slos, threads) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: metrics capture failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let writes = [
+        ("metrics.prom", &bundle.prometheus),
+        ("series.csv", &bundle.series_csv),
+        ("metrics.json", &bundle.summary_json),
+        ("slo.json", &bundle.slo_json),
+        ("counters.json", &bundle.counters_json),
+    ];
+    for (name, body) in writes {
+        let path = std::path::Path::new(dir).join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("[metrics] wrote {} ({} bytes)", path.display(), body.len());
+    }
+    for v in &bundle.verdicts {
+        println!(
+            "[metrics] slo {}: {} (observed {} vs limit {})",
+            v.name,
+            if v.pass { "pass" } else { "FAIL" },
+            v.observed,
+            v.limit
+        );
+    }
+    if !bundle.slo_pass() {
+        eprintln!("error: one or more SLOs failed");
+        std::process::exit(1);
+    }
+}
+
+/// Write the self-profiler's collapsed stacks and phase table into `dir`.
+fn write_profile(dir: &str) {
+    let report = pioqo_profiler::report();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let writes = [
+        ("profile.folded", report.collapsed()),
+        ("profile.txt", report.phase_table()),
+    ];
+    for (name, body) in writes {
+        let path = std::path::Path::new(dir).join(name);
+        if let Err(e) = std::fs::write(&path, &body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("[profile] wrote {} ({} bytes)", path.display(), body.len());
+    }
+    eprint!("{}", report.phase_table());
 }
 
 /// Capture the default trace scenario and write the three exports into
@@ -218,7 +334,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
-         [--trace DIR] [--trace-seed N] [--concurrency] [--interference] \
+         [--trace DIR] [--trace-seed N] [--metrics DIR] [--metrics-seed N] \
+         [--profile DIR] [--concurrency] [--interference] \
          [--session-scale] [--session-export DIR] [--conc-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"

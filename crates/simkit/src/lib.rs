@@ -23,7 +23,7 @@ mod rng;
 pub mod stats;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{Running, TimeWeighted};
 pub use time::{SimDuration, SimTime};

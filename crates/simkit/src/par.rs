@@ -70,10 +70,14 @@ where
 {
     let n = items.len();
     if threads <= 1 || n <= 1 {
+        let _phase = pioqo_profiler::scope("par_inline");
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(SimRng::derive(master_seed, i as u64), item))
+            .map(|(i, item)| {
+                let _item = pioqo_profiler::scope("item");
+                f(SimRng::derive(master_seed, i as u64), item)
+            })
             .collect();
     }
 
@@ -85,28 +89,41 @@ where
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+    {
+        let _phase = pioqo_profiler::scope("par_fanout");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (next, f) = (&next, &f);
+                    scope.spawn(move || {
+                        pioqo_profiler::set_thread_label(&format!("worker{w}"));
+                        let mut local = Vec::new();
+                        {
+                            let _worker = pioqo_profiler::scope("par_worker");
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let _item = pioqo_profiler::scope("item");
+                                local
+                                    .push((i, f(SimRng::derive(master_seed, i as u64), &items[i])));
+                            }
                         }
-                        local.push((i, f(SimRng::derive(master_seed, i as u64), &items[i])));
-                    }
-                    local
+                        pioqo_profiler::flush_thread();
+                        local
+                    })
                 })
-            })
-            .collect();
-        for handle in handles {
-            buckets.push(handle.join().expect("par_map worker thread panicked"));
-        }
-    });
+                .collect();
+            let _join = pioqo_profiler::scope("join");
+            for handle in handles {
+                buckets.push(handle.join().expect("par_map worker thread panicked"));
+            }
+        });
+    }
 
     // Merge in submission order.
+    let _merge = pioqo_profiler::scope("par_merge");
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in buckets.into_iter().flatten() {
         slots[i] = Some(r);

@@ -24,6 +24,29 @@ use std::collections::BTreeMap;
 /// Most empty buckets kept for reuse; beyond this they are freed.
 const BUCKET_POOL_CAP: usize = 64;
 
+/// Always-on plain-integer calendar counters, cheap enough to maintain
+/// unconditionally (a handful of adds per operation, no allocation). The
+/// metrics layer snapshots these at end of run; `simkit` itself never
+/// depends on `pioqo-obs` — the dependency runs the other way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events accepted by [`EventQueue::schedule`].
+    pub scheduled: u64,
+    /// Events removed (single pops plus batch-drained events).
+    pub popped: u64,
+    /// [`EventQueue::pop_batch`] calls that drained a cohort.
+    pub batch_pops: u64,
+    /// Largest cohort a single `pop_batch` drained.
+    pub max_cohort: u64,
+    /// High-water mark of concurrent time buckets (calendar occupancy).
+    pub peak_buckets: u64,
+    /// High-water mark of pending events.
+    pub peak_len: u64,
+    /// Buckets allocated fresh because the free list was empty —
+    /// reschedule churn that outruns the recycler shows up here.
+    pub bucket_allocs: u64,
+}
+
 /// A calendar of future events ordered by firing time.
 pub struct EventQueue<E> {
     /// Per-instant FIFO buckets, keyed by firing time in nanoseconds.
@@ -33,6 +56,7 @@ pub struct EventQueue<E> {
     /// Total pending events across all buckets.
     len: usize,
     now: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -49,7 +73,14 @@ impl<E> EventQueue<E> {
             pool: Vec::new(),
             len: 0,
             now: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Lifetime occupancy/churn counters for this calendar.
+    #[inline]
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Current clock reading: the firing time of the last popped event.
@@ -70,11 +101,20 @@ impl<E> EventQueue<E> {
             self.now
         );
         let pool = &mut self.pool;
+        let allocs = &mut self.stats.bucket_allocs;
         self.buckets
             .entry(at.as_nanos())
-            .or_insert_with(|| pool.pop().unwrap_or_default())
+            .or_insert_with(|| {
+                pool.pop().unwrap_or_else(|| {
+                    *allocs += 1;
+                    Vec::new()
+                })
+            })
             .push(event);
         self.len += 1;
+        self.stats.scheduled += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.len as u64);
+        self.stats.peak_buckets = self.stats.peak_buckets.max(self.buckets.len() as u64);
     }
 
     /// Firing time of the next event, if any.
@@ -99,6 +139,7 @@ impl<E> EventQueue<E> {
             self.recycle(drained);
         }
         self.len -= 1;
+        self.stats.popped += 1;
         debug_assert!(at >= self.now);
         self.now = at;
         Some((at, event))
@@ -120,6 +161,9 @@ impl<E> EventQueue<E> {
         let at = SimTime::from_nanos(*entry.key());
         let mut bucket = entry.remove();
         self.len -= bucket.len();
+        self.stats.popped += bucket.len() as u64;
+        self.stats.batch_pops += 1;
+        self.stats.max_cohort = self.stats.max_cohort.max(bucket.len() as u64);
         debug_assert!(at >= self.now);
         self.now = at;
         out.append(&mut bucket);
@@ -231,6 +275,33 @@ mod tests {
             via_batch.extend(scratch.drain(..).map(|e| (t, e)));
         }
         assert_eq!(via_pop, via_batch);
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_churn() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..4 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_micros(9), 99);
+        let s = q.stats();
+        assert_eq!(s.scheduled, 5);
+        assert_eq!(s.peak_len, 5);
+        assert_eq!(s.peak_buckets, 2);
+        assert_eq!(s.bucket_allocs, 2, "both buckets were fresh allocations");
+
+        let mut batch = Vec::new();
+        q.pop_batch(&mut batch);
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.popped, 5);
+        assert_eq!(s.batch_pops, 1);
+        assert_eq!(s.max_cohort, 4);
+
+        // A recycled bucket must not count as a fresh allocation.
+        q.schedule(SimTime::from_micros(20), 7);
+        assert_eq!(q.stats().bucket_allocs, 2);
     }
 
     #[test]

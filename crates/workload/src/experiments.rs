@@ -15,7 +15,7 @@ use pioqo_exec::{
     execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, PlanSpec, ScanInputs,
     ScanMetrics, SimContext, SortedIsConfig,
 };
-use pioqo_obs::{NullSink, TraceSink};
+use pioqo_obs::{MetricsRegistry, NullSink, TraceSink};
 use pioqo_storage::range_for_selectivity;
 use serde::{Deserialize, Serialize};
 
@@ -252,6 +252,31 @@ impl Experiment {
             high,
         };
         execute(&mut ctx, &method.to_plan_spec(), &inputs)
+    }
+
+    /// [`Experiment::run_with`] plus a metrics registry: counters,
+    /// histograms and sim-time series accumulate into `metrics` and are
+    /// folded once after the scan (see `pioqo_obs::MetricsRegistry`).
+    pub fn run_with_metrics(
+        &self,
+        device: &mut dyn DeviceModel,
+        pool: &mut BufferPool,
+        method: MethodSpec,
+        selectivity: f64,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<ScanMetrics, ExecError> {
+        let (low, high) = range_for_selectivity(selectivity, self.dataset.c2_max());
+        let mut ctx = SimContext::new(device, pool, CpuConfig::paper_xeon(), CpuCosts::default());
+        ctx.set_metrics(metrics);
+        let inputs = ScanInputs {
+            table: self.dataset.table(),
+            index: Some(self.dataset.index()),
+            low,
+            high,
+        };
+        let out = execute(&mut ctx, &method.to_plan_spec(), &inputs);
+        ctx.fold_metrics();
+        out
     }
 }
 

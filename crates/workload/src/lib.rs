@@ -27,6 +27,7 @@ pub mod concurrent;
 pub mod dataset;
 pub mod experiments;
 pub mod interference;
+pub mod metrics;
 pub mod opteval;
 pub mod sessions;
 pub mod sweep;
@@ -39,6 +40,10 @@ pub use concurrent::{
 pub use dataset::Dataset;
 pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
 pub use interference::{interference_csv, interference_sweep, InterferenceCell};
+pub use metrics::{
+    capture_metrics, default_metrics_cells, default_slos, small_metrics_cells, CellKind,
+    MetricsBundle, MetricsCell,
+};
 pub use opteval::{
     calibrate, cold_stats, evaluate, plan_to_method, CalibratedModels, OptEvalPoint,
 };

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Compares the freshly generated benchmark report (``BENCH_pr8.json`` by
+Compares the freshly generated benchmark report (``BENCH_pr9.json`` by
 default) against the latest *previously committed* ``BENCH_*.json`` and
 fails when any shared throughput-style metric regressed by more than the
 allowed fraction (default 10%).
@@ -35,6 +35,13 @@ Rules:
   cooperative shared-scan cursor must beat per-query cursors at 1K
   sessions — ``sessions.shared_speedup_1k`` below 1.0 is fatal, and
   below 10.0 (the PR's target) is a WARN.
+- Hard invariants on the ``metrics`` section (when present): the
+  always-on registry must stay cheap —
+  ``metrics.disabled_overhead_ratio`` and
+  ``metrics.enabled_overhead_ratio`` above 1.02 (2% overhead; both are
+  median-of-paired-ratio estimates, see ``bench_metrics``) are fatal —
+  and the SLO roster evaluated during capture must hold
+  (``metrics.slo_pass`` false is fatal).
 
 Usage: scripts/bench_gate.py [NEW_REPORT] [--tolerance 0.10]
 Exit status: 0 pass, 1 regression, 2 usage/missing-file errors.
@@ -89,7 +96,7 @@ def main(argv):
         return 2
 
     repo_root = Path(__file__).resolve().parent.parent
-    new_path = Path(args[0]) if args else repo_root / "BENCH_pr8.json"
+    new_path = Path(args[0]) if args else repo_root / "BENCH_pr9.json"
     if not new_path.is_file():
         print(f"bench_gate: new report {new_path} not found", file=sys.stderr)
         return 2
@@ -144,6 +151,30 @@ def main(argv):
             print(f"WARN sessions.shared_speedup_1k: {speedup_1k:g} < 10.0 target")
         else:
             print(f"ok   sessions.shared_speedup_1k: {speedup_1k:g} >= 10.0")
+
+    # The always-on metrics registry must stay ~free: an ordinary run
+    # carries a disabled registry (disabled_overhead_ratio), and turning
+    # it on may not cost more than 2% either (enabled_overhead_ratio).
+    # The SLO roster evaluated during the capture must also hold.
+    metrics = new.get("metrics") or {}
+    for leaf in ("disabled_overhead_ratio", "enabled_overhead_ratio"):
+        ratio = metrics.get(leaf)
+        if ratio is None:
+            continue
+        if ratio > 1.02:
+            failures.append(
+                f"metrics.{leaf}: {ratio:g} > 1.02 "
+                "(metrics registry overhead above the 2% budget)"
+            )
+        else:
+            print(f"ok   metrics.{leaf}: {ratio:g} <= 1.02")
+    if "slo_pass" in metrics:
+        if metrics["slo_pass"] is not True:
+            failures.append(
+                f"metrics.slo_pass: {metrics['slo_pass']} (SLO roster failed during capture)"
+            )
+        else:
+            print("ok   metrics.slo_pass: true")
 
     baseline_path = latest_baseline(repo_root, new_path)
     if baseline_path is None:

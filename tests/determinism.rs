@@ -151,3 +151,83 @@ fn traced_and_untraced_runs_report_identical_metrics() {
     assert_eq!(a, b, "tracing must be observation-only");
     assert!(sink.recorded() > 0, "the sink actually saw the run");
 }
+
+/// The metrics registry extends the invariant once more: every document
+/// `repro --metrics` writes (Prometheus text, series CSV, summary JSON,
+/// SLO verdicts, counter tracks) is rendered from a merged snapshot that
+/// must not depend on run count or worker-thread count.
+fn metrics_exports(threads: usize) -> [String; 5] {
+    let cells = pioqo::workload::metrics::small_metrics_cells(11);
+    let slos = pioqo::workload::metrics::default_slos();
+    let bundle = pioqo::workload::metrics::capture_metrics(
+        &cells,
+        SimDuration::from_millis(1),
+        &slos,
+        threads,
+    )
+    .expect("metrics capture completes at test scale");
+    [
+        bundle.prometheus,
+        bundle.series_csv,
+        bundle.summary_json,
+        bundle.slo_json,
+        bundle.counters_json,
+    ]
+}
+
+#[test]
+fn metrics_exports_are_identical_across_double_runs() {
+    let a = metrics_exports(1);
+    let b = metrics_exports(1);
+    assert_eq!(a, b, "every metrics document must survive a double run");
+}
+
+#[test]
+fn metrics_exports_are_identical_across_thread_counts() {
+    let a = metrics_exports(1);
+    let b = metrics_exports(4);
+    assert_eq!(
+        a, b,
+        "no metrics document may depend on the worker-thread count"
+    );
+}
+
+#[test]
+fn disabled_registry_is_free_and_observation_only() {
+    // The always-on claim rests on the disabled path being a no-op: a
+    // scan driven through `run_with_metrics` with a disabled registry
+    // must leave the registry empty (no map insertions, hence no
+    // allocations on the hot path) and report metrics identical to a
+    // run with no registry at all.
+    use pioqo::obs::MetricsRegistry;
+
+    let e = experiment("E33-SSD");
+    let method = MethodSpec::Is {
+        workers: 8,
+        prefetch: 0,
+    };
+    let mut dev_a = e.make_device();
+    let mut pool_a = e.make_pool();
+    let plain = e
+        .run_with(dev_a.as_mut(), &mut pool_a, method, 0.02)
+        .expect("cold scan completes at test scale");
+
+    let mut dev_b = e.make_device();
+    let mut pool_b = e.make_pool();
+    let mut registry = MetricsRegistry::disabled();
+    let metered = e
+        .run_with_metrics(dev_b.as_mut(), &mut pool_b, method, 0.02, &mut registry)
+        .expect("cold scan completes at test scale");
+
+    let a = serde_json::to_string(&plain).expect("scan metrics serialize to JSON");
+    let b = serde_json::to_string(&metered).expect("scan metrics serialize to JSON");
+    assert_eq!(a, b, "a disabled registry must be observation-only");
+    assert!(
+        registry.is_empty(),
+        "a disabled registry must never allocate a metric entry"
+    );
+    assert!(
+        registry.snapshot("fig1").is_empty(),
+        "the snapshot of a disabled registry is empty too"
+    );
+}
