@@ -6,7 +6,7 @@ use pioqo_bench::{bench_data, BenchData};
 use pioqo_bufpool::BufferPool;
 use pioqo_device::presets;
 use pioqo_exec::{
-    execute, CpuConfig, CpuCosts, FtsConfig, IsConfig, PlanSpec, ScanInputs, SimContext,
+    execute, CpuConfig, CpuCosts, FtsConfig, IsConfig, PlanSpec, QuerySpec, SimContext,
     SortedIsConfig,
 };
 use pioqo_storage::range_for_selectivity;
@@ -27,13 +27,9 @@ fn bench_scans(c: &mut Criterion) {
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
         );
-        let inputs = ScanInputs {
-            table: &data.table,
-            index: Some(&data.index),
-            low: lo,
-            high: hi,
-        };
-        execute(&mut ctx, plan, &inputs).expect("runs")
+        let q =
+            QuerySpec::range_max(&data.table, Some(&data.index), lo, hi).with_plan(plan.clone());
+        execute(&mut ctx, &q).expect("runs")
     };
 
     g.bench_function("fts_serial", |b| {

@@ -5,7 +5,7 @@
 //! cargo run -p pioqo-bench --release -- --json [--scale N] [--out PATH] [--trace] [--metrics]
 //! ```
 //!
-//! Measures eight things and emits a JSON report (default `BENCH_pr9.json`
+//! Measures nine things and emits a JSON report (default `BENCH_pr10.json`
 //! in the current directory):
 //!
 //! 1. **Event queue** — events/sec draining a seeded schedule with
@@ -35,7 +35,14 @@
 //!    (`enabled_overhead_ratio`, same 1.02x gate). One full
 //!    `capture_metrics` pass follows so the report carries the SLO
 //!    verdict (`slo_pass`, also gated).
-//! 8. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
+//! 8. **Query layer** — wall-clock throughput of the PR 10 query path:
+//!    rows/sec through a filtered scan whose predicate tree (sargable C2
+//!    window + residual C1 term) is pushed down into the FTS driver, and
+//!    input rows/sec through both join operators (hybrid hash
+//!    partition/build/probe, and index-nested-loop probing) on the same
+//!    two-table fixture. `scripts/bench_gate.py` gates all three as
+//!    ordinary `_per_sec` throughput metrics once a baseline carries them.
+//! 9. **End to end** — wall seconds of `repro all --scale N` at 1 and 4
 //!    harness threads (the repro binary is built on demand). The 1-vs-4
 //!    ratio is recorded as the named leaf `threads_1v4_speedup`, which
 //!    `scripts/bench_gate.py` fails on (below 1.0) only when the
@@ -71,7 +78,7 @@ use std::time::Instant;
 
 fn main() {
     let mut scale: u64 = 8;
-    let mut out_path = PathBuf::from("BENCH_pr9.json");
+    let mut out_path = PathBuf::from("BENCH_pr10.json");
     let mut json = false;
     let mut trace_only = false;
     let mut metrics_only = false;
@@ -143,6 +150,10 @@ fn main() {
             metrics: Some({
                 let _span = pioqo_profiler::scope("metrics");
                 bench_metrics()
+            }),
+            ql: Some({
+                let _span = pioqo_profiler::scope("query_layer");
+                bench_query_layer()
             }),
             e2e: Some({
                 let _span = pioqo_profiler::scope("end_to_end");
@@ -786,6 +797,134 @@ fn bench_metrics() -> MetricsBench {
     }
 }
 
+/// Throughput of the query layer's three hot paths.
+struct QueryLayerBench {
+    table_rows: u64,
+    filtered_scan_rows_per_sec: f64,
+    join_left_rows: u64,
+    join_right_rows: u64,
+    hash_join_rows_per_sec: f64,
+    inl_join_rows_per_sec: f64,
+}
+
+/// Time the PR 10 query path wall-clock: a filtered FTS scan (sargable C2
+/// window AND a residual C1 term, both evaluated inside the driver's page
+/// visits) over a 200K-row table, and both join operators consuming a
+/// 20K-row outer against a 40K-row inner. Throughput is input rows per
+/// wall second, best-of-three per shape.
+fn bench_query_layer() -> QueryLayerBench {
+    use pioqo_exec::{
+        execute, FtsConfig, HashJoinConfig, InlConfig, JoinClause, PlanSpec, Predicate, QuerySpec,
+    };
+    use pioqo_storage::BTreeIndex;
+
+    const TABLE_ROWS: u64 = 200_000;
+    const LEFT_ROWS: u64 = 20_000;
+    const RIGHT_ROWS: u64 = 40_000;
+    const KEY_MAX: u32 = 9_999;
+
+    // Scan fixture.
+    let scan_spec = TableSpec::paper_table(33, TABLE_ROWS, 7);
+    let mut scan_ts = Tablespace::new(2 * scan_spec.n_pages() + 1_000);
+    let scan_table = HeapTable::create(scan_spec, &mut scan_ts).expect("bench table fits");
+    let scan_capacity = scan_ts.capacity();
+    let scan_pred = Predicate::And(vec![
+        Predicate::c2_between(0, u32::MAX / 5),
+        Predicate::Cmp {
+            col: pioqo_exec::Col::C1,
+            op: pioqo_exec::CmpOp::Ge,
+            value: 1 << 20,
+        },
+    ]);
+
+    // Join fixture (mirrors `workload::joins`).
+    let lspec = TableSpec {
+        c2_max: KEY_MAX,
+        ..TableSpec::paper_table(33, LEFT_ROWS, 0x10)
+    };
+    let rspec = TableSpec {
+        name: "T_inner".to_string(),
+        c2_max: KEY_MAX,
+        ..TableSpec::paper_table(33, RIGHT_ROWS, 0x20)
+    };
+    let mut join_ts = Tablespace::new(4 * (lspec.n_pages() + rspec.n_pages()) + 4_000);
+    let left = HeapTable::create(lspec, &mut join_ts).expect("bench outer fits");
+    let right = HeapTable::create(rspec, &mut join_ts).expect("bench inner fits");
+    let right_index = BTreeIndex::build(
+        "inner_c2",
+        right.data().c2_entries(),
+        right.spec().page_size,
+        &mut join_ts,
+    )
+    .expect("bench index fits");
+    let spill = join_ts
+        .alloc("join_spill", 2 * (left.n_pages() + right.n_pages()) + 64)
+        .expect("bench spill fits");
+    let join_capacity = join_ts.capacity();
+
+    let time_best = |q: &QuerySpec<'_>, capacity: u64| -> f64 {
+        let mut best = f64::INFINITY;
+        let mut checksum = 0u64;
+        for _ in 0..3 {
+            let mut dev = presets::consumer_pcie_ssd(capacity, 17);
+            let mut pool = BufferPool::new(4_096);
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            let started = Instant::now();
+            let m = execute(&mut ctx, q).expect("clean device cannot fail");
+            best = best.min(started.elapsed().as_secs_f64());
+            checksum ^= m.fingerprint;
+        }
+        std::hint::black_box(checksum);
+        best
+    };
+
+    let scan_q = QuerySpec::scan(&scan_table)
+        .filter(scan_pred)
+        .with_plan(PlanSpec::Fts(FtsConfig {
+            workers: 8,
+            ..FtsConfig::default()
+        }));
+    let scan_s = time_best(&scan_q, scan_capacity);
+
+    let join_q = |plan: PlanSpec| {
+        QuerySpec::scan(&left)
+            .filter(Predicate::c2_between(0, KEY_MAX / 4))
+            .with_plan(plan)
+            .join(JoinClause {
+                right: &right,
+                right_index: Some(&right_index),
+                spill: Some(spill),
+            })
+    };
+    let hash_s = time_best(
+        &join_q(PlanSpec::Hash(HashJoinConfig::default())),
+        join_capacity,
+    );
+    let inl_s = time_best(&join_q(PlanSpec::Inl(InlConfig::default())), join_capacity);
+
+    let join_rows = (LEFT_ROWS + RIGHT_ROWS) as f64;
+    eprintln!(
+        "[bench] query layer: filtered scan {:.0} rows/s; hash join {:.0} rows/s, \
+         INL {:.0} rows/s",
+        TABLE_ROWS as f64 / scan_s,
+        join_rows / hash_s,
+        join_rows / inl_s,
+    );
+    QueryLayerBench {
+        table_rows: TABLE_ROWS,
+        filtered_scan_rows_per_sec: TABLE_ROWS as f64 / scan_s,
+        join_left_rows: LEFT_ROWS,
+        join_right_rows: RIGHT_ROWS,
+        hash_join_rows_per_sec: join_rows / hash_s,
+        inl_join_rows_per_sec: join_rows / inl_s,
+    }
+}
+
 /// Wall seconds of `repro all --scale N` at the given thread count, or
 /// `None` when the run failed.
 struct EndToEndBench {
@@ -870,6 +1009,7 @@ struct Sections {
     sessions: Option<SessionsBench>,
     wp: Option<WritePathBench>,
     metrics: Option<MetricsBench>,
+    ql: Option<QueryLayerBench>,
     e2e: Option<EndToEndBench>,
 }
 
@@ -881,6 +1021,7 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         sessions,
         wp,
         metrics,
+        ql,
         e2e,
     } = sections;
     let eq_json = match eq {
@@ -966,6 +1107,18 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         ),
         None => "null".to_string(),
     };
+    let ql_json = match ql {
+        Some(q) => format!(
+            "{{\n    \"host_logical_cpus\": {cpus},\n    \"table_rows\": {},\n    \"filtered_scan_rows_per_sec\": {},\n    \"join_left_rows\": {},\n    \"join_right_rows\": {},\n    \"hash_join_rows_per_sec\": {},\n    \"inl_join_rows_per_sec\": {}\n  }}",
+            q.table_rows,
+            json_num(q.filtered_scan_rows_per_sec),
+            q.join_left_rows,
+            q.join_right_rows,
+            json_num(q.hash_join_rows_per_sec),
+            json_num(q.inl_join_rows_per_sec),
+        ),
+        None => "null".to_string(),
+    };
     let e2e_json = match e2e {
         Some(e2e) => {
             let speedup = match (e2e.threads_1_s, e2e.threads_4_s) {
@@ -982,6 +1135,6 @@ fn render_json(cpus: usize, scale: u64, tr: &TracingBench, sections: &Sections) 
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"bench\": \"pr9\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"sessions\": {sessions_json},\n  \"write_path\": {wp_json},\n  \"metrics\": {metrics_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
+        "{{\n  \"bench\": \"pr10\",\n  \"host_logical_cpus\": {cpus},\n  \"event_queue\": {eq_json},\n  \"bufpool\": {bp_json},\n  \"tracing\": {tr_json},\n  \"concurrency\": {conc_json},\n  \"sessions\": {sessions_json},\n  \"write_path\": {wp_json},\n  \"metrics\": {metrics_json},\n  \"query_layer\": {ql_json},\n  \"end_to_end\": {e2e_json}\n}}\n"
     )
 }

@@ -17,15 +17,31 @@
 
 use crate::engine::{Event, ExecError, SimContext};
 
-/// The answer of one range-MAX query.
+/// The answer of one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryAnswer {
-    /// `MAX(C1)` over the matching rows (`None` when nothing matched).
+    /// The aggregate value (`MAX`); `None` when nothing matched or the
+    /// aggregate is `COUNT` (reported via `rows_matched`).
     pub max_c1: Option<u32>,
-    /// Rows satisfying the BETWEEN predicate.
+    /// Rows satisfying the predicate (joined pairs for join queries).
     pub rows_matched: u64,
     /// Rows the operator actually evaluated.
     pub rows_examined: u64,
+    /// Order-independent fingerprint of the projected matching rows (see
+    /// `crate::query::row_fingerprint`).
+    pub fingerprint: u64,
+}
+
+impl QueryAnswer {
+    /// Build an answer from a finished row accumulator.
+    pub fn from_acc(acc: &crate::query::RowAcc) -> QueryAnswer {
+        QueryAnswer {
+            max_c1: acc.agg,
+            rows_matched: acc.matched,
+            rows_examined: acc.examined,
+            fingerprint: acc.fingerprint,
+        }
+    }
 }
 
 /// One query's scan state machine, drivable by any event loop over a

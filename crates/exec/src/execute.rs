@@ -1,28 +1,31 @@
-//! The unified execution entry point: one function, any scan operator.
+//! The unified execution entry point: one function, any operator.
 //!
-//! [`execute`] replaced the six per-operator `run_*`/`run_*_traced` entry
-//! points (since deleted): the caller builds a [`SimContext`] (installing
-//! a trace sink and retry policy on it as needed), describes the chosen
-//! plan as a [`PlanSpec`] and the operands as [`ScanInputs`], and gets back
-//! the same [`ScanOutput`] the old entry points produced. Internally the
-//! plan is lowered to a [`QueryDriver`] and pumped on the context's event
-//! loop until the answer is complete.
+//! [`execute`] takes a single [`QuerySpec`] — the physical plan *and* the
+//! logical query (table, predicate tree, projection, aggregate, optional
+//! join) — lowers it to a [`QueryDriver`] and pumps the context's event
+//! loop until the answer is complete. This replaced the earlier
+//! `(PlanSpec, ScanInputs)` pair (and, before that, six per-operator
+//! `run_*` entry points): the `low`/`high` window of `ScanInputs` survives
+//! as the sarg of a `C2 BETWEEN` predicate, so the paper's range-MAX is
+//! now just one point in the query space.
 
 use crate::driver::QueryDriver;
 use crate::engine::{Event, ExecError, RetryPolicy, SimContext};
 use crate::fts::{FtsConfig, FtsDriver};
 use crate::is::{IsConfig, IsDriver};
+use crate::join::{HashJoinConfig, HashJoinDriver, InlConfig, InlDriver};
 use crate::metrics::ScanMetrics;
+use crate::query::QuerySpec;
 use crate::sorted_is::{SortedIsConfig, SortedIsDriver};
-use pioqo_storage::{BTreeIndex, HeapTable};
 use serde::{Deserialize, Serialize};
 
-/// What [`execute`] returns: the metrics bundle of one scan.
+/// What [`execute`] returns: the metrics bundle of one query.
 pub type ScanOutput = ScanMetrics;
 
-/// A physical plan, fully specified: the access method plus its operator
-/// configuration. This is the executor-side twin of the optimizer's `Plan`
-/// (the optimizer crate depends on this one, so the lowering lives there).
+/// A physical plan, fully specified: the access method (or join operator)
+/// plus its configuration. This is the executor-side twin of the
+/// optimizer's `Plan` (the optimizer crate depends on this one, so the
+/// lowering lives there).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PlanSpec {
     /// (Parallel) full table scan.
@@ -31,10 +34,15 @@ pub enum PlanSpec {
     Is(IsConfig),
     /// Sorted index scan.
     SortedIs(SortedIsConfig),
+    /// Index-nested-loop join (random probes, wants deep queues).
+    Inl(InlConfig),
+    /// Hybrid hash join (sequential partitioned I/O).
+    Hash(HashJoinConfig),
 }
 
 impl PlanSpec {
-    /// Short human-readable plan label ("FTS", "PIS8+pf4", "SortedIS").
+    /// Short human-readable plan label ("FTS", "PIS8+pf4", "INL+qd8",
+    /// "HHJ8").
     pub fn label(&self) -> String {
         let mut s = String::new();
         self.label_into(&mut s);
@@ -58,6 +66,12 @@ impl PlanSpec {
                 let _ = write!(buf, "PIS{}+pf{}", c.workers, c.prefetch_depth);
             }
             PlanSpec::SortedIs(_) => buf.push_str("SortedIS"),
+            PlanSpec::Inl(c) => {
+                let _ = write!(buf, "INL+qd{}", c.probe_depth);
+            }
+            PlanSpec::Hash(c) => {
+                let _ = write!(buf, "HHJ{}", c.partitions);
+            }
         }
     }
 
@@ -66,8 +80,13 @@ impl PlanSpec {
         match self {
             PlanSpec::Fts(c) => c.workers,
             PlanSpec::Is(c) => c.workers,
-            PlanSpec::SortedIs(_) => 1,
+            PlanSpec::SortedIs(_) | PlanSpec::Inl(_) | PlanSpec::Hash(_) => 1,
         }
+    }
+
+    /// Whether this is a join plan (needs a [`crate::query::JoinClause`]).
+    pub fn is_join(&self) -> bool {
+        matches!(self, PlanSpec::Inl(_) | PlanSpec::Hash(_))
     }
 
     /// The plan's retry/timeout policy (installed on the context by
@@ -77,55 +96,42 @@ impl PlanSpec {
             PlanSpec::Fts(c) => &c.retry,
             PlanSpec::Is(c) => &c.retry,
             PlanSpec::SortedIs(c) => &c.retry,
+            PlanSpec::Inl(c) => &c.retry,
+            PlanSpec::Hash(c) => &c.retry,
         }
     }
 }
 
-/// The operands of one range-MAX query.
-#[derive(Debug, Clone, Copy)]
-pub struct ScanInputs<'a> {
-    /// The heap table to scan.
-    pub table: &'a HeapTable,
-    /// The C2 index (required by the index-scan plans, unused by FTS).
-    pub index: Option<&'a BTreeIndex>,
-    /// Predicate lower bound (inclusive).
-    pub low: u32,
-    /// Predicate upper bound (inclusive).
-    pub high: u32,
-}
-
-/// Lower a plan to its driver. Fails if the plan needs an index the inputs
-/// do not provide.
-pub fn make_driver<'q>(
-    plan: &PlanSpec,
-    inputs: &ScanInputs<'q>,
-) -> Result<Box<dyn QueryDriver + 'q>, ExecError> {
+/// Lower a query to its driver. Fails if the plan needs an index or join
+/// clause the spec does not provide.
+pub fn make_driver<'q>(q: &QuerySpec<'q>) -> Result<Box<dyn QueryDriver + 'q>, ExecError> {
     let need_index = || {
-        inputs.index.ok_or(ExecError::Internal {
+        q.index.ok_or(ExecError::Internal {
             detail: "index-scan plan without an index",
         })
     };
-    Ok(match plan {
-        PlanSpec::Fts(cfg) => Box::new(FtsDriver::new(
-            cfg.clone(),
-            inputs.table,
-            inputs.low,
-            inputs.high,
-        )),
-        PlanSpec::Is(cfg) => Box::new(IsDriver::new(
-            cfg.clone(),
-            inputs.table,
-            need_index()?,
-            inputs.low,
-            inputs.high,
-        )),
+    let need_join = || {
+        q.join.ok_or(ExecError::Internal {
+            detail: "join plan without a join clause",
+        })
+    };
+    let eval = q.row_eval();
+    Ok(match &q.plan {
+        PlanSpec::Fts(cfg) => Box::new(FtsDriver::new(cfg.clone(), q.table, eval)),
+        PlanSpec::Is(cfg) => Box::new(IsDriver::new(cfg.clone(), q.table, need_index()?, eval)),
         PlanSpec::SortedIs(cfg) => Box::new(SortedIsDriver::new(
             cfg.clone(),
-            inputs.table,
+            q.table,
             need_index()?,
-            inputs.low,
-            inputs.high,
+            eval,
         )),
+        PlanSpec::Inl(cfg) => Box::new(InlDriver::new(cfg.clone(), q.table, need_join()?, eval)?),
+        PlanSpec::Hash(cfg) => Box::new(HashJoinDriver::new(
+            cfg.clone(),
+            q.table,
+            need_join()?,
+            eval,
+        )?),
     })
 }
 
@@ -134,17 +140,13 @@ pub fn make_driver<'q>(
 /// The context is not consumed: callers can run several queries back to
 /// back on one context (warm pool, monotone virtual time) or install a
 /// trace sink up front. The plan's retry policy is installed on the
-/// context; each scan's metrics cover only its own window (runtime is
+/// context; each query's metrics cover only its own window (runtime is
 /// measured from the context time at entry, pool stats are diffed).
-pub fn execute(
-    ctx: &mut SimContext<'_>,
-    plan: &PlanSpec,
-    inputs: &ScanInputs<'_>,
-) -> Result<ScanOutput, ExecError> {
-    ctx.set_retry_policy(plan.retry().clone());
+pub fn execute(ctx: &mut SimContext<'_>, q: &QuerySpec<'_>) -> Result<ScanOutput, ExecError> {
+    ctx.set_retry_policy(q.plan.retry().clone());
     let start = ctx.now();
     let pool_before = ctx.pool.stats().clone();
-    let mut driver = make_driver(plan, inputs)?;
+    let mut driver = make_driver(q)?;
     driver.start(ctx)?;
     let mut events: Vec<Event> = Vec::new();
     while !driver.done() {
@@ -173,6 +175,7 @@ pub fn execute(
         max_c1: answer.max_c1,
         rows_matched: answer.rows_matched,
         rows_examined: answer.rows_examined,
+        fingerprint: answer.fingerprint,
         io,
         pool,
         resilience,

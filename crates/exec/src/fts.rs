@@ -8,6 +8,11 @@
 //! pattern. With rows-per-page high the scan is CPU-bound; with it low the
 //! scan is bound by sequential bandwidth — exactly the regimes of Table 3.
 //!
+//! The predicate tree, projection and aggregate are pushed down as a
+//! compiled [`RowEval`]: each page is evaluated exactly once, in place,
+//! when its compute task completes, and the per-page CPU charge scales
+//! with the predicate's comparison-leaf count.
+//!
 //! The scan is a [`QueryDriver`]: it owns no event loop of its own and can
 //! therefore run alone (via [`crate::execute`]) or interleaved with other
 //! queries on a shared context (via [`crate::MultiEngine`]).
@@ -15,6 +20,7 @@
 use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
+use crate::query::{row_fingerprint, Col, RowAcc, RowEval};
 use pioqo_device::IoStatus;
 use pioqo_storage::HeapTable;
 use serde::{Deserialize, Serialize};
@@ -64,8 +70,7 @@ struct Worker {
 pub struct FtsDriver<'q> {
     cfg: FtsConfig,
     table: &'q HeapTable,
-    low: u32,
-    high: u32,
+    eval: RowEval,
     n_pages: u64,
     workers: Vec<Worker>,
     cursor: u64,
@@ -77,17 +82,15 @@ pub struct FtsDriver<'q> {
     /// Block I/O this driver issued (prefetch); everything else is foreign.
     my_blocks: BTreeSet<u64>,
     task_owner: BTreeMap<TaskId, usize>,
-    max_c1: Option<u32>,
-    matched: u64,
-    examined: u64,
+    acc: RowAcc,
     op_track: u32,
     finished: bool,
 }
 
 impl<'q> FtsDriver<'q> {
-    /// A driver for `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND
-    /// high` with a (parallel) full table scan.
-    pub fn new(cfg: FtsConfig, table: &'q HeapTable, low: u32, high: u32) -> FtsDriver<'q> {
+    /// A driver evaluating `eval` over every row of `table` with a
+    /// (parallel) full table scan.
+    pub fn new(cfg: FtsConfig, table: &'q HeapTable, eval: RowEval) -> FtsDriver<'q> {
         assert!(cfg.workers >= 1);
         assert!(cfg.block_pages >= 1);
         let workers = (0..cfg.workers)
@@ -100,8 +103,7 @@ impl<'q> FtsDriver<'q> {
             n_pages: table.n_pages(),
             cfg,
             table,
-            low,
-            high,
+            eval,
             workers,
             cursor: 0,
             pf_next: 0,
@@ -109,12 +111,16 @@ impl<'q> FtsDriver<'q> {
             pf_cover: BTreeMap::new(),
             my_blocks: BTreeSet::new(),
             task_owner: BTreeMap::new(),
-            max_c1: None,
-            matched: 0,
-            examined: 0,
+            acc: RowAcc::default(),
             op_track: 0,
             finished: false,
         }
+    }
+
+    /// CPU charge for evaluating page `p` (scales with predicate terms).
+    fn page_work(&self, ctx: &SimContext<'_>, p: u64) -> f64 {
+        let rows = self.table.spec().rows_in_page(p);
+        self.eval.page_work(ctx.costs(), rows.end - rows.start)
     }
 
     /// Keep the prefetcher `prefetch_blocks` blocks ahead of the frontier.
@@ -158,7 +164,7 @@ impl<'q> FtsDriver<'q> {
         let dp = self.table.device_page(p);
         match ctx.pool.request(dp) {
             pioqo_bufpool::Access::Hit => {
-                let work = page_work(ctx, self.table, p);
+                let work = self.page_work(ctx, p);
                 let t = ctx.submit_cpu(work);
                 self.task_owner.insert(t, w);
                 self.workers[w].state = WState::Compute;
@@ -194,7 +200,7 @@ impl<'q> FtsDriver<'q> {
                     continue;
                 }
             }
-            let work = page_work(ctx, self.table, p);
+            let work = self.page_work(ctx, p);
             let t = ctx.submit_cpu(work);
             self.task_owner.insert(t, w);
             self.workers[w].state = WState::Compute;
@@ -276,10 +282,7 @@ impl QueryDriver for FtsDriver<'_> {
                     WState::Startup => self.claim(ctx, w),
                     WState::Compute => {
                         let p = self.workers[w].page;
-                        let (m, cnt, ex) = evaluate_page(self.table, p, self.low, self.high);
-                        self.max_c1 = merge_max(self.max_c1, m);
-                        self.matched += cnt;
-                        self.examined += ex;
+                        self.eval.page(self.table, p, &mut self.acc);
                         ctx.pool.unpin(self.table.device_page(p))?;
                         self.claim(ctx, w);
                     }
@@ -303,27 +306,23 @@ impl QueryDriver for FtsDriver<'_> {
     }
 
     fn answer(&self) -> QueryAnswer {
-        QueryAnswer {
-            max_c1: self.max_c1,
-            rows_matched: self.matched,
-            rows_examined: self.examined,
-        }
+        QueryAnswer::from_acc(&self.acc)
     }
 }
 
-fn page_work(ctx: &SimContext<'_>, table: &HeapTable, page: u64) -> f64 {
-    let rows = table.spec().rows_in_page(page);
-    ctx.costs().page_overhead_us + (rows.end - rows.start) as f64 * ctx.costs().row_scan_us
-}
-
+/// Evaluate the BETWEEN window over one page (the shared-scan hub's page
+/// visit, which stays window-keyed so attached cursors can share one
+/// pass). Returns `(max_c1, matched, examined, fingerprint)`; the
+/// fingerprint projects all columns, matching a `Projection::All` query.
 pub(crate) fn evaluate_page(
     table: &HeapTable,
     page: u64,
     low: u32,
     high: u32,
-) -> (Option<u32>, u64, u64) {
+) -> (Option<u32>, u64, u64, u64) {
     let mut best: Option<u32> = None;
     let mut matched = 0u64;
+    let mut fp = 0u64;
     let range = table.spec().rows_in_page(page);
     let examined = range.end - range.start;
     for r in range {
@@ -331,9 +330,10 @@ pub(crate) fn evaluate_page(
         if c2 >= low && c2 <= high {
             matched += 1;
             best = merge_max(best, Some(c1));
+            fp = fp.wrapping_add(row_fingerprint(&[Col::C1, Col::C2], c1, c2));
         }
     }
-    (best, matched, examined)
+    (best, matched, examined, fp)
 }
 
 pub(crate) fn merge_max(a: Option<u32>, b: Option<u32>) -> Option<u32> {
@@ -348,8 +348,9 @@ mod tests {
     use super::*;
     use crate::cpu::CpuConfig;
     use crate::engine::CpuCosts;
-    use crate::execute::{execute, PlanSpec, ScanInputs};
+    use crate::execute::{execute, PlanSpec};
     use crate::metrics::ScanMetrics;
+    use crate::query::{oracle, QuerySpec};
     use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
@@ -364,12 +365,7 @@ mod tests {
         let cap = table.n_pages() + 200;
         let mut pool = BufferPool::new(1024);
         let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
-        let inputs = ScanInputs {
-            table,
-            index: None,
-            low,
-            high,
-        };
+        let q = QuerySpec::range_max(table, None, low, high).with_plan(PlanSpec::Fts(cfg.clone()));
         if ssd {
             let mut dev = consumer_pcie_ssd(cap, 9);
             let mut ctx = SimContext::new(
@@ -378,7 +374,7 @@ mod tests {
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
             );
-            execute(&mut ctx, &PlanSpec::Fts(cfg.clone()), &inputs).expect("scan runs")
+            execute(&mut ctx, &q).expect("scan runs")
         } else {
             let mut dev = hdd_7200(cap, 9);
             let mut ctx = SimContext::new(
@@ -387,7 +383,7 @@ mod tests {
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
             );
-            execute(&mut ctx, &PlanSpec::Fts(cfg.clone()), &inputs).expect("scan runs")
+            execute(&mut ctx, &q).expect("scan runs")
         }
     }
 
@@ -400,6 +396,8 @@ mod tests {
             assert_eq!(m.max_c1, table.data().naive_max_c1(low, high), "sel={sel}");
             assert_eq!(m.rows_matched, table.data().count_matching(low, high));
             assert_eq!(m.rows_examined, 20_000);
+            let acc = oracle(&QuerySpec::range_max(&table, None, low, high));
+            assert_eq!(m.fingerprint, acc.fingerprint, "sel={sel}");
         }
     }
 
@@ -415,6 +413,7 @@ mod tests {
             let m = scan(&table, 0.2, &cfg, true);
             assert_eq!(m.max_c1, base.max_c1, "workers={workers}");
             assert_eq!(m.rows_matched, base.rows_matched);
+            assert_eq!(m.fingerprint, base.fingerprint, "workers={workers}");
         }
     }
 
@@ -490,6 +489,48 @@ mod tests {
     }
 
     #[test]
+    fn predicate_terms_scale_page_cpu() {
+        use crate::query::{CmpOp, Predicate};
+        let table = make_table(250_000, 500); // CPU-bound scan
+        let one_term = scan(&table, 1.0, &FtsConfig::default(), true);
+        // Same match set expressed with three AND-ed comparison leaves:
+        // costs more CPU, returns the same rows.
+        let q = QuerySpec::scan(&table)
+            .filter(Predicate::Cmp {
+                col: Col::C2,
+                op: CmpOp::Le,
+                value: u32::MAX,
+            })
+            .filter(Predicate::Cmp {
+                col: Col::C1,
+                op: CmpOp::Le,
+                value: u32::MAX,
+            })
+            .filter(Predicate::Cmp {
+                col: Col::C1,
+                op: CmpOp::Ge,
+                value: 0,
+            });
+        assert_eq!(q.predicate.terms(), 3);
+        let mut dev = consumer_pcie_ssd(table.n_pages() + 200, 9);
+        let mut pool = BufferPool::new(1024);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let m3 = execute(&mut ctx, &q).expect("scan runs");
+        assert_eq!(m3.rows_matched, 250_000);
+        assert!(
+            m3.runtime > one_term.runtime,
+            "3 predicate terms must cost more CPU than 1: {} vs {}",
+            m3.runtime,
+            one_term.runtime
+        );
+    }
+
+    #[test]
     fn io_error_surfaces() {
         let table = make_table(10_000, 33);
         let dev = consumer_pcie_ssd(table.n_pages() + 10, 3);
@@ -502,16 +543,7 @@ mod tests {
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
         );
-        let r = execute(
-            &mut ctx,
-            &PlanSpec::Fts(FtsConfig::default()),
-            &ScanInputs {
-                table: &table,
-                index: None,
-                low,
-                high,
-            },
-        );
+        let r = execute(&mut ctx, &QuerySpec::range_max(&table, None, low, high));
         assert!(matches!(
             r,
             Err(ExecError::Io {

@@ -14,6 +14,11 @@
 //! *current* leaf page (the paper's simplification), so the expected peak
 //! queue depth is `M·n` and tails off near leaf boundaries.
 //!
+//! The pushed-down [`RowEval`] supplies the index window: the scan covers
+//! the predicate's [`sarg`](crate::query::Predicate::sarg) range on `C2`
+//! and re-checks the full tree on each fetched row (the residual check is
+//! free for a pure BETWEEN — the sarg *is* the predicate).
+//!
 //! The scan is a [`QueryDriver`] (see `driver.rs`): the root-to-leaf
 //! traversal, formerly a blocking loop, is itself a small state machine so
 //! the whole operator can share a context with other queries.
@@ -21,7 +26,7 @@
 use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
-use crate::fts::merge_max;
+use crate::query::{RowAcc, RowEval};
 use pioqo_bufpool::Access;
 use pioqo_device::IoStatus;
 use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
@@ -95,6 +100,7 @@ pub struct IsDriver<'q> {
     cfg: IsConfig,
     table: &'q HeapTable,
     index: &'q BTreeIndex,
+    eval: RowEval,
     low: u32,
     high: u32,
     range: Option<LeafRange>,
@@ -109,27 +115,28 @@ pub struct IsDriver<'q> {
     /// io id -> workers holding prefetch credit on it.
     pf_credit: BTreeMap<u64, Vec<usize>>,
     task_owner: BTreeMap<TaskId, usize>,
-    max_c1: Option<u32>,
-    matched: u64,
+    acc: RowAcc,
     op_track: u32,
     finished: bool,
 }
 
 impl<'q> IsDriver<'q> {
-    /// A driver for `SELECT MAX(C1) FROM table WHERE C2 BETWEEN low AND
-    /// high` with a (parallel) index scan over the `C2` B+-tree.
+    /// A driver evaluating `eval` with a (parallel) index scan over the
+    /// `C2` B+-tree: the index covers the predicate's sarg window, the full
+    /// tree is applied as a residual on each fetched row.
     pub fn new(
         cfg: IsConfig,
         table: &'q HeapTable,
         index: &'q BTreeIndex,
-        low: u32,
-        high: u32,
+        eval: RowEval,
     ) -> IsDriver<'q> {
         assert!(cfg.workers >= 1);
+        let (low, high) = eval.sarg();
         IsDriver {
             cfg,
             table,
             index,
+            eval,
             low,
             high,
             range: None,
@@ -147,8 +154,7 @@ impl<'q> IsDriver<'q> {
             waiters: BTreeMap::new(),
             pf_credit: BTreeMap::new(),
             task_owner: BTreeMap::new(),
-            max_c1: None,
-            matched: 0,
+            acc: RowAcc::default(),
             op_track: 0,
             finished: false,
         }
@@ -378,8 +384,9 @@ impl<'q> IsDriver<'q> {
                 let rid = self.workers[w].rids[self.workers[w].pos];
                 let (c1, c2) = self.table.row(rid);
                 debug_assert!(c2 >= self.low && c2 <= self.high);
-                self.max_c1 = merge_max(self.max_c1, Some(c1));
-                self.matched += 1;
+                // Residual check: the sarg cover guarantees the C2 window,
+                // the full tree may reject on other terms.
+                self.eval.row(c1, c2, &mut self.acc);
                 ctx.pool.unpin(self.dp_of_rid(rid))?;
                 self.workers[w].pos += 1;
                 self.next_entry(ctx, w);
@@ -412,7 +419,11 @@ impl QueryDriver for IsDriver<'_> {
     fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
         self.op_track = ctx.trace_track("is");
         ctx.trace_span_begin(self.op_track, "is_traverse");
-        self.range = self.index.range(self.low, self.high);
+        self.range = if self.low <= self.high {
+            self.index.range(self.low, self.high)
+        } else {
+            None // inverted sarg: the predicate matches nothing
+        };
         let probe_leaf = self.range.map_or(0, |r| r.first_leaf);
         self.trav.path = self.index.path_to_leaf(probe_leaf);
         self.advance_traverse(ctx);
@@ -480,11 +491,7 @@ impl QueryDriver for IsDriver<'_> {
     }
 
     fn answer(&self) -> QueryAnswer {
-        QueryAnswer {
-            max_c1: self.max_c1,
-            rows_matched: self.matched,
-            rows_examined: self.matched,
-        }
+        QueryAnswer::from_acc(&self.acc)
     }
 }
 
@@ -493,8 +500,9 @@ mod tests {
     use super::*;
     use crate::cpu::CpuConfig;
     use crate::engine::CpuCosts;
-    use crate::execute::{execute, PlanSpec, ScanInputs};
+    use crate::execute::{execute, PlanSpec};
     use crate::metrics::ScanMetrics;
+    use crate::query::{oracle, QuerySpec};
     use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
@@ -527,12 +535,8 @@ mod tests {
     fn scan(fx: &Fixture, sel: f64, cfg: &IsConfig, ssd: bool, pool_frames: usize) -> ScanMetrics {
         let mut pool = BufferPool::new(pool_frames);
         let (low, high) = range_for_selectivity(sel, u32::MAX - 1);
-        let inputs = ScanInputs {
-            table: &fx.table,
-            index: Some(&fx.index),
-            low,
-            high,
-        };
+        let q = QuerySpec::range_max(&fx.table, Some(&fx.index), low, high)
+            .with_plan(PlanSpec::Is(cfg.clone()));
         if ssd {
             let mut dev = consumer_pcie_ssd(fx.capacity, 13);
             let mut ctx = SimContext::new(
@@ -541,7 +545,7 @@ mod tests {
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
             );
-            execute(&mut ctx, &PlanSpec::Is(cfg.clone()), &inputs).expect("scan runs")
+            execute(&mut ctx, &q).expect("scan runs")
         } else {
             let mut dev = hdd_7200(fx.capacity, 13);
             let mut ctx = SimContext::new(
@@ -550,7 +554,7 @@ mod tests {
                 CpuConfig::paper_xeon(),
                 CpuCosts::default(),
             );
-            execute(&mut ctx, &PlanSpec::Is(cfg.clone()), &inputs).expect("scan runs")
+            execute(&mut ctx, &q).expect("scan runs")
         }
     }
 
@@ -566,6 +570,8 @@ mod tests {
                 "sel={sel}"
             );
             assert_eq!(m.rows_matched, fx.table.data().count_matching(low, high));
+            let acc = oracle(&QuerySpec::range_max(&fx.table, None, low, high));
+            assert_eq!(m.fingerprint, acc.fingerprint, "sel={sel}");
         }
     }
 
@@ -587,7 +593,46 @@ mod tests {
             );
             assert_eq!(m.max_c1, base.max_c1, "w={workers} pf={pf}");
             assert_eq!(m.rows_matched, base.rows_matched);
+            assert_eq!(m.fingerprint, base.fingerprint, "w={workers} pf={pf}");
         }
+    }
+
+    #[test]
+    fn residual_predicate_filters_fetched_rows() {
+        use crate::query::{CmpOp, Col, Predicate};
+        let fx = fixture(20_000, 33);
+        let (low, high) = range_for_selectivity(0.1, u32::MAX - 1);
+        // Index covers the C2 window; the C1 term is a residual that
+        // rejects roughly half the fetched rows.
+        let q = QuerySpec::range_max(&fx.table, Some(&fx.index), low, high)
+            .filter(Predicate::Cmp {
+                col: Col::C1,
+                op: CmpOp::Ge,
+                value: u32::MAX / 2,
+            })
+            .with_plan(PlanSpec::Is(IsConfig::default()));
+        let mut dev = consumer_pcie_ssd(fx.capacity, 13);
+        let mut pool = BufferPool::new(4096);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let m = execute(&mut ctx, &q).expect("scan runs");
+        let acc = oracle(&q);
+        assert_eq!(m.max_c1, acc.agg);
+        assert_eq!(m.rows_matched, acc.matched);
+        assert_eq!(m.fingerprint, acc.fingerprint);
+        // examined counts every index-fetched row; matched only residual
+        // survivors.
+        assert_eq!(
+            m.rows_examined,
+            fx.table.data().count_matching(low, high),
+            "examined = rows in the sarg cover"
+        );
+        assert!(m.rows_matched < m.rows_examined);
+        assert!(m.rows_matched > 0);
     }
 
     #[test]
@@ -735,13 +780,8 @@ mod tests {
         );
         let r = execute(
             &mut ctx,
-            &PlanSpec::Is(IsConfig::default()),
-            &ScanInputs {
-                table: &fx.table,
-                index: Some(&fx.index),
-                low,
-                high,
-            },
+            &QuerySpec::range_max(&fx.table, Some(&fx.index), low, high)
+                .with_plan(PlanSpec::Is(IsConfig::default())),
         );
         assert!(matches!(r, Err(ExecError::Io { operator: "is", .. })));
     }

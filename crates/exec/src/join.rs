@@ -1,0 +1,1232 @@
+//! Equi-join operators with *opposite* I/O profiles.
+//!
+//! Both join `outer.C2 = inner.C2` and push the outer predicate tree down
+//! into the outer scan, but they stress the device in opposite ways —
+//! which is exactly the choice the QDTT cost model arbitrates:
+//!
+//! * [`InlDriver`] — **index-nested-loop**: a sequential outer scan feeds
+//!   a pool of concurrent index probes into the inner table. Every probe
+//!   is a root→leaf descent plus random heap-page fetches, so the device
+//!   sees random reads in a *small band* (the inner extent) at a queue
+//!   depth set by [`InlConfig::probe_depth`] — the regime where deep
+//!   queues and band locality pay (QDTT's D(band, depth) surface).
+//! * [`HashJoinDriver`] — **hybrid hash**: both tables stream
+//!   sequentially once; rows outside partition 0 spill to per-partition
+//!   scratch slices with sequential page writes (the PR-7 write path) and
+//!   stream back sequentially per partition. All I/O is sequential at
+//!   ring depth [`HashJoinConfig::io_depth`]; the price is writing and
+//!   re-reading the spilled fraction `(P-1)/P` of both inputs.
+//!
+//! Both are [`QueryDriver`]s: they run solo under [`crate::execute`] or
+//! inside [`crate::MultiEngine`] sessions under admission leases, and
+//! ignore events they do not own.
+
+use crate::cpu::TaskId;
+use crate::driver::{QueryAnswer, QueryDriver};
+use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
+use crate::query::{JoinClause, RowAcc, RowEval};
+use pioqo_bufpool::Access;
+use pioqo_device::IoStatus;
+use pioqo_storage::{BTreeIndex, HeapTable};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Index-nested-loop join configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InlConfig {
+    /// Concurrent index probes kept in flight (the operator's effective
+    /// random-read queue depth; admission leases cap it).
+    pub probe_depth: u32,
+    /// Outer-scan prefetch distance in blocks.
+    pub prefetch_blocks: u32,
+    /// Pages per outer-scan prefetch block.
+    pub block_pages: u32,
+    /// Retry/timeout policy for the join's I/O (default: no retries).
+    pub retry: RetryPolicy,
+}
+
+impl Default for InlConfig {
+    fn default() -> Self {
+        InlConfig {
+            probe_depth: 8,
+            prefetch_blocks: 4,
+            block_pages: 16,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Hybrid hash join configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashJoinConfig {
+    /// Hash partitions. Partition 0 is held in memory (the "hybrid" part);
+    /// partitions 1..P spill to the scratch extent. 1 = a pure in-memory
+    /// hash join, no spill I/O at all.
+    pub partitions: u32,
+    /// Sequential read ring depth (outstanding block submissions).
+    pub io_depth: u32,
+    /// Pages per block submission.
+    pub block_pages: u32,
+    /// Retry/timeout policy for the join's I/O (default: no retries).
+    pub retry: RetryPolicy,
+}
+
+impl Default for HashJoinConfig {
+    fn default() -> Self {
+        HashJoinConfig {
+            partitions: 8,
+            io_depth: 8,
+            block_pages: 16,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A sequential block-read ring: streams `total_pages` pages starting at
+/// `base_dp` in `block_pages`-sized submissions, keeping up to `depth`
+/// blocks in flight, and hands back contiguous ready runs at the frontier.
+struct SeqReader {
+    base_dp: u64,
+    total_pages: u64,
+    block_pages: u32,
+    depth: u32,
+    /// Next page offset to submit.
+    next_off: u64,
+    /// io id -> (page offset, pages).
+    inflight: BTreeMap<u64, (u64, u32)>,
+    /// Completed runs not yet consumed: page offset -> pages.
+    ready: BTreeMap<u64, u32>,
+    /// Offsets below this are consumed.
+    frontier: u64,
+}
+
+impl SeqReader {
+    fn new(base_dp: u64, total_pages: u64, block_pages: u32, depth: u32) -> SeqReader {
+        SeqReader {
+            base_dp,
+            total_pages,
+            block_pages: block_pages.max(1),
+            depth: depth.max(1),
+            next_off: 0,
+            inflight: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            frontier: 0,
+        }
+    }
+
+    /// Everything submitted, completed and consumed.
+    fn exhausted(&self) -> bool {
+        self.frontier >= self.total_pages
+    }
+
+    /// Keep `depth` blocks in flight ahead of the frontier.
+    fn top_up(&mut self, ctx: &mut SimContext<'_>) {
+        while self.next_off < self.total_pages && self.inflight.len() < self.depth as usize {
+            let len = (self.block_pages as u64).min(self.total_pages - self.next_off) as u32;
+            let io = ctx.read_block(self.base_dp + self.next_off, len);
+            self.inflight.insert(io, (self.next_off, len));
+            self.next_off += len as u64;
+        }
+    }
+
+    /// Mark a block completion; returns its `(device start, pages)` when
+    /// the io belonged to this reader.
+    fn on_block(&mut self, io: u64) -> Option<(u64, u32)> {
+        let (off, len) = self.inflight.remove(&io)?;
+        self.ready.insert(off, len);
+        Some((self.base_dp + off, len))
+    }
+
+    fn owns(&self, io: u64) -> bool {
+        self.inflight.contains_key(&io)
+    }
+
+    /// Consume the contiguous ready run at the frontier, if any.
+    fn take_run(&mut self) -> Option<(u64, u64)> {
+        let start = self.frontier;
+        let mut len = 0u64;
+        while let Some(&l) = self.ready.get(&(start + len)) {
+            self.ready.remove(&(start + len));
+            len += l as u64;
+        }
+        if len == 0 {
+            return None;
+        }
+        self.frontier += len;
+        Some((start, len))
+    }
+}
+
+/// One in-flight index probe: root→leaf descent, then the key's entry
+/// range, then the referenced heap rows.
+struct Probe {
+    /// Outer row that spawned the probe (`lc2` is the join key).
+    lc1: u32,
+    lc2: u32,
+    stage: PStage,
+    /// Root→leaf device pages still to visit.
+    path: Vec<u64>,
+    path_idx: usize,
+    /// Inner-index leaves overlapping the key's entry range.
+    leaves: Vec<u64>,
+    leaf_idx: usize,
+    first_entry: u64,
+    end_entry: u64,
+    /// Heap row ids of the current leaf's key-equal entries.
+    rids: Vec<u64>,
+    rid_idx: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PStage {
+    /// Descending the path; a pending CPU task finishes the current level.
+    Path,
+    /// Fetching/decoding the current leaf.
+    Leaf,
+    /// Fetching/joining the current rid's heap row.
+    Row,
+}
+
+/// The index-nested-loop join state machine. See the module docs.
+pub struct InlDriver<'q> {
+    cfg: InlConfig,
+    left: &'q HeapTable,
+    right: &'q HeapTable,
+    right_index: &'q BTreeIndex,
+    eval: RowEval,
+    outer: SeqReader,
+    /// The single outer-scan CPU task in flight: (task, run start, len).
+    outer_cpu: Option<(TaskId, u64, u64)>,
+    /// Outer rows admitted by the predicate, awaiting a probe slot.
+    keys: VecDeque<(u32, u32)>,
+    probes: BTreeMap<u64, Probe>,
+    next_probe: u64,
+    /// Page read io -> probes waiting on it.
+    probe_io: BTreeMap<u64, Vec<u64>>,
+    /// CPU task -> probe it advances.
+    probe_task: BTreeMap<TaskId, u64>,
+    acc: RowAcc,
+    op_track: u32,
+    finished: bool,
+}
+
+impl<'q> InlDriver<'q> {
+    /// A driver joining `left` (outer, filtered by `eval`) against the
+    /// clause's inner table via its `C2` index.
+    pub fn new(
+        cfg: InlConfig,
+        left: &'q HeapTable,
+        join: JoinClause<'q>,
+        eval: RowEval,
+    ) -> Result<InlDriver<'q>, ExecError> {
+        assert!(cfg.probe_depth >= 1);
+        let right_index = join.right_index.ok_or(ExecError::Internal {
+            detail: "index-nested-loop join without an inner index",
+        })?;
+        let outer = SeqReader::new(
+            left.device_page(0),
+            left.n_pages(),
+            cfg.block_pages,
+            cfg.prefetch_blocks.max(1),
+        );
+        Ok(InlDriver {
+            cfg,
+            left,
+            right: join.right,
+            right_index,
+            eval,
+            outer,
+            outer_cpu: None,
+            keys: VecDeque::new(),
+            probes: BTreeMap::new(),
+            next_probe: 0,
+            probe_io: BTreeMap::new(),
+            probe_task: BTreeMap::new(),
+            acc: RowAcc::default(),
+            op_track: 0,
+            finished: false,
+        })
+    }
+
+    /// Probe-queue high-water mark: beyond it the outer scan stops
+    /// claiming new runs so memory (and the probe backlog) stays bounded.
+    fn high_water(&self) -> usize {
+        (self.cfg.probe_depth as usize) * 4
+    }
+
+    /// Advance everything that can move without an event.
+    fn pump(&mut self, ctx: &mut SimContext<'_>) {
+        // Spawn probes up to the configured depth.
+        while self.probes.len() < self.cfg.probe_depth as usize {
+            let Some((lc1, lc2)) = self.keys.pop_front() else {
+                break;
+            };
+            self.start_probe(ctx, lc1, lc2);
+        }
+        // Outer scan: fetch ahead unless the probe backlog is deep, and
+        // evaluate the ready run when no evaluation is in flight.
+        if self.keys.len() < self.high_water() {
+            self.outer.top_up(ctx);
+            if self.outer_cpu.is_none() {
+                if let Some((start, len)) = self.outer.take_run() {
+                    let mut work = 0.0;
+                    for p in start..start + len {
+                        let rows = self.left.spec().rows_in_page(p);
+                        work += self.eval.page_work(ctx.costs(), rows.end - rows.start);
+                    }
+                    let t = ctx.submit_cpu(work);
+                    self.outer_cpu = Some((t, start, len));
+                }
+            }
+        }
+        self.maybe_finish(ctx);
+    }
+
+    fn outer_done(&self) -> bool {
+        self.outer.exhausted() && self.outer_cpu.is_none()
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut SimContext<'_>) {
+        if !self.finished && self.outer_done() && self.keys.is_empty() && self.probes.is_empty() {
+            ctx.trace_span_end(self.op_track, "inl_join");
+            self.finished = true;
+        }
+    }
+
+    fn start_probe(&mut self, ctx: &mut SimContext<'_>, lc1: u32, lc2: u32) {
+        let id = self.next_probe;
+        self.next_probe += 1;
+        let (leaves, first_entry, end_entry, probe_leaf) = match self.right_index.range(lc2, lc2) {
+            Some(r) => (
+                (r.first_leaf..=r.last_leaf).collect(),
+                r.first_entry,
+                r.end_entry,
+                r.first_leaf,
+            ),
+            // Missing key: the descent still happens, finds nothing.
+            None => (Vec::new(), 0, 0, 0),
+        };
+        self.probes.insert(
+            id,
+            Probe {
+                lc1,
+                lc2,
+                stage: PStage::Path,
+                path: self.right_index.path_to_leaf(probe_leaf),
+                path_idx: 0,
+                leaves,
+                leaf_idx: 0,
+                first_entry,
+                end_entry,
+                rids: Vec::new(),
+                rid_idx: 0,
+            },
+        );
+        self.step_probe(ctx, id);
+    }
+
+    /// Move probe `id` forward: request the page its stage needs, issuing
+    /// a read on a miss, a CPU task on a hit, or finishing the probe.
+    fn step_probe(&mut self, ctx: &mut SimContext<'_>, id: u64) {
+        loop {
+            let p = self.probes.get_mut(&id).expect("live probe");
+            let dp = match p.stage {
+                PStage::Path => {
+                    if p.path_idx >= p.path.len() {
+                        p.stage = PStage::Leaf;
+                        continue;
+                    }
+                    p.path[p.path_idx]
+                }
+                PStage::Leaf => {
+                    if p.leaf_idx >= p.leaves.len() {
+                        self.finish_probe(ctx, id);
+                        return;
+                    }
+                    self.right_index.device_page_of_leaf(p.leaves[p.leaf_idx])
+                }
+                PStage::Row => {
+                    if p.rid_idx >= p.rids.len() {
+                        p.leaf_idx += 1;
+                        p.stage = PStage::Leaf;
+                        continue;
+                    }
+                    let rid = p.rids[p.rid_idx];
+                    self.right.device_page(self.right.spec().page_of_row(rid))
+                }
+            };
+            let p = self.probes.get_mut(&id).expect("live probe");
+            match ctx.pool.request(dp) {
+                Access::Hit => {
+                    let work = match p.stage {
+                        PStage::Path => ctx.costs().leaf_decode_us,
+                        PStage::Leaf => {
+                            let leaf = p.leaves[p.leaf_idx];
+                            let lr = self.right_index.leaf_entry_range(leaf);
+                            let n = (lr.end.min(p.end_entry))
+                                .saturating_sub(lr.start.max(p.first_entry));
+                            ctx.costs().leaf_decode_us + n as f64 * ctx.costs().entry_decode_us
+                        }
+                        PStage::Row => ctx.costs().row_lookup_us,
+                    };
+                    let t = ctx.submit_cpu(work);
+                    self.probe_task.insert(t, id);
+                }
+                Access::Miss => {
+                    let io = ctx.read_page(dp);
+                    self.probe_io.entry(io).or_default().push(id);
+                }
+            }
+            return;
+        }
+    }
+
+    /// A probe's CPU task completed: apply the stage's effect and step on.
+    fn on_probe_cpu(&mut self, ctx: &mut SimContext<'_>, id: u64) -> Result<(), ExecError> {
+        let p = self.probes.get_mut(&id).expect("live probe");
+        match p.stage {
+            PStage::Path => {
+                ctx.pool.unpin(p.path[p.path_idx])?;
+                p.path_idx += 1;
+            }
+            PStage::Leaf => {
+                let leaf = p.leaves[p.leaf_idx];
+                let lr = self.right_index.leaf_entry_range(leaf);
+                let from = lr.start.max(p.first_entry);
+                let to = lr.end.min(p.end_entry);
+                p.rids = (from..to).map(|i| self.right_index.entry(i).1).collect();
+                p.rid_idx = 0;
+                p.stage = PStage::Row;
+                ctx.pool.unpin(self.right_index.device_page_of_leaf(leaf))?;
+            }
+            PStage::Row => {
+                let rid = p.rids[p.rid_idx];
+                let (rc1, rc2) = self.right.row(rid);
+                debug_assert_eq!(rc2, p.lc2, "index probe returned a foreign key");
+                let (lc1, lc2) = (p.lc1, p.lc2);
+                self.eval.join_pair(lc1, lc2, rc1, &mut self.acc);
+                let p = self.probes.get_mut(&id).expect("live probe");
+                p.rid_idx += 1;
+                ctx.pool
+                    .unpin(self.right.device_page(self.right.spec().page_of_row(rid)))?;
+            }
+        }
+        self.step_probe(ctx, id);
+        Ok(())
+    }
+
+    fn finish_probe(&mut self, ctx: &mut SimContext<'_>, id: u64) {
+        self.probes.remove(&id);
+        if let Some((lc1, lc2)) = self.keys.pop_front() {
+            self.start_probe(ctx, lc1, lc2);
+        }
+        self.maybe_finish(ctx);
+    }
+}
+
+impl QueryDriver for InlDriver<'_> {
+    fn operator(&self) -> &'static str {
+        "inl"
+    }
+
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        self.op_track = ctx.trace_track("inl");
+        ctx.trace_span_begin(self.op_track, "inl_join");
+        self.pump(ctx);
+        self.maybe_finish(ctx);
+        Ok(())
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError> {
+        match *ev {
+            Event::IoBlock {
+                io,
+                start,
+                len,
+                status,
+                attempts,
+            } => {
+                if !self.outer.owns(io) {
+                    return Ok(());
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("inl", start, attempts));
+                }
+                self.outer.on_block(io);
+                for dp in start..start + len as u64 {
+                    ctx.pool.admit_prefetched(dp)?;
+                }
+                self.pump(ctx);
+            }
+            Event::IoPage {
+                io,
+                device_page,
+                status,
+                attempts,
+            } => {
+                let Some(ids) = self.probe_io.remove(&io) else {
+                    return Ok(());
+                };
+                if status == IoStatus::Error {
+                    return Err(io_failure("inl", device_page, attempts));
+                }
+                ctx.pool.admit_prefetched(device_page)?;
+                for id in ids {
+                    // Re-request in step: hit now (or a fresh read if a
+                    // pathologically small pool evicted it again).
+                    self.step_probe(ctx, id);
+                }
+                self.pump(ctx);
+            }
+            Event::Cpu(task) => {
+                if let Some(id) = self.probe_task.remove(&task) {
+                    self.on_probe_cpu(ctx, id)?;
+                    self.pump(ctx);
+                    return Ok(());
+                }
+                let Some((t, start, len)) = self.outer_cpu else {
+                    return Ok(());
+                };
+                if t != task {
+                    return Ok(());
+                }
+                self.outer_cpu = None;
+                // The evaluated run: matching outer rows join the queue.
+                for page in start..start + len {
+                    for r in self.left.spec().rows_in_page(page) {
+                        let (c1, c2) = self.left.row(r);
+                        if self.eval.left_row(c1, c2, &mut self.acc) {
+                            self.keys.push_back((c1, c2));
+                        }
+                    }
+                }
+                self.pump(ctx);
+            }
+            Event::IoWrite { .. } | Event::Timer { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+
+    fn answer(&self) -> QueryAnswer {
+        QueryAnswer::from_acc(&self.acc)
+    }
+}
+
+/// A spill slice: a contiguous run of scratch pages for one partition of
+/// one side.
+struct Slice {
+    base_dp: u64,
+    capacity: u64,
+    /// Pages written so far.
+    used: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HPhase {
+    /// Streaming the inner (build) table.
+    Build,
+    /// Streaming the outer (probe) table.
+    Probe,
+    /// Barrier: all spill writes must land before re-reading.
+    Drain,
+    /// Re-reading spilled partition `p`'s inner slice.
+    PartBuild(u32),
+    /// Re-reading spilled partition `p`'s outer slice.
+    PartProbe(u32),
+    Done,
+}
+
+/// The hybrid-hash-join state machine. See the module docs.
+pub struct HashJoinDriver<'q> {
+    cfg: HashJoinConfig,
+    left: &'q HeapTable,
+    right: &'q HeapTable,
+    eval: RowEval,
+    phase: HPhase,
+    reader: SeqReader,
+    /// The single scan/partition CPU task in flight.
+    cur_cpu: Option<(TaskId, u64, u64)>,
+    /// Partition 0's in-memory table: key -> (count, max inner payload).
+    ht: BTreeMap<u32, (u64, u32)>,
+    /// Spilled inner rows per partition (index 0 unused).
+    spill_right: Vec<Vec<(u32, u32)>>,
+    /// Spilled outer rows per partition (index 0 unused).
+    spill_left: Vec<Vec<(u32, u32)>>,
+    /// Rows already flushed to disk per right/left spill slice.
+    flushed_right: Vec<u64>,
+    flushed_left: Vec<u64>,
+    slices_right: Vec<Slice>,
+    slices_left: Vec<Slice>,
+    pending_writes: BTreeSet<u64>,
+    acc: RowAcc,
+    op_track: u32,
+}
+
+impl<'q> HashJoinDriver<'q> {
+    /// A driver joining `left` (outer, filtered by `eval`) against the
+    /// clause's inner table with a hybrid hash join. Partitions beyond the
+    /// in-memory partition 0 need the clause's spill extent.
+    pub fn new(
+        cfg: HashJoinConfig,
+        left: &'q HeapTable,
+        join: JoinClause<'q>,
+        eval: RowEval,
+    ) -> Result<HashJoinDriver<'q>, ExecError> {
+        assert!(cfg.partitions >= 1);
+        let np = cfg.partitions as usize;
+        let (slices_right, slices_left) = if np > 1 {
+            let ext = join.spill.ok_or(ExecError::Internal {
+                detail: "hybrid hash join without a spill extent",
+            })?;
+            let n_slices = 2 * (np as u64 - 1);
+            let per = ext.pages / n_slices;
+            if per == 0 {
+                return Err(ExecError::Internal {
+                    detail: "hash-join spill extent too small",
+                });
+            }
+            let slice = |i: u64| Slice {
+                base_dp: ext.base + i * per,
+                capacity: per,
+                used: 0,
+            };
+            (
+                (0..np as u64 - 1).map(slice).collect(),
+                (np as u64 - 1..n_slices).map(slice).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let reader = SeqReader::new(
+            join.right.device_page(0),
+            join.right.n_pages(),
+            cfg.block_pages,
+            cfg.io_depth,
+        );
+        Ok(HashJoinDriver {
+            cfg,
+            left,
+            right: join.right,
+            eval,
+            phase: HPhase::Build,
+            reader,
+            cur_cpu: None,
+            ht: BTreeMap::new(),
+            spill_right: vec![Vec::new(); np],
+            spill_left: vec![Vec::new(); np],
+            flushed_right: vec![0; np],
+            flushed_left: vec![0; np],
+            slices_right,
+            slices_left,
+            pending_writes: BTreeSet::new(),
+            acc: RowAcc::default(),
+            op_track: 0,
+        })
+    }
+
+    fn partition_of(&self, key: u32) -> usize {
+        (key % self.cfg.partitions) as usize
+    }
+
+    /// Flush full spill pages of partition `p` (or everything with
+    /// `all`), charging one sequential page write per page.
+    fn flush_spill(
+        &mut self,
+        ctx: &mut SimContext<'_>,
+        right_side: bool,
+        p: usize,
+        all: bool,
+    ) -> Result<(), ExecError> {
+        let rpp = if right_side {
+            self.right.spec().rows_per_page as u64
+        } else {
+            self.left.spec().rows_per_page as u64
+        };
+        let (rows, flushed, slice) = if right_side {
+            (
+                self.spill_right[p].len() as u64,
+                &mut self.flushed_right[p],
+                &mut self.slices_right[p - 1],
+            )
+        } else {
+            (
+                self.spill_left[p].len() as u64,
+                &mut self.flushed_left[p],
+                &mut self.slices_left[p - 1],
+            )
+        };
+        loop {
+            let unflushed = rows - *flushed;
+            let write = if all { unflushed > 0 } else { unflushed >= rpp };
+            if !write {
+                return Ok(());
+            }
+            if slice.used >= slice.capacity {
+                return Err(ExecError::Internal {
+                    detail: "hash-join spill slice overflow",
+                });
+            }
+            let io = ctx.write_page(slice.base_dp + slice.used);
+            self.pending_writes.insert(io);
+            slice.used += 1;
+            *flushed += unflushed.min(rpp);
+        }
+    }
+
+    /// Begin re-reading one spill slice (or skip ahead when it is empty).
+    fn enter_part(&mut self, ctx: &mut SimContext<'_>, phase: HPhase) -> Result<(), ExecError> {
+        self.phase = phase;
+        loop {
+            match self.phase {
+                HPhase::PartBuild(p) => {
+                    let s = &self.slices_right[p as usize - 1];
+                    if s.used == 0 {
+                        self.phase = HPhase::PartProbe(p);
+                        continue;
+                    }
+                    self.reader =
+                        SeqReader::new(s.base_dp, s.used, self.cfg.block_pages, self.cfg.io_depth);
+                    self.reader.top_up(ctx);
+                    return Ok(());
+                }
+                HPhase::PartProbe(p) => {
+                    let s = &self.slices_left[p as usize - 1];
+                    if s.used == 0 || self.spill_right[p as usize].is_empty() {
+                        // Nothing on one side: no pairs from this partition.
+                        self.phase = if (p as usize) + 1 < self.cfg.partitions as usize {
+                            HPhase::PartBuild(p + 1)
+                        } else {
+                            HPhase::Done
+                        };
+                        continue;
+                    }
+                    self.reader =
+                        SeqReader::new(s.base_dp, s.used, self.cfg.block_pages, self.cfg.io_depth);
+                    self.reader.top_up(ctx);
+                    return Ok(());
+                }
+                HPhase::Done => {
+                    ctx.trace_span_end(self.op_track, "hash_join");
+                    return Ok(());
+                }
+                HPhase::Build | HPhase::Probe | HPhase::Drain => {
+                    return Err(ExecError::Internal {
+                        detail: "enter_part called outside the partition phases",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Join partition `p`'s spilled rows (both sides are in memory; the
+    /// spill I/O priced their round trip).
+    fn join_partition(&mut self, p: usize) {
+        let mut pt: BTreeMap<u32, (u64, u32)> = BTreeMap::new();
+        for &(rc1, rc2) in &self.spill_right[p] {
+            let e = pt.entry(rc2).or_insert((0, 0));
+            e.0 += 1;
+            e.1 = e.1.max(rc1);
+        }
+        let rows = std::mem::take(&mut self.spill_left[p]);
+        for (lc1, lc2) in rows {
+            if let Some(&(n, max)) = pt.get(&lc2) {
+                self.eval.join_pair_n(lc1, lc2, max, n, &mut self.acc);
+            }
+        }
+    }
+
+    /// Advance the streaming phases: top the ring up, start the next CPU
+    /// task over the contiguous ready run, cross phase boundaries.
+    fn pump(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        loop {
+            match self.phase {
+                HPhase::Build | HPhase::Probe => {
+                    self.reader.top_up(ctx);
+                    if self.cur_cpu.is_some() {
+                        return Ok(());
+                    }
+                    if let Some((start, len)) = self.reader.take_run() {
+                        let mut work = 0.0;
+                        for p in start..start + len {
+                            let rows = if self.phase == HPhase::Build {
+                                let r = self.right.spec().rows_in_page(p);
+                                work += ctx.costs().page_overhead_us
+                                    + (r.end - r.start) as f64 * ctx.costs().row_scan_us;
+                                continue;
+                            } else {
+                                let r = self.left.spec().rows_in_page(p);
+                                r.end - r.start
+                            };
+                            work += self.eval.page_work(ctx.costs(), rows);
+                        }
+                        let t = ctx.submit_cpu(work);
+                        self.cur_cpu = Some((t, start, len));
+                        return Ok(());
+                    }
+                    if self.reader.exhausted() {
+                        if self.phase == HPhase::Build {
+                            // Flush partial spill pages, start the outer
+                            // stream.
+                            for p in 1..self.cfg.partitions as usize {
+                                self.flush_spill(ctx, true, p, true)?;
+                            }
+                            self.phase = HPhase::Probe;
+                            self.reader = SeqReader::new(
+                                self.left.device_page(0),
+                                self.left.n_pages(),
+                                self.cfg.block_pages,
+                                self.cfg.io_depth,
+                            );
+                            continue;
+                        }
+                        for p in 1..self.cfg.partitions as usize {
+                            self.flush_spill(ctx, false, p, true)?;
+                        }
+                        self.phase = HPhase::Drain;
+                        continue;
+                    }
+                    return Ok(());
+                }
+                HPhase::Drain => {
+                    if !self.pending_writes.is_empty() {
+                        return Ok(());
+                    }
+                    if self.cfg.partitions > 1 {
+                        return self.enter_part(ctx, HPhase::PartBuild(1));
+                    }
+                    self.phase = HPhase::Done;
+                    ctx.trace_span_end(self.op_track, "hash_join");
+                    return Ok(());
+                }
+                HPhase::PartBuild(_) | HPhase::PartProbe(_) => {
+                    self.reader.top_up(ctx);
+                    if self.cur_cpu.is_some() {
+                        return Ok(());
+                    }
+                    if let Some((start, len)) = self.reader.take_run() {
+                        // Spill pages hold raw row runs; charge scan-rate
+                        // CPU for rebuild, lookup-rate for probe.
+                        let build = matches!(self.phase, HPhase::PartBuild(_));
+                        let rpp = if build {
+                            self.right.spec().rows_per_page
+                        } else {
+                            self.left.spec().rows_per_page
+                        } as f64;
+                        let per_row = if build {
+                            ctx.costs().row_scan_us
+                        } else {
+                            ctx.costs().row_lookup_us
+                        };
+                        let work = len as f64 * (ctx.costs().page_overhead_us + rpp * per_row);
+                        let t = ctx.submit_cpu(work);
+                        self.cur_cpu = Some((t, start, len));
+                        return Ok(());
+                    }
+                    if self.reader.exhausted() {
+                        // Slice fully streamed and processed by the CPU
+                        // completion handler; transition happens there.
+                        return Ok(());
+                    }
+                    return Ok(());
+                }
+                HPhase::Done => return Ok(()),
+            }
+        }
+    }
+
+    /// Handle completion of the current phase's CPU task.
+    fn on_cpu(&mut self, ctx: &mut SimContext<'_>, start: u64, len: u64) -> Result<(), ExecError> {
+        match self.phase {
+            HPhase::Build => {
+                for page in start..start + len {
+                    for r in self.right.spec().rows_in_page(page) {
+                        let (rc1, rc2) = self.right.row(r);
+                        let p = self.partition_of(rc2);
+                        if p == 0 {
+                            let e = self.ht.entry(rc2).or_insert((0, 0));
+                            e.0 += 1;
+                            e.1 = e.1.max(rc1);
+                        } else {
+                            self.spill_right[p].push((rc1, rc2));
+                            self.flush_spill(ctx, true, p, false)?;
+                        }
+                    }
+                }
+            }
+            HPhase::Probe => {
+                for page in start..start + len {
+                    for r in self.left.spec().rows_in_page(page) {
+                        let (lc1, lc2) = self.left.row(r);
+                        if !self.eval.left_row(lc1, lc2, &mut self.acc) {
+                            continue;
+                        }
+                        let p = self.partition_of(lc2);
+                        if p == 0 {
+                            if let Some(&(n, max)) = self.ht.get(&lc2) {
+                                self.eval.join_pair_n(lc1, lc2, max, n, &mut self.acc);
+                            }
+                        } else {
+                            self.spill_left[p].push((lc1, lc2));
+                            self.flush_spill(ctx, false, p, false)?;
+                        }
+                    }
+                }
+            }
+            HPhase::PartBuild(p) => {
+                if self.reader.exhausted() && self.reader.ready.is_empty() {
+                    return self.enter_part(ctx, HPhase::PartProbe(p));
+                }
+            }
+            HPhase::PartProbe(p) => {
+                if self.reader.exhausted() && self.reader.ready.is_empty() {
+                    self.join_partition(p as usize);
+                    let next = if (p as usize) + 1 < self.cfg.partitions as usize {
+                        HPhase::PartBuild(p + 1)
+                    } else {
+                        HPhase::Done
+                    };
+                    return self.enter_part(ctx, next);
+                }
+            }
+            HPhase::Drain | HPhase::Done => {
+                return Err(ExecError::Internal {
+                    detail: "hash-join cpu completion in a non-compute phase",
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+impl QueryDriver for HashJoinDriver<'_> {
+    fn operator(&self) -> &'static str {
+        "hash_join"
+    }
+
+    fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
+        self.op_track = ctx.trace_track("hash_join");
+        ctx.trace_span_begin(self.op_track, "hash_join");
+        self.pump(ctx)
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: &Event) -> Result<(), ExecError> {
+        match *ev {
+            Event::IoBlock {
+                io,
+                start,
+                len,
+                status,
+                attempts,
+            } => {
+                if !self.reader.owns(io) {
+                    return Ok(());
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("hash_join", start, attempts));
+                }
+                self.reader.on_block(io);
+                // Heap pages go through the pool; spill re-reads are
+                // scratch traffic and bypass it.
+                if matches!(self.phase, HPhase::Build | HPhase::Probe) {
+                    for dp in start..start + len as u64 {
+                        ctx.pool.admit_prefetched(dp)?;
+                    }
+                }
+                self.pump(ctx)?;
+            }
+            Event::IoWrite {
+                io,
+                start,
+                status,
+                attempts,
+                ..
+            } => {
+                if !self.pending_writes.remove(&io) {
+                    return Ok(());
+                }
+                if status == IoStatus::Error {
+                    return Err(io_failure("hash_join", start, attempts));
+                }
+                self.pump(ctx)?;
+            }
+            Event::Cpu(task) => {
+                let Some((t, start, len)) = self.cur_cpu else {
+                    return Ok(());
+                };
+                if t != task {
+                    return Ok(());
+                }
+                self.cur_cpu = None;
+                self.on_cpu(ctx, start, len)?;
+                self.pump(ctx)?;
+            }
+            Event::IoPage { .. } | Event::Timer { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.phase, HPhase::Done) && self.pending_writes.is_empty()
+    }
+
+    fn answer(&self) -> QueryAnswer {
+        QueryAnswer::from_acc(&self.acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuConfig;
+    use crate::engine::CpuCosts;
+    use crate::execute::{execute, PlanSpec};
+    use crate::query::{oracle, Predicate, QuerySpec};
+    use pioqo_bufpool::BufferPool;
+    use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200};
+    use pioqo_storage::{Extent, TableSpec, Tablespace};
+
+    struct Fixture {
+        left: HeapTable,
+        right: HeapTable,
+        right_index: BTreeIndex,
+        spill: Extent,
+        capacity: u64,
+    }
+
+    fn fixture(left_rows: u64, right_rows: u64, c2_max: u32) -> Fixture {
+        let lspec = TableSpec {
+            c2_max,
+            ..TableSpec::paper_table(33, left_rows, 401)
+        };
+        let rspec = TableSpec {
+            name: "T_inner".to_string(),
+            c2_max,
+            ..TableSpec::paper_table(33, right_rows, 402)
+        };
+        let mut ts = Tablespace::new(4 * (lspec.n_pages() + rspec.n_pages()) + 4000);
+        let left = HeapTable::create(lspec, &mut ts).expect("fits");
+        let right = HeapTable::create(rspec, &mut ts).expect("fits");
+        let right_index = BTreeIndex::build(
+            "inner_c2",
+            right.data().c2_entries(),
+            right.spec().page_size,
+            &mut ts,
+        )
+        .expect("fits");
+        let spill = ts
+            .alloc("join_spill", 2 * (left.n_pages() + right.n_pages()) + 64)
+            .expect("fits");
+        let capacity = ts.capacity();
+        Fixture {
+            left,
+            right,
+            right_index,
+            spill,
+            capacity,
+        }
+    }
+
+    fn join_spec<'a>(fx: &'a Fixture, plan: PlanSpec) -> QuerySpec<'a> {
+        QuerySpec::scan(&fx.left)
+            .filter(Predicate::c2_between(0, u32::MAX / 2))
+            .with_plan(plan)
+            .join(crate::query::JoinClause {
+                right: &fx.right,
+                right_index: Some(&fx.right_index),
+                spill: Some(fx.spill),
+            })
+    }
+
+    fn run(fx: &Fixture, plan: PlanSpec, ssd: bool) -> crate::metrics::ScanMetrics {
+        let mut pool = BufferPool::new(4096);
+        let q = join_spec(fx, plan);
+        if ssd {
+            let mut dev = consumer_pcie_ssd(fx.capacity, 17);
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            execute(&mut ctx, &q).expect("join runs")
+        } else {
+            let mut dev = hdd_7200(fx.capacity, 17);
+            let mut ctx = SimContext::new(
+                &mut dev,
+                &mut pool,
+                CpuConfig::paper_xeon(),
+                CpuCosts::default(),
+            );
+            execute(&mut ctx, &q).expect("join runs")
+        }
+    }
+
+    #[test]
+    fn inl_matches_oracle() {
+        let fx = fixture(3_000, 2_000, 1_000);
+        let want = oracle(&join_spec(&fx, PlanSpec::Inl(InlConfig::default())));
+        assert!(want.matched > 0, "fixture must produce joined pairs");
+        let m = run(&fx, PlanSpec::Inl(InlConfig::default()), true);
+        assert_eq!(m.max_c1, want.agg);
+        assert_eq!(m.rows_matched, want.matched);
+        assert_eq!(m.rows_examined, want.examined);
+        assert_eq!(m.fingerprint, want.fingerprint);
+    }
+
+    #[test]
+    fn hash_matches_oracle_with_and_without_spill() {
+        let fx = fixture(3_000, 2_000, 1_000);
+        let want = oracle(&join_spec(&fx, PlanSpec::Hash(HashJoinConfig::default())));
+        for partitions in [1u32, 4, 8] {
+            let m = run(
+                &fx,
+                PlanSpec::Hash(HashJoinConfig {
+                    partitions,
+                    ..HashJoinConfig::default()
+                }),
+                true,
+            );
+            assert_eq!(m.max_c1, want.agg, "P={partitions}");
+            assert_eq!(m.rows_matched, want.matched, "P={partitions}");
+            assert_eq!(m.fingerprint, want.fingerprint, "P={partitions}");
+        }
+    }
+
+    #[test]
+    fn operators_agree_with_each_other() {
+        let fx = fixture(5_000, 3_000, 500);
+        let inl = run(&fx, PlanSpec::Inl(InlConfig::default()), true);
+        let hash = run(&fx, PlanSpec::Hash(HashJoinConfig::default()), true);
+        assert_eq!(inl.max_c1, hash.max_c1);
+        assert_eq!(inl.rows_matched, hash.rows_matched);
+        assert_eq!(inl.fingerprint, hash.fingerprint);
+    }
+
+    #[test]
+    fn probe_depth_raises_queue_depth() {
+        let fx = fixture(4_000, 20_000, 2_000);
+        let shallow = run(
+            &fx,
+            PlanSpec::Inl(InlConfig {
+                probe_depth: 1,
+                ..InlConfig::default()
+            }),
+            true,
+        );
+        let deep = run(
+            &fx,
+            PlanSpec::Inl(InlConfig {
+                probe_depth: 16,
+                ..InlConfig::default()
+            }),
+            true,
+        );
+        assert_eq!(shallow.rows_matched, deep.rows_matched);
+        assert!(
+            deep.io.mean_queue_depth > shallow.io.mean_queue_depth * 2.0,
+            "probe depth should deepen the device queue: {} vs {}",
+            shallow.io.mean_queue_depth,
+            deep.io.mean_queue_depth
+        );
+        assert!(
+            deep.runtime < shallow.runtime,
+            "deep probes should finish faster on SSD: {} vs {}",
+            shallow.runtime,
+            deep.runtime
+        );
+    }
+
+    #[test]
+    fn hash_join_writes_and_rereads_spill() {
+        let fx = fixture(6_000, 6_000, 3_000);
+        let spilled = run(
+            &fx,
+            PlanSpec::Hash(HashJoinConfig {
+                partitions: 8,
+                ..HashJoinConfig::default()
+            }),
+            true,
+        );
+        assert!(
+            spilled.io.pages_written > 0,
+            "8 partitions must spill 7/8 of both inputs"
+        );
+        let memory = run(
+            &fx,
+            PlanSpec::Hash(HashJoinConfig {
+                partitions: 1,
+                ..HashJoinConfig::default()
+            }),
+            true,
+        );
+        assert_eq!(memory.io.pages_written, 0, "P=1 never spills");
+        assert_eq!(memory.rows_matched, spilled.rows_matched);
+        assert_eq!(memory.fingerprint, spilled.fingerprint);
+        assert!(
+            memory.runtime < spilled.runtime,
+            "spilling costs I/O: {} vs {}",
+            memory.runtime,
+            spilled.runtime
+        );
+    }
+
+    #[test]
+    fn hash_beats_inl_on_hdd() {
+        // Random probes on a spindle are brutal; two sequential streams
+        // plus a sequential spill round trip win easily.
+        let fx = fixture(4_000, 8_000, 1_000);
+        let inl = run(&fx, PlanSpec::Inl(InlConfig::default()), false);
+        let hash = run(&fx, PlanSpec::Hash(HashJoinConfig::default()), false);
+        assert_eq!(inl.rows_matched, hash.rows_matched);
+        assert!(
+            hash.runtime < inl.runtime,
+            "hash must beat INL on HDD: {} vs {}",
+            hash.runtime,
+            inl.runtime
+        );
+    }
+
+    #[test]
+    fn empty_outer_match_set_still_terminates() {
+        let fx = fixture(2_000, 1_000, 300);
+        let q = QuerySpec::scan(&fx.left)
+            .filter(Predicate::c2_between(1, 0)) // empty window
+            .with_plan(PlanSpec::Inl(InlConfig::default()))
+            .join(crate::query::JoinClause {
+                right: &fx.right,
+                right_index: Some(&fx.right_index),
+                spill: Some(fx.spill),
+            });
+        let mut dev = consumer_pcie_ssd(fx.capacity, 17);
+        let mut pool = BufferPool::new(4096);
+        let mut ctx = SimContext::new(
+            &mut dev,
+            &mut pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let m = execute(&mut ctx, &q).expect("join runs");
+        assert_eq!(m.rows_matched, 0);
+        assert_eq!(m.max_c1, None);
+        assert_eq!(m.rows_examined, 2_000, "outer rows still examined");
+    }
+
+    #[test]
+    fn determinism_double_run() {
+        let fx = fixture(3_000, 2_000, 1_000);
+        for plan in [
+            PlanSpec::Inl(InlConfig::default()),
+            PlanSpec::Hash(HashJoinConfig::default()),
+        ] {
+            let a = run(&fx, plan.clone(), true);
+            let b = run(&fx, plan.clone(), true);
+            assert_eq!(a.runtime, b.runtime, "{}", plan.label());
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.io.pages_read, b.io.pages_read);
+        }
+    }
+}

@@ -6,19 +6,20 @@ use pioqo_obs::HistSet;
 use pioqo_simkit::SimDuration;
 use serde::{Deserialize, Serialize};
 
-/// The result of executing the paper's query
-/// `SELECT MAX(C1) FROM T WHERE C2 BETWEEN low AND high` with one access
-/// method, plus everything the experiments report about the run.
+/// The result of executing one [`crate::query::QuerySpec`] with one
+/// physical plan, plus everything the experiments report about the run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScanMetrics {
     /// Virtual runtime of the scan (first work to last result).
     pub runtime: SimDuration,
-    /// The query answer (`None` when no row matches).
+    /// The aggregate value (`None` when no row matches or for `COUNT`).
     pub max_c1: Option<u32>,
-    /// Rows satisfying the predicate.
+    /// Rows satisfying the predicate (joined pairs for joins).
     pub rows_matched: u64,
     /// Rows the operator examined (FTS examines all; IS only matches).
     pub rows_examined: u64,
+    /// Order-independent fingerprint of the projected matching rows.
+    pub fingerprint: u64,
     /// Device-level I/O statistics for the run.
     pub io: IoProfile,
     /// Buffer-pool counters accumulated during the run.

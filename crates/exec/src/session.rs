@@ -36,8 +36,9 @@
 
 use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{Event, ExecError, IoProfile, ResilienceStats, SimContext};
-use crate::execute::{make_driver, PlanSpec, ScanInputs};
+use crate::execute::{make_driver, PlanSpec};
 use crate::fts::FtsConfig;
+use crate::query::{Predicate, QuerySpec};
 use crate::shared::{ScanHub, SharedScanStats};
 use crate::write::{WriteConfig, WriteStats, WriteSystem};
 use pioqo_bufpool::{BufferPool, PoolStats};
@@ -477,7 +478,7 @@ struct RunState {
 ///
 /// ```
 /// use pioqo_exec::{
-///     CpuConfig, CpuCosts, FixedPlanner, MultiEngine, PlanSpec, ScanInputs,
+///     CpuConfig, CpuCosts, FixedPlanner, MultiEngine, PlanSpec, QuerySpec,
 ///     SimContext, SortedIsConfig, WorkloadSpec,
 /// };
 /// use pioqo_bufpool::BufferPool;
@@ -497,7 +498,7 @@ struct RunState {
 /// );
 /// let engine = MultiEngine::new(
 ///     WorkloadSpec { sessions: 2, queries_per_session: 2, ..WorkloadSpec::default() },
-///     ScanInputs { table: &table, index: Some(&index), low: 0, high: 0 },
+///     QuerySpec::range_max(&table, Some(&index), 0, 0),
 ///     FixedPlanner { plan: PlanSpec::SortedIs(SortedIsConfig::default()) },
 /// );
 /// let report = engine.run(&mut ctx).unwrap();
@@ -505,16 +506,18 @@ struct RunState {
 /// ```
 pub struct MultiEngine<'q, P: AdmissionPlanner> {
     spec: WorkloadSpec,
-    inputs: ScanInputs<'q>,
+    base: QuerySpec<'q>,
     planner: P,
 }
 
 impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
-    /// An engine for `spec` over the given table/index, with `planner`
-    /// choosing each query's plan. The `low`/`high` fields of `inputs` are
-    /// ignored: each query's predicate comes from the spec's selectivity
-    /// cycle.
-    pub fn new(spec: WorkloadSpec, inputs: ScanInputs<'q>, planner: P) -> MultiEngine<'q, P> {
+    /// An engine for `spec` over the given base query, with `planner`
+    /// choosing each query's plan. Each query runs the base spec with its
+    /// own predicate window from the selectivity cycle: a base predicate
+    /// that is `True` or a pure `C2 BETWEEN` range is *replaced* by the
+    /// per-query window; any richer predicate tree is ANDed with it. The
+    /// base's plan field is ignored — the planner decides per query.
+    pub fn new(spec: WorkloadSpec, base: QuerySpec<'q>, planner: P) -> MultiEngine<'q, P> {
         assert!(spec.sessions >= 1, "a workload needs at least one session");
         assert!(
             !spec.selectivities.is_empty(),
@@ -522,7 +525,7 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
         );
         MultiEngine {
             spec,
-            inputs,
+            base,
             planner,
         }
     }
@@ -588,7 +591,7 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
         let mut hub: Option<ScanHub<'q>> = self
             .spec
             .shared_scans
-            .then(|| ScanHub::new(self.inputs.table, FtsConfig::default().block_pages));
+            .then(|| ScanHub::new(self.base.table, FtsConfig::default().block_pages));
 
         if let Some(w) = ws.as_deref_mut() {
             w.start(ctx);
@@ -789,7 +792,7 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
         sessions[s].issued += 1;
         let selectivity =
             self.spec.selectivities[query_index as usize % self.spec.selectivities.len()];
-        let (low, high) = range_for_selectivity(selectivity, self.inputs.table.spec().c2_max);
+        let (low, high) = range_for_selectivity(selectivity, self.base.table.spec().c2_max);
         let admission = QueryAdmission {
             session: s as u32,
             query_index,
@@ -798,8 +801,18 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             low,
             high,
         };
+        // The hub's cursor computes the pure range-MAX answer over
+        // `(low, high)`; a base query with a join, a residual predicate or
+        // a non-default aggregate cannot ride it and always runs solo.
+        let hub_eligible = self.base.join.is_none()
+            && matches!(
+                self.base.aggregate,
+                crate::query::Aggregate::Max(crate::query::Col::C1)
+            )
+            && (matches!(self.base.predicate, Predicate::True)
+                || self.base.predicate.is_pure_c2_range());
         let choice = match hub {
-            Some(_) if self.spec.shared_scans => {
+            Some(_) if self.spec.shared_scans && hub_eligible => {
                 let cursor_active = st.cursor_active;
                 self.planner
                     .admit_shared(&admission, ctx.pool, cursor_active)
@@ -859,12 +872,18 @@ impl<'q, P: AdmissionPlanner> MultiEngine<'q, P> {
             }
         }
         ctx.set_retry_policy(plan.retry().clone());
-        let inputs = ScanInputs {
-            low,
-            high,
-            ..self.inputs
+        let window = Predicate::c2_between(low, high);
+        let mut q = self.base.clone();
+        q.plan = plan;
+        q.predicate = if matches!(self.base.predicate, Predicate::True)
+            || self.base.predicate.is_pure_c2_range()
+        {
+            window
+        } else {
+            Predicate::And(vec![self.base.predicate.clone(), window])
         };
-        let mut driver = make_driver(&plan, &inputs)?;
+        let mut driver = make_driver(&q)?;
+        let plan = q.plan;
         ctx.trace_span_begin(sessions[s].track, "query");
         driver.start(ctx)?;
         let plan_label = if (st.records.len() as u64) < cap {
@@ -1058,12 +1077,7 @@ mod tests {
         );
         let engine = MultiEngine::new(
             spec,
-            ScanInputs {
-                table: &fx.0,
-                index: Some(&fx.1),
-                low: 0,
-                high: 0,
-            },
+            QuerySpec::range_max(&fx.0, Some(&fx.1), 0, 0),
             FixedPlanner { plan },
         );
         engine.run(&mut ctx).expect("workload runs")
@@ -1232,12 +1246,7 @@ mod tests {
                     queries_per_session: 2,
                     ..WorkloadSpec::default()
                 },
-                ScanInputs {
-                    table: &table,
-                    index: Some(&index),
-                    low: 0,
-                    high: 0,
-                },
+                QuerySpec::range_max(&table, Some(&index), 0, 0),
                 FixedPlanner {
                     plan: PlanSpec::Is(IsConfig::default()),
                 },

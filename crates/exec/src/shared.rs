@@ -69,6 +69,8 @@ pub struct Detached {
     pub partial_matched: u64,
     /// Rows examined over the pages seen before detaching.
     pub partial_examined: u64,
+    /// Row fingerprint (all columns projected) over the pages seen.
+    pub partial_fp: u64,
     /// Pages already delivered to this consumer.
     pub pages_seen: u64,
     /// Table page the stream must be at when the consumer reattaches.
@@ -114,6 +116,7 @@ struct PredState {
     pages_done: u64,
     max_c1: Option<u32>,
     matched: u64,
+    fp: u64,
 }
 
 /// The shared-scan hub for one heap table. See the module docs.
@@ -220,6 +223,7 @@ impl<'q> ScanHub<'q> {
             pages_done: 0,
             max_c1: None,
             matched: 0,
+            fp: 0,
         });
         self.pred_ids.insert((low, high), i);
         i
@@ -281,7 +285,7 @@ impl<'q> ScanHub<'q> {
                 let p = &self.preds[pred];
                 let attach_tick = c.finish - self.n_pages;
                 let pages_seen = self.done.saturating_sub(attach_tick).min(self.n_pages);
-                let (max, matched, examined) =
+                let (max, matched, examined, fp) =
                     self.eval_run_host(attach_tick, pages_seen, p.low, p.high);
                 Detached {
                     low: p.low,
@@ -289,6 +293,7 @@ impl<'q> ScanHub<'q> {
                     partial_max: max,
                     partial_matched: matched,
                     partial_examined: examined,
+                    partial_fp: fp,
                     pages_seen,
                     resume_page: self.page_of(attach_tick + pages_seen),
                     pages_left: self.n_pages - pages_seen,
@@ -296,12 +301,13 @@ impl<'q> ScanHub<'q> {
             }
             ConsumerKind::Resumed { det, resume_tick } => {
                 let pages_seen = self.done.saturating_sub(resume_tick).min(det.pages_left);
-                let (max, matched, examined) =
+                let (max, matched, examined, fp) =
                     self.eval_run_host(resume_tick, pages_seen, det.low, det.high);
                 Detached {
                     partial_max: merge_max(det.partial_max, max),
                     partial_matched: det.partial_matched + matched,
                     partial_examined: det.partial_examined + examined,
+                    partial_fp: det.partial_fp.wrapping_add(fp),
                     pages_seen: det.pages_seen + pages_seen,
                     resume_page: self.page_of(resume_tick + pages_seen),
                     pages_left: det.pages_left - pages_seen,
@@ -406,9 +412,10 @@ impl<'q> ScanHub<'q> {
             for t in run_start..run_start + run_len {
                 if t >= p.start_tick && p.pages_done < self.n_pages {
                     let page = t % self.n_pages;
-                    let (m, cnt, _ex) = evaluate_page(self.table, page, p.low, p.high);
+                    let (m, cnt, _ex, fp) = evaluate_page(self.table, page, p.low, p.high);
                     p.max_c1 = merge_max(p.max_c1, m);
                     p.matched += cnt;
+                    p.fp = p.fp.wrapping_add(fp);
                     p.pages_done += 1;
                 }
             }
@@ -434,15 +441,17 @@ impl<'q> ScanHub<'q> {
                             max_c1: p.max_c1,
                             rows_matched: p.matched,
                             rows_examined: total_rows,
+                            fingerprint: p.fp,
                         }
                     }
                     ConsumerKind::Resumed { det, resume_tick } => {
-                        let (max, matched, examined) =
+                        let (max, matched, examined, fp) =
                             self.eval_run_host(resume_tick, det.pages_left, det.low, det.high);
                         QueryAnswer {
                             max_c1: merge_max(det.partial_max, max),
                             rows_matched: det.partial_matched + matched,
                             rows_examined: det.partial_examined + examined,
+                            fingerprint: det.partial_fp.wrapping_add(fp),
                         }
                     }
                 };
@@ -457,17 +466,25 @@ impl<'q> ScanHub<'q> {
     /// Directly evaluate `len` circular pages starting at `tick` (detach
     /// partials and residual ranges — control-plane work, not charged to
     /// the simulated CPU).
-    fn eval_run_host(&self, tick: u64, len: u64, low: u32, high: u32) -> (Option<u32>, u64, u64) {
+    fn eval_run_host(
+        &self,
+        tick: u64,
+        len: u64,
+        low: u32,
+        high: u32,
+    ) -> (Option<u32>, u64, u64, u64) {
         let mut max = None;
         let mut matched = 0u64;
         let mut examined = 0u64;
+        let mut fp = 0u64;
         for t in tick..tick + len {
-            let (m, cnt, ex) = evaluate_page(self.table, t % self.n_pages, low, high);
+            let (m, cnt, ex, f) = evaluate_page(self.table, t % self.n_pages, low, high);
             max = merge_max(max, m);
             matched += cnt;
             examined += ex;
+            fp = fp.wrapping_add(f);
         }
-        (max, matched, examined)
+        (max, matched, examined, fp)
     }
 
     /// Keep the device window full and one evaluation task in flight.
@@ -553,6 +570,7 @@ impl<'q> ScanHub<'q> {
                 p.pages_done = 0;
                 p.max_c1 = None;
                 p.matched = 0;
+                p.fp = 0;
             }
         }
     }

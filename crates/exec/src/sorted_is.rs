@@ -21,7 +21,7 @@
 use crate::cpu::TaskId;
 use crate::driver::{QueryAnswer, QueryDriver};
 use crate::engine::{io_failure, Event, ExecError, RetryPolicy, SimContext};
-use crate::fts::merge_max;
+use crate::query::{RowAcc, RowEval};
 use pioqo_bufpool::Access;
 use pioqo_device::IoStatus;
 use pioqo_storage::{BTreeIndex, HeapTable, LeafRange};
@@ -98,6 +98,7 @@ pub struct SortedIsDriver<'q> {
     cfg: SortedIsConfig,
     table: &'q HeapTable,
     index: &'q BTreeIndex,
+    eval: RowEval,
     low: u32,
     high: u32,
     range: Option<LeafRange>,
@@ -114,25 +115,27 @@ pub struct SortedIsDriver<'q> {
     pages: Vec<(u64, Vec<u64>)>,
     f_ring: VecDeque<(u64, usize)>,
     f_next: usize,
-    max_c1: Option<u32>,
-    matched: u64,
+    acc: RowAcc,
     op_track: u32,
     finished: bool,
 }
 
 impl<'q> SortedIsDriver<'q> {
-    /// A driver for the query with a sorted index scan.
+    /// A driver evaluating `eval` with a sorted index scan: the index
+    /// covers the predicate's sarg window on `C2`, the full tree is applied
+    /// as a residual on each fetched row.
     pub fn new(
         cfg: SortedIsConfig,
         table: &'q HeapTable,
         index: &'q BTreeIndex,
-        low: u32,
-        high: u32,
+        eval: RowEval,
     ) -> SortedIsDriver<'q> {
+        let (low, high) = eval.sarg();
         SortedIsDriver {
             cfg,
             table,
             index,
+            eval,
             low,
             high,
             range: None,
@@ -150,8 +153,7 @@ impl<'q> SortedIsDriver<'q> {
             pages: Vec::new(),
             f_ring: VecDeque::new(),
             f_next: 0,
-            max_c1: None,
-            matched: 0,
+            acc: RowAcc::default(),
             op_track: 0,
             finished: false,
         }
@@ -406,8 +408,8 @@ impl<'q> SortedIsDriver<'q> {
                     let rid = self.pages[idx].1[i];
                     let (c1, c2) = self.table.row(rid);
                     debug_assert!(c2 >= self.low && c2 <= self.high);
-                    self.max_c1 = merge_max(self.max_c1, Some(c1));
-                    self.matched += 1;
+                    // Residual check beyond the sarg window.
+                    self.eval.row(c1, c2, &mut self.acc);
                 }
                 ctx.pool.unpin(dp)?;
                 self.phase = Phase::Fetch {
@@ -429,7 +431,11 @@ impl QueryDriver for SortedIsDriver<'_> {
     fn start(&mut self, ctx: &mut SimContext<'_>) -> Result<(), ExecError> {
         self.op_track = ctx.trace_track("sorted_is");
         ctx.trace_span_begin(self.op_track, "sorted_is_traverse");
-        self.range = self.index.range(self.low, self.high);
+        self.range = if self.low <= self.high {
+            self.index.range(self.low, self.high)
+        } else {
+            None // inverted sarg: the predicate matches nothing
+        };
         let probe_leaf = self.range.map_or(0, |r| r.first_leaf);
         self.path = self.index.path_to_leaf(probe_leaf);
         self.pump(ctx);
@@ -469,11 +475,7 @@ impl QueryDriver for SortedIsDriver<'_> {
     }
 
     fn answer(&self) -> QueryAnswer {
-        QueryAnswer {
-            max_c1: self.max_c1,
-            rows_matched: self.matched,
-            rows_examined: self.matched,
-        }
+        QueryAnswer::from_acc(&self.acc)
     }
 }
 
@@ -482,9 +484,10 @@ mod tests {
     use super::*;
     use crate::cpu::CpuConfig;
     use crate::engine::CpuCosts;
-    use crate::execute::{execute, PlanSpec, ScanInputs};
+    use crate::execute::{execute, PlanSpec};
     use crate::is::IsConfig;
     use crate::metrics::ScanMetrics;
+    use crate::query::QuerySpec;
     use pioqo_bufpool::BufferPool;
     use pioqo_device::presets::consumer_pcie_ssd;
     use pioqo_storage::{range_for_selectivity, TableSpec, Tablespace};
@@ -521,13 +524,7 @@ mod tests {
         );
         execute(
             &mut ctx,
-            plan,
-            &ScanInputs {
-                table: &fx.0,
-                index: Some(&fx.1),
-                low,
-                high,
-            },
+            &QuerySpec::range_max(&fx.0, Some(&fx.1), low, high).with_plan(plan.clone()),
         )
         .expect("scan runs")
     }

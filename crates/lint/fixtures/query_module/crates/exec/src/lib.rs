@@ -1,0 +1,13 @@
+//! Fixture crate root: a clean `exec` lib so the only findings in this
+//! tree come from the query module next door. Never compiled; only
+//! scanned by the lint integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod query;
+
+/// A compliant helper so the root has real (clean) code to scan.
+pub fn residual_terms(sargable: u32, total: u32) -> u32 {
+    total.saturating_sub(sargable)
+}

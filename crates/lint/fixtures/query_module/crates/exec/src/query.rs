@@ -1,0 +1,39 @@
+//! Known-bad fixture: a query layer that breaks determinism in the three
+//! ways a predicate/join module is most tempted to. The lint must treat
+//! `exec/src/query.rs` exactly like the rest of the sim crate — D1, D3
+//! and D8 all fire here. Never compiled; only scanned.
+
+use crate::model::SimRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// D3: a hash-join build table keyed by join key. `HashMap` iteration
+/// order would decide partition drain order — the row fingerprint (and
+/// any tie-broken aggregate) then depends on the hasher seed.
+pub struct BuildTable {
+    pub rows: HashMap<u32, Vec<u32>>,
+}
+
+impl BuildTable {
+    /// D3 again at the use site, plus D1: timing predicate evaluation
+    /// with the host clock to pick a pushdown strategy — plan choice
+    /// must come from the virtual cost model, not wall time.
+    pub fn drain_partitions(&mut self) -> Vec<u32> {
+        let started = Instant::now();
+        let drained: Vec<u32> = self.rows.keys().copied().collect();
+        let _ = started.elapsed();
+        drained
+    }
+}
+
+/// D8: cloning the query's RNG to jitter each spill partition — the
+/// cloned stream replays identical draws, correlating every partition's
+/// "independent" jitter.
+pub fn partition_jitter(rng: &SimRng, partitions: u32) -> Vec<u64> {
+    (0..partitions)
+        .map(|_| {
+            let twin = rng.clone();
+            twin.peek()
+        })
+        .collect()
+}

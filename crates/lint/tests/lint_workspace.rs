@@ -120,6 +120,36 @@ fn session_module_is_in_the_sim_crate_determinism_set() {
     }
 }
 
+/// The query layer (`exec/src/query.rs`, `exec/src/join.rs`) is sim-crate
+/// code like any other executor module. The fixture plants the three bugs
+/// a predicate/join layer is most tempted by — wall-clock strategy timing
+/// (D1), a hasher-ordered join build table (D3), and a cloned RNG stream
+/// jittering spill partitions (D8) — and expects all three to fire in the
+/// query module, and nowhere else in the tree.
+#[test]
+fn query_module_is_in_the_sim_crate_determinism_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("query_module");
+    let report = pioqo_lint::check_workspace(&root, &pioqo_lint::LintConfig::default())
+        .expect("query fixture scan succeeds");
+
+    for d in &report.diagnostics {
+        assert_eq!(
+            d.path, "crates/exec/src/query.rs",
+            "the clean crate root must stay silent: {d:?}"
+        );
+    }
+    let fired: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    for rule in ["D1", "D3", "D8"] {
+        assert!(
+            fired.contains(rule),
+            "{rule} must fire on the query module:\n{}",
+            report.render_table()
+        );
+    }
+}
+
 /// The write path lives in `bufpool/src/wal.rs` and `exec/src/write.rs`;
 /// both crates are in the sim-crate determinism set, so a WAL module that
 /// stamps commits with the host's wall clock must trip D1 exactly as the

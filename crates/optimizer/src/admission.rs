@@ -21,6 +21,7 @@
 
 use crate::concurrency::{QdBudget, QdLease};
 use crate::cost::QdttCost;
+use crate::join::{choose_join, join_plan_to_spec, JoinMethod, JoinStats};
 use crate::optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};
 use crate::stats::TableStats;
 use pioqo_bufpool::BufferPool;
@@ -95,10 +96,37 @@ pub struct AdmissionDecision {
     pub attached: bool,
 }
 
+/// One join admission decision, journaled separately from the scan
+/// decisions (a join chooses among join operators, not access paths).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinDecision {
+    /// The admitted session.
+    pub session: u32,
+    /// Queries of other sessions running at admission time.
+    pub active: u32,
+    /// Queue depth the lease granted this query.
+    pub lease_depth: u32,
+    /// The query's outer selectivity.
+    pub selectivity: f64,
+    /// The chosen join operator.
+    pub method: JoinMethod,
+    /// Queue depth the winning plan was costed with (≤ `lease_depth`).
+    pub queue_depth: u32,
+    /// Hash partitions (1 for INL).
+    pub partitions: u32,
+    /// Executable plan label ("INL+qd8", "HHJ8").
+    pub plan: String,
+}
+
 /// The QDTT-aware admission planner. See the module docs.
 pub struct QdttAdmission<'a> {
     table: &'a HeapTable,
     index: &'a BTreeIndex,
+    /// When set, every admission is a join against this inner table and
+    /// plan choice runs through [`choose_join`] instead of the scan
+    /// optimizer.
+    join: Option<(&'a HeapTable, &'a BTreeIndex)>,
+    join_decisions: Vec<JoinDecision>,
     model: QdttCost,
     cfg: OptimizerConfig,
     /// Per-admission working copy of `cfg` with `max_queue_depth` capped at
@@ -139,6 +167,8 @@ impl<'a> QdttAdmission<'a> {
         QdttAdmission {
             table,
             index,
+            join: None,
+            join_decisions: Vec::new(),
             model: QdttCost(model),
             cfg,
             run_cfg,
@@ -150,6 +180,25 @@ impl<'a> QdttAdmission<'a> {
             background: None,
             decisions: Vec::new(),
         }
+    }
+
+    /// Turn the planner into a join planner: every admitted query joins
+    /// the base table (as the outer side) against `right` through
+    /// `right_index`, and admission picks INL vs. hybrid hash from the
+    /// QDTT costs under the live queue-depth lease.
+    pub fn with_join(
+        mut self,
+        right: &'a HeapTable,
+        right_index: &'a BTreeIndex,
+    ) -> QdttAdmission<'a> {
+        self.join = Some((right, right_index));
+        self
+    }
+
+    /// The join admission journal, in admission order (empty unless
+    /// [`with_join`](Self::with_join) was used).
+    pub fn join_decisions(&self) -> &[JoinDecision] {
+        &self.join_decisions
     }
 
     /// True while the planner holds a lease for background writeback.
@@ -183,6 +232,34 @@ impl<'a> QdttAdmission<'a> {
 
 impl AdmissionPlanner for QdttAdmission<'_> {
     fn admit(&mut self, q: &QueryAdmission, pool: &BufferPool) -> PlanSpec {
+        if let Some((right, right_index)) = self.join {
+            let lease = self.budget.acquire();
+            let left = TableStats::gather(self.table, self.index, pool);
+            let right_stats = TableStats::gather(right, right_index, pool);
+            let js = JoinStats {
+                left: &left,
+                right: &right_stats,
+                key_cardinality: (right.spec().c2_max as u64 + 1).min(right.spec().rows),
+            };
+            let max_qd = self.cfg.max_queue_depth.min(lease.depth);
+            let plan = choose_join(&self.model, &self.cfg.est, &js, q.selectivity, max_qd);
+            let spec = join_plan_to_spec(&plan);
+            self.join_decisions.push(JoinDecision {
+                session: q.session,
+                active: q.active,
+                lease_depth: lease.depth,
+                selectivity: q.selectivity,
+                method: plan.method,
+                queue_depth: plan.queue_depth,
+                partitions: plan.partitions,
+                plan: spec.label(),
+            });
+            if let Some(stale) = self.leases.insert(q.session, lease) {
+                debug_assert!(false, "session {} admitted twice", q.session);
+                self.budget.release(stale);
+            }
+            return spec;
+        }
         let lease = self.budget.acquire();
         let stats = TableStats::gather(self.table, self.index, pool);
         self.run_cfg.max_queue_depth = self.cfg.max_queue_depth.min(lease.depth);

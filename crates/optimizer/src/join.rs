@@ -1,0 +1,483 @@
+//! QDTT-costed join planning: index-nested-loop vs. hybrid hash.
+//!
+//! The two join operators in `pioqo_exec::join` have opposite I/O
+//! profiles, which makes the choice between them exactly the kind of
+//! decision the QDTT surface D(band, depth) was built for:
+//!
+//! * **INL** issues random page reads confined to the inner table's band
+//!   at the probe queue depth — cheap precisely where QDTT says random
+//!   reads are cheap (small band, deep queue, flash).
+//! * **Hybrid hash** streams both inputs sequentially and pays a
+//!   sequential write + read round trip for the spilled `(P-1)/P`
+//!   fraction — nearly flat in queue depth and band size.
+//!
+//! So the winner flips with the device *and* with the queue-depth lease:
+//! on a spindle, hash wins almost always; on flash at depth 32, INL wins
+//! until admission pressure shrinks the lease and drags its random reads
+//! back toward serial latency. [`choose_join`] enumerates
+//! `{INL} × depths ∪ {HHJ} × partitions` under a depth cap and picks the
+//! cheapest — the concurrency experiments sweep that cap to show the
+//! crossover moving.
+
+use crate::card::{mackert_lohman_fetches, yao_pages};
+use crate::cost::{EstCpuCosts, IoCostModel};
+use crate::stats::TableStats;
+use pioqo_exec::{HashJoinConfig, InlConfig, PlanSpec};
+use serde::{Deserialize, Serialize};
+
+/// The join operators the planner chooses among.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinMethod {
+    /// Index-nested-loop: sequential outer scan + random inner probes.
+    IndexNestedLoop,
+    /// Hybrid hash: two sequential streams + a sequential spill round trip.
+    HybridHash,
+}
+
+impl std::fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinMethod::IndexNestedLoop => write!(f, "INL"),
+            JoinMethod::HybridHash => write!(f, "HHJ"),
+        }
+    }
+}
+
+/// A costed join candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinPlan {
+    /// Join operator.
+    pub method: JoinMethod,
+    /// Queue depth passed to the I/O model (probe depth for INL, ring
+    /// depth for hash).
+    pub queue_depth: u32,
+    /// Hash partitions (1 for INL, where it is meaningless).
+    pub partitions: u32,
+    /// Estimated page fetches (reads + spill writes).
+    pub est_page_fetches: f64,
+    /// Estimated I/O time, µs.
+    pub est_io_us: f64,
+    /// Estimated CPU time, µs.
+    pub est_cpu_us: f64,
+    /// Estimated total runtime, µs — what [`choose_join`] minimizes.
+    pub est_total_us: f64,
+}
+
+impl JoinPlan {
+    /// Short label matching the executor's `PlanSpec::label` family
+    /// ("INL+qd8", "HHJ8").
+    pub fn label(&self) -> String {
+        match self.method {
+            JoinMethod::IndexNestedLoop => format!("INL+qd{}", self.queue_depth),
+            JoinMethod::HybridHash => format!("HHJ{}", self.partitions),
+        }
+    }
+}
+
+/// The statistics a join costing call consumes: both sides plus the inner
+/// key cardinality (distinct `C2` values — `rows / cardinality` is the
+/// average number of inner matches per probe).
+#[derive(Debug, Clone)]
+pub struct JoinStats<'a> {
+    /// Outer (probe/left) table.
+    pub left: &'a TableStats,
+    /// Inner (build/right) table, whose `index` field is the probe target.
+    pub right: &'a TableStats,
+    /// Distinct join-key values in the inner table.
+    pub key_cardinality: u64,
+}
+
+impl JoinStats<'_> {
+    fn avg_matches(&self) -> f64 {
+        self.right.rows as f64 / self.key_cardinality.max(1) as f64
+    }
+}
+
+/// Cost an index-nested-loop join at probe queue depth `qd`, with the
+/// outer predicate retaining fraction `sel` of outer rows.
+pub fn cost_inl(
+    model: &dyn IoCostModel,
+    est: &EstCpuCosts,
+    js: &JoinStats<'_>,
+    sel: f64,
+    qd: u32,
+) -> JoinPlan {
+    let sel = sel.clamp(0.0, 1.0);
+    let probes = (sel * js.left.rows as f64).ceil();
+    let matched = probes * js.avg_matches();
+
+    // Outer stream: sequential over the left extent, cached pages skipped.
+    let outer_fetches = (js.left.pages - js.left.cached_pages) as f64;
+    let outer_io = outer_fetches * model.page_cost_us(1, qd.max(1));
+
+    // Index I/O per probe: upper levels stay hot after the first descent,
+    // so steady-state each probe fetches ~one leaf from the index band.
+    let idx = &js.right.index;
+    let leaf_fetches = probes
+        .min(idx.leaves as f64)
+        .max(if probes > 0.0 { 1.0 } else { 0.0 })
+        + idx.height.saturating_sub(1) as f64;
+    let idx_io = leaf_fetches * model.page_cost_us(idx.extent.pages.max(1), qd.max(1));
+
+    // Inner heap I/O: `matched` row lookups over the inner band — Yao
+    // distinct pages, Mackert–Lohman refetch through the shared pool,
+    // discounted by what is already cached.
+    let k = matched.ceil() as u64;
+    let distinct = yao_pages(js.right.pages, js.right.rows, k.min(js.right.rows));
+    let ml = mackert_lohman_fetches(js.right.pages, k, js.right.buffer_frames);
+    let heap_fetches = distinct.max(ml) * (1.0 - js.right.cached_fraction());
+    let heap_io = heap_fetches * model.page_cost_us(js.right.extent.pages.max(1), qd.max(1));
+
+    let io = outer_io + idx_io + heap_io;
+    let cpu = js.left.pages as f64 * est.page_us
+        + js.left.rows as f64 * est.row_scan_us
+        + probes * est.leaf_us
+        + matched * est.row_lookup_us;
+    JoinPlan {
+        method: JoinMethod::IndexNestedLoop,
+        queue_depth: qd.max(1),
+        partitions: 1,
+        est_page_fetches: outer_fetches + leaf_fetches + heap_fetches,
+        est_io_us: io,
+        est_cpu_us: cpu,
+        est_total_us: io.max(cpu),
+    }
+}
+
+/// Cost a hybrid hash join with `partitions` partitions at sequential
+/// ring depth `qd`, with the outer predicate retaining fraction `sel`.
+pub fn cost_hash(
+    model: &dyn IoCostModel,
+    est: &EstCpuCosts,
+    js: &JoinStats<'_>,
+    sel: f64,
+    partitions: u32,
+    qd: u32,
+) -> JoinPlan {
+    let sel = sel.clamp(0.0, 1.0);
+    let p = partitions.max(1) as f64;
+    let seq = |pages: f64| pages * model.page_cost_us(1, qd.max(1));
+
+    // Both inputs stream once, sequentially.
+    let base_fetches = (js.right.pages - js.right.cached_pages) as f64
+        + (js.left.pages - js.left.cached_pages) as f64;
+    // The spilled fraction of both sides is written out and read back, all
+    // sequential. Only predicate-surviving outer rows spill.
+    let spill_frac = (p - 1.0) / p;
+    let spill_pages = spill_frac * (js.right.pages as f64 + sel * js.left.pages as f64);
+    let io = seq(base_fetches) + 2.0 * seq(spill_pages);
+
+    let probes = sel * js.left.rows as f64;
+    let cpu = (js.right.pages as f64 + js.left.pages as f64) * est.page_us
+        + (js.right.rows as f64 + js.left.rows as f64) * est.row_scan_us
+        + probes * est.row_lookup_us
+        // Spilled rows are hashed twice (once out, once back in).
+        + spill_frac * (js.right.rows as f64 * est.row_scan_us + probes * est.row_lookup_us);
+    JoinPlan {
+        method: JoinMethod::HybridHash,
+        queue_depth: qd.max(1),
+        partitions: partitions.max(1),
+        est_page_fetches: base_fetches + 2.0 * spill_pages,
+        est_io_us: io,
+        est_cpu_us: cpu,
+        est_total_us: io.max(cpu),
+    }
+}
+
+/// The smallest partition count whose in-memory partition 0 of the inner
+/// table fits in a quarter of the buffer pool (so the "hybrid" part is
+/// honest about memory).
+pub fn min_feasible_partitions(js: &JoinStats<'_>) -> u32 {
+    let mem_rows = (js.right.buffer_frames * js.right.rows_per_page as u64 / 4).max(1);
+    let mut p = 1u32;
+    while p < 64 && js.right.rows.div_ceil(p as u64) > mem_rows {
+        p *= 2;
+    }
+    p
+}
+
+/// Enumerate every join candidate under a queue-depth cap: INL at each
+/// power-of-two probe depth up to `max_qd`, hash at each feasible
+/// power-of-two partition count up to 16× the minimum.
+pub fn enumerate_joins(
+    model: &dyn IoCostModel,
+    est: &EstCpuCosts,
+    js: &JoinStats<'_>,
+    sel: f64,
+    max_qd: u32,
+) -> Vec<JoinPlan> {
+    let max_qd = max_qd.max(1);
+    let mut plans = Vec::new();
+    let mut qd = 1u32;
+    loop {
+        plans.push(cost_inl(model, est, js, sel, qd));
+        if qd >= max_qd {
+            break;
+        }
+        qd = (qd * 2).min(max_qd);
+    }
+    let p0 = min_feasible_partitions(js);
+    let mut p = p0;
+    while p <= p0 * 16 && p <= 64 {
+        plans.push(cost_hash(model, est, js, sel, p, max_qd.min(8)));
+        p *= 2;
+    }
+    plans
+}
+
+/// Pick the cheapest join plan under the queue-depth cap (the admission
+/// lease, under concurrency).
+pub fn choose_join(
+    model: &dyn IoCostModel,
+    est: &EstCpuCosts,
+    js: &JoinStats<'_>,
+    sel: f64,
+    max_qd: u32,
+) -> JoinPlan {
+    enumerate_joins(model, est, js, sel, max_qd)
+        .into_iter()
+        .min_by(|a, b| {
+            a.est_total_us
+                .partial_cmp(&b.est_total_us)
+                .expect("finite costs")
+        })
+        .expect("at least one join plan")
+}
+
+/// Lower a costed [`JoinPlan`] to the executor's [`PlanSpec`].
+pub fn join_plan_to_spec(plan: &JoinPlan) -> PlanSpec {
+    match plan.method {
+        JoinMethod::IndexNestedLoop => PlanSpec::Inl(InlConfig {
+            probe_depth: plan.queue_depth.max(1),
+            ..InlConfig::default()
+        }),
+        JoinMethod::HybridHash => PlanSpec::Hash(HashJoinConfig {
+            partitions: plan.partitions.max(1),
+            io_depth: plan.queue_depth.max(1),
+            ..HashJoinConfig::default()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QdttCost;
+    use crate::stats::IndexStats;
+    use pioqo_core::Qdtt;
+    use pioqo_storage::Extent;
+
+    fn stats(pages: u64, rpp: u32, base: u64, buffer: u64) -> TableStats {
+        let rows = pages * rpp as u64;
+        let leaves = rows.div_ceil(338);
+        TableStats {
+            pages,
+            rows,
+            rows_per_page: rpp,
+            page_size: 4096,
+            extent: Extent { base, pages },
+            cached_pages: 0,
+            buffer_frames: buffer,
+            index: IndexStats {
+                leaves,
+                height: 3,
+                leaf_fanout: 338,
+                extent: Extent {
+                    base: base + pages,
+                    pages: leaves + 4,
+                },
+                cached_pages: 0,
+            },
+        }
+    }
+
+    /// Flash-like surface: sequential (band 1) reads are cheap at any
+    /// depth; random reads start ~4–5× dearer but deep queues close most
+    /// of the gap (what makes INL viable at all). The 4096-page knot makes
+    /// the band axis saturate like a calibrated device instead of
+    /// interpolating linearly across the whole capacity.
+    fn ssd_model() -> QdttCost {
+        QdttCost(Qdtt::new(
+            vec![1, 4096, 1 << 20],
+            vec![1, 2, 4, 8, 16, 32],
+            vec![
+                20.0, 80.0, 90.0, //
+                10.0, 40.0, 45.0, //
+                5.0, 20.0, 23.0, //
+                2.5, 10.0, 12.0, //
+                1.5, 5.0, 6.0, //
+                1.0, 2.5, 3.0,
+            ],
+        ))
+    }
+
+    /// Spindle-like surface: depth buys nothing, random (large band) reads
+    /// are ~30× sequential.
+    fn hdd_model() -> QdttCost {
+        QdttCost(Qdtt::new(
+            vec![1, 4096, 1 << 20],
+            vec![1, 32],
+            vec![300.0, 7000.0, 9000.0, 290.0, 6800.0, 8700.0],
+        ))
+    }
+
+    #[test]
+    fn choose_matches_brute_force_sweep() {
+        // The oracle: cost every (method, qd, partitions) point directly
+        // and take the argmin; `choose_join` must agree.
+        let left = stats(30_000, 33, 0, 16_384);
+        let right = stats(10_000, 33, 40_000, 16_384);
+        let est = EstCpuCosts::default();
+        for model in [ssd_model(), hdd_model()] {
+            for sel in [0.001, 0.05, 0.5] {
+                for max_qd in [1u32, 4, 32] {
+                    let js = JoinStats {
+                        left: &left,
+                        right: &right,
+                        key_cardinality: 50_000,
+                    };
+                    let mut best: Option<JoinPlan> = None;
+                    let mut qd = 1;
+                    loop {
+                        let p = cost_inl(&model, &est, &js, sel, qd);
+                        if best
+                            .as_ref()
+                            .is_none_or(|b| p.est_total_us < b.est_total_us)
+                        {
+                            best = Some(p);
+                        }
+                        if qd >= max_qd {
+                            break;
+                        }
+                        qd = (qd * 2).min(max_qd);
+                    }
+                    let p0 = min_feasible_partitions(&js);
+                    let mut parts = p0;
+                    while parts <= p0 * 16 && parts <= 64 {
+                        let p = cost_hash(&model, &est, &js, sel, parts, max_qd.min(8));
+                        if best
+                            .as_ref()
+                            .is_none_or(|b| p.est_total_us < b.est_total_us)
+                        {
+                            best = Some(p);
+                        }
+                        parts *= 2;
+                    }
+                    let want = best.expect("non-empty sweep");
+                    let got = choose_join(&model, &est, &js, sel, max_qd);
+                    assert_eq!(got.label(), want.label(), "sel={sel} max_qd={max_qd}");
+                    assert_eq!(got.est_total_us, want.est_total_us);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_wins_on_spindles_inl_wins_on_deep_flash() {
+        let left = stats(30_000, 33, 0, 16_384);
+        let right = stats(10_000, 33, 40_000, 16_384);
+        let est = EstCpuCosts::default();
+        // Low-selectivity probe workload: few probes, INL's natural home.
+        let js = JoinStats {
+            left: &left,
+            right: &right,
+            key_cardinality: 300_000,
+        };
+        let hdd = hdd_model();
+        let ssd = ssd_model();
+        assert_eq!(
+            choose_join(&hdd, &est, &js, 0.01, 32).method,
+            JoinMethod::HybridHash,
+            "random probes on a spindle must lose"
+        );
+        assert_eq!(
+            choose_join(&ssd, &est, &js, 0.01, 32).method,
+            JoinMethod::IndexNestedLoop,
+            "deep-queue flash probes must win at low selectivity"
+        );
+    }
+
+    #[test]
+    fn shrinking_lease_flips_inl_to_hash() {
+        // The concurrency story: at full depth INL wins on flash; as the
+        // admission lease shrinks the probe stream loses its parallelism
+        // and the sequential hash join takes over.
+        let left = stats(30_000, 33, 0, 16_384);
+        let right = stats(10_000, 33, 40_000, 16_384);
+        let est = EstCpuCosts::default();
+        let js = JoinStats {
+            left: &left,
+            right: &right,
+            key_cardinality: 300_000,
+        };
+        let ssd = ssd_model();
+        let sel = 0.02;
+        let deep = choose_join(&ssd, &est, &js, sel, 32);
+        let shallow = choose_join(&ssd, &est, &js, sel, 1);
+        assert_eq!(deep.method, JoinMethod::IndexNestedLoop, "{deep:?}");
+        assert_eq!(shallow.method, JoinMethod::HybridHash, "{shallow:?}");
+    }
+
+    #[test]
+    fn selectivity_sweep_crosses_over_on_flash() {
+        let left = stats(30_000, 33, 0, 16_384);
+        let right = stats(10_000, 33, 40_000, 16_384);
+        let est = EstCpuCosts::default();
+        let js = JoinStats {
+            left: &left,
+            right: &right,
+            key_cardinality: 300_000,
+        };
+        let ssd = ssd_model();
+        let lo = choose_join(&ssd, &est, &js, 0.001, 32);
+        let hi = choose_join(&ssd, &est, &js, 0.9, 32);
+        assert_eq!(lo.method, JoinMethod::IndexNestedLoop);
+        assert_eq!(
+            hi.method,
+            JoinMethod::HybridHash,
+            "probing every outer row must lose to a hash"
+        );
+    }
+
+    #[test]
+    fn partition_count_respects_memory() {
+        let right_small = stats(100, 33, 0, 16_384);
+        let right_big = stats(200_000, 33, 0, 1_000);
+        let left = stats(1_000, 33, 300_000, 1_000);
+        let js_small = JoinStats {
+            left: &left,
+            right: &right_small,
+            key_cardinality: 1_000,
+        };
+        let js_big = JoinStats {
+            left: &left,
+            right: &right_big,
+            key_cardinality: 1_000_000,
+        };
+        assert_eq!(min_feasible_partitions(&js_small), 1);
+        assert!(min_feasible_partitions(&js_big) > 1);
+    }
+
+    #[test]
+    fn lowering_preserves_depth_and_partitions() {
+        let left = stats(1_000, 33, 0, 4_096);
+        let right = stats(1_000, 33, 2_000, 4_096);
+        let est = EstCpuCosts::default();
+        let js = JoinStats {
+            left: &left,
+            right: &right,
+            key_cardinality: 10_000,
+        };
+        let plan = choose_join(&ssd_model(), &est, &js, 0.01, 16);
+        match (&plan.method, join_plan_to_spec(&plan)) {
+            (JoinMethod::IndexNestedLoop, PlanSpec::Inl(c)) => {
+                assert_eq!(c.probe_depth, plan.queue_depth)
+            }
+            (JoinMethod::HybridHash, PlanSpec::Hash(c)) => {
+                assert_eq!(c.partitions, plan.partitions);
+                assert_eq!(c.io_depth, plan.queue_depth);
+            }
+            (m, s) => panic!("method {m:?} lowered to mismatched spec {s:?}"),
+        }
+    }
+}

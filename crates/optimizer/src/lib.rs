@@ -15,7 +15,10 @@
 //!   concurrent queries;
 //! * [`QdttAdmission`] — the admission planner plugging that budget into
 //!   the executor's concurrent multi-query engine: each admitted query is
-//!   re-optimized with its queue-depth lease as the cap.
+//!   re-optimized with its queue-depth lease as the cap;
+//! * [`join`] — QDTT-costed join planning: index-nested-loop (random
+//!   probes, wants deep queues) vs. hybrid hash (sequential partitioned
+//!   I/O), chosen per device and per queue-depth lease.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,11 +27,16 @@ pub mod admission;
 pub mod card;
 pub mod concurrency;
 pub mod cost;
+pub mod join;
 pub mod optimizer;
 pub mod stats;
 
-pub use admission::{plan_to_spec, AdmissionDecision, QdttAdmission};
+pub use admission::{plan_to_spec, AdmissionDecision, JoinDecision, QdttAdmission};
 pub use concurrency::{QdBudget, QdLease};
 pub use cost::{DttCost, EstCpuCosts, IoCostModel, QdttCost};
+pub use join::{
+    choose_join, cost_hash, cost_inl, enumerate_joins, join_plan_to_spec, JoinMethod, JoinPlan,
+    JoinStats,
+};
 pub use optimizer::{AccessMethod, Optimizer, OptimizerConfig, Plan};
 pub use stats::{IndexStats, TableStats};

@@ -45,8 +45,8 @@ use pioqo_bufpool::BufferPool;
 use pioqo_core::{CalibrationConfig, Calibrator, Qdtt};
 use pioqo_device::{presets, DeviceModel};
 use pioqo_exec::{
-    execute, CpuConfig, CpuCosts, ExecError, MultiEngine, PlanSpec, ScanInputs, ScanMetrics,
-    SimContext, WorkloadReport, WorkloadSpec,
+    execute, Aggregate, Col, CpuConfig, CpuCosts, ExecError, MultiEngine, PlanSpec, Predicate,
+    Projection, QuerySpec, ScanMetrics, SimContext, WorkloadReport, WorkloadSpec,
 };
 use pioqo_obs::TraceSink;
 use pioqo_optimizer::{
@@ -234,12 +234,6 @@ impl Db {
         }
     }
 
-    /// Create the database from an explicit config struct.
-    #[deprecated(since = "0.6.0", note = "use `Db::builder()` instead")]
-    pub fn create(cfg: DbConfig) -> Db {
-        Db::from_config(cfg)
-    }
-
     fn from_config(cfg: DbConfig) -> Db {
         let spec = TableSpec::paper_table(cfg.rows_per_page, cfg.rows, cfg.seed);
         let est_index = cfg.rows.div_ceil(300) + 64;
@@ -331,6 +325,34 @@ impl Db {
             .expect("budget was stored on the line above")
     }
 
+    /// Start a fluent query over the table: chain [`QueryBuilder::filter`]
+    /// and [`QueryBuilder::project`], then finish with
+    /// [`QueryBuilder::max`] or [`QueryBuilder::count`]. The sarg of the
+    /// predicate tree drives the optimizer's selectivity estimate, so the
+    /// plan is still chosen by the calibrated cost model.
+    ///
+    /// ```
+    /// use pioqo::db::Db;
+    /// use pioqo::exec::{Col, Predicate};
+    ///
+    /// let mut db = Db::builder().rows(20_000).seed(7).build();
+    /// db.calibrate();
+    /// let out = db
+    ///     .query()
+    ///     .filter(Predicate::c2_between(0, 1 << 30))
+    ///     .project(vec![Col::C1])
+    ///     .max(Col::C1)
+    ///     .expect("query runs");
+    /// assert_eq!(out.value, db.oracle_max_between(0, 1 << 30));
+    /// ```
+    pub fn query(&mut self) -> QueryBuilder<'_> {
+        QueryBuilder {
+            db: self,
+            predicate: Predicate::True,
+            projection: Projection::All,
+        }
+    }
+
     /// Plan `SELECT MAX(C1) WHERE C2 BETWEEN low AND high` without
     /// executing it. Uses the QDTT model if calibrated, else a pessimistic
     /// DTT-at-depth-1 fallback.
@@ -400,13 +422,9 @@ impl Db {
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
         );
-        let inputs = ScanInputs {
-            table: &self.table,
-            index: Some(&self.index),
-            low,
-            high,
-        };
-        execute(&mut ctx, spec, &inputs)
+        let q =
+            QuerySpec::range_max(&self.table, Some(&self.index), low, high).with_plan(spec.clone());
+        execute(&mut ctx, &q)
     }
 
     /// Run a concurrent closed-loop workload on the shared event loop: N
@@ -441,12 +459,7 @@ impl Db {
         }
         let model = self.model.clone().expect("calibrated on the lines above");
         let mut planner = QdttAdmission::new(&self.table, &self.index, model, self.opt_cfg.clone());
-        let inputs = ScanInputs {
-            table: &self.table,
-            index: Some(&self.index),
-            low: 0,
-            high: 0,
-        };
+        let base = QuerySpec::range_max(&self.table, Some(&self.index), 0, 0);
         let mut ctx = SimContext::new(
             &mut *self.device,
             &mut self.pool,
@@ -456,7 +469,7 @@ impl Db {
         if let Some(sink) = sink {
             ctx.set_trace_sink(sink);
         }
-        let report = MultiEngine::new(spec, inputs, &mut planner).run(&mut ctx)?;
+        let report = MultiEngine::new(spec, base, &mut planner).run(&mut ctx)?;
         drop(ctx);
         let cursor_leases = planner.cursor_leases().to_vec();
         Ok(WorkloadOutput {
@@ -489,6 +502,83 @@ impl Db {
     /// The calibrated model, if any.
     pub fn model(&self) -> Option<&Qdtt> {
         self.model.as_ref()
+    }
+}
+
+/// A fluent single-query builder over the database's table, obtained from
+/// [`Db::query`]. Filters AND together; the projection defaults to all
+/// columns; the finisher picks the aggregate and runs the query through
+/// the cost-based optimizer on the live device and (warm) pool.
+#[must_use = "the builder does nothing until .max()/.count() is called"]
+pub struct QueryBuilder<'d> {
+    db: &'d mut Db,
+    predicate: Predicate,
+    projection: Projection,
+}
+
+impl<'d> QueryBuilder<'d> {
+    /// AND `pred` onto the query's predicate tree.
+    pub fn filter(mut self, pred: Predicate) -> QueryBuilder<'d> {
+        self.predicate = match self.predicate {
+            Predicate::True => pred,
+            Predicate::And(mut ps) => {
+                ps.push(pred);
+                Predicate::And(ps)
+            }
+            p => Predicate::And(vec![p, pred]),
+        };
+        self
+    }
+
+    /// Project only `cols` (affects the result fingerprint; the aggregate
+    /// is computed regardless).
+    pub fn project(mut self, cols: Vec<Col>) -> QueryBuilder<'d> {
+        self.projection = Projection::Cols(cols);
+        self
+    }
+
+    /// Run `SELECT MAX(col)` over the qualifying rows.
+    pub fn max(self, col: Col) -> Result<QueryOutput, ExecError> {
+        self.run(Aggregate::Max(col))
+    }
+
+    /// Run `SELECT COUNT(*)` over the qualifying rows: the row count comes
+    /// back in `metrics.rows_matched` (and `value` is `None`).
+    pub fn count(self) -> Result<QueryOutput, ExecError> {
+        self.run(Aggregate::Count)
+    }
+
+    fn run(self, aggregate: Aggregate) -> Result<QueryOutput, ExecError> {
+        let QueryBuilder {
+            db,
+            predicate,
+            projection,
+        } = self;
+        // The optimizer sees the predicate through its C2 sarg: residual
+        // (non-sargable) terms narrow the answer but not the page set, so
+        // costing on the sarg window is exactly right for these operators.
+        let (low, high) = predicate.sarg();
+        let (plan, plan_name) = db.explain_capped(low, high, db.opt_cfg.max_queue_depth);
+        let spec = plan_to_spec(&plan, &db.opt_cfg);
+        let mut q = QuerySpec::scan(&db.table)
+            .with_index(&db.index)
+            .with_plan(spec)
+            .aggregate(aggregate);
+        q.predicate = predicate;
+        q.projection = projection;
+        let mut ctx = SimContext::new(
+            &mut *db.device,
+            &mut db.pool,
+            CpuConfig::paper_xeon(),
+            CpuCosts::default(),
+        );
+        let metrics = execute(&mut ctx, &q)?;
+        Ok(QueryOutput {
+            value: metrics.max_c1,
+            plan,
+            plan_name,
+            metrics,
+        })
     }
 }
 
@@ -588,21 +678,48 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_create_still_builds_the_same_db() {
-        let mut a = Db::create(DbConfig {
-            storage: StorageKind::Ssd,
-            buffer_mb: 8,
-            rows: 30_000,
-            rows_per_page: 33,
-            seed: 77,
-        });
-        let mut b = small_db(StorageKind::Ssd);
+    fn query_builder_matches_range_max_and_oracle() {
+        let mut db = small_db(StorageKind::Ssd);
+        db.calibrate();
         let (lo, hi) = range_for_selectivity(0.05, u32::MAX - 1);
-        let oa = a.query_max_between(lo, hi).expect("runs");
-        let ob = b.query_max_between(lo, hi).expect("runs");
-        assert_eq!(oa.value, ob.value);
-        assert_eq!(oa.metrics.runtime, ob.metrics.runtime);
+        let out = db
+            .query()
+            .filter(Predicate::c2_between(lo, hi))
+            .max(Col::C1)
+            .expect("runs");
+        assert_eq!(out.value, db.oracle_max_between(lo, hi));
+        db.flush_pool();
+        let cnt = db
+            .query()
+            .filter(Predicate::c2_between(lo, hi))
+            .count()
+            .expect("runs");
+        assert_eq!(cnt.value, None, "COUNT has no MAX payload");
+        assert_eq!(cnt.metrics.rows_matched, out.metrics.rows_matched);
+    }
+
+    #[test]
+    fn query_builder_handles_residual_predicates() {
+        use pioqo_exec::{oracle, CmpOp};
+        let mut db = small_db(StorageKind::Ssd);
+        db.calibrate();
+        let pred = Predicate::And(vec![
+            Predicate::c2_between(0, u32::MAX / 2),
+            Predicate::Cmp {
+                col: Col::C1,
+                op: CmpOp::Ge,
+                value: 1 << 20,
+            },
+        ]);
+        let out = db
+            .query()
+            .filter(pred.clone())
+            .project(vec![Col::C1])
+            .max(Col::C1)
+            .expect("runs");
+        let acc = oracle(&QuerySpec::scan(db.table()).filter(pred));
+        assert_eq!(out.value, acc.agg);
+        assert_eq!(out.metrics.rows_matched, acc.matched);
     }
 
     #[test]

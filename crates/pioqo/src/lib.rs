@@ -57,15 +57,16 @@ pub mod prelude {
         IoRequest, IoStatus, MediaStore, Raid, Ssd, Traced,
     };
     pub use pioqo_exec::{
-        drive_writes, execute, recover, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig,
-        MultiEngine, PlanSpec, RecoveryStats, ResilienceStats, RetryPolicy, ScanInputs,
+        drive_writes, execute, oracle, recover, Aggregate, CmpOp, Col, CpuConfig, CpuCosts,
+        ExecError, FtsConfig, HashJoinConfig, InlConfig, IsConfig, JoinClause, MultiEngine,
+        PlanSpec, Predicate, Projection, QuerySpec, RecoveryStats, ResilienceStats, RetryPolicy,
         ScanMetrics, SimContext, SortedIsConfig, ThinkTime, WorkloadReport, WorkloadSpec,
         WriteConfig, WriteStats, WriteSystem,
     };
     pub use pioqo_obs::{HistSet, Histogram, NullSink, RingSink, TraceSink};
     pub use pioqo_optimizer::{
-        plan_to_spec, AccessMethod, DttCost, Optimizer, OptimizerConfig, Plan, QdBudget,
-        QdttAdmission, QdttCost, TableStats,
+        choose_join, plan_to_spec, AccessMethod, DttCost, JoinDecision, JoinMethod, JoinPlan,
+        JoinStats, Optimizer, OptimizerConfig, Plan, QdBudget, QdttAdmission, QdttCost, TableStats,
     };
     pub use pioqo_simkit::{SimDuration, SimRng, SimTime};
     pub use pioqo_storage::{BTreeIndex, HeapTable, TableSpec, Tablespace};

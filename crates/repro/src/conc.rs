@@ -9,8 +9,9 @@ use pioqo_exec::WriteConfig;
 use pioqo_optimizer::OptimizerConfig;
 use pioqo_simkit::SimDuration;
 use pioqo_workload::{
-    concurrency_grid, grid_csv, interference_csv, interference_sweep, session_export,
-    session_scale_csv, session_scale_sweep, ConcurrencyConfig, DeviceKind, SessionScaleConfig,
+    concurrency_grid, grid_csv, interference_csv, interference_sweep, join_grid, join_grid_csv,
+    session_export, session_scale_csv, session_scale_sweep, ConcurrencyConfig, DeviceKind,
+    JoinGridConfig, SessionScaleConfig,
 };
 
 fn grid_config(opts: Opts, seed: u64) -> ConcurrencyConfig {
@@ -79,6 +80,82 @@ pub fn concurrency(opts: Opts, seed: u64) {
     }
     let path = dir.join(format!("concurrency_grid{}.csv", opts.suffix()));
     match std::fs::write(&path, grid_csv(&cells)) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run the join-crossover grid: devices ∈ {HDD, SSD, RAID8} × sessions ∈
+/// {1, 4, 16}. Each cell costs index-nested-loop and hybrid-hash under
+/// the cell's queue-depth lease, picks the cheaper, then executes both to
+/// validate the pick. Prints a digest and writes `join_crossover*.csv`.
+pub fn joins(opts: Opts, seed: u64) {
+    let mut cfg = JoinGridConfig {
+        seed,
+        ..JoinGridConfig::default()
+    };
+    if opts.scale > 1 {
+        cfg.left_rows = (cfg.left_rows / opts.scale).max(2_000);
+        cfg.right_rows = (cfg.right_rows / opts.scale).max(1_000);
+    }
+    let devices = [DeviceKind::Hdd, DeviceKind::Ssd, DeviceKind::Raid8];
+    eprintln!(
+        "[joins] {}x{} rows, sessions {:?}, sel {} ...",
+        cfg.left_rows, cfg.right_rows, cfg.session_counts, cfg.selectivity
+    );
+    let threads = pioqo_simkit::par::thread_count();
+    let cells = match join_grid(&devices, &cfg, threads) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: join grid failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = TextTable::new(
+        "Extension — QDTT-costed joins: INL vs hybrid hash per device and lease",
+        &[
+            "device",
+            "sessions",
+            "lease qd",
+            "INL est (us)",
+            "HHJ est (us)",
+            "chosen",
+            "INL run (us)",
+            "HHJ run (us)",
+            "agree",
+        ],
+    );
+    for c in &cells {
+        t.row(vec![
+            c.device.clone(),
+            c.sessions.to_string(),
+            c.lease_depth.to_string(),
+            f2(c.inl_est_us),
+            f2(c.hash_est_us),
+            c.chosen.clone(),
+            f2(c.inl_run_us),
+            f2(c.hash_run_us),
+            c.agree.to_string(),
+        ]);
+        if !c.answers_match {
+            eprintln!(
+                "error: {}/{} sessions: join operators disagree on the answer",
+                c.device, c.sessions
+            );
+            std::process::exit(1);
+        }
+    }
+    t.print();
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("join_crossover{}.csv", opts.suffix()));
+    match std::fs::write(&path, join_grid_csv(&cells)) {
         Ok(()) => println!("[csv] {}", path.display()),
         Err(e) => {
             eprintln!("error: cannot write {}: {e}", path.display());

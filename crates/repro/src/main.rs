@@ -32,7 +32,10 @@
 //! DIR. Profile output is wall-clock and therefore NOT deterministic.
 //! `--concurrency` runs the multi-session grid (sessions ∈ {1,2,4,8,16}
 //! per device) under QDTT-aware admission control and writes
-//! `concurrency_grid*.csv`; `--interference` runs the scan-vs-checkpoint
+//! `concurrency_grid*.csv`; `--joins` runs the join-crossover grid
+//! (devices × open sessions): both join methods costed under the cell's
+//! queue-depth lease, the pick validated by executing both, written to
+//! `join_crossover*.csv`; `--interference` runs the scan-vs-checkpoint
 //! interference sweep (scan p99 with the background flusher off vs on at
 //! 1/4/16 sessions) and writes `interference*.csv`; `--session-scale`
 //! runs the 1K/10K-session overlapping-scan sweep with the cooperative
@@ -61,6 +64,7 @@ fn main() {
     let mut metrics_seed: u64 = 0;
     let mut profile_dir: Option<String> = None;
     let mut run_concurrency = false;
+    let mut run_joins = false;
     let mut run_interference = false;
     let mut run_session_scale = false;
     let mut session_dir: Option<String> = None;
@@ -98,6 +102,7 @@ fn main() {
                 None => usage("--profile needs an output directory"),
             },
             "--concurrency" => run_concurrency = true,
+            "--joins" => run_joins = true,
             "--interference" => run_interference = true,
             "--session-scale" => run_session_scale = true,
             "--session-export" => match args.next() {
@@ -116,6 +121,7 @@ fn main() {
         && trace_dir.is_none()
         && metrics_dir.is_none()
         && !run_concurrency
+        && !run_joins
         && !run_interference
         && !run_session_scale
         && session_dir.is_none()
@@ -144,6 +150,9 @@ fn main() {
     }
     if run_concurrency {
         conc::concurrency(opts, conc_seed);
+    }
+    if run_joins {
+        conc::joins(opts, conc_seed);
     }
     if run_interference {
         conc::interference(opts, conc_seed);
@@ -335,7 +344,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale N] [--reps N] [--buffer-mb N] [--threads N] \
          [--trace DIR] [--trace-seed N] [--metrics DIR] [--metrics-seed N] \
-         [--profile DIR] [--concurrency] [--interference] \
+         [--profile DIR] [--concurrency] [--joins] [--interference] \
          [--session-scale] [--session-export DIR] [--conc-seed N] <target>...\n\
          targets: fig1 table1 fig4 table2 table3 fig5 fig6 fig7 fig8 \
          fig9 fig10 fig11 fig12 ablation concurrency accuracy all"

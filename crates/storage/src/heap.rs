@@ -27,6 +27,11 @@ impl HeapTable {
         &self.spec
     }
 
+    /// The table's typed row schema (`C1 u32, C2 u32` for paper tables).
+    pub fn schema(&self) -> crate::schema::Schema {
+        crate::schema::Schema::paper()
+    }
+
     /// The table's column data (also the oracle for result checking).
     pub fn data(&self) -> &ColumnData {
         &self.data

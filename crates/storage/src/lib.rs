@@ -18,6 +18,7 @@ pub mod btree;
 pub mod gen;
 pub mod heap;
 pub mod page;
+pub mod schema;
 pub mod spec;
 pub mod tablespace;
 
@@ -25,5 +26,6 @@ pub use btree::{BTreeIndex, LeafRange};
 pub use gen::{range_for_selectivity, selectivity_of_range, ColumnData};
 pub use heap::HeapTable;
 pub use page::{decode_heap_page, encode_heap_page, HeapPage, PageCodecError, PageKind};
+pub use schema::{ColumnDef, ColumnType, Schema};
 pub use spec::{TableSpec, PAGE_HEADER_BYTES};
 pub use tablespace::{Extent, Tablespace, TablespaceError};

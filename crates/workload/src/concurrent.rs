@@ -19,12 +19,12 @@ use crate::experiments::{DeviceKind, Experiment, ExperimentConfig};
 use crate::opteval::calibrate;
 use pioqo_core::Qdtt;
 use pioqo_exec::{
-    CpuConfig, CpuCosts, ExecError, MultiEngine, ScanInputs, SimContext, ThinkTime, WorkloadReport,
+    CpuConfig, CpuCosts, ExecError, MultiEngine, QuerySpec, SimContext, ThinkTime, WorkloadReport,
     WorkloadSpec,
 };
 use pioqo_obs::{RingSink, TraceSink};
 use pioqo_optimizer::{AdmissionDecision, OptimizerConfig, QdttAdmission};
-use pioqo_simkit::par::par_map_threads;
+use pioqo_simkit::par::par_map_weighted_threads;
 use pioqo_simkit::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -126,12 +126,7 @@ pub fn run_cell_traced(
         model.clone(),
         opt_cfg.clone(),
     );
-    let inputs = ScanInputs {
-        table: exp.dataset.table(),
-        index: Some(exp.dataset.index()),
-        low: 0,
-        high: 0,
-    };
+    let base = QuerySpec::range_max(exp.dataset.table(), Some(exp.dataset.index()), 0, 0);
     let mut ctx = SimContext::new(
         &mut *device,
         &mut pool,
@@ -139,7 +134,7 @@ pub fn run_cell_traced(
         CpuCosts::default(),
     );
     ctx.set_trace_sink(trace);
-    let report = MultiEngine::new(spec, inputs, &mut planner).run(&mut ctx)?;
+    let report = MultiEngine::new(spec, base, &mut planner).run(&mut ctx)?;
     drop(ctx);
     Ok((report, planner.into_decisions()))
 }
@@ -267,10 +262,14 @@ pub fn concurrency_grid(
     let cells: Vec<(usize, u32)> = (0..fixtures.len())
         .flat_map(|d| cfg.session_counts.iter().map(move |&s| (d, s)))
         .collect();
-    let results = par_map_threads(
+    // Cell cost grows with the session count, so LPT placement by
+    // `sessions` keeps the 16-session stragglers off one worker's tail;
+    // the weights change scheduling only, never the bytes.
+    let results = par_map_weighted_threads(
         threads,
         cfg.seed ^ 0xC0C0,
         &cells,
+        |&(_, sessions)| u64::from(sessions),
         |_rng, &(d, sessions)| {
             let (device, exp, model) = &fixtures[d];
             let (report, admissions) = run_cell(exp, model, opt_cfg, cfg.workload(sessions))?;

@@ -12,8 +12,8 @@ use pioqo_bufpool::BufferPool;
 use pioqo_device::presets::{consumer_pcie_ssd, hdd_7200, raid_15k, PAGE_SIZE};
 use pioqo_device::DeviceModel;
 use pioqo_exec::{
-    execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, PlanSpec, ScanInputs,
-    ScanMetrics, SimContext, SortedIsConfig,
+    execute, CpuConfig, CpuCosts, ExecError, FtsConfig, IsConfig, PlanSpec, QuerySpec, ScanMetrics,
+    SimContext, SortedIsConfig,
 };
 use pioqo_obs::{MetricsRegistry, NullSink, TraceSink};
 use pioqo_storage::range_for_selectivity;
@@ -245,13 +245,9 @@ impl Experiment {
         let (low, high) = range_for_selectivity(selectivity, self.dataset.c2_max());
         let mut ctx = SimContext::new(device, pool, CpuConfig::paper_xeon(), CpuCosts::default());
         ctx.set_trace_sink(trace);
-        let inputs = ScanInputs {
-            table: self.dataset.table(),
-            index: Some(self.dataset.index()),
-            low,
-            high,
-        };
-        execute(&mut ctx, &method.to_plan_spec(), &inputs)
+        let q = QuerySpec::range_max(self.dataset.table(), Some(self.dataset.index()), low, high)
+            .with_plan(method.to_plan_spec());
+        execute(&mut ctx, &q)
     }
 
     /// [`Experiment::run_with`] plus a metrics registry: counters,
@@ -268,13 +264,9 @@ impl Experiment {
         let (low, high) = range_for_selectivity(selectivity, self.dataset.c2_max());
         let mut ctx = SimContext::new(device, pool, CpuConfig::paper_xeon(), CpuCosts::default());
         ctx.set_metrics(metrics);
-        let inputs = ScanInputs {
-            table: self.dataset.table(),
-            index: Some(self.dataset.index()),
-            low,
-            high,
-        };
-        let out = execute(&mut ctx, &method.to_plan_spec(), &inputs);
+        let q = QuerySpec::range_max(self.dataset.table(), Some(self.dataset.index()), low, high)
+            .with_plan(method.to_plan_spec());
+        let out = execute(&mut ctx, &q);
         ctx.fold_metrics();
         out
     }

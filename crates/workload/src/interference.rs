@@ -22,7 +22,7 @@ use crate::opteval::calibrate;
 use pioqo_core::Qdtt;
 use pioqo_device::MediaStore;
 use pioqo_exec::{
-    CpuConfig, CpuCosts, ExecError, MultiEngine, ScanInputs, SimContext, WorkloadReport,
+    CpuConfig, CpuCosts, ExecError, MultiEngine, QuerySpec, SimContext, WorkloadReport,
     WorkloadSpec, WriteConfig, WriteSystem,
 };
 use pioqo_optimizer::{OptimizerConfig, QdttAdmission};
@@ -131,19 +131,14 @@ fn run_point(
         model.clone(),
         opt_cfg.clone(),
     );
-    let inputs = ScanInputs {
-        table: exp.dataset.table(),
-        index: Some(exp.dataset.index()),
-        low: 0,
-        high: 0,
-    };
+    let base = QuerySpec::range_max(exp.dataset.table(), Some(exp.dataset.index()), 0, 0);
     let mut ctx = SimContext::new(
         &mut *device,
         &mut pool,
         CpuConfig::paper_xeon(),
         CpuCosts::default(),
     );
-    let engine = MultiEngine::new(spec, inputs, &mut planner);
+    let engine = MultiEngine::new(spec, base, &mut planner);
     match ws {
         Some(ws) => engine.run_with_writes(&mut ctx, ws),
         None => engine.run(&mut ctx),

@@ -16,6 +16,8 @@
 //! * [`interference`] — scan-vs-checkpoint interference: the same scan
 //!   sessions with the crash-consistent write path (WAL + background
 //!   flusher) on and off, isolating what writeback does to scan p99;
+//! * [`joins`] — the join-crossover grid: INL vs hybrid hash costed and
+//!   executed per device and per queue-depth lease;
 //! * [`sessions`] — the session-scale study: 1K/10K/100K closed-loop
 //!   sessions on overlapping scans, cooperative shared-scan cursor vs
 //!   one cursor per query.
@@ -27,6 +29,7 @@ pub mod concurrent;
 pub mod dataset;
 pub mod experiments;
 pub mod interference;
+pub mod joins;
 pub mod metrics;
 pub mod opteval;
 pub mod sessions;
@@ -40,6 +43,7 @@ pub use concurrent::{
 pub use dataset::Dataset;
 pub use experiments::{DeviceKind, Experiment, ExperimentConfig, MethodSpec};
 pub use interference::{interference_csv, interference_sweep, InterferenceCell};
+pub use joins::{join_grid, join_grid_csv, JoinCell, JoinGridConfig};
 pub use metrics::{
     capture_metrics, default_metrics_cells, default_slos, small_metrics_cells, CellKind,
     MetricsBundle, MetricsCell,

@@ -21,7 +21,7 @@ use crate::opteval::calibrate;
 use crate::trace::TraceError;
 use pioqo_device::MediaStore;
 use pioqo_exec::{
-    CpuConfig, CpuCosts, MultiEngine, ScanInputs, SimContext, ThinkTime, WorkloadSpec, WriteConfig,
+    CpuConfig, CpuCosts, MultiEngine, QuerySpec, SimContext, ThinkTime, WorkloadSpec, WriteConfig,
     WriteSystem,
 };
 use pioqo_obs::{
@@ -257,12 +257,7 @@ fn run_sessions_cell(
         shared_scans: shared,
         record_limit: None,
     };
-    let inputs = ScanInputs {
-        table: exp.dataset.table(),
-        index: Some(exp.dataset.index()),
-        low: 0,
-        high: 0,
-    };
+    let base = QuerySpec::range_max(exp.dataset.table(), Some(exp.dataset.index()), 0, 0);
     let mut device = exp.make_device();
     let mut pool = exp.make_pool();
     let mut ctx = SimContext::new(
@@ -272,7 +267,7 @@ fn run_sessions_cell(
         CpuCosts::default(),
     );
     ctx.set_metrics(registry);
-    let engine = MultiEngine::new(spec, inputs, &mut planner);
+    let engine = MultiEngine::new(spec, base, &mut planner);
     if writes {
         let used = exp.dataset.index().extent().end();
         let mut ts = Tablespace::new(exp.dataset.device_capacity());

@@ -25,20 +25,12 @@ fn scan(
         CpuConfig::paper_xeon(),
         CpuCosts::default(),
     );
-    execute(
-        &mut ctx,
-        &PlanSpec::Fts(FtsConfig {
-            workers: 8,
-            retry,
-            ..FtsConfig::default()
-        }),
-        &ScanInputs {
-            table,
-            index: None,
-            low: lo,
-            high: hi,
-        },
-    )
+    let q = QuerySpec::range_max(table, None, lo, hi).with_plan(PlanSpec::Fts(FtsConfig {
+        workers: 8,
+        retry,
+        ..FtsConfig::default()
+    }));
+    execute(&mut ctx, &q)
 }
 
 fn main() {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Compares the freshly generated benchmark report (``BENCH_pr9.json`` by
+Compares the freshly generated benchmark report (``BENCH_pr10.json`` by
 default) against the latest *previously committed* ``BENCH_*.json`` and
 fails when any shared throughput-style metric regressed by more than the
 allowed fraction (default 10%).
@@ -42,6 +42,13 @@ Rules:
   median-of-paired-ratio estimates, see ``bench_metrics``) are fatal —
   and the SLO roster evaluated during capture must hold
   (``metrics.slo_pass`` false is fatal).
+- Hard invariant on the ``query_layer`` section (when present): every
+  throughput leaf (``filtered_scan_rows_per_sec``,
+  ``hash_join_rows_per_sec``, ``inl_join_rows_per_sec``) must be a
+  positive finite number — a null/zero means the query path failed to
+  execute inside the bench, which no baseline comparison would catch.
+  Against a baseline that carries the section, the same leaves are gated
+  as ordinary ``_per_sec`` throughput metrics.
 
 Usage: scripts/bench_gate.py [NEW_REPORT] [--tolerance 0.10]
 Exit status: 0 pass, 1 regression, 2 usage/missing-file errors.
@@ -96,7 +103,7 @@ def main(argv):
         return 2
 
     repo_root = Path(__file__).resolve().parent.parent
-    new_path = Path(args[0]) if args else repo_root / "BENCH_pr9.json"
+    new_path = Path(args[0]) if args else repo_root / "BENCH_pr10.json"
     if not new_path.is_file():
         print(f"bench_gate: new report {new_path} not found", file=sys.stderr)
         return 2
@@ -175,6 +182,23 @@ def main(argv):
             )
         else:
             print("ok   metrics.slo_pass: true")
+
+    # The query layer must have actually executed: null or non-positive
+    # throughput is a failed bench, not a regression a baseline can catch.
+    query_layer = new.get("query_layer")
+    if query_layer is not None:
+        for leaf in (
+            "filtered_scan_rows_per_sec",
+            "hash_join_rows_per_sec",
+            "inl_join_rows_per_sec",
+        ):
+            value = query_layer.get(leaf)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+                failures.append(
+                    f"query_layer.{leaf}: {value!r} (query path failed to execute in bench)"
+                )
+            else:
+                print(f"ok   query_layer.{leaf}: {value:g} > 0")
 
     baseline_path = latest_baseline(repo_root, new_path)
     if baseline_path is None:

@@ -76,19 +76,14 @@ fn run_op(
             ..SortedIsConfig::default()
         }),
     };
-    let inputs = ScanInputs {
-        table: &fx.table,
-        index: Some(&fx.index),
-        low: lo,
-        high: hi,
-    };
+    let q = QuerySpec::range_max(&fx.table, Some(&fx.index), lo, hi).with_plan(plan);
     let mut ctx = SimContext::new(
         device,
         &mut pool,
         CpuConfig::paper_xeon(),
         CpuCosts::default(),
     );
-    execute(&mut ctx, &plan, &inputs)
+    execute(&mut ctx, &q)
 }
 
 fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
@@ -326,19 +321,14 @@ fn pinned_out_pool_surfaces_typed_error() {
             }),
             Op::SortedIs => PlanSpec::SortedIs(SortedIsConfig::default()),
         };
-        let inputs = ScanInputs {
-            table: &fx.table,
-            index: Some(&fx.index),
-            low: lo,
-            high: hi,
-        };
+        let q = QuerySpec::range_max(&fx.table, Some(&fx.index), lo, hi).with_plan(plan);
         let mut ctx = SimContext::new(
             &mut dev,
             &mut pool,
             CpuConfig::paper_xeon(),
             CpuCosts::default(),
         );
-        let r = execute(&mut ctx, &plan, &inputs);
+        let r = execute(&mut ctx, &q);
         assert!(
             matches!(r, Err(ExecError::PoolExhausted)),
             "{op:?}: expected PoolExhausted, got {r:?}"

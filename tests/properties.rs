@@ -267,7 +267,7 @@ proptest! {
         let (lo, hi) = pioqo::storage::range_for_selectivity(sel, u32::MAX - 1);
         let expected = table.data().naive_max_c1(lo, hi);
 
-        let inputs = ScanInputs { table: &table, index: Some(&index), low: lo, high: hi };
+        let base = QuerySpec::range_max(&table, Some(&index), lo, hi);
 
         let mut dev = presets::consumer_pcie_ssd(ts.capacity(), 3);
         let mut pool = BufferPool::new(512);
@@ -276,8 +276,7 @@ proptest! {
         );
         let fts = execute(
             &mut ctx,
-            &PlanSpec::Fts(FtsConfig { workers, ..FtsConfig::default() }),
-            &inputs,
+            &base.clone().with_plan(PlanSpec::Fts(FtsConfig { workers, ..FtsConfig::default() })),
         ).expect("fts runs");
         prop_assert_eq!(fts.max_c1, expected);
         drop(ctx);
@@ -289,8 +288,7 @@ proptest! {
         );
         let is = execute(
             &mut ctx,
-            &PlanSpec::Is(IsConfig { workers, prefetch_depth: workers % 3, ..IsConfig::default() }),
-            &inputs,
+            &base.with_plan(PlanSpec::Is(IsConfig { workers, prefetch_depth: workers % 3, ..IsConfig::default() })),
         ).expect("is runs");
         prop_assert_eq!(is.max_c1, expected);
     }

@@ -61,15 +61,10 @@ fn randomized_scan_storm() {
                 ..SortedIsConfig::default()
             }),
         };
-        let inputs = ScanInputs {
-            table,
-            index: Some(index),
-            low: lo,
-            high: hi,
-        };
+        let q = QuerySpec::range_max(table, Some(index), lo, hi).with_plan(plan);
         let mut ctx = SimContext::new(&mut *device, &mut pool, cpu, costs);
-        let metrics = execute(&mut ctx, &plan, &inputs)
-            .unwrap_or_else(|e| panic!("round {round}: scan failed: {e}"));
+        let metrics =
+            execute(&mut ctx, &q).unwrap_or_else(|e| panic!("round {round}: scan failed: {e}"));
         drop(ctx);
 
         assert_eq!(metrics.max_c1, expected, "round {round} wrong answer");
